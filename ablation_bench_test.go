@@ -1,0 +1,92 @@
+package nodedp
+
+// Ablation benchmarks for the design choices documented in DESIGN.md: what
+// each exact reduction in the f_Δ evaluator buys on a workload where the
+// LP would otherwise run. Compare:
+//
+//	go test -bench=BenchmarkAblation -benchmem
+//
+// The "Full" variant is the production configuration; each other variant
+// disables one layer. All variants compute identical values (asserted by
+// TestQuickPeelInvariance and the brute-force cross-checks).
+
+import (
+	"math"
+	"testing"
+
+	"nodedp/internal/forestlp"
+	"nodedp/internal/generate"
+	"nodedp/internal/graph"
+)
+
+// ablationWorkload: sparse ER giant components (tree fringe + 2-core) at a
+// Δ just below the typical heuristic forest degree, so every layer is
+// exercised.
+func ablationWorkload() []*graph.Graph {
+	var gs []*graph.Graph
+	for seed := uint64(0); seed < 4; seed++ {
+		gs = append(gs, generate.ErdosRenyi(120, 2.0/120, generate.NewRand(900+seed)))
+	}
+	return gs
+}
+
+func runAblation(b *testing.B, opts forestlp.Options) {
+	b.Helper()
+	gs := ablationWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range gs {
+			if _, _, err := forestlp.Value(g, 2, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationFull is the production configuration.
+func BenchmarkAblationFull(b *testing.B) {
+	runAblation(b, forestlp.Options{})
+}
+
+// BenchmarkAblationNoFastPath disables the spanning-forest certificates
+// (BFS/greedy/repair forests and the capped-forest certificate).
+func BenchmarkAblationNoFastPath(b *testing.B) {
+	runAblation(b, forestlp.Options{DisableFastPath: true})
+}
+
+// BenchmarkAblationNoPeel disables the leaf-elimination preprocessing.
+func BenchmarkAblationNoPeel(b *testing.B) {
+	runAblation(b, forestlp.Options{DisablePeel: true})
+}
+
+// BenchmarkAblationBare disables both exact reductions: raw cutting planes
+// (with cut management) only.
+func BenchmarkAblationBare(b *testing.B) {
+	runAblation(b, forestlp.Options{DisableFastPath: true, DisablePeel: true})
+}
+
+// BenchmarkAblationGEMGridCoarse measures Algorithm 1 with a truncated Δ
+// grid (DeltaMax 4 instead of n): cheaper evaluation, weaker adaptivity.
+func BenchmarkAblationGEMGridCoarse(b *testing.B) {
+	g := generate.Geometric(300, 1.2/math.Sqrt(300), generate.NewRand(905))
+	rng := generate.NewRand(906)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateSpanningForestSize(g, Options{Epsilon: 1, Rand: rng, DeltaMax: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGEMGridFull is the paper's DeltaMax = n grid on the
+// same input, for comparison with the coarse variant.
+func BenchmarkAblationGEMGridFull(b *testing.B) {
+	g := generate.Geometric(300, 1.2/math.Sqrt(300), generate.NewRand(905))
+	rng := generate.NewRand(907)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateSpanningForestSize(g, Options{Epsilon: 1, Rand: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package nodedp
+
+// This file wires every experiment of the reproduction suite (DESIGN.md
+// section 4) to a `go test -bench` target, plus micro-benchmarks for the
+// individual substrates. The experiment benches run the same drivers as
+// cmd/experiments in quick mode; their value is (a) regenerating each table
+// and (b) tracking the wall-clock cost of the whole pipeline over time.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Regenerate one table with timing:
+//
+//	go test -bench=BenchmarkE4 -benchmem
+
+import (
+	"math"
+	"testing"
+
+	"nodedp/internal/core"
+	"nodedp/internal/downsens"
+	"nodedp/internal/experiments"
+	"nodedp/internal/forestlp"
+	"nodedp/internal/generate"
+	"nodedp/internal/spanning"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.Config{Quick: true, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := runner(cfg); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkE0RationalCrossCheck(b *testing.B)  { benchExperiment(b, "E0") }
+func BenchmarkE1ExtensionProperties(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2AnchorSets(b *testing.B)          { benchExperiment(b, "E2") }
+func BenchmarkE3MainAlgorithm(b *testing.B)       { benchExperiment(b, "E3") }
+func BenchmarkE4ErdosRenyi(b *testing.B)          { benchExperiment(b, "E4") }
+func BenchmarkE5Geometric(b *testing.B)           { benchExperiment(b, "E5") }
+func BenchmarkE6DownSensitivity(b *testing.B)     { benchExperiment(b, "E6") }
+func BenchmarkE7LocalRepair(b *testing.B)         { benchExperiment(b, "E7") }
+func BenchmarkE8LipschitzTightness(b *testing.B)  { benchExperiment(b, "E8") }
+func BenchmarkE9Optimality(b *testing.B)          { benchExperiment(b, "E9") }
+func BenchmarkE10Baselines(b *testing.B)          { benchExperiment(b, "E10") }
+func BenchmarkE11GEM(b *testing.B)                { benchExperiment(b, "E11") }
+func BenchmarkE12PrivacyAudit(b *testing.B)       { benchExperiment(b, "E12") }
+func BenchmarkE13GenericExtension(b *testing.B)   { benchExperiment(b, "E13") }
+func BenchmarkE14LPScaling(b *testing.B)          { benchExperiment(b, "E14") }
+func BenchmarkE15EpsilonSweep(b *testing.B)       { benchExperiment(b, "E15") }
+func BenchmarkF1RepairTrace(b *testing.B)         { benchExperiment(b, "F1") }
+func BenchmarkF2Lemma52(b *testing.B)             { benchExperiment(b, "F2") }
+func BenchmarkF3WinDecomposition(b *testing.B)    { benchExperiment(b, "F3") }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: the substrates in isolation.
+
+// BenchmarkExtensionGeometric measures one f_Δ evaluation on a geometric
+// graph (the paper's best case: spanning 6-forests exist, so the fast path
+// dominates).
+func BenchmarkExtensionGeometric(b *testing.B) {
+	g := generate.Geometric(400, 1.2/math.Sqrt(400), generate.NewRand(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := forestlp.Value(g, 4, forestlp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionLPPath measures f_Δ where the LP genuinely runs
+// (Δ below the component's Δ*).
+func BenchmarkExtensionLPPath(b *testing.B) {
+	g := generate.ErdosRenyi(150, 2.0/150, generate.NewRand(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := forestlp.Value(g, 2, forestlp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlgorithm1EndToEnd measures a full private release (grid
+// evaluation + GEM + Laplace) on a sparse ER graph.
+func BenchmarkAlgorithm1EndToEnd(b *testing.B) {
+	g := generate.ErdosRenyi(200, 1.5/200, generate.NewRand(3))
+	rng := generate.NewRand(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EstimateSpanningForestSize(g, core.Options{Epsilon: 1, Rand: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlgorithm1Release measures the amortized release path: the
+// extension values are evaluated once, each iteration only pays GEM +
+// Laplace.
+func BenchmarkAlgorithm1Release(b *testing.B) {
+	g := generate.Geometric(300, 1.0/math.Sqrt(300), generate.NewRand(5))
+	prep, err := core.PrepareSpanningForest(g, core.Options{Epsilon: 1, Rand: generate.NewRand(6)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prep.Release(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepair measures Algorithm 3 on a dense-ish random graph.
+func BenchmarkRepair(b *testing.B) {
+	g := generate.ErdosRenyi(500, 8.0/500, generate.NewRand(7))
+	star, err := downsens.MaxInducedStar(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	delta := star.Size + 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		forest, witness, err := spanning.Repair(g, delta)
+		if err != nil || witness != nil || forest == nil {
+			b.Fatalf("repair failed: %v %v", err, witness)
+		}
+	}
+}
+
+// BenchmarkMaxInducedStar measures the exact s(G) computation on a
+// geometric graph.
+func BenchmarkMaxInducedStar(b *testing.B) {
+	g := generate.Geometric(500, 1.2/math.Sqrt(500), generate.NewRand(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := downsens.MaxInducedStar(g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLowDegreeSpanningForest measures the Δ* upper-bound heuristic.
+func BenchmarkLowDegreeSpanningForest(b *testing.B) {
+	g := generate.ErdosRenyi(400, 3.0/400, generate.NewRand(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spanning.LowDegreeSpanningForest(g)
+	}
+}
+
+// BenchmarkComponents measures the plain f_cc substrate.
+func BenchmarkComponents(b *testing.B) {
+	g := generate.ErdosRenyi(5000, 1.0/5000, generate.NewRand(10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CountComponents()
+	}
+}

@@ -1,0 +1,91 @@
+// Command ccdp releases a node-differentially private estimate of the
+// number of connected components (or the spanning-forest size) of a graph
+// read from an edge-list file.
+//
+// Usage:
+//
+//	ccdp -epsilon 1.0 [-mode cc|cc-known-n|sf] [-input graph.txt] [-seed 0] [-v]
+//
+// The input format is one "u v" pair per line with an optional "n <count>"
+// header for isolated vertices; '#' starts a comment. With -input omitted,
+// the graph is read from stdin. -seed 0 (the default) uses cryptographic
+// randomness; any other seed makes the release reproducible (for testing
+// only — a reproducible release is not private).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nodedp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ccdp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ccdp", flag.ContinueOnError)
+	epsilon := fs.Float64("epsilon", 0, "total privacy budget ε (required, > 0)")
+	mode := fs.String("mode", "cc", "what to estimate: cc (components), cc-known-n (components, public vertex count), sf (spanning-forest size)")
+	input := fs.String("input", "", "edge-list file (default: stdin)")
+	seed := fs.Uint64("seed", 0, "0 = crypto randomness; nonzero = reproducible (testing only)")
+	verbose := fs.Bool("v", false, "print selection diagnostics (NOT private; testing only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *epsilon <= 0 {
+		return fmt.Errorf("-epsilon must be positive")
+	}
+
+	r := stdin
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	g, err := nodedp.ReadGraph(r)
+	if err != nil {
+		return err
+	}
+
+	opts := nodedp.Options{Epsilon: *epsilon}
+	if *seed != 0 {
+		opts.Rand = nodedp.NewRand(*seed)
+	}
+
+	var res nodedp.Result
+	switch *mode {
+	case "cc":
+		res, err = nodedp.EstimateComponentCount(g, opts)
+	case "cc-known-n":
+		res, err = nodedp.EstimateComponentCountKnownN(g, opts)
+	case "sf":
+		res, err = nodedp.EstimateSpanningForestSize(g, opts)
+	default:
+		return fmt.Errorf("unknown -mode %q (want cc, cc-known-n or sf)", *mode)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "graph: n=%d m=%d\n", g.N(), g.M())
+	fmt.Fprintf(stdout, "mode: %s  epsilon: %g\n", *mode, *epsilon)
+	fmt.Fprintf(stdout, "private estimate: %.2f\n", res.Value)
+	if *verbose {
+		fmt.Fprintf(stdout, "[diagnostics — not private]\n")
+		fmt.Fprintf(stdout, "  selected Δ̂ = %g, noise scale %.3f\n", res.Delta, res.NoiseScale)
+		for _, ev := range res.Evaluations {
+			fmt.Fprintf(stdout, "  f_%g(G) = %.3f (q = %.3f)\n", ev.Delta, ev.FDelta, ev.Q)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFromStdin(t *testing.T) {
+	in := strings.NewReader("n 6\n0 1\n2 3\n")
+	var out bytes.Buffer
+	err := run([]string{"-epsilon", "2", "-seed", "7"}, in, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"n=6 m=2", "mode: cc", "private estimate:"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunModes(t *testing.T) {
+	for _, mode := range []string{"cc", "cc-known-n", "sf"} {
+		in := strings.NewReader("0 1\n1 2\n")
+		var out bytes.Buffer
+		if err := run([]string{"-epsilon", "1", "-seed", "3", "-mode", mode}, in, &out); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunVerboseDiagnostics(t *testing.T) {
+	in := strings.NewReader("0 1\n0 2\n0 3\n")
+	var out bytes.Buffer
+	if err := run([]string{"-epsilon", "1", "-seed", "5", "-v"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "diagnostics") || !strings.Contains(out.String(), "f_1(G)") {
+		t.Fatalf("verbose output incomplete:\n%s", out.String())
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("n 4\n0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-epsilon", "1", "-seed", "2", "-input", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "n=4 m=1") {
+		t.Fatalf("file input not parsed:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                  // missing epsilon
+		{"-epsilon", "-1"},                  // bad epsilon
+		{"-epsilon", "1", "-mode", "bogus"}, // bad mode
+		{"-epsilon", "1", "-input", "/nonexistent/file"},
+	}
+	for _, args := range cases {
+		if err := run(args, strings.NewReader("0 1\n"), &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+	// Malformed graph.
+	if err := run([]string{"-epsilon", "1"}, strings.NewReader("0 0\n"), &bytes.Buffer{}); err == nil {
+		t.Error("self-loop input should fail")
+	}
+}

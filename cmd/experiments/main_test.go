@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+
+	"nodedp/internal/experiments"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	cfg := experiments.Config{Quick: true, Seed: 1}
+	if err := run(cfg, "E8"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	cfg := experiments.Config{Quick: true, Seed: 1}
+	if err := run(cfg, "nope"); err == nil {
+		t.Fatal("unknown id should fail")
+	}
+}

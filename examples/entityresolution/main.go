@@ -1,0 +1,87 @@
+// Entity-resolution example, modeled on the paper's motivating citation
+// [CSS18] (estimating the number of documented deaths in the Syrian war):
+// several overlapping casualty lists contain duplicate records of the same
+// person. Drawing a "same entity" edge between matched records, the number
+// of distinct victims is exactly the number of connected components of the
+// record-linkage graph — and every record is sensitive, so node-DP is the
+// right guarantee (one person contributes a whole cluster of records and
+// all its edges... one *record* is a node; protecting a node protects a
+// record and all its matches).
+//
+// We synthesize a linkage graph: each true entity appears on 1–4 lists,
+// and matched records of the same entity form a small clique-ish cluster.
+// Duplicate-detection noise adds a few spurious matches. The cluster
+// structure keeps Δ* small, so the private count is sharp.
+//
+// Run with:
+//
+//	go run ./examples/entityresolution
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"nodedp"
+)
+
+func main() {
+	rng := nodedp.NewRand(2018)
+
+	// Synthesize: 500 entities, each with 1-4 duplicate records.
+	var clusterSizes []int
+	totalRecords := 0
+	for i := 0; i < 500; i++ {
+		size := 1 + rng.IntN(4)
+		clusterSizes = append(clusterSizes, size)
+		totalRecords += size
+	}
+	// Records of one entity form a connected cluster (a path plus a few
+	// extra matches).
+	g := nodedp.NewGraph(totalRecords)
+	base := 0
+	for _, size := range clusterSizes {
+		for j := 1; j < size; j++ {
+			if err := g.AddEdge(base+j-1, base+j); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Extra within-cluster match edges with probability 1/2.
+		for a := 0; a < size; a++ {
+			for b := a + 2; b < size; b++ {
+				if rng.Float64() < 0.5 {
+					if err := g.AddEdge(base+a, base+b); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+		}
+		base += size
+	}
+	// A handful of false matches between distinct entities.
+	for k := 0; k < 10; k++ {
+		u, v := rng.IntN(totalRecords), rng.IntN(totalRecords)
+		if u != v {
+			_, _ = g.EnsureEdge(u, v)
+		}
+	}
+
+	trueEntities := g.CountComponents()
+	fmt.Printf("record-linkage graph: %d records, %d match edges\n", g.N(), g.M())
+	fmt.Printf("true number of distinct entities (connected components): %d\n\n", trueEntities)
+
+	fmt.Printf("%6s %14s %14s\n", "ε", "estimate", "|error|")
+	for _, eps := range []float64{0.5, 1, 2} {
+		res, err := nodedp.EstimateComponentCount(g, nodedp.Options{
+			Epsilon: eps,
+			Rand:    rng,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6.1f %14.1f %14.1f\n", eps, res.Value, math.Abs(res.Value-float64(trueEntities)))
+	}
+	fmt.Println("\neach row is an independent ε-node-private release protecting every")
+	fmt.Println("record (and all its match edges); total spend is the sum of the ε's.")
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a small graph and release a node-differentially
+// private estimate of its number of connected components.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nodedp"
+)
+
+func main() {
+	// A toy "collaboration network": two triangles, one pair, one loner.
+	g := nodedp.NewGraph(9)
+	for _, e := range [][2]int{
+		{0, 1}, {1, 2}, {2, 0}, // triangle
+		{3, 4}, {4, 5}, {5, 3}, // triangle
+		{6, 7}, // pair; vertex 8 is isolated
+	} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("graph: %d vertices, %d edges, true component count %d\n",
+		g.N(), g.M(), g.CountComponents())
+
+	// One ε=2 node-private release. Passing a seeded Rand makes the demo
+	// reproducible; drop the Rand option for crypto-grade noise.
+	res, err := nodedp.EstimateComponentCount(g, nodedp.Options{
+		Epsilon: 2,
+		Rand:    nodedp.NewRand(2023),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ε=2 node-private estimate: %.2f\n", res.Value)
+	fmt.Printf("(GEM selected Lipschitz parameter Δ̂ = %g)\n", res.Delta)
+
+	// If the vertex count is public in your setting, the whole budget goes
+	// to the spanning-forest estimate and the release sharpens:
+	known, err := nodedp.EstimateComponentCountKnownN(g, nodedp.Options{
+		Epsilon: 2,
+		Rand:    nodedp.NewRand(2024),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ε=2 estimate with public vertex count: %.2f\n", known.Value)
+
+	// The guarantee (Theorem 1.3) is calibrated to Δ*, the smallest
+	// possible maximum degree of a spanning forest — here 2.
+	_, deg := nodedp.LowDegreeSpanningForest(g)
+	fmt.Printf("spanning forest with max degree %d exists, so the error scale is small\n", deg)
+}

@@ -1,0 +1,74 @@
+// Sensor-network example: random geometric graphs (Section 1.1.4 of the
+// paper). Sensors are dropped uniformly in the unit square; two sensors
+// communicate when within radio range r. The number of connected
+// components — how many isolated clusters the deployment fragmented into —
+// is the quantity of interest, and the sensor locations are sensitive.
+//
+// Geometric graphs are the paper's best case: the plane geometry forbids
+// induced 6-stars (six points within range of a center cannot be pairwise
+// out of range), so by Lemma 1.8 a spanning 6-forest always exists and the
+// private error is Õ(ln ln n / ε) — essentially constant in n. This
+// example verifies the star bound, builds the degree-≤6 forest with the
+// paper's own Algorithm 3, and reports private estimates across radii.
+//
+// Run with:
+//
+//	go run ./examples/sensors
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nodedp"
+)
+
+func main() {
+	rng := nodedp.NewRand(99)
+	const n = 400
+
+	fmt.Printf("%8s %8s %10s %12s %12s %10s\n",
+		"radius", "edges", "true f_cc", "s(G) (<6?)", "forest deg", "ε=1 est.")
+	for _, r := range []float64{0.02, 0.04, 0.08} {
+		g := nodedp.GeometricGraph(n, r, rng)
+
+		// Lemma 1.7 / §1.1.4: the largest induced star has at most 5
+		// leaves in any geometric graph.
+		star, err := nodedp.MaxInducedStar(g, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Lemma 1.8, constructively: Algorithm 3 builds a spanning forest
+		// of degree ≤ s(G)+1 ≤ 6.
+		forest, witness, err := nodedp.SpanningForestWithRepair(g, star.Size+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if witness != nil {
+			log.Fatalf("repair unexpectedly blocked: %+v", witness)
+		}
+		maxDeg := 0
+		degs := make(map[int]int)
+		for _, e := range forest {
+			degs[e.U]++
+			degs[e.V]++
+		}
+		for _, d := range degs {
+			if d > maxDeg {
+				maxDeg = d
+			}
+		}
+
+		res, err := nodedp.EstimateComponentCountKnownN(g, nodedp.Options{
+			Epsilon: 1,
+			Rand:    rng,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.2f %8d %10d %12d %12d %10.1f\n",
+			r, g.M(), g.CountComponents(), star.Size, maxDeg, res.Value)
+	}
+	fmt.Println("\nacross all radii the error stays O(lnln n/ε): geometry caps Δ* at 6.")
+}

@@ -1,0 +1,88 @@
+// Social-network example: estimating the number of friend circles
+// (connected components) in a friendship graph with a few extremely
+// popular accounts.
+//
+// The point of this example is instance adaptivity. Three estimators, all
+// rigorously ε-node-private, differ only in what their noise is calibrated
+// to:
+//
+//   - naive Laplace: global sensitivity n (any new account could merge
+//     every circle);
+//   - fixed extension at Δ = max degree: rigorous (f_Δ is Δ-Lipschitz,
+//     Lemma 3.3) but pays for the celebrities' degree;
+//   - Algorithm 1 (this paper): GEM picks Δ̂ near Δ*, the smallest maximum
+//     degree over spanning forests — the structural parameter that actually
+//     controls how much one node can change the component count.
+//
+// In this graph the celebrities ARE structurally important (they are the
+// only bridges between circles), so Δ* ≈ circles/celebrities ≈ 40 — and
+// the algorithm finds and pays exactly that, instead of max degree 188 or
+// n = 603. The paper's Theorem 1.3 is an instance-based guarantee: you pay
+// for the graph you have, not for the worst graph imaginable.
+//
+// Run with:
+//
+//	go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"nodedp"
+)
+
+func main() {
+	rng := nodedp.NewRand(7)
+
+	// 120 friend circles of 5 people each, plus 3 celebrity accounts
+	// followed by ~30% of everyone. The celebrities merge every circle
+	// they touch into one giant component.
+	sizes := make([]int, 120)
+	for i := range sizes {
+		sizes[i] = 5
+	}
+	base := nodedp.SBM(sizes, 0.9, 0, rng)
+	g := nodedp.WithHubs(base, 3, 0.3, rng)
+
+	trueCC := g.CountComponents()
+	maxDeg := g.MaxDegree()
+	_, deltaUB := nodedp.LowDegreeSpanningForest(g)
+	fmt.Printf("friendship graph: n=%d m=%d  true components %d\n", g.N(), g.M(), trueCC)
+	fmt.Printf("max degree %d (the celebrities), Δ* upper bound %d\n\n", maxDeg, deltaUB)
+
+	eps := 1.0
+	const trials = 5
+	var ours, fixedMax, naive float64
+	var pickedDelta float64
+	for i := 0; i < trials; i++ {
+		res, err := nodedp.EstimateComponentCountKnownN(g, nodedp.Options{Epsilon: eps, Rand: rng})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ours += math.Abs(res.Value - float64(trueCC))
+		pickedDelta = res.Delta
+
+		// The rigorous max-degree-calibrated alternative: release
+		// n − (f_Δ + Lap(Δ/ε)) with Δ = max degree. f_Δ = f_sf there, so
+		// the estimate is unbiased — the cost is pure noise scale.
+		noisy, err := nodedp.FixedDeltaComponentCountKnownN(rng, g, float64(maxDeg), eps, nodedp.LipschitzOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fixedMax += math.Abs(noisy - float64(trueCC))
+
+		nv, err := nodedp.NaiveNodeDPComponentCount(rng, g, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		naive += math.Abs(nv - float64(trueCC))
+	}
+
+	fmt.Printf("%-38s %14s\n", "ε=1 estimator (all node-DP)", "mean |error|")
+	fmt.Printf("%-38s %14.1f\n", fmt.Sprintf("Algorithm 1 (GEM picked Δ̂=%g)", pickedDelta), ours/trials)
+	fmt.Printf("%-38s %14.1f\n", fmt.Sprintf("fixed extension at Δ=maxdeg (%d)", maxDeg), fixedMax/trials)
+	fmt.Printf("%-38s %14.1f\n", fmt.Sprintf("naive Laplace (GS=n=%d)", g.N()), naive/trials)
+	fmt.Println("\nnoise pays for Δ* ≈", deltaUB, "— not for the celebrities' degree and not for n.")
+}

@@ -1,0 +1,64 @@
+package nodedp
+
+import (
+	"math/rand/v2"
+
+	"nodedp/internal/generate"
+)
+
+// This file re-exports the workload generators so that downstream users and
+// the runnable examples can construct the graph families analyzed in the
+// paper (Section 1.1.4) without reaching into internal packages.
+
+// NewRand returns a deterministic PRNG for the given seed; all generators
+// take an explicit source so experiments are reproducible.
+func NewRand(seed uint64) *rand.Rand { return generate.NewRand(seed) }
+
+// ErdosRenyi samples G(n,p) (Section 1.1.4: for p = c/n the private
+// estimate has additive error Õ(log n / ε)).
+func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
+	return generate.ErdosRenyi(n, p, rng)
+}
+
+// GeometricGraph samples a random geometric graph on the unit square with
+// connection radius r (Section 1.1.4: no induced 6-stars, hence spanning
+// 6-forests and error Õ(ln ln n / ε)).
+func GeometricGraph(n int, r float64, rng *rand.Rand) *Graph {
+	return generate.Geometric(n, r, rng)
+}
+
+// SBM samples a stochastic block model with the given block sizes and
+// within/between probabilities.
+func SBM(sizes []int, pIn, pOut float64, rng *rand.Rand) *Graph {
+	return generate.SBM(sizes, pIn, pOut, rng)
+}
+
+// PlantedComponents samples a disjoint union of Erdős–Rényi clusters — a
+// workload with a planted ground-truth component count.
+func PlantedComponents(sizes []int, p float64, rng *rand.Rand) *Graph {
+	return generate.PlantedComponents(sizes, p, rng)
+}
+
+// WithHubs adds hubCount high-degree hub vertices to a copy of g, each
+// adjacent to ≈ frac·n uniform vertices. Hubs blow up the maximum degree
+// while barely changing Δ* — the regime separating this paper's guarantee
+// from max-degree-based approaches.
+func WithHubs(g *Graph, hubCount int, frac float64, rng *rand.Rand) *Graph {
+	return generate.WithHubs(g, hubCount, frac, rng)
+}
+
+// Star returns the star K_{1,k}; Path, Cycle, Complete and Matching are the
+// usual structured families used throughout the paper's examples.
+func Star(k int) *Graph { return generate.Star(k) }
+
+// Path returns the path on n vertices.
+func Path(n int) *Graph { return generate.Path(n) }
+
+// Cycle returns the cycle on n ≥ 3 vertices.
+func Cycle(n int) *Graph { return generate.Cycle(n) }
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph { return generate.Complete(n) }
+
+// Matching returns a perfect matching on 2k vertices (f_cc = k, Δ* = 1).
+func Matching(k int) *Graph { return generate.Matching(k) }

@@ -1,0 +1,120 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"nodedp/internal/forestlp"
+	"nodedp/internal/generate"
+)
+
+func TestEdgeDPUnbiased(t *testing.T) {
+	g := generate.Matching(25) // f_cc = 25
+	rng := generate.NewRand(1)
+	const n = 4000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v, err := EdgeDPComponentCount(rng, g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+	}
+	if math.Abs(sum/n-25) > 0.5 {
+		t.Fatalf("edge-DP mean %v, want ≈25", sum/n)
+	}
+}
+
+func TestNaiveNodeDPScale(t *testing.T) {
+	// The naive baseline's noise has scale n/ε: on a 100-vertex graph at
+	// ε=1, E|noise| = 100, so average absolute error must be large.
+	g := generate.Matching(50)
+	rng := generate.NewRand(2)
+	const n = 2000
+	sumAbs := 0.0
+	for i := 0; i < n; i++ {
+		v, err := NaiveNodeDPComponentCount(rng, g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumAbs += math.Abs(v - 50)
+	}
+	if sumAbs/n < 50 {
+		t.Fatalf("naive node-DP mean error %v suspiciously small", sumAbs/n)
+	}
+	// Empty graph must not panic (n=0 clamps to 1).
+	if _, err := NaiveNodeDPComponentCount(rng, generate.Path(0), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedDeltaSF(t *testing.T) {
+	g := generate.Matching(40) // f_1 = f_sf = 40
+	rng := generate.NewRand(3)
+	const n = 2000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v, err := FixedDeltaSF(rng, g, 1, 1, forestlp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+	}
+	if math.Abs(sum/n-40) > 0.5 {
+		t.Fatalf("fixed-Δ mean %v, want ≈40", sum/n)
+	}
+	if _, err := FixedDeltaSF(rng, g, -1, 1, forestlp.Options{}); err == nil {
+		t.Fatal("negative delta should fail")
+	}
+}
+
+func TestFixedDeltaComponentCountKnownN(t *testing.T) {
+	g := generate.Matching(40)
+	rng := generate.NewRand(4)
+	v, err := FixedDeltaComponentCountKnownN(rng, g, 1, 5, forestlp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-40) > 20 {
+		t.Fatalf("estimate %v too far from 40", v)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	// Matching plus one hub adjacent to everything: truncation at D=2
+	// removes exactly the hub.
+	base := generate.Matching(10)
+	g := generate.WithHubs(base, 1, 1.0, generate.NewRand(5))
+	tr := Truncate(g, 2)
+	if tr.N() != 20 {
+		t.Fatalf("truncated n=%d, want 20", tr.N())
+	}
+	if tr.CountComponents() != 10 {
+		t.Fatalf("truncated f_cc=%d, want 10", tr.CountComponents())
+	}
+	// Truncating below every degree empties the graph.
+	if Truncate(g, -1).N() != 0 {
+		t.Fatal("truncate at -1 should remove everything")
+	}
+}
+
+func TestTruncationComponentCount(t *testing.T) {
+	g := generate.Matching(30)
+	rng := generate.NewRand(6)
+	v, err := TruncationComponentCount(rng, g, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-30) > 30 {
+		t.Fatalf("truncation estimate %v too far", v)
+	}
+	if _, err := TruncationComponentCount(rng, g, -1, 1); err == nil {
+		t.Fatal("negative maxDeg should fail")
+	}
+}
+
+func TestNonPrivate(t *testing.T) {
+	if NonPrivateComponentCount(generate.Matching(7)) != 7 {
+		t.Fatal("non-private reference is wrong")
+	}
+}

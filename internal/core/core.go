@@ -1,0 +1,315 @@
+// Package core implements Algorithm 1 of the paper: the ε-node-private
+// estimator for the size of a spanning forest (f_sf) and, through
+// Equation (1) f_cc = |V| − f_sf, for the number of connected components.
+//
+// The pipeline is exactly the paper's:
+//
+//  1. Evaluate the Lipschitz extensions f_Δ (Definition 3.1) on the grid
+//     I = {1, 2, 4, …, 2^⌊log₂ Δmax⌋} with Δmax = n.
+//  2. Use the Generalized Exponential Mechanism (Algorithm 4) with budget
+//     ε/2 and failure probability β to select Δ̂ approximately minimizing
+//     err(Δ, G) = |f_Δ(G) − f_sf(G)| + 2Δ/ε.
+//  3. Release f_Δ̂(G) + Lap(2Δ̂/ε), spending the remaining ε/2.
+//
+// Privacy: step 2 is (ε/2)-node-private (Theorem 3.5); step 3 is
+// (ε/2)-node-private because f_Δ̂ is Δ̂-Lipschitz (Lemma 3.3) and the noise
+// scale is Δ̂/(ε/2); composition (Lemma 2.4) gives ε overall.
+//
+// Accuracy: Theorem 1.3 — with probability 1−o(1) the error is
+// Δ*·Õ(ln ln n / ε), where Δ* is the smallest possible maximum degree of a
+// spanning forest of G; Theorem 1.5 rephrases this as DS_fsf(G)·Õ(ln ln n/ε).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"nodedp/internal/dpnoise"
+	"nodedp/internal/forestlp"
+	"nodedp/internal/graph"
+	"nodedp/internal/mechanism"
+)
+
+// Options configures the private estimators.
+type Options struct {
+	// Epsilon is the total privacy budget ε > 0. Required.
+	Epsilon float64
+	// Beta is the failure probability of the GEM selection step. If zero,
+	// the paper's choice 1/ln(ln n) is used (clamped into (0, 1/2]).
+	Beta float64
+	// Rand is the noise source. If nil, a crypto/rand-backed source is
+	// used; experiments pass a seeded PRNG for reproducibility.
+	Rand *rand.Rand
+	// DeltaMax overrides the top of the Δ grid (default: n, as in the
+	// paper; values below 1 are rejected).
+	DeltaMax float64
+	// ForestLP configures the extension evaluator.
+	ForestLP forestlp.Options
+	// CountBudgetFraction is the share of ε spent on releasing the vertex
+	// count when estimating f_cc (Equation (1) needs a private |V|).
+	// Default 0.2: the count's noise scale is 1/(ρε) against the forest
+	// estimate's ≈ Δ̂·lnln(n)/((1−ρ)ε), so a one-fifth share keeps the
+	// count term from dominating on small graphs while costing little on
+	// large ones. Ignored by EstimateSpanningForestSize and by
+	// EstimateComponentCountKnownN.
+	CountBudgetFraction float64
+	// DiscreteRelease replaces the float64 Laplace release with an exact
+	// integer mechanism: round(f_Δ̂) plus discrete Laplace noise sampled
+	// without floating-point arithmetic (internal/dpnoise). Rounding
+	// raises the release sensitivity from Δ̂ to Δ̂+1, so the noise scale is
+	// 2(Δ̂+1)/ε (rounded up to a nearby rational); the output lattice is
+	// the integers. Use this when float64 noise side channels matter.
+	DiscreteRelease bool
+}
+
+func (o Options) withDefaults(n int) (Options, error) {
+	if o.Epsilon <= 0 || math.IsNaN(o.Epsilon) || math.IsInf(o.Epsilon, 0) {
+		return o, fmt.Errorf("core: epsilon %v must be positive and finite", o.Epsilon)
+	}
+	if o.Beta == 0 {
+		// β = 1/ln(ln n) (the Theorem 1.3 setting), clamped to (0, 1/2].
+		b := 0.5
+		if n > 15 { // ln ln n > 1 ⟺ n > e^e ≈ 15.15
+			b = 1 / math.Log(math.Log(float64(n)))
+		}
+		if b > 0.5 {
+			b = 0.5
+		}
+		o.Beta = b
+	}
+	if o.Beta <= 0 || o.Beta >= 1 {
+		return o, fmt.Errorf("core: beta %v must be in (0,1)", o.Beta)
+	}
+	if o.Rand == nil {
+		o.Rand = dpnoise.NewCryptoRand()
+	}
+	if o.DeltaMax == 0 {
+		o.DeltaMax = float64(n)
+		if o.DeltaMax < 1 {
+			o.DeltaMax = 1
+		}
+	}
+	if o.DeltaMax < 1 {
+		return o, fmt.Errorf("core: deltaMax %v must be ≥ 1", o.DeltaMax)
+	}
+	if o.CountBudgetFraction == 0 {
+		o.CountBudgetFraction = 0.2
+	}
+	if o.CountBudgetFraction <= 0 || o.CountBudgetFraction >= 1 {
+		return o, fmt.Errorf("core: countBudgetFraction %v must be in (0,1)", o.CountBudgetFraction)
+	}
+	return o, nil
+}
+
+// DeltaEval records one extension evaluation, for experiment diagnostics.
+// These values are data-dependent and must not be released as-is.
+type DeltaEval struct {
+	Delta  float64
+	FDelta float64
+	// Q is the GEM quality q_Δ(G) = |f_Δ(G) − f_sf(G)| + 2Δ/ε.
+	Q float64
+}
+
+// Result is the outcome of a private estimation.
+type Result struct {
+	// Value is the private release (an estimate of f_sf or f_cc).
+	Value float64
+	// Delta is the Δ̂ chosen by GEM.
+	Delta float64
+	// FDelta is f_Δ̂(G) before noise (diagnostic; not private).
+	FDelta float64
+	// NoiseScale is the Laplace scale used in the release step.
+	NoiseScale float64
+	// NHat is the private vertex-count estimate (component-count mode
+	// only; zero otherwise).
+	NHat float64
+	// Evaluations are the per-Δ diagnostics (not private).
+	Evaluations []DeltaEval
+	// Stats aggregates the extension evaluator's work.
+	Stats forestlp.Stats
+}
+
+// NoiseInterval returns the half-width t such that the Laplace noise added
+// in the release step lies in [−t, t] with probability 1−beta (Lemma 2.3:
+// Pr[|Lap(b)| ≥ b·ln(1/beta)] = beta). It quantifies only the injected
+// noise — the extension's approximation error |f_Δ̂ − f_sf| is a separate,
+// data-dependent quantity bounded by Theorem 1.3. The interval is a
+// post-processing of released values and safe to publish.
+func (r Result) NoiseInterval(beta float64) (float64, error) {
+	if beta <= 0 || beta >= 1 {
+		return 0, fmt.Errorf("core: confidence beta %v must be in (0,1)", beta)
+	}
+	if r.NoiseScale <= 0 {
+		return 0, fmt.Errorf("core: result carries no noise scale")
+	}
+	width := r.NoiseScale * math.Log(1/beta)
+	// Component-count mode adds the vertex-count noise; its scale is
+	// recoverable from NHat only if the caller tracked it, so we expose
+	// the forest-release interval and document the composition.
+	return width, nil
+}
+
+// EstimateSpanningForestSize runs Algorithm 1: an ε-node-private estimate
+// of f_sf(G).
+func EstimateSpanningForestSize(g *graph.Graph, opts Options) (Result, error) {
+	opts, err := opts.withDefaults(g.N())
+	if err != nil {
+		return Result{}, err
+	}
+	return estimateSF(g, opts, opts.Epsilon)
+}
+
+// Prepared caches the deterministic, expensive part of Algorithm 1 — the
+// extension evaluations f_Δ(G) over the GEM grid — so that repeated
+// releases on the same graph (each spending its own ε; the caller must
+// account composition) skip the LP work. The random steps (GEM selection
+// and the Laplace release) happen per call to Release.
+type Prepared struct {
+	grid        []float64
+	qs          []float64
+	evaluations []DeltaEval
+	stats       forestlp.Stats
+	eps         float64
+	beta        float64
+	rand        *rand.Rand
+	discrete    bool
+}
+
+// Evaluations returns the cached per-Δ diagnostics (not private).
+func (p *Prepared) Evaluations() []DeltaEval {
+	return append([]DeltaEval(nil), p.evaluations...)
+}
+
+// PrepareSpanningForest evaluates the extension family once for g under the
+// given options.
+func PrepareSpanningForest(g *graph.Graph, opts Options) (*Prepared, error) {
+	opts, err := opts.withDefaults(g.N())
+	if err != nil {
+		return nil, err
+	}
+	return prepareSF(g, opts, opts.Epsilon)
+}
+
+func prepareSF(g *graph.Graph, opts Options, eps float64) (*Prepared, error) {
+	grid, err := mechanism.PowerOfTwoGrid(opts.DeltaMax)
+	if err != nil {
+		return nil, err
+	}
+	fsf := float64(g.SpanningForestSize())
+	epsHalf := eps / 2
+	p := &Prepared{
+		grid:        grid,
+		qs:          make([]float64, len(grid)),
+		evaluations: make([]DeltaEval, len(grid)),
+		eps:         eps,
+		beta:        opts.Beta,
+		rand:        opts.Rand,
+		discrete:    opts.DiscreteRelease,
+	}
+	for i, d := range grid {
+		v, stats, err := forestlp.Value(g, d, opts.ForestLP)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating f_%v: %w", d, err)
+		}
+		p.stats.Components = stats.Components // identical each round
+		p.stats.FastPathHits += stats.FastPathHits
+		p.stats.LPSolves += stats.LPSolves
+		p.stats.CutsAdded += stats.CutsAdded
+		p.stats.MaxFlowCalls += stats.MaxFlowCalls
+		p.stats.SimplexPivots += stats.SimplexPivots
+		// q_Δ(G) = |f_Δ(G) − f_sf(G)| + Δ/(ε/2)  (Algorithm 4 Step 4, with
+		// GEM's own budget ε/2).
+		p.qs[i] = math.Abs(v-fsf) + d/epsHalf
+		p.evaluations[i] = DeltaEval{Delta: d, FDelta: v, Q: p.qs[i]}
+	}
+	return p, nil
+}
+
+// Release performs the random half of Algorithm 1: GEM selection at ε/2
+// and a Laplace release at ε/2. Each call is an independent ε-node-private
+// release; run k of them and you have spent k·ε.
+func (p *Prepared) Release() (Result, error) {
+	res := Result{Evaluations: p.evaluations, Stats: p.stats}
+	epsHalf := p.eps / 2
+	sel, err := mechanism.GEM(p.rand, p.grid, p.qs, epsHalf, p.beta)
+	if err != nil {
+		return res, fmt.Errorf("core: GEM selection: %w", err)
+	}
+	res.Delta = sel.Delta
+	res.FDelta = p.evaluations[sel.Index].FDelta
+	res.NoiseScale = sel.Delta / epsHalf
+
+	if p.discrete {
+		// Integer mechanism: rounding raises sensitivity to Δ̂+1.
+		scale := (sel.Delta + 1) / epsHalf
+		res.NoiseScale = scale
+		noise, err := dpnoise.DiscreteLaplaceScaled(p.rand, scale)
+		if err != nil {
+			return res, fmt.Errorf("core: discrete release: %w", err)
+		}
+		res.Value = math.Round(res.FDelta) + float64(noise)
+		return res, nil
+	}
+
+	release, err := mechanism.LaplaceRelease(p.rand, res.FDelta, sel.Delta, epsHalf)
+	if err != nil {
+		return res, fmt.Errorf("core: release: %w", err)
+	}
+	res.Value = release
+	return res, nil
+}
+
+// estimateSF implements Algorithm 1 with total budget eps (callers may pass
+// a partial budget when composing).
+func estimateSF(g *graph.Graph, opts Options, eps float64) (Result, error) {
+	p, err := prepareSF(g, opts, eps)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.Release()
+}
+
+// EstimateComponentCount releases an ε-node-private estimate of f_cc(G)
+// via Equation (1): f_cc = |V| − f_sf. A CountBudgetFraction share of ε
+// buys the private vertex count (sensitivity 1 under node-privacy); the
+// rest runs Algorithm 1 for f_sf.
+func EstimateComponentCount(g *graph.Graph, opts Options) (Result, error) {
+	opts, err := opts.withDefaults(g.N())
+	if err != nil {
+		return Result{}, err
+	}
+	epsCount := opts.Epsilon * opts.CountBudgetFraction
+	epsSF := opts.Epsilon - epsCount
+
+	nHat, err := mechanism.LaplaceRelease(opts.Rand, float64(g.N()), 1, epsCount)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := estimateSF(g, opts, epsSF)
+	if err != nil {
+		return res, err
+	}
+	res.NHat = nHat
+	res.Value = nHat - res.Value
+	return res, nil
+}
+
+// EstimateComponentCountKnownN is EstimateComponentCount for settings where
+// the vertex count is public information (it is then subtracted exactly and
+// the entire ε goes to f_sf). NOTE: under strict node-DP the vertex count
+// is itself sensitive; use this variant only when n is released through
+// some other channel.
+func EstimateComponentCountKnownN(g *graph.Graph, opts Options) (Result, error) {
+	opts, err := opts.withDefaults(g.N())
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := estimateSF(g, opts, opts.Epsilon)
+	if err != nil {
+		return res, err
+	}
+	res.NHat = float64(g.N())
+	res.Value = float64(g.N()) - res.Value
+	return res, nil
+}

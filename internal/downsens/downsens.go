@@ -1,0 +1,297 @@
+// Package downsens implements the down-sensitivity machinery of the paper
+// (Definition 1.4 and Section 4): the largest induced star s(G), which by
+// Lemma 1.7 equals the down-sensitivity of f_sf, and a brute-force
+// down-sensitivity evaluator straight from Definition 1.4 used to validate
+// Lemma 1.7 on small graphs.
+//
+// Computing s(G) amounts to a maximum independent set in each vertex
+// neighborhood; the package does this exactly with a component-wise branch
+// and bound, which is fast whenever neighborhoods induce small or dense
+// subgraphs (true for all workloads in this repository) and is guarded by
+// an explicit work budget otherwise.
+package downsens
+
+import (
+	"fmt"
+	"sort"
+
+	"nodedp/internal/graph"
+)
+
+// ErrBudget is returned when the exact search exceeds its work budget.
+var ErrBudget = fmt.Errorf("downsens: work budget exceeded")
+
+// Star describes a maximum induced star found in a graph.
+type Star struct {
+	// Size is s(G), the number of leaves.
+	Size int
+	// Center is the star's center vertex (-1 when Size == 0).
+	Center int
+	// Leaves are the star's leaves, sorted increasingly.
+	Leaves []int
+}
+
+// MaxInducedStar computes s(G), the size of the largest induced star
+// (Lemma 1.7), exactly. budget caps the total branch-and-bound nodes
+// across all neighborhoods (0 means a generous default); if it is
+// exhausted, ErrBudget is returned.
+func MaxInducedStar(g *graph.Graph, budget int) (Star, error) {
+	if budget <= 0 {
+		budget = 1 << 24
+	}
+	best := Star{Size: 0, Center: -1}
+	for v := 0; v < g.N(); v++ {
+		nbrs := g.Neighbors(v)
+		if len(nbrs) <= best.Size {
+			continue // cannot beat the incumbent
+		}
+		set, err := maxIndependentInNeighborhood(g, nbrs, &budget)
+		if err != nil {
+			return Star{}, err
+		}
+		if len(set) > best.Size {
+			sort.Ints(set)
+			best = Star{Size: len(set), Center: v, Leaves: set}
+		}
+	}
+	return best, nil
+}
+
+// GreedyInducedStarLowerBound returns a lower bound on s(G) by greedily
+// building an independent set in each neighborhood (largest-degree-last
+// order). Used when exact search is too expensive.
+func GreedyInducedStarLowerBound(g *graph.Graph) Star {
+	best := Star{Size: 0, Center: -1}
+	for v := 0; v < g.N(); v++ {
+		nbrs := g.Neighbors(v)
+		if len(nbrs) <= best.Size {
+			continue
+		}
+		// Greedy: scan neighbors in increasing degree-within-neighborhood
+		// order, add if independent from chosen so far.
+		indeg := make(map[int]int, len(nbrs))
+		inN := make(map[int]bool, len(nbrs))
+		for _, w := range nbrs {
+			inN[w] = true
+		}
+		for _, w := range nbrs {
+			for _, x := range g.Neighbors(w) {
+				if inN[x] {
+					indeg[w]++
+				}
+			}
+		}
+		order := append([]int(nil), nbrs...)
+		sort.Slice(order, func(i, j int) bool {
+			if indeg[order[i]] != indeg[order[j]] {
+				return indeg[order[i]] < indeg[order[j]]
+			}
+			return order[i] < order[j]
+		})
+		var chosen []int
+		for _, w := range order {
+			ok := true
+			for _, c := range chosen {
+				if g.HasEdge(w, c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				chosen = append(chosen, w)
+			}
+		}
+		if len(chosen) > best.Size {
+			sort.Ints(chosen)
+			best = Star{Size: len(chosen), Center: v, Leaves: chosen}
+		}
+	}
+	return best
+}
+
+// maxIndependentInNeighborhood computes a maximum independent set of the
+// subgraph induced by nbrs, decomposing into connected components first
+// (the MIS of a disjoint union is the union of per-component MISes).
+func maxIndependentInNeighborhood(g *graph.Graph, nbrs []int, budget *int) ([]int, error) {
+	sub, orig, err := g.InducedSubgraph(nbrs)
+	if err != nil {
+		return nil, err
+	}
+	var result []int
+	for _, comp := range sub.ComponentSets() {
+		csub, corig, err := sub.InducedSubgraph(comp)
+		if err != nil {
+			return nil, err
+		}
+		set, err := misExact(csub, budget)
+		if err != nil {
+			return nil, err
+		}
+		for _, loc := range set {
+			result = append(result, orig[corig[loc]])
+		}
+	}
+	return result, nil
+}
+
+// misExact is a classic branch-and-bound maximum independent set on a
+// (small, connected) graph: branch on a maximum-degree vertex — either
+// exclude it, or include it and discard its neighborhood.
+func misExact(g *graph.Graph, budget *int) ([]int, error) {
+	n := g.N()
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	var best []int
+	var cur []int
+	aliveCount := n
+
+	var rec func() error
+	rec = func() error {
+		*budget--
+		if *budget < 0 {
+			return ErrBudget
+		}
+		// Bound: even taking every alive vertex cannot beat best.
+		if len(cur)+aliveCount <= len(best) {
+			return nil
+		}
+		// Pick an alive vertex of maximum alive-degree.
+		pick, pickDeg := -1, -1
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			d := 0
+			g.VisitNeighbors(v, func(w int) bool {
+				if alive[w] {
+					d++
+				}
+				return true
+			})
+			if d > pickDeg {
+				pick, pickDeg = v, d
+			}
+		}
+		if pick == -1 {
+			if len(cur) > len(best) {
+				best = append(best[:0], cur...)
+			}
+			return nil
+		}
+		if pickDeg == 0 {
+			// All remaining vertices are isolated: take them all.
+			taken := 0
+			for v := 0; v < n; v++ {
+				if alive[v] {
+					cur = append(cur, v)
+					taken++
+				}
+			}
+			if len(cur) > len(best) {
+				best = append(best[:0], cur...)
+			}
+			cur = cur[:len(cur)-taken]
+			return nil
+		}
+
+		// Branch 1: include pick, kill pick and its alive neighbors.
+		killed := []int{pick}
+		alive[pick] = false
+		g.VisitNeighbors(pick, func(w int) bool {
+			if alive[w] {
+				alive[w] = false
+				killed = append(killed, w)
+			}
+			return true
+		})
+		aliveCount -= len(killed)
+		cur = append(cur, pick)
+		if err := rec(); err != nil {
+			return err
+		}
+		cur = cur[:len(cur)-1]
+		for _, w := range killed {
+			alive[w] = true
+		}
+		aliveCount += len(killed)
+
+		// Branch 2: exclude pick.
+		alive[pick] = false
+		aliveCount--
+		if err := rec(); err != nil {
+			return err
+		}
+		alive[pick] = true
+		aliveCount++
+		return nil
+	}
+	if err := rec(); err != nil {
+		return nil, err
+	}
+	return append([]int(nil), best...), nil
+}
+
+// SpanningForestDownSensitivity returns DS_fsf(G), using Lemma 1.7:
+// DS_fsf(G) = s(G).
+func SpanningForestDownSensitivity(g *graph.Graph, budget int) (int, error) {
+	star, err := MaxInducedStar(g, budget)
+	if err != nil {
+		return 0, err
+	}
+	return star.Size, nil
+}
+
+// DownSensitivityBruteForce computes the down-sensitivity of f at G
+// directly from Definition 1.4: the maximum of |f(H') − f(H)| over pairs of
+// node-neighboring induced subgraphs H ⪯ H' ⪯ G. It enumerates all 2^n
+// induced subgraphs and is therefore restricted to very small graphs
+// (n ≤ 20 hard cap). f receives induced subgraphs of G.
+func DownSensitivityBruteForce(g *graph.Graph, f func(*graph.Graph) float64) (float64, error) {
+	n := g.N()
+	if n > 20 {
+		return 0, fmt.Errorf("downsens: brute force limited to n ≤ 20, got %d", n)
+	}
+	// value[mask] = f(G[mask]).
+	value := make([]float64, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		var verts []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				verts = append(verts, v)
+			}
+		}
+		sub, _, err := g.InducedSubgraph(verts)
+		if err != nil {
+			return 0, err
+		}
+		value[mask] = f(sub)
+	}
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) == 0 {
+				continue
+			}
+			diff := value[mask] - value[mask&^(1<<v)]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > best {
+				best = diff
+			}
+		}
+	}
+	return best, nil
+}
+
+// SpanningForestSizeF adapts f_sf for DownSensitivityBruteForce.
+func SpanningForestSizeF(sub *graph.Graph) float64 {
+	return float64(sub.SpanningForestSize())
+}
+
+// ComponentCountF adapts f_cc for DownSensitivityBruteForce.
+func ComponentCountF(sub *graph.Graph) float64 {
+	return float64(sub.CountComponents())
+}

@@ -1,0 +1,175 @@
+package downsens
+
+import (
+	"testing"
+
+	"nodedp/internal/generate"
+	"nodedp/internal/graph"
+)
+
+func TestMaxInducedStarStructured(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"edgeless", graph.New(4), 0},
+		{"single-edge", generate.Path(2), 1},
+		{"path5", generate.Path(5), 2},
+		{"star6", generate.Star(6), 6},
+		{"K5", generate.Complete(5), 1},
+		{"K34", generate.CompleteBipartite(3, 4), 4},
+		{"cycle6", generate.Cycle(6), 2},
+		{"grid33", generate.Grid(3, 3), 4},             // center of 3x3 grid
+		{"caterpillar", generate.Caterpillar(4, 3), 5}, // interior spine: 3 legs + 2 spine neighbors
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			star, err := MaxInducedStar(tc.g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if star.Size != tc.want {
+				t.Fatalf("s(G) = %d, want %d", star.Size, tc.want)
+			}
+			if star.Size > 0 && !tc.g.IsInducedStar(star.Center, star.Leaves) {
+				t.Fatalf("returned star %+v is not induced", star)
+			}
+		})
+	}
+}
+
+// TestMaxInducedStarVsBruteForce cross-checks the branch and bound against
+// subset enumeration on random graphs.
+func TestMaxInducedStarVsBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 60; seed++ {
+		rng := generate.NewRand(seed)
+		n := 1 + rng.IntN(18)
+		p := 0.05 + 0.5*rng.Float64()
+		g := generate.ErdosRenyi(n, p, rng)
+		star, err := MaxInducedStar(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceStar(g)
+		if star.Size != want {
+			t.Fatalf("seed %d: s(G)=%d, brute force %d", seed, star.Size, want)
+		}
+	}
+}
+
+// TestLemma17 validates DS_fsf(G) = s(G) (Lemma 1.7) against the
+// brute-force down-sensitivity straight from Definition 1.4.
+func TestLemma17(t *testing.T) {
+	for seed := uint64(60); seed < 110; seed++ {
+		rng := generate.NewRand(seed)
+		n := 1 + rng.IntN(9)
+		p := 0.1 + 0.6*rng.Float64()
+		g := generate.ErdosRenyi(n, p, rng)
+		s, err := SpanningForestDownSensitivity(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := DownSensitivityBruteForce(g, SpanningForestSizeF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(s) != ds {
+			t.Fatalf("seed %d: s(G)=%d but DS_fsf=%v on %v", seed, s, ds, g)
+		}
+	}
+}
+
+// TestDownSensitivityCCWithinOne checks the remark after Definition 1.4:
+// the down-sensitivities of f_sf and f_cc differ by at most 1.
+func TestDownSensitivityCCWithinOne(t *testing.T) {
+	for seed := uint64(110); seed < 140; seed++ {
+		rng := generate.NewRand(seed)
+		n := 1 + rng.IntN(9)
+		g := generate.ErdosRenyi(n, 0.3, rng)
+		dsSF, err := DownSensitivityBruteForce(g, SpanningForestSizeF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dsCC, err := DownSensitivityBruteForce(g, ComponentCountF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := dsSF - dsCC
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1 {
+			t.Fatalf("seed %d: |DS_fsf - DS_fcc| = %v > 1", seed, diff)
+		}
+	}
+}
+
+func TestDownSensitivityBruteForceTooLarge(t *testing.T) {
+	if _, err := DownSensitivityBruteForce(graph.New(21), SpanningForestSizeF); err == nil {
+		t.Fatal("n=21 should be rejected")
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	g := generate.Complete(12)
+	if _, err := MaxInducedStar(g, 1); err != ErrBudget {
+		t.Fatalf("tiny budget should exhaust, got %v", err)
+	}
+}
+
+func TestGreedyLowerBound(t *testing.T) {
+	for seed := uint64(140); seed < 170; seed++ {
+		rng := generate.NewRand(seed)
+		n := 1 + rng.IntN(15)
+		g := generate.ErdosRenyi(n, 0.25, rng)
+		exact, err := MaxInducedStar(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy := GreedyInducedStarLowerBound(g)
+		if greedy.Size > exact.Size {
+			t.Fatalf("seed %d: greedy %d exceeds exact %d", seed, greedy.Size, exact.Size)
+		}
+		if greedy.Size > 0 && !g.IsInducedStar(greedy.Center, greedy.Leaves) {
+			t.Fatalf("seed %d: greedy star not induced", seed)
+		}
+	}
+}
+
+// TestGeometricNoSixStars verifies the Section 1.1.4 claim used for the
+// geometric-graph guarantee: random geometric graphs have no induced
+// 6-stars (six points within distance r of a center must contain two
+// points within r of each other).
+func TestGeometricNoSixStars(t *testing.T) {
+	for seed := uint64(170); seed < 185; seed++ {
+		rng := generate.NewRand(seed)
+		g := generate.Geometric(120, 0.18, rng)
+		star, err := MaxInducedStar(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if star.Size > 5 {
+			t.Fatalf("seed %d: geometric graph has induced %d-star", seed, star.Size)
+		}
+	}
+}
+
+func bruteForceStar(g *graph.Graph) int {
+	best := 0
+	for v := 0; v < g.N(); v++ {
+		nbrs := g.Neighbors(v)
+		for mask := 0; mask < 1<<len(nbrs); mask++ {
+			var set []int
+			for i, w := range nbrs {
+				if mask&(1<<i) != 0 {
+					set = append(set, w)
+				}
+			}
+			if len(set) > best && g.IsIndependentSet(set) {
+				best = len(set)
+			}
+		}
+	}
+	return best
+}

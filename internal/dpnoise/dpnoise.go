@@ -1,0 +1,151 @@
+// Package dpnoise provides the noise primitives behind the paper's
+// mechanisms: the continuous Laplace distribution of Theorem 2.2 (sampled
+// by inverse CDF from a seedable PRNG, so experiment tables are exactly
+// reproducible) and an exact discrete Laplace sampler in the style of
+// Canonne–Kamath–Steinke ("The Discrete Gaussian for Differential
+// Privacy", 2020), built from rational Bernoulli and Bernoulli(exp(−γ))
+// primitives with no floating-point arithmetic on the sampling path. The
+// discrete sampler can be driven by crypto/rand for deployments where
+// float64 side channels matter.
+package dpnoise
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// NewCryptoRand returns a *rand.Rand whose source draws from crypto/rand.
+// It trades reproducibility for cryptographic randomness; use it for real
+// releases, and seeded PRNGs for experiments.
+func NewCryptoRand() *rand.Rand {
+	return rand.New(cryptoSource{})
+}
+
+type cryptoSource struct{}
+
+func (cryptoSource) Uint64() uint64 {
+	var buf [8]byte
+	if _, err := cryptorand.Read(buf[:]); err != nil {
+		// crypto/rand failure means the platform's entropy source is
+		// broken; there is no meaningful recovery for a privacy mechanism.
+		panic(fmt.Sprintf("dpnoise: crypto/rand failed: %v", err))
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Laplace samples Lap(b): density exp(−|z|/b)/(2b) (Section 2). b must be
+// positive.
+func Laplace(rng *rand.Rand, b float64) float64 {
+	if b <= 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+		panic(fmt.Sprintf("dpnoise: Laplace scale %v must be positive and finite", b))
+	}
+	// Inverse CDF: u uniform in (-1/2, 1/2), z = -b·sgn(u)·ln(1-2|u|).
+	u := rng.Float64() - 0.5
+	if u >= 0 {
+		return -b * math.Log(1-2*u)
+	}
+	return b * math.Log(1+2*u)
+}
+
+// Gumbel samples the standard Gumbel distribution, the noise view of the
+// exponential mechanism (argmax of score/sens·ε/2 + Gumbel is an exact EM
+// draw).
+func Gumbel(rng *rand.Rand) float64 {
+	for {
+		u := rng.Float64()
+		if u > 0 {
+			return -math.Log(-math.Log(u))
+		}
+	}
+}
+
+// Bernoulli returns true with probability num/den, exactly. Requires
+// 0 ≤ num ≤ den and den > 0.
+func Bernoulli(rng *rand.Rand, num, den uint64) bool {
+	if den == 0 || num > den {
+		panic(fmt.Sprintf("dpnoise: Bernoulli(%d/%d) out of range", num, den))
+	}
+	return rng.Uint64N(den) < num
+}
+
+// BernoulliExp returns true with probability exp(−num/den), exactly
+// (Canonne–Kamath–Steinke Algorithm 1). den must be positive.
+func BernoulliExp(rng *rand.Rand, num, den uint64) bool {
+	if den == 0 {
+		panic("dpnoise: BernoulliExp with zero denominator")
+	}
+	// Reduce γ > 1 to repeated Bernoulli(exp(−1)) trials.
+	for num > den {
+		if !bernoulliExpLeqOne(rng, 1, 1) {
+			return false
+		}
+		num -= den
+	}
+	return bernoulliExpLeqOne(rng, num, den)
+}
+
+// bernoulliExpLeqOne samples Bernoulli(exp(−γ)) for γ = num/den ∈ [0,1]:
+// draw K = the first k ≥ 1 with Bernoulli(γ/k) = 0; accept iff K is odd.
+func bernoulliExpLeqOne(rng *rand.Rand, num, den uint64) bool {
+	if num == 0 {
+		return true
+	}
+	k := uint64(1)
+	for {
+		// Bernoulli(γ/k) = Bernoulli(num / (den·k)).
+		if !Bernoulli(rng, num, den*k) {
+			return k%2 == 1
+		}
+		k++
+		// den·k overflow guard: γ/k has fallen below 2^-40, the loop ends
+		// with probability 1 − 2^-40 per step; a false here is safe
+		// because Bernoulli(p) with p ≈ 0 is false almost surely.
+		if den*k < den {
+			return k%2 == 1
+		}
+	}
+}
+
+// DiscreteLaplace samples the discrete Laplace distribution with scale
+// t = num/den: Pr[Z = z] ∝ exp(−|z|·den/num) over the integers, exactly
+// (Canonne–Kamath–Steinke Algorithm 2). Both parameters must be positive.
+func DiscreteLaplace(rng *rand.Rand, num, den uint64) int64 {
+	if num == 0 || den == 0 {
+		panic(fmt.Sprintf("dpnoise: DiscreteLaplace(%d/%d) needs positive parameters", num, den))
+	}
+	t, s := num, den
+	for {
+		u := rng.Uint64N(t)
+		if !BernoulliExp(rng, u, t) {
+			continue
+		}
+		v := uint64(0)
+		for BernoulliExp(rng, 1, 1) {
+			v++
+		}
+		x := u + t*v
+		y := int64(x / s)
+		negative := Bernoulli(rng, 1, 2)
+		if negative && y == 0 {
+			continue
+		}
+		if negative {
+			return -y
+		}
+		return y
+	}
+}
+
+// LaplaceQuantile returns the q-quantile magnitude of |Lap(b)|:
+// Pr[|X| ≥ t·b] = e^{−t} (Lemma 2.3), so the magnitude below which a
+// fraction q of the mass lies is b·ln(1/(1−q)). Used by experiments to
+// draw theoretical reference curves.
+func LaplaceQuantile(b, q float64) float64 {
+	if q <= 0 || q >= 1 || b <= 0 {
+		panic(fmt.Sprintf("dpnoise: LaplaceQuantile(b=%v, q=%v) out of range", b, q))
+	}
+	return b * math.Log(1/(1-q))
+}

@@ -1,0 +1,216 @@
+package dpnoise
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func testRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xdeadbeef))
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	rng := testRNG(1)
+	const n = 200000
+	b := 2.5
+	sum, sumAbs := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := Laplace(rng, b)
+		sum += x
+		sumAbs += math.Abs(x)
+	}
+	mean := sum / n
+	meanAbs := sumAbs / n
+	// E[X]=0, E[|X|]=b. Std errors ~ b·sqrt(2/n) and b/sqrt(n).
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("mean %v too far from 0", mean)
+	}
+	if math.Abs(meanAbs-b) > 0.05 {
+		t.Fatalf("E|X| = %v, want %v", meanAbs, b)
+	}
+}
+
+func TestLaplaceTailLemma23(t *testing.T) {
+	// Lemma 2.3: Pr[|X| ≥ t·b] = e^{−t}.
+	rng := testRNG(2)
+	const n = 100000
+	b := 1.0
+	for _, tt := range []float64{0.5, 1, 2} {
+		count := 0
+		for i := 0; i < n; i++ {
+			if math.Abs(Laplace(rng, b)) >= tt*b {
+				count++
+			}
+		}
+		got := float64(count) / n
+		want := math.Exp(-tt)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Pr[|X| ≥ %v] = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestLaplacePanics(t *testing.T) {
+	for _, b := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("scale %v should panic", b)
+				}
+			}()
+			Laplace(testRNG(3), b)
+		}()
+	}
+}
+
+func TestLaplaceDeterministic(t *testing.T) {
+	a := Laplace(testRNG(7), 1)
+	b := Laplace(testRNG(7), 1)
+	if a != b {
+		t.Fatal("same seed must give same sample")
+	}
+}
+
+func TestBernoulliExact(t *testing.T) {
+	rng := testRNG(4)
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		if Bernoulli(rng, 3, 7) {
+			count++
+		}
+	}
+	got := float64(count) / n
+	if math.Abs(got-3.0/7) > 0.01 {
+		t.Fatalf("Bernoulli(3/7) rate %v", got)
+	}
+	if Bernoulli(rng, 0, 5) {
+		t.Fatal("Bernoulli(0) must be false")
+	}
+	if !Bernoulli(rng, 5, 5) {
+		t.Fatal("Bernoulli(1) must be true")
+	}
+}
+
+func TestBernoulliPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("num > den should panic")
+		}
+	}()
+	Bernoulli(testRNG(5), 6, 5)
+}
+
+func TestBernoulliExpRates(t *testing.T) {
+	rng := testRNG(6)
+	const n = 80000
+	cases := []struct{ num, den uint64 }{
+		{0, 1}, // exp(0) = 1
+		{1, 4}, // exp(-0.25)
+		{1, 1}, // exp(-1)
+		{5, 2}, // exp(-2.5), exercises the γ>1 reduction
+		{7, 3}, // exp(-7/3)
+	}
+	for _, tc := range cases {
+		count := 0
+		for i := 0; i < n; i++ {
+			if BernoulliExp(rng, tc.num, tc.den) {
+				count++
+			}
+		}
+		got := float64(count) / n
+		want := math.Exp(-float64(tc.num) / float64(tc.den))
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("BernoulliExp(%d/%d) rate %v, want %v", tc.num, tc.den, got, want)
+		}
+	}
+}
+
+func TestDiscreteLaplacePMF(t *testing.T) {
+	rng := testRNG(8)
+	const n = 200000
+	// Scale t = 2 (num=2, den=1): Pr[z] = (e^{1/2}−1)/(e^{1/2}+1)·e^{−|z|/2}.
+	counts := map[int64]int{}
+	for i := 0; i < n; i++ {
+		counts[DiscreteLaplace(rng, 2, 1)]++
+	}
+	norm := (math.Exp(0.5) - 1) / (math.Exp(0.5) + 1)
+	for z := int64(-4); z <= 4; z++ {
+		want := norm * math.Exp(-math.Abs(float64(z))/2)
+		got := float64(counts[z]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Pr[Z=%d] = %v, want %v", z, got, want)
+		}
+	}
+}
+
+func TestDiscreteLaplaceSymmetry(t *testing.T) {
+	rng := testRNG(9)
+	const n = 100000
+	sum := int64(0)
+	for i := 0; i < n; i++ {
+		sum += DiscreteLaplace(rng, 3, 2)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("mean %v too far from 0", mean)
+	}
+}
+
+func TestDiscreteLaplacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero scale should panic")
+		}
+	}()
+	DiscreteLaplace(testRNG(10), 0, 1)
+}
+
+func TestGumbelMedian(t *testing.T) {
+	rng := testRNG(11)
+	const n = 100000
+	count := 0
+	median := -math.Log(math.Ln2)
+	for i := 0; i < n; i++ {
+		if Gumbel(rng) > median {
+			count++
+		}
+	}
+	got := float64(count) / n
+	if math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("Pr[G > median] = %v", got)
+	}
+}
+
+func TestLaplaceQuantile(t *testing.T) {
+	// Median of |Lap(b)| is b·ln 2.
+	if got, want := LaplaceQuantile(2, 0.5), 2*math.Ln2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("q=1 should panic")
+		}
+	}()
+	LaplaceQuantile(1, 1)
+}
+
+func TestCryptoRand(t *testing.T) {
+	rng := NewCryptoRand()
+	// Smoke test: samples in range, not all equal.
+	a := rng.Uint64N(1 << 30)
+	different := false
+	for i := 0; i < 8; i++ {
+		if rng.Uint64N(1<<30) != a {
+			different = true
+			break
+		}
+	}
+	if !different {
+		t.Fatal("crypto source produced nine identical draws")
+	}
+	// The exact samplers must run on the crypto source too.
+	_ = DiscreteLaplace(rng, 5, 1)
+	_ = Laplace(rng, 1)
+}

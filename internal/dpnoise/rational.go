@@ -1,0 +1,68 @@
+package dpnoise
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// RationalApprox returns a rational num/den ≈ x with den ≤ maxDen and,
+// crucially for privacy calibration, num/den ≥ x (never below): a noise
+// scale rounded UP yields at least the target privacy. The approximation
+// uses the Stern–Brocot walk (equivalently, continued fractions) and then
+// bumps the numerator if needed.
+//
+// x must be positive and finite; maxDen ≥ 1.
+func RationalApprox(x float64, maxDen uint64) (num, den uint64, err error) {
+	if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0, 0, fmt.Errorf("dpnoise: RationalApprox target %v must be positive and finite", x)
+	}
+	if maxDen < 1 {
+		return 0, 0, fmt.Errorf("dpnoise: maxDen must be ≥ 1")
+	}
+	if x > 1e15 {
+		return 0, 0, fmt.Errorf("dpnoise: target %v too large for exact rational sampling", x)
+	}
+	// Continued-fraction convergents of x with denominator cap.
+	var (
+		p0, q0 uint64 = 0, 1
+		p1, q1 uint64 = 1, 0
+		val           = x
+	)
+	for i := 0; i < 64; i++ {
+		a := uint64(math.Floor(val))
+		// p2 = a*p1 + p0, q2 = a*q1 + q0 with overflow / cap checks.
+		if q1 != 0 && a > (maxDen-q0)/q1 {
+			break
+		}
+		p2 := a*p1 + p0
+		q2 := a*q1 + q0
+		p0, q0, p1, q1 = p1, q1, p2, q2
+		frac := val - math.Floor(val)
+		if frac < 1e-12 {
+			break
+		}
+		val = 1 / frac
+	}
+	num, den = p1, q1
+	if den == 0 {
+		num, den = uint64(math.Ceil(x)), 1
+	}
+	// Round up: privacy allows more noise, never less.
+	for float64(num)/float64(den) < x {
+		num++
+	}
+	return num, den, nil
+}
+
+// DiscreteLaplaceScaled samples the discrete Laplace distribution with a
+// real-valued target scale b: Pr[Z = z] ∝ exp(−|z|/b'), where b' ≥ b is a
+// rational approximation with denominator ≤ 1000 that never undershoots
+// (undershooting would weaken the privacy guarantee).
+func DiscreteLaplaceScaled(rng *rand.Rand, b float64) (int64, error) {
+	num, den, err := RationalApprox(b, 1000)
+	if err != nil {
+		return 0, err
+	}
+	return DiscreteLaplace(rng, num, den), nil
+}

@@ -1,0 +1,83 @@
+package dpnoise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRationalApproxBasics(t *testing.T) {
+	cases := []struct {
+		x       float64
+		wantNum uint64
+		wantDen uint64
+	}{
+		{0.5, 1, 2},
+		{2, 2, 1},
+		{1.0 / 3, 1, 3},
+		{7, 7, 1},
+	}
+	for _, tc := range cases {
+		num, den, err := RationalApprox(tc.x, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if num != tc.wantNum || den != tc.wantDen {
+			t.Fatalf("RationalApprox(%v) = %d/%d, want %d/%d", tc.x, num, den, tc.wantNum, tc.wantDen)
+		}
+	}
+}
+
+func TestRationalApproxErrors(t *testing.T) {
+	for _, x := range []float64{0, -1, math.NaN(), math.Inf(1), 1e16} {
+		if _, _, err := RationalApprox(x, 100); err == nil {
+			t.Errorf("x=%v should fail", x)
+		}
+	}
+	if _, _, err := RationalApprox(1, 0); err == nil {
+		t.Error("maxDen=0 should fail")
+	}
+}
+
+// TestRationalApproxNeverUndershoots is the privacy-critical property:
+// the approximation must always round the scale UP.
+func TestRationalApproxNeverUndershoots(t *testing.T) {
+	f := func(seed int64) bool {
+		x := math.Abs(float64(seed%100000))/1000 + 0.001
+		num, den, err := RationalApprox(x, 1000)
+		if err != nil {
+			return false
+		}
+		approx := float64(num) / float64(den)
+		// Never below, and within 1% plus one ulp of granularity above.
+		return approx >= x && approx <= x*1.01+1.0/float64(den)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscreteLaplaceScaledMoments(t *testing.T) {
+	rng := testRNG(31)
+	const n = 100000
+	b := 2.5
+	sumAbs := 0.0
+	for i := 0; i < n; i++ {
+		z, err := DiscreteLaplaceScaled(rng, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumAbs += math.Abs(float64(z))
+	}
+	// E|Z| for discrete Laplace with scale t is 2q/(1-q^2) with q=e^{-1/t}
+	// ≈ t for t ≫ 1; accept a generous band around the continuous value.
+	if sumAbs/n < b*0.7 || sumAbs/n > b*1.4 {
+		t.Fatalf("E|Z| = %v for scale %v", sumAbs/n, b)
+	}
+}
+
+func TestDiscreteLaplaceScaledErrors(t *testing.T) {
+	if _, err := DiscreteLaplaceScaled(testRNG(32), -1); err == nil {
+		t.Fatal("negative scale should fail")
+	}
+}

@@ -1,0 +1,75 @@
+package dptest
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"nodedp/internal/dpnoise"
+)
+
+func TestAuditLaplaceWithinBudget(t *testing.T) {
+	// A sensitivity-1 Laplace mechanism at ε=1 on adjacent values 0 and 1:
+	// the audit's ε̂ must not exceed ε by more than statistical slack.
+	rng := rand.New(rand.NewPCG(1, 2))
+	mech := func(value float64) func() float64 {
+		return func() float64 { return value + dpnoise.Laplace(rng, 1) }
+	}
+	res, err := Audit(mech(0), mech(1), Config{Samples: 40000, BinWidth: 0.5, MinBinCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpsHat > 1.5 {
+		t.Fatalf("ε̂ = %v for an ε=1 mechanism", res.EpsHat)
+	}
+	if res.Bins == 0 || res.Samples != 40000 {
+		t.Fatalf("bad bookkeeping: %+v", res)
+	}
+}
+
+func TestAuditCatchesNonPrivate(t *testing.T) {
+	// A mechanism that leaks its input exactly must blow up ε̂.
+	a := func() float64 { return 0 }
+	b := func() float64 { return 10 }
+	res, err := Audit(a, b, Config{Samples: 5000, BinWidth: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpsHat < 5 {
+		t.Fatalf("ε̂ = %v for a totally leaky mechanism", res.EpsHat)
+	}
+}
+
+func TestAuditEpsScale(t *testing.T) {
+	// Quadrupling the noise scale should clearly reduce ε̂ once smoothing
+	// noise is filtered by a minimum bin count.
+	rng := rand.New(rand.NewPCG(3, 4))
+	mk := func(value, scale float64) func() float64 {
+		return func() float64 { return value + dpnoise.Laplace(rng, scale) }
+	}
+	cfg := Config{Samples: 30000, BinWidth: 0.5, MinBinCount: 50}
+	tight, err := Audit(mk(0, 1), mk(1, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Audit(mk(0, 4), mk(1, 4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.EpsHat >= tight.EpsHat {
+		t.Fatalf("more noise should lower ε̂: %v vs %v", loose.EpsHat, tight.EpsHat)
+	}
+}
+
+func TestAuditValidation(t *testing.T) {
+	f := func() float64 { return 0 }
+	if _, err := Audit(f, f, Config{Samples: 0, BinWidth: 1}); err == nil {
+		t.Error("zero samples should fail")
+	}
+	if _, err := Audit(f, f, Config{Samples: 10, BinWidth: 0}); err == nil {
+		t.Error("zero bin width should fail")
+	}
+	nan := func() float64 { v := 0.0; return v / v }
+	if _, err := Audit(nan, f, Config{Samples: 10, BinWidth: 1}); err == nil {
+		t.Error("NaN output should fail")
+	}
+}

@@ -1,0 +1,88 @@
+package enumerate
+
+import (
+	"testing"
+
+	"nodedp/internal/graph"
+)
+
+func TestPairIndex(t *testing.T) {
+	// n=4: pairs in order (0,1),(0,2),(0,3),(1,2),(1,3),(2,3).
+	want := map[[2]int]int{
+		{0, 1}: 0, {0, 2}: 1, {0, 3}: 2, {1, 2}: 3, {1, 3}: 4, {2, 3}: 5,
+	}
+	for pair, idx := range want {
+		if got := PairIndex(4, pair[0], pair[1]); got != idx {
+			t.Fatalf("PairIndex(4,%d,%d) = %d, want %d", pair[0], pair[1], got, idx)
+		}
+		// Symmetric arguments.
+		if got := PairIndex(4, pair[1], pair[0]); got != idx {
+			t.Fatalf("PairIndex(4,%d,%d) = %d, want %d", pair[1], pair[0], got, idx)
+		}
+	}
+}
+
+func TestFromMaskRoundTrip(t *testing.T) {
+	// Mask with bits for (0,1) and (2,3) on n=4: bits 0 and 5.
+	g := FromMask(4, 1|1<<5)
+	if g.M() != 2 || !g.HasEdge(0, 1) || !g.HasEdge(2, 3) {
+		t.Fatalf("decoded %v %v", g, g.Edges())
+	}
+}
+
+func TestAllCounts(t *testing.T) {
+	for n, want := range map[int]int{0: 1, 1: 1, 2: 2, 3: 8, 4: 64} {
+		count := 0
+		if err := All(n, func(*graph.Graph) bool { count++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		if count != want {
+			t.Fatalf("n=%d: %d labeled graphs, want %d", n, count, want)
+		}
+	}
+}
+
+func TestAllEarlyStop(t *testing.T) {
+	count := 0
+	if err := All(4, func(*graph.Graph) bool { count++; return count < 5 }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("early stop after %d", count)
+	}
+}
+
+func TestAllRejectsLarge(t *testing.T) {
+	if err := All(MaxVertices+1, func(*graph.Graph) bool { return true }); err == nil {
+		t.Fatal("oversized n should fail")
+	}
+	if err := AllNonIsomorphic(-1, func(*graph.Graph) bool { return true }); err == nil {
+		t.Fatal("negative n should fail")
+	}
+}
+
+// TestCountNonIsomorphic checks against OEIS A000088: the number of graphs
+// on n unlabeled nodes is 1, 1, 2, 4, 11, 34, 156.
+func TestCountNonIsomorphic(t *testing.T) {
+	want := []int{1, 1, 2, 4, 11, 34, 156}
+	for n := 0; n <= 6; n++ {
+		got, err := CountNonIsomorphic(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[n] {
+			t.Fatalf("n=%d: %d classes, want %d", n, got, want[n])
+		}
+	}
+}
+
+func TestRepresentativesAreValid(t *testing.T) {
+	if err := AllNonIsomorphic(5, func(g *graph.Graph) bool {
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"nodedp/internal/core"
+	"nodedp/internal/downsens"
+	"nodedp/internal/enumerate"
+	"nodedp/internal/generate"
+	"nodedp/internal/graph"
+	"nodedp/internal/spanning"
+)
+
+// E3MainAlgorithm validates Theorem 1.3 across graph families: the error of
+// Algorithm 1 tracks Δ*·ln ln n / ε, not the maximum degree and not n.
+func E3MainAlgorithm(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E3",
+		Title:   "main algorithm error across families (ε=1)",
+		Claim:   "Theorem 1.3: |A(G) − f_sf| ≤ Δ*·Õ(ln ln n)/ε w.h.p.",
+		Columns: []string{"family", "n", "f_sf", "maxdeg", "Δ*≤", "median|err|", "p95|err|", "Δ*·lnln(n)/ε"},
+	}
+	eps := 1.0
+	ns := []int{100, 400}
+	trials := 8
+	if cfg.Quick {
+		ns = []int{60, 150}
+		trials = 4
+	}
+	for _, n := range ns {
+		families := []struct {
+			name string
+			gen  func(seed uint64) *graph.Graph
+		}{
+			{"matching", func(s uint64) *graph.Graph { return generate.Matching(n / 2) }},
+			{"caterpillar", func(s uint64) *graph.Graph { return generate.Caterpillar(n/4, 3) }},
+			{"geometric", func(s uint64) *graph.Graph {
+				return generate.Geometric(n, 1.2/math.Sqrt(float64(n)), generate.NewRand(cfg.Seed*11+s))
+			}},
+			{"er(c=1.5)", func(s uint64) *graph.Graph {
+				return generate.ErdosRenyi(n, 1.5/float64(n), generate.NewRand(cfg.Seed*13+s))
+			}},
+		}
+		for _, f := range families {
+			var errs []float64
+			var fsf, maxdeg, deltaUB float64
+			for s := uint64(0); s < uint64(trials); s++ {
+				g := f.gen(s)
+				fsf = float64(g.SpanningForestSize())
+				maxdeg = float64(g.MaxDegree())
+				_, d := spanning.LowDegreeSpanningForest(g)
+				deltaUB = float64(d)
+				res, err := core.EstimateSpanningForestSize(g, core.Options{
+					Epsilon: eps, Rand: generate.NewRand(cfg.Seed*17 + s*3 + 1),
+				})
+				if err != nil {
+					return nil, err
+				}
+				errs = append(errs, absErr(res.Value, fsf))
+			}
+			ref := deltaUB * math.Log(math.Log(float64(n)+3)) / eps
+			t.AddRow(f.name, n, fsf, maxdeg, deltaUB, percentile(errs, 0.5), percentile(errs, 0.95), ref)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"Δ*≤ is the local-search upper bound on Δ*; the error column should track it, not maxdeg or n")
+	return t, nil
+}
+
+// E4ErdosRenyi validates the Section 1.1.4 claim for G(n, c/n): additive
+// error Õ(log n/ε) and relative error Õ(log² n/(εn)).
+func E4ErdosRenyi(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Title:   "Erdős–Rényi G(n, c/n) accuracy (ε=1, f_cc with known n)",
+		Claim:   "§1.1.4: additive error Õ(log n/ε); relative error Õ(log²n/(εn))",
+		Columns: []string{"c", "n", "f_cc", "median|err|", "p95|err|", "rel-err", "log(n)/ε"},
+	}
+	eps := 1.0
+	ns := []int{100, 300, 800}
+	trials := 8
+	if cfg.Quick {
+		ns = []int{80, 200}
+		trials = 4
+	}
+	for _, c := range []float64{0.5, 1, 2} {
+		for _, n := range ns {
+			var errs []float64
+			var fcc float64
+			for s := uint64(0); s < uint64(trials); s++ {
+				g := generate.ErdosRenyi(n, c/float64(n), generate.NewRand(cfg.Seed*19+uint64(c*10)*7+s))
+				fcc = float64(g.CountComponents())
+				res, err := core.EstimateComponentCountKnownN(g, core.Options{
+					Epsilon: eps, Rand: generate.NewRand(cfg.Seed*23 + s*5 + 2),
+				})
+				if err != nil {
+					return nil, err
+				}
+				errs = append(errs, absErr(res.Value, fcc))
+			}
+			med := percentile(errs, 0.5)
+			t.AddRow(c, n, fcc, med, percentile(errs, 0.95), med/fcc, math.Log(float64(n))/eps)
+		}
+	}
+	t.Notes = append(t.Notes, "median|err| should grow like log n and stay far below f_cc = Ω(n)")
+	return t, nil
+}
+
+// E5Geometric validates the Section 1.1.4 claim for random geometric
+// graphs: no induced 6-stars, spanning 6-forests, error Õ(ln ln n / ε).
+func E5Geometric(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E5",
+		Title:   "random geometric graphs (ε=1, f_cc with known n)",
+		Claim:   "§1.1.4: s(G) ≤ 5 ⟹ Δ* ≤ 6; error Õ(ln ln n / ε)",
+		Columns: []string{"n", "r", "f_cc", "maxdeg", "s(G)", "Δ*≤", "median|err|", "p95|err|"},
+	}
+	eps := 1.0
+	ns := []int{100, 300, 800}
+	trials := 8
+	if cfg.Quick {
+		ns = []int{80, 200}
+		trials = 4
+	}
+	for _, n := range ns {
+		r := 1.0 / math.Sqrt(float64(n))
+		var errs []float64
+		var fcc, maxdeg, sG, dUB float64
+		for s := uint64(0); s < uint64(trials); s++ {
+			rng := generate.NewRand(cfg.Seed*29 + s)
+			g := generate.Geometric(n, r, rng)
+			fcc = float64(g.CountComponents())
+			maxdeg = float64(g.MaxDegree())
+			star, err := downsens.MaxInducedStar(g, 0)
+			if err != nil {
+				return nil, err
+			}
+			sG = float64(star.Size)
+			if star.Size >= 6 {
+				t.Notes = append(t.Notes, "UNEXPECTED: induced 6-star in a geometric graph")
+			}
+			// Lemma 1.8 constructive: repair at Δ = s(G)+1 must succeed.
+			forest, witness, err := spanning.Repair(g, star.Size+1)
+			if err != nil {
+				return nil, err
+			}
+			if witness != nil {
+				t.Notes = append(t.Notes, "UNEXPECTED: repair blocked at Δ=s(G)+1")
+			} else {
+				dUB = float64(graph.MaxDegreeOfEdgeSet(g.N(), forest))
+			}
+			res, err := core.EstimateComponentCountKnownN(g, core.Options{
+				Epsilon: eps, Rand: generate.NewRand(cfg.Seed*31 + s*7 + 3),
+			})
+			if err != nil {
+				return nil, err
+			}
+			errs = append(errs, absErr(res.Value, fcc))
+		}
+		t.AddRow(n, r, fcc, maxdeg, sG, dUB, percentile(errs, 0.5), percentile(errs, 0.95))
+	}
+	t.Notes = append(t.Notes, "median|err| should be nearly flat in n (ln ln n scale)")
+	return t, nil
+}
+
+// E6DownSensitivity validates Lemma 1.7 (DS_fsf = s(G)) and Lemma 1.6
+// (Δ* ≤ DS+1) on exhaustive small and random graphs, with brute-force
+// ground truth.
+func E6DownSensitivity(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E6",
+		Title:   "down-sensitivity identities",
+		Claim:   "Lemma 1.7: DS_fsf = s(G); Lemma 1.6: Δ* ≤ DS_fsf + 1",
+		Columns: []string{"source", "graphs", "DS=s(G) fails", "Δ*≤DS+1 fails"},
+	}
+	trials := 60
+	exhaustiveN := 6
+	if cfg.Quick {
+		trials = 25
+		exhaustiveN = 5
+	}
+	check := func(g *graph.Graph) (l17, l16 bool, err error) {
+		ds, err := downsens.DownSensitivityBruteForce(g, downsens.SpanningForestSizeF)
+		if err != nil {
+			return false, false, err
+		}
+		star, err := downsens.MaxInducedStar(g, 0)
+		if err != nil {
+			return false, false, err
+		}
+		l17 = float64(star.Size) != ds
+		dstar, exceeded := spanning.MinMaxDegreeExact(g, 0)
+		if !exceeded {
+			l16 = float64(dstar) > ds+1
+		}
+		return l17, l16, nil
+	}
+	// Exhaustive sweep over every isomorphism class on ≤ exhaustiveN
+	// vertices.
+	exCount, exL17, exL16 := 0, 0, 0
+	var sweepErr error
+	if err := enumerate.AllNonIsomorphic(exhaustiveN, func(g *graph.Graph) bool {
+		exCount++
+		l17, l16, err := check(g)
+		if err != nil {
+			sweepErr = err
+			return false
+		}
+		if l17 {
+			exL17++
+		}
+		if l16 {
+			exL16++
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if sweepErr != nil {
+		return nil, sweepErr
+	}
+	t.AddRow(fmt.Sprintf("exhaustive(n=%d)", exhaustiveN), exCount, exL17, exL16)
+
+	lemma17Fails, lemma16Fails := 0, 0
+	for s := uint64(0); s < uint64(trials); s++ {
+		rng := generate.NewRand(cfg.Seed*37 + s)
+		n := 1 + rng.IntN(9)
+		g := generate.ErdosRenyi(n, 0.1+0.6*rng.Float64(), rng)
+		l17, l16, err := check(g)
+		if err != nil {
+			return nil, err
+		}
+		if l17 {
+			lemma17Fails++
+		}
+		if l16 {
+			lemma16Fails++
+		}
+	}
+	t.AddRow("random(n≤9)", trials, lemma17Fails, lemma16Fails)
+	t.Notes = append(t.Notes, "both failure columns expected 0")
+	return t, nil
+}
+
+// E7LocalRepair validates the constructive Lemma 1.8 (Algorithm 3) at
+// scale: repair at Δ = s(G)+1 always yields a spanning Δ-forest.
+func E7LocalRepair(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E7",
+		Title:   "Algorithm 3 local repairs",
+		Claim:   "Lemma 1.8: no induced Δ-star ⟹ spanning Δ-forest (constructive)",
+		Columns: []string{"family", "graphs", "repairs-ok", "not-spanning", "degree-exceeded"},
+	}
+	trials := 30
+	n := 300
+	if cfg.Quick {
+		trials = 10
+		n = 120
+	}
+	families := []struct {
+		name string
+		gen  func(seed uint64) *graph.Graph
+	}{
+		{"er(dense)", func(s uint64) *graph.Graph {
+			rng := generate.NewRand(cfg.Seed*41 + s)
+			return generate.ErdosRenyi(n, 8/float64(n), rng)
+		}},
+		{"geometric", func(s uint64) *graph.Graph {
+			rng := generate.NewRand(cfg.Seed*43 + s)
+			return generate.Geometric(n, 1.5/math.Sqrt(float64(n)), rng)
+		}},
+		{"chung-lu", func(s uint64) *graph.Graph {
+			rng := generate.NewRand(cfg.Seed*47 + s)
+			return generate.ChungLu(generate.PowerLawWeights(n, 2.5, 3), rng)
+		}},
+	}
+	for _, f := range families {
+		ok, notSpanning, degExceeded := 0, 0, 0
+		for s := uint64(0); s < uint64(trials); s++ {
+			g := f.gen(s)
+			star, err := downsens.MaxInducedStar(g, 0)
+			if err != nil {
+				return nil, err
+			}
+			delta := star.Size + 1
+			forest, witness, err := spanning.Repair(g, delta)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case witness != nil:
+				notSpanning++ // blocked despite Δ > s(G): would contradict Lemma 1.8
+			case !graph.IsSpanningForestOf(g, forest):
+				notSpanning++
+			case graph.MaxDegreeOfEdgeSet(g.N(), forest) > delta:
+				degExceeded++
+			default:
+				ok++
+			}
+		}
+		t.AddRow(f.name, trials, ok, notSpanning, degExceeded)
+	}
+	t.Notes = append(t.Notes, "repairs-ok should equal graphs in every row")
+	return t, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"nodedp/internal/core"
+	"nodedp/internal/generate"
+	"nodedp/internal/graph"
+)
+
+// Runner is one experiment driver.
+type Runner func(Config) (*Table, error)
+
+// Registry maps experiment ids to drivers, in the order DESIGN.md lists
+// them.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"E0", RationalCrossCheck},
+		{"E1", E1ExtensionProperties},
+		{"E2", E2AnchorSets},
+		{"E3", E3MainAlgorithm},
+		{"E4", E4ErdosRenyi},
+		{"E5", E5Geometric},
+		{"E6", E6DownSensitivity},
+		{"E7", E7LocalRepair},
+		{"E8", E8LipschitzTightness},
+		{"E9", E9Optimality},
+		{"E10", E10Baselines},
+		{"E11", E11GEM},
+		{"E12", E12PrivacyAudit},
+		{"E13", E13GenericExtension},
+		{"E14", E14LPScaling},
+		{"E15", EpsilonSweep},
+		{"F1", F1RepairTrace},
+		{"F2", F2Lemma52},
+		{"F3", F3WinDecomposition},
+	}
+}
+
+// Lookup returns the driver for an id, or an error listing valid ids.
+func Lookup(id string) (Runner, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run, nil
+		}
+	}
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return nil, fmt.Errorf("experiments: unknown id %q (valid: %v)", id, ids)
+}
+
+// prepared is a small helper shared by drivers that reuse Algorithm 1's
+// deterministic phase across repeated releases.
+func prepared(g *graph.Graph, eps float64, seed uint64) (*core.Prepared, error) {
+	return core.PrepareSpanningForest(g, core.Options{
+		Epsilon: eps,
+		Rand:    generate.NewRand(seed),
+	})
+}

@@ -1,0 +1,124 @@
+package forestlp
+
+import (
+	"math"
+
+	"nodedp/internal/graph"
+)
+
+// peel performs the exact leaf-elimination preprocessing: in the LP of
+// Definition 3.1 there is always an optimum in which a pendant edge
+// e = (v,u) (v of degree 1) carries weight t = min(1, cap_v, cap_u).
+//
+// Exchange argument: raising x_e is blocked only by u's degree budget (the
+// pair constraint caps x_e at 1, v's budget at cap_v, and every subtour set
+// S ∋ u,v satisfies x(E[S]) = x(E[S∖v]) + x_e ≤ (|S|−2) + x_e, which is
+// within |S|−1 whenever x_e ≤ 1); if u's budget binds, weight can be
+// shifted from another u-edge onto e without changing the objective or
+// violating any constraint. Fixing x_e = t is therefore lossless, and the
+// residual problem is the same LP on G−v with u's budget reduced by t.
+//
+// Vertices whose budget reaches (numerically) zero force all their incident
+// edges to zero, so those edges are deleted. Iterating to a fixed point
+// strips the entire tree-like fringe, leaving the 2-core (or less) —
+// typically a fraction of a sparse component — plus the exactly accounted
+// weight `fixed`.
+//
+// peel does not modify sub; it returns the reduced clone, the per-vertex
+// residual budgets, and the fixed weight.
+func peel(sub *graph.Graph, delta float64) (reduced *graph.Graph, caps []float64, fixed float64) {
+	const eps = 1e-12
+	g := sub.Clone()
+	n := g.N()
+	caps = make([]float64, n)
+	for i := range caps {
+		caps[i] = delta
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			if caps[v] <= eps && g.Degree(v) > 0 {
+				for _, w := range g.Neighbors(v) {
+					g.RemoveEdge(v, w)
+				}
+				changed = true
+			}
+		}
+		for v := 0; v < n; v++ {
+			if g.Degree(v) != 1 {
+				continue
+			}
+			u := g.Neighbors(v)[0]
+			t := math.Min(1, math.Min(caps[v], caps[u]))
+			if t < 0 {
+				t = 0
+			}
+			fixed += t
+			caps[u] -= t
+			g.RemoveEdge(v, u)
+			changed = true
+		}
+	}
+	return g, caps, fixed
+}
+
+// uniformCaps returns n copies of delta (the no-peel budget vector).
+func uniformCaps(n int, delta float64) []float64 {
+	caps := make([]float64, n)
+	for i := range caps {
+		caps[i] = delta
+	}
+	return caps
+}
+
+// primalCappedForestBound greedily builds a forest respecting the integer
+// parts of the budgets and returns its edge count — the value of a feasible
+// 0/1 point of the LP, hence a lower bound on the piece's optimum. Used to
+// certify stalled cutting-plane runs.
+func primalCappedForestBound(sub *graph.Graph, caps []float64) int {
+	n := sub.N()
+	intCaps := make([]int, n)
+	for v := range intCaps {
+		c := int(math.Floor(caps[v] + 1e-9))
+		if c < 0 {
+			c = 0
+		}
+		intCaps[v] = c
+	}
+	deg := make([]int, n)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	count := 0
+	// Two passes: first edges whose endpoints have generous headroom, then
+	// anything that still fits — a cheap approximation of the max-edge
+	// capped forest.
+	for pass := 0; pass < 2; pass++ {
+		for _, e := range sub.Edges() {
+			if deg[e.U] >= intCaps[e.U] || deg[e.V] >= intCaps[e.V] {
+				continue
+			}
+			if pass == 0 && (intCaps[e.U]-deg[e.U] < 2 || intCaps[e.V]-deg[e.V] < 2) {
+				continue
+			}
+			ru, rv := find(e.U), find(e.V)
+			if ru == rv {
+				continue
+			}
+			parent[ru] = rv
+			deg[e.U]++
+			deg[e.V]++
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,235 @@
+package forestlp
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nodedp/internal/graph"
+	"nodedp/internal/maxflow"
+)
+
+// separator finds violated subtour constraints x(E[S]) ≤ |S|−1 following
+// Padberg–Wolsey: for a forced vertex u, the quantity
+//
+//	W(u) = max_{S ∋ u} ( x(E[S]) − |S| + 1 )
+//
+// is a maximum-weight-closure value, computable as Σx − mincut on a network
+// with a node per edge (profit x_e, requires both endpoints) and a node per
+// vertex (cost 1, waived for u). A subtour constraint is violated iff
+// W(u) > 0 for some u, and the minimizing cut's source side reads off S.
+//
+// Every candidate S is split into the connected components of G[S] before
+// being emitted: x(E[S]) = Σ_parts x(E[S_i]) and |S|−1 ≥ Σ(|S_i|−1), so
+// whenever S is violated some connected part is violated at least as much,
+// and the per-part constraints are stronger and sparser.
+type separator struct {
+	g     *graph.Graph
+	edges []graph.Edge
+	tol   float64
+	seen  map[string]bool // canonical keys of currently active cuts
+}
+
+// cut is a violated vertex set together with its bookkeeping key and the
+// violation amount at the separating point.
+type cut struct {
+	member    []bool
+	size      int
+	key       string
+	violation float64
+	// slackRounds counts consecutive LP rounds in which the cut was slack;
+	// managed by the cutting-plane loop.
+	slackRounds int
+}
+
+func newSeparator(g *graph.Graph, edges []graph.Edge, tol float64) *separator {
+	return &separator{g: g, edges: edges, tol: tol, seen: make(map[string]bool)}
+}
+
+// forget releases a dropped cut's key so the set may be regenerated later.
+func (sp *separator) forget(key string) { delete(sp.seen, key) }
+
+// findViolated returns new violated subtour constraints for the LP point x
+// (strongest first), and the number of max-flow calls made. It first
+// screens the trivial pair sets S = {u,v} (the x_e ≤ 1 constraints) without
+// flows; if any pair is violated those are returned immediately. Otherwise
+// it runs the max-closure oracle once per forced vertex, skipping vertices
+// already covered by a violated set found in this call.
+func (sp *separator) findViolated(x []float64, maxCuts int) ([]*cut, int) {
+	n := sp.g.N()
+
+	// Cheap pass: pair constraints x_e ≤ 1.
+	var pairs []*cut
+	for i, e := range sp.edges {
+		if x[i] > 1+sp.tol {
+			member := make([]bool, n)
+			member[e.U], member[e.V] = true, true
+			if c, ok := sp.record(member, 2, x[i]-1); ok {
+				pairs = append(pairs, c)
+			}
+		}
+	}
+	if len(pairs) > 0 {
+		return sp.capCuts(pairs, maxCuts), 0
+	}
+
+	var cuts []*cut
+	covered := make([]bool, n)
+	flows := 0
+	for u := 0; u < n; u++ {
+		if covered[u] {
+			continue
+		}
+		member, size, violated := sp.closure(x, u)
+		flows++
+		if !violated || size < 2 {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if member[v] {
+				covered[v] = true
+			}
+		}
+		// Split into connected parts and keep the genuinely violated ones.
+		for _, part := range sp.connectedParts(member) {
+			if part.size < 2 {
+				continue
+			}
+			lhs := 0.0
+			for i, e := range sp.edges {
+				if part.member[e.U] && part.member[e.V] {
+					lhs += x[i]
+				}
+			}
+			viol := lhs - float64(part.size-1)
+			if viol <= sp.tol {
+				continue
+			}
+			if c, ok := sp.record(part.member, part.size, viol); ok {
+				cuts = append(cuts, c)
+			}
+		}
+	}
+	return sp.capCuts(cuts, maxCuts), flows
+}
+
+type vertexSet struct {
+	member []bool
+	size   int
+}
+
+// connectedParts splits a membership mask into the connected components of
+// the induced subgraph.
+func (sp *separator) connectedParts(member []bool) []vertexSet {
+	n := sp.g.N()
+	seen := make([]bool, n)
+	var parts []vertexSet
+	for s := 0; s < n; s++ {
+		if !member[s] || seen[s] {
+			continue
+		}
+		part := make([]bool, n)
+		stack := []int{s}
+		seen[s] = true
+		part[s] = true
+		size := 1
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			sp.g.VisitNeighbors(u, func(w int) bool {
+				if member[w] && !seen[w] {
+					seen[w] = true
+					part[w] = true
+					size++
+					stack = append(stack, w)
+				}
+				return true
+			})
+		}
+		parts = append(parts, vertexSet{member: part, size: size})
+	}
+	return parts
+}
+
+// capCuts sorts by violation (descending) and truncates, releasing the
+// truncated cuts' keys so they can be regenerated in a later round.
+func (sp *separator) capCuts(cuts []*cut, maxCuts int) []*cut {
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i].violation > cuts[j].violation })
+	if maxCuts > 0 && len(cuts) > maxCuts {
+		for _, dropped := range cuts[maxCuts:] {
+			sp.forget(dropped.key)
+		}
+		return cuts[:maxCuts]
+	}
+	return cuts
+}
+
+// closure solves the max-closure problem forcing u ∈ S and returns the
+// optimizing S (as a membership mask), its size, and whether W(u) > tol.
+func (sp *separator) closure(x []float64, u int) (member []bool, size int, violated bool) {
+	n := sp.g.N()
+	m := len(sp.edges)
+	// Network layout: 0 = source, 1..m edge nodes, m+1..m+n vertex nodes,
+	// m+n+1 = sink.
+	src, snk := 0, m+n+1
+	nw := maxflow.New(m + n + 2)
+	totalX := 0.0
+	for i, e := range sp.edges {
+		if x[i] <= sp.tol {
+			continue
+		}
+		nw.AddEdge(src, 1+i, x[i])
+		nw.AddEdge(1+i, m+1+e.U, math.Inf(1))
+		nw.AddEdge(1+i, m+1+e.V, math.Inf(1))
+		totalX += x[i]
+	}
+	for v := 0; v < n; v++ {
+		if v == u {
+			continue // forced member: its unit cost is waived
+		}
+		nw.AddEdge(m+1+v, snk, 1)
+	}
+	if totalX <= sp.tol {
+		return nil, 0, false
+	}
+	flow := nw.MaxFlow(src, snk)
+	w := totalX - flow // = max_{S ∋ u} x(E[S]) − (|S| − 1)
+	if w <= sp.tol {
+		return nil, 0, false
+	}
+	side := nw.MinCutSourceSide(src)
+	member = make([]bool, n)
+	member[u] = true
+	size = 1
+	for v := 0; v < n; v++ {
+		if v != u && side[m+1+v] {
+			member[v] = true
+			size++
+		}
+	}
+	return member, size, true
+}
+
+// record canonicalizes a vertex set and registers it; ok=false means the
+// identical cut is already active (so the caller must not re-add it).
+func (sp *separator) record(member []bool, size int, violation float64) (*cut, bool) {
+	ids := make([]int, 0, size)
+	for v, in := range member {
+		if in {
+			ids = append(ids, v)
+		}
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		b.WriteString(strconv.Itoa(id))
+		b.WriteByte(',')
+	}
+	key := b.String()
+	if sp.seen[key] {
+		return nil, false
+	}
+	sp.seen[key] = true
+	return &cut{member: member, size: size, key: key, violation: violation}, true
+}

@@ -1,0 +1,410 @@
+// Package generate produces the graph workloads used throughout the
+// experiment suite: the random models analyzed in Section 1.1.4 of the
+// paper (Erdős–Rényi G(n,p) and random geometric graphs), classical
+// structured families with known Δ* and s(G) (stars, paths, caterpillars,
+// cliques, grids), and the adversarial families used by the baseline
+// comparison (hub-augmented sparse graphs, planted components).
+//
+// All generators are deterministic given an explicit *rand.Rand, so every
+// experiment table is reproducible bit for bit.
+package generate
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"nodedp/internal/graph"
+)
+
+// NewRand returns a deterministic PRNG for the given seed. All experiment
+// drivers funnel seeds through this helper so tables are reproducible.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// ErdosRenyi samples G(n,p): each of the C(n,2) edges present independently
+// with probability p. For sparse p it uses geometric skipping, so the cost
+// is O(n + m) rather than O(n^2).
+func ErdosRenyi(n int, p float64, rng *rand.Rand) *graph.Graph {
+	g := graph.New(n)
+	if p <= 0 || n < 2 {
+		return g
+	}
+	if p >= 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				mustAdd(g, u, v)
+			}
+		}
+		return g
+	}
+	// Batagelj–Brandes geometric skipping: enumerate pairs (v,w) with
+	// w < v and jump over non-edges with Geometric(p) skip lengths.
+	logq := math.Log1p(-p)
+	v, w := 1, -1
+	for v < n {
+		skip := int(math.Floor(math.Log(1-rng.Float64()) / logq))
+		w += 1 + skip
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			mustAdd(g, v, w)
+		}
+	}
+	return g
+}
+
+// GNM samples a uniformly random graph with exactly n vertices and m
+// distinct edges. It panics if m exceeds C(n,2).
+func GNM(n, m int, rng *rand.Rand) *graph.Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic(fmt.Sprintf("generate: GNM m=%d exceeds C(%d,2)=%d", m, n, maxM))
+	}
+	g := graph.New(n)
+	for g.M() < m {
+		u := rng.IntN(n)
+		v := rng.IntN(n)
+		if u == v {
+			continue
+		}
+		_, _ = g.EnsureEdge(u, v)
+	}
+	return g
+}
+
+// Point is a position in the unit square.
+type Point struct{ X, Y float64 }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Geometric samples a random geometric graph: n points uniform in the unit
+// square, edge iff Euclidean distance <= r (Section 1.1.4). Such graphs
+// have no induced 6-stars and hence spanning 6-forests (Lemma 1.8).
+func Geometric(n int, r float64, rng *rand.Rand) *graph.Graph {
+	g, _ := GeometricWithPositions(n, r, rng)
+	return g
+}
+
+// GeometricWithPositions is Geometric but also returns the sampled points.
+// It grid-buckets the unit square with cell size r so the expected cost is
+// O(n + m) for sparse radii.
+func GeometricWithPositions(n int, r float64, rng *rand.Rand) (*graph.Graph, []Point) {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	g := graph.New(n)
+	if r <= 0 {
+		return g, pts
+	}
+	cells := int(math.Ceil(1 / r))
+	if cells < 1 {
+		cells = 1
+	}
+	bucket := make(map[[2]int][]int)
+	cellOf := func(p Point) [2]int {
+		cx := int(p.X / r)
+		cy := int(p.Y / r)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return [2]int{cx, cy}
+	}
+	for i, p := range pts {
+		bucket[cellOf(p)] = append(bucket[cellOf(p)], i)
+	}
+	for i, p := range pts {
+		c := cellOf(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range bucket[[2]int{c[0] + dx, c[1] + dy}] {
+					if j <= i {
+						continue
+					}
+					if p.Dist(pts[j]) <= r {
+						mustAdd(g, i, j)
+					}
+				}
+			}
+		}
+	}
+	return g, pts
+}
+
+// Star returns the star K_{1,k}: vertex 0 is the center, vertices 1..k the
+// leaves. Star(k) is an induced k-star, the extremal example of Lemma 1.7
+// (DS_fsf = k) and Remark 3.4.
+func Star(k int) *graph.Graph {
+	g := graph.New(k + 1)
+	for i := 1; i <= k; i++ {
+		mustAdd(g, 0, i)
+	}
+	return g
+}
+
+// Path returns the path on n vertices (n-1 edges). Δ* = min(2, n-1).
+func Path(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		mustAdd(g, i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle on n >= 3 vertices.
+func Cycle(n int) *graph.Graph {
+	if n < 3 {
+		panic("generate: cycle needs n >= 3")
+	}
+	g := Path(n)
+	mustAdd(g, n-1, 0)
+	return g
+}
+
+// Complete returns K_n. Every K_n with n >= 2 has a Hamiltonian path, so
+// Δ*(K_n) = min(2, n-1); and s(K_n) = 1.
+func Complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			mustAdd(g, u, v)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
+// s(K_{a,b}) = max(a,b).
+func CompleteBipartite(a, b int) *graph.Graph {
+	g := graph.New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			mustAdd(g, u, v)
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph. Grids have spanning forests of
+// degree <= 3 (boustrophedon path gives degree 2 for a single row sweep
+// with connectors; in general Δ* <= 3) and no induced 5-stars.
+func Grid(rows, cols int) *graph.Graph {
+	g := graph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				mustAdd(g, id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				mustAdd(g, id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Caterpillar returns a caterpillar: a spine path of the given length where
+// every spine vertex gets legsPer pendant leaves. An interior spine vertex
+// together with its legsPer pendants and its two (non-adjacent) spine
+// neighbors forms an induced (legsPer+2)-star, so s(G) = legsPer + 2 for
+// spineLen >= 3. The graph is a tree, hence its own spanning forest, with
+// max degree legsPer + 2.
+func Caterpillar(spineLen, legsPer int) *graph.Graph {
+	if spineLen < 1 {
+		panic("generate: caterpillar needs spine >= 1")
+	}
+	n := spineLen + spineLen*legsPer
+	g := graph.New(n)
+	for i := 0; i+1 < spineLen; i++ {
+		mustAdd(g, i, i+1)
+	}
+	next := spineLen
+	for i := 0; i < spineLen; i++ {
+		for l := 0; l < legsPer; l++ {
+			mustAdd(g, i, next)
+			next++
+		}
+	}
+	return g
+}
+
+// Matching returns a perfect matching on 2k vertices: k disjoint edges,
+// hence f_cc = k and Δ* = 1.
+func Matching(k int) *graph.Graph {
+	g := graph.New(2 * k)
+	for i := 0; i < k; i++ {
+		mustAdd(g, 2*i, 2*i+1)
+	}
+	return g
+}
+
+// PlantedComponents returns a disjoint union of ER clusters with the given
+// sizes and intra-cluster edge probability p. The true component count is
+// at least len(sizes) (more if a cluster falls apart internally).
+func PlantedComponents(sizes []int, p float64, rng *rand.Rand) *graph.Graph {
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	g := graph.New(total)
+	base := 0
+	for _, s := range sizes {
+		c := ErdosRenyi(s, p, rng)
+		for _, e := range c.Edges() {
+			mustAdd(g, base+e.U, base+e.V)
+		}
+		base += s
+	}
+	return g
+}
+
+// SBM samples a stochastic block model: blocks of the given sizes, edge
+// probability pIn within a block and pOut across blocks.
+func SBM(sizes []int, pIn, pOut float64, rng *rand.Rand) *graph.Graph {
+	total := 0
+	starts := make([]int, len(sizes))
+	for i, s := range sizes {
+		starts[i] = total
+		total += s
+	}
+	block := make([]int, total)
+	for i, s := range sizes {
+		for j := 0; j < s; j++ {
+			block[starts[i]+j] = i
+		}
+	}
+	g := graph.New(total)
+	for u := 0; u < total; u++ {
+		for v := u + 1; v < total; v++ {
+			p := pOut
+			if block[u] == block[v] {
+				p = pIn
+			}
+			if p > 0 && rng.Float64() < p {
+				mustAdd(g, u, v)
+			}
+		}
+	}
+	return g
+}
+
+// ChungLu samples a graph with the given expected degree weights: edge
+// (u,v) present with probability min(1, w_u*w_v / sum(w)). Used to model
+// heavy-tailed "social" degree sequences.
+func ChungLu(weights []float64, rng *rand.Rand) *graph.Graph {
+	n := len(weights)
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("generate: negative Chung-Lu weight")
+		}
+		total += w
+	}
+	g := graph.New(n)
+	if total == 0 {
+		return g
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := weights[u] * weights[v] / total
+			if p > 1 {
+				p = 1
+			}
+			if rng.Float64() < p {
+				mustAdd(g, u, v)
+			}
+		}
+	}
+	return g
+}
+
+// PowerLawWeights returns n weights w_i proportional to (i+1)^(-1/(beta-1)),
+// scaled so the average is avgDeg — the standard Chung–Lu recipe for a
+// power-law degree distribution with exponent beta.
+func PowerLawWeights(n int, beta, avgDeg float64) []float64 {
+	if beta <= 2 {
+		panic("generate: power-law exponent must exceed 2")
+	}
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -1/(beta-1))
+		sum += w[i]
+	}
+	scale := avgDeg * float64(n) / sum
+	for i := range w {
+		w[i] *= scale
+	}
+	return w
+}
+
+// WithHubs adds hubCount new vertices to (a copy of) g, each adjacent to an
+// independent uniform sample of about frac*n existing vertices. Hubs blow
+// up the maximum degree to ≈ frac·n; what happens to Δ* depends on g: if g
+// was connected (or the hubs' neighborhoods are), the hubs are shortcuts
+// and Δ* stays small, whereas hubs bridging many components must carry that
+// many spanning-forest edges, so Δ* rises to ≈ components/hubs — matching
+// the down-sensitivity lower bound (a hub plus one vertex per bridged
+// component is an induced star). Either way Δ* ≤ max degree, often by a
+// large factor, which is the gap the paper's instance-based analysis
+// exploits.
+func WithHubs(g *graph.Graph, hubCount int, frac float64, rng *rand.Rand) *graph.Graph {
+	h := g.Clone()
+	n := g.N()
+	for i := 0; i < hubCount; i++ {
+		hub := h.AddVertex()
+		for v := 0; v < n; v++ {
+			if rng.Float64() < frac {
+				mustAdd(h, hub, v)
+			}
+		}
+	}
+	return h
+}
+
+// DisjointUnion returns the disjoint union of the given graphs, renumbering
+// vertices blockwise.
+func DisjointUnion(gs ...*graph.Graph) *graph.Graph {
+	total := 0
+	for _, g := range gs {
+		total += g.N()
+	}
+	out := graph.New(total)
+	base := 0
+	for _, g := range gs {
+		for _, e := range g.Edges() {
+			mustAdd(out, base+e.U, base+e.V)
+		}
+		base += g.N()
+	}
+	return out
+}
+
+// RandomSubgraphMask returns a random induced-subgraph mask keeping each
+// vertex independently with probability keepP. Used by down-sensitivity
+// property tests.
+func RandomSubgraphMask(n int, keepP float64, rng *rand.Rand) []bool {
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = rng.Float64() < keepP
+	}
+	return mask
+}
+
+func mustAdd(g *graph.Graph, u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}

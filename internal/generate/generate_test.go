@@ -1,0 +1,241 @@
+package generate
+
+import (
+	"math"
+	"testing"
+
+	"nodedp/internal/graph"
+)
+
+func TestErdosRenyiEdgeCount(t *testing.T) {
+	// Mean edge count of G(n,p) is p*C(n,2); check within 5 sigma.
+	rng := NewRand(1)
+	n, p := 200, 0.05
+	trials := 30
+	total := 0
+	for i := 0; i < trials; i++ {
+		g := ErdosRenyi(n, p, rng)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		total += g.M()
+	}
+	pairs := float64(n * (n - 1) / 2)
+	mean := float64(total) / float64(trials)
+	want := p * pairs
+	sigma := math.Sqrt(pairs*p*(1-p)) / math.Sqrt(float64(trials))
+	if math.Abs(mean-want) > 5*sigma {
+		t.Fatalf("mean edges %.1f, want %.1f ± %.1f", mean, want, 5*sigma)
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	rng := NewRand(2)
+	if g := ErdosRenyi(10, 0, rng); g.M() != 0 {
+		t.Fatal("p=0 should have no edges")
+	}
+	if g := ErdosRenyi(10, 1, rng); g.M() != 45 {
+		t.Fatalf("p=1 should be complete, got m=%d", g.M())
+	}
+	if g := ErdosRenyi(0, 0.5, rng); g.N() != 0 {
+		t.Fatal("n=0 should be empty")
+	}
+	if g := ErdosRenyi(1, 0.5, rng); g.N() != 1 || g.M() != 0 {
+		t.Fatal("n=1 should be a single vertex")
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(50, 0.1, NewRand(42))
+	b := ErdosRenyi(50, 0.1, NewRand(42))
+	if !a.Equal(b) {
+		t.Fatal("same seed must give same graph")
+	}
+}
+
+func TestGNM(t *testing.T) {
+	g := GNM(20, 30, NewRand(3))
+	if g.N() != 20 || g.M() != 30 {
+		t.Fatalf("got %v", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GNM with too many edges should panic")
+		}
+	}()
+	GNM(3, 4, NewRand(4))
+}
+
+func TestGeometricMatchesBruteForce(t *testing.T) {
+	rng := NewRand(5)
+	g, pts := GeometricWithPositions(150, 0.13, rng)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			want := pts[i].Dist(pts[j]) <= 0.13
+			if g.HasEdge(i, j) != want {
+				t.Fatalf("edge (%d,%d) presence %v, want %v", i, j, g.HasEdge(i, j), want)
+			}
+		}
+	}
+}
+
+func TestGeometricZeroRadius(t *testing.T) {
+	g := Geometric(10, 0, NewRand(6))
+	if g.M() != 0 {
+		t.Fatal("r=0 should produce no edges")
+	}
+}
+
+func TestStructuredFamilies(t *testing.T) {
+	cases := []struct {
+		name      string
+		g         *graph.Graph
+		n, m, fcc int
+	}{
+		{"star5", Star(5), 6, 5, 1},
+		{"path1", Path(1), 1, 0, 1},
+		{"path4", Path(4), 4, 3, 1},
+		{"cycle5", Cycle(5), 5, 5, 1},
+		{"K4", Complete(4), 4, 6, 1},
+		{"K23", CompleteBipartite(2, 3), 5, 6, 1},
+		{"grid23", Grid(2, 3), 6, 7, 1},
+		{"caterpillar", Caterpillar(3, 2), 9, 8, 1},
+		{"matching4", Matching(4), 8, 4, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tc.g.N() != tc.n || tc.g.M() != tc.m {
+				t.Fatalf("got n=%d m=%d, want n=%d m=%d", tc.g.N(), tc.g.M(), tc.n, tc.m)
+			}
+			if got := tc.g.CountComponents(); got != tc.fcc {
+				t.Fatalf("f_cc=%d, want %d", got, tc.fcc)
+			}
+		})
+	}
+}
+
+func TestCaterpillarIsTree(t *testing.T) {
+	g := Caterpillar(5, 3)
+	if g.M() != g.N()-1 || g.CountComponents() != 1 {
+		t.Fatalf("caterpillar should be a tree: %v", g)
+	}
+	// Interior spine vertex degree: 2 spine + legs.
+	if g.Degree(2) != 2+3 {
+		t.Fatalf("spine degree %d, want 5", g.Degree(2))
+	}
+}
+
+func TestPlantedComponents(t *testing.T) {
+	g := PlantedComponents([]int{5, 7, 3}, 1.0, NewRand(7))
+	if g.CountComponents() != 3 {
+		t.Fatalf("planted p=1: f_cc=%d, want 3", g.CountComponents())
+	}
+	if g.N() != 15 {
+		t.Fatalf("n=%d, want 15", g.N())
+	}
+	// No cross-cluster edges ever.
+	for _, e := range g.Edges() {
+		cu := clusterOf(e.U, []int{5, 7, 3})
+		cv := clusterOf(e.V, []int{5, 7, 3})
+		if cu != cv {
+			t.Fatalf("cross-cluster edge %v", e)
+		}
+	}
+}
+
+func clusterOf(v int, sizes []int) int {
+	base := 0
+	for i, s := range sizes {
+		if v < base+s {
+			return i
+		}
+		base += s
+	}
+	return -1
+}
+
+func TestSBM(t *testing.T) {
+	g := SBM([]int{10, 10}, 1, 0, NewRand(8))
+	if g.CountComponents() != 2 {
+		t.Fatalf("SBM pIn=1 pOut=0: f_cc=%d, want 2", g.CountComponents())
+	}
+	g2 := SBM([]int{10, 10}, 1, 1, NewRand(9))
+	if g2.M() != 190 {
+		t.Fatalf("SBM all-ones should be complete: m=%d", g2.M())
+	}
+}
+
+func TestChungLu(t *testing.T) {
+	w := PowerLawWeights(100, 2.5, 4)
+	g := ChungLu(w, NewRand(10))
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() == 0 {
+		t.Fatal("Chung-Lu with avg degree 4 should have edges")
+	}
+	// Average of weights should be avgDeg.
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum/100-4) > 1e-9 {
+		t.Fatalf("weights average %.3f, want 4", sum/100)
+	}
+}
+
+func TestPowerLawWeightsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("beta <= 2 should panic")
+		}
+	}()
+	PowerLawWeights(10, 2.0, 3)
+}
+
+func TestWithHubs(t *testing.T) {
+	base := Matching(20) // 40 vertices, max degree 1
+	g := WithHubs(base, 2, 0.5, NewRand(11))
+	if g.N() != 42 {
+		t.Fatalf("n=%d, want 42", g.N())
+	}
+	if g.MaxDegree() < 10 {
+		t.Fatalf("hub degree %d suspiciously small", g.MaxDegree())
+	}
+	// Base graph untouched.
+	if base.N() != 40 || base.MaxDegree() != 1 {
+		t.Fatal("WithHubs mutated its input")
+	}
+}
+
+func TestDisjointUnion(t *testing.T) {
+	g := DisjointUnion(Path(3), Cycle(3), graph.New(2))
+	if g.N() != 8 || g.M() != 5 {
+		t.Fatalf("union: %v", g)
+	}
+	if g.CountComponents() != 4 {
+		t.Fatalf("f_cc=%d, want 4", g.CountComponents())
+	}
+}
+
+func TestRandomSubgraphMask(t *testing.T) {
+	mask := RandomSubgraphMask(1000, 0.3, NewRand(12))
+	kept := 0
+	for _, k := range mask {
+		if k {
+			kept++
+		}
+	}
+	if kept < 200 || kept > 400 {
+		t.Fatalf("kept %d of 1000 at p=0.3", kept)
+	}
+}

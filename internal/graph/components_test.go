@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestComponentsSimple(t *testing.T) {
+	// Two triangles and an isolated vertex: 3 components.
+	g := MustFromEdges(7, []Edge{
+		{0, 1}, {1, 2}, {2, 0},
+		{3, 4}, {4, 5}, {5, 3},
+	})
+	labels, count := g.Components()
+	if count != 3 {
+		t.Fatalf("count=%d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("first triangle should share a label")
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] {
+		t.Fatal("second triangle should share a label")
+	}
+	if labels[6] == labels[0] || labels[6] == labels[3] {
+		t.Fatal("isolated vertex should have its own label")
+	}
+}
+
+func TestComponentsDeterministicOrder(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{2, 3}})
+	labels, _ := g.Components()
+	// Vertex 0 discovered first, so its label is 0; the {2,3} component
+	// gets label 2 (after singleton 1).
+	if labels[0] != 0 || labels[1] != 1 || labels[2] != 2 || labels[3] != 2 {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestCountComponentsEdgeCases(t *testing.T) {
+	if got := New(0).CountComponents(); got != 0 {
+		t.Fatalf("empty graph: %d components, want 0", got)
+	}
+	if got := New(5).CountComponents(); got != 5 {
+		t.Fatalf("edgeless graph: %d components, want 5", got)
+	}
+	if got := MustFromEdges(2, []Edge{{0, 1}}).CountComponents(); got != 1 {
+		t.Fatalf("single edge: %d components, want 1", got)
+	}
+}
+
+func TestSpanningForestSizeIdentity(t *testing.T) {
+	// Equation (1): f_cc(G) = |V| - f_sf(G), on random graphs.
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(30)
+		g := randomGraph(n, 0.15, rng)
+		if g.SpanningForestSize() != g.N()-g.CountComponents() {
+			t.Fatalf("f_sf identity violated on %v", g)
+		}
+	}
+}
+
+func TestSpanningForestIsSpanningForest(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(40)
+		g := randomGraph(n, 0.1, rng)
+		f := g.SpanningForest()
+		if !IsSpanningForestOf(g, f) {
+			t.Fatalf("BFS forest of %v is not a spanning forest", g)
+		}
+	}
+}
+
+func TestIsForestEdgeSet(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []Edge
+		want  bool
+	}{
+		{"empty", 3, nil, true},
+		{"path", 3, []Edge{{0, 1}, {1, 2}}, true},
+		{"triangle", 3, []Edge{{0, 1}, {1, 2}, {2, 0}}, false},
+		{"self-loop", 2, []Edge{{1, 1}}, false},
+		{"out-of-range", 2, []Edge{{0, 2}}, false},
+		{"two trees", 5, []Edge{{0, 1}, {2, 3}, {3, 4}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsForestEdgeSet(tc.n, tc.edges); got != tc.want {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestIsSpanningForestOfRejections(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	// Too few edges: not spanning.
+	if IsSpanningForestOf(g, []Edge{{0, 1}}) {
+		t.Fatal("single edge should not span C4")
+	}
+	// Edge not in g.
+	if IsSpanningForestOf(g, []Edge{{0, 2}, {0, 1}, {1, 2}}) {
+		t.Fatal("chord (0,2) is not an edge of C4")
+	}
+	// Valid spanning tree.
+	if !IsSpanningForestOf(g, []Edge{{0, 1}, {1, 2}, {2, 3}}) {
+		t.Fatal("path should span C4")
+	}
+}
+
+func TestMaxDegreeOfEdgeSet(t *testing.T) {
+	if got := MaxDegreeOfEdgeSet(4, []Edge{{0, 1}, {0, 2}, {0, 3}}); got != 3 {
+		t.Fatalf("star degree %d, want 3", got)
+	}
+	if got := MaxDegreeOfEdgeSet(3, nil); got != 0 {
+		t.Fatalf("empty degree %d, want 0", got)
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !MustFromEdges(3, []Edge{{0, 1}, {1, 2}}).IsConnected() {
+		t.Fatal("path is connected")
+	}
+	if New(2).IsConnected() {
+		t.Fatal("two isolated vertices are not connected")
+	}
+	if !New(1).IsConnected() {
+		t.Fatal("K1 is connected")
+	}
+	if !New(0).IsConnected() {
+		t.Fatal("empty graph is (vacuously) connected")
+	}
+}
+
+// Property: removing a vertex changes the component count consistently with
+// f_sf being 1-Lipschitz-in-value... actually f_sf can change by up to
+// deg(v); this checks only the coarse bound |f_cc(G) - f_cc(G-v)| <= n.
+// More importantly it cross-checks Components against a DSU-free recount.
+func TestComponentsQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed+1))
+		n := 1 + rng.IntN(25)
+		g := randomGraph(n, 0.2, rng)
+		labels, count := g.Components()
+		// Endpoint labels of every edge agree.
+		for _, e := range g.Edges() {
+			if labels[e.U] != labels[e.V] {
+				return false
+			}
+		}
+		// Label range is exactly [0, count).
+		seen := make(map[int]bool)
+		for _, l := range labels {
+			if l < 0 || l >= count {
+				return false
+			}
+			seen[l] = true
+		}
+		return len(seen) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomGraph is a tiny internal ER sampler used by tests in this package
+// only (the real generator lives in internal/generate, which depends on
+// this package and therefore cannot be imported here).
+func randomGraph(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				if err := g.AddEdge(u, v); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}

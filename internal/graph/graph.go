@@ -1,0 +1,285 @@
+// Package graph implements the undirected, unweighted, simple graphs that
+// every other package in this repository operates on.
+//
+// Graphs are the databases of the paper "Node-Differentially Private
+// Estimation of the Number of Connected Components" (PODS 2023): vertices
+// represent individuals and edges represent relationships. The package
+// provides exactly the primitives the paper's algorithms need: adjacency
+// queries, connected components, spanning forests, induced subgraphs,
+// node-neighbor operations (Definition 1.1), and induced-star checks.
+//
+// Vertices are dense integers 0..N-1. Self-loops and parallel edges are
+// rejected; all algorithms in the paper are stated for simple graphs.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge. Edges are normalized so that U < V; two Edge
+// values are equal iff they denote the same undirected edge.
+type Edge struct {
+	U, V int
+}
+
+// NewEdge returns the normalized edge {min(u,v), max(u,v)}.
+func NewEdge(u, v int) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// Graph is an undirected simple graph on vertices 0..n-1.
+//
+// The zero value is an empty graph on zero vertices. Graph is not safe for
+// concurrent mutation; concurrent reads are safe.
+type Graph struct {
+	adj []map[int]struct{}
+	m   int
+}
+
+// New returns an empty graph on n isolated vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{adj: make([]map[int]struct{}, n)}
+}
+
+// FromEdges builds a graph on n vertices with the given edges.
+// It returns an error if any edge is a self-loop, a duplicate, or out of
+// range.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	g := New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// MustFromEdges is FromEdges but panics on error. It is intended for tests
+// and package-internal literals.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// checkVertex panics if v is out of range. Out-of-range vertices are
+// programming errors, not data errors, so we panic rather than return error
+// on read paths.
+func (g *Graph) checkVertex(v int) {
+	if v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, len(g.adj)))
+	}
+}
+
+// AddVertex appends a new isolated vertex and returns its id.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge inserts the undirected edge {u,v}. It returns an error if u == v,
+// if either endpoint is out of range, or if the edge already exists.
+func (g *Graph) AddEdge(u, v int) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop at vertex %d", u)
+	}
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.adj))
+	}
+	if _, dup := g.adj[u][v]; dup {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	if g.adj[u] == nil {
+		g.adj[u] = make(map[int]struct{})
+	}
+	if g.adj[v] == nil {
+		g.adj[v] = make(map[int]struct{})
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.m++
+	return nil
+}
+
+// EnsureEdge inserts {u,v} if absent and reports whether it inserted.
+// Self-loops are still an error.
+func (g *Graph) EnsureEdge(u, v int) (bool, error) {
+	if g.HasEdge(u, v) {
+		return false, nil
+	}
+	if err := g.AddEdge(u, v); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// RemoveEdge deletes the edge {u,v} and reports whether it was present.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	g.checkVertex(u)
+	g.checkVertex(v)
+	if _, ok := g.adj[u][v]; !ok {
+		return false
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.m--
+	return true
+}
+
+// HasEdge reports whether the edge {u,v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.checkVertex(u)
+	g.checkVertex(v)
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int {
+	g.checkVertex(v)
+	return len(g.adj[v])
+}
+
+// MaxDegree returns the maximum degree, or 0 for an edgeless graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Neighbors returns the neighbors of v in increasing order.
+// The returned slice is freshly allocated.
+func (g *Graph) Neighbors(v int) []int {
+	g.checkVertex(v)
+	out := make([]int, 0, len(g.adj[v]))
+	for w := range g.adj[v] {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// VisitNeighbors calls fn for each neighbor of v in unspecified order.
+// It stops early if fn returns false.
+func (g *Graph) VisitNeighbors(v int, fn func(w int) bool) {
+	g.checkVertex(v)
+	for w := range g.adj[v] {
+		if !fn(w) {
+			return
+		}
+	}
+}
+
+// Edges returns all edges, normalized and sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if u < v {
+				out = append(out, Edge{U: u, V: v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.N())
+	c.m = g.m
+	for v := range g.adj {
+		if len(g.adj[v]) == 0 {
+			continue
+		}
+		c.adj[v] = make(map[int]struct{}, len(g.adj[v]))
+		for w := range g.adj[v] {
+			c.adj[v][w] = struct{}{}
+		}
+	}
+	return c
+}
+
+// Equal reports whether g and h have the same vertex count and edge set.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.N() != h.N() || g.M() != h.M() {
+		return false
+	}
+	for u := range g.adj {
+		if len(g.adj[u]) != len(h.adj[u]) {
+			return false
+		}
+		for v := range g.adj[u] {
+			if _, ok := h.adj[u][v]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DegreeHistogram returns hist where hist[d] is the number of vertices of
+// degree d; len(hist) == MaxDegree()+1 (or 1 for the empty graph).
+func (g *Graph) DegreeHistogram() []int {
+	hist := make([]int, g.MaxDegree()+1)
+	for v := range g.adj {
+		hist[len(g.adj[v])]++
+	}
+	return hist
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(n=%d, m=%d)", g.N(), g.M())
+}
+
+// Validate checks internal invariants (adjacency symmetry, edge count,
+// no self-loops). It is used by tests and by fuzz-style property checks.
+func (g *Graph) Validate() error {
+	count := 0
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if v == u {
+				return fmt.Errorf("graph: self-loop at %d", u)
+			}
+			if v < 0 || v >= len(g.adj) {
+				return fmt.Errorf("graph: neighbor %d of %d out of range", v, u)
+			}
+			if _, ok := g.adj[v][u]; !ok {
+				return fmt.Errorf("graph: asymmetric edge (%d,%d)", u, v)
+			}
+			count++
+		}
+	}
+	if count != 2*g.m {
+		return fmt.Errorf("graph: edge count %d != half-degree sum %d", g.m, count)
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNewAndCounts(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("got n=%d m=%d, want 5, 0", g.N(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative vertex count")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddEdge(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge should be symmetric")
+	}
+	if g.M() != 1 {
+		t.Fatalf("m=%d, want 1", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Error("self-loop should fail")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("out of range should fail")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Error("negative vertex should fail")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate edge should fail")
+	}
+}
+
+func TestEnsureEdge(t *testing.T) {
+	g := New(2)
+	added, err := g.EnsureEdge(0, 1)
+	if err != nil || !added {
+		t.Fatalf("first EnsureEdge: added=%v err=%v", added, err)
+	}
+	added, err = g.EnsureEdge(1, 0)
+	if err != nil || added {
+		t.Fatalf("second EnsureEdge: added=%v err=%v", added, err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("m=%d, want 1", g.M())
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{0, 1}, {1, 2}})
+	if !g.RemoveEdge(1, 0) {
+		t.Fatal("remove existing edge should return true")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Fatal("remove missing edge should return false")
+	}
+	if g.M() != 1 || g.HasEdge(0, 1) {
+		t.Fatalf("unexpected state after removal: %v", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := MustFromEdges(5, []Edge{{2, 4}, {2, 0}, {2, 3}, {2, 1}})
+	got := g.Neighbors(2)
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("neighbors %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("neighbors %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVisitNeighborsEarlyStop(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1}, {0, 2}, {0, 3}})
+	count := 0
+	g.VisitNeighbors(0, func(int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("visited %d neighbors, want early stop at 2", count)
+	}
+}
+
+func TestEdgesSortedAndNormalized(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{3, 1}, {2, 0}, {1, 0}})
+	edges := g.Edges()
+	want := []Edge{{0, 1}, {0, 2}, {1, 3}}
+	if len(edges) != len(want) {
+		t.Fatalf("edges %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != NewEdge(want[i].U, want[i].V) {
+			t.Fatalf("edges %v, want %v", edges, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{0, 1}})
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone should equal original")
+	}
+	if err := c.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(1, 2) {
+		t.Fatal("mutating clone must not affect original")
+	}
+	if g.Equal(c) {
+		t.Fatal("graphs should now differ")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1}, {0, 2}, {0, 3}}) // star K_{1,3}
+	hist := g.DegreeHistogram()
+	if hist[1] != 3 || hist[3] != 1 {
+		t.Fatalf("hist = %v, want 3 leaves and 1 center", hist)
+	}
+	if g.MaxDegree() != 3 {
+		t.Fatalf("max degree %d, want 3", g.MaxDegree())
+	}
+}
+
+func TestAddVertex(t *testing.T) {
+	g := New(2)
+	id := g.AddVertex()
+	if id != 2 || g.N() != 3 {
+		t.Fatalf("AddVertex returned %d with n=%d", id, g.N())
+	}
+	if err := g.AddEdge(2, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeNormalization(t *testing.T) {
+	if NewEdge(5, 2) != (Edge{2, 5}) {
+		t.Fatal("NewEdge should normalize")
+	}
+	if NewEdge(2, 5).String() != "(2,5)" {
+		t.Fatalf("String() = %q", NewEdge(2, 5).String())
+	}
+}
+
+// TestRandomValidate hammers the mutation API and checks invariants hold.
+func TestRandomValidate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	g := New(20)
+	for step := 0; step < 2000; step++ {
+		u, v := rng.IntN(20), rng.IntN(20)
+		if u == v {
+			continue
+		}
+		if rng.Float64() < 0.6 {
+			_, _ = g.EnsureEdge(u, v)
+		} else {
+			g.RemoveEdge(u, v)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestRemoveVertex(t *testing.T) {
+	// Path 0-1-2-3; removing 1 leaves {0} and {1-2} (renumbered).
+	g := MustFromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	h := g.RemoveVertex(1)
+	if h.N() != 3 || h.M() != 1 {
+		t.Fatalf("got %v, want n=3 m=1", h)
+	}
+	// Old vertices 2,3 become 1,2.
+	if !h.HasEdge(1, 2) {
+		t.Fatal("edge (2,3) should survive as (1,2)")
+	}
+	if h.CountComponents() != 2 {
+		t.Fatalf("components=%d, want 2", h.CountComponents())
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveVertexEndpoints(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{0, 1}, {1, 2}})
+	if h := g.RemoveVertex(0); h.N() != 2 || !h.HasEdge(0, 1) {
+		t.Fatalf("removing first vertex: %v", h)
+	}
+	if h := g.RemoveVertex(2); h.N() != 2 || !h.HasEdge(0, 1) {
+		t.Fatalf("removing last vertex: %v", h)
+	}
+}
+
+func TestAddVertexWithEdges(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{0, 1}})
+	h, err := g.AddVertexWithEdges([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 4 || !h.HasEdge(3, 0) || !h.HasEdge(3, 2) || h.HasEdge(3, 1) {
+		t.Fatalf("unexpected graph %v", h)
+	}
+	// Original untouched.
+	if g.N() != 3 {
+		t.Fatal("original mutated")
+	}
+	if _, err := g.AddVertexWithEdges([]int{0, 0}); err == nil {
+		t.Fatal("duplicate neighbor should fail")
+	}
+	if _, err := g.AddVertexWithEdges([]int{5}); err == nil {
+		t.Fatal("out-of-range neighbor should fail")
+	}
+}
+
+// TestNodeNeighborRoundTrip checks Definition 1.1: remove-then-add a vertex
+// with the same neighborhood recovers an isomorphic graph (here: equal
+// after the canonical renumbering).
+func TestNodeNeighborRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.IntN(15)
+		g := randomGraph(n, 0.3, rng)
+		// Remove the LAST vertex so renumbering is the identity.
+		v := n - 1
+		nbrs := g.Neighbors(v)
+		h := g.RemoveVertex(v)
+		back, err := h.AddVertexWithEdges(nbrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(g) {
+			t.Fatalf("round trip failed for %v", g)
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	// Triangle plus pendant: induce on the triangle.
+	g := MustFromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	h, orig, err := g.InducedSubgraph([]int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 3 || h.M() != 3 {
+		t.Fatalf("induced triangle: %v", h)
+	}
+	if orig[0] != 0 || orig[1] != 1 || orig[2] != 2 {
+		t.Fatalf("mapping %v", orig)
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	g := New(3)
+	if _, _, err := g.InducedSubgraph([]int{0, 0}); err == nil {
+		t.Fatal("duplicate should fail")
+	}
+	if _, _, err := g.InducedSubgraph([]int{3}); err == nil {
+		t.Fatal("out of range should fail")
+	}
+	h, _, err := g.InducedSubgraph(nil)
+	if err != nil || h.N() != 0 {
+		t.Fatalf("empty induced subgraph: %v, %v", h, err)
+	}
+}
+
+func TestInducedSubgraphByMask(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1}, {2, 3}})
+	h, orig, err := g.InducedSubgraphByMask([]bool{true, false, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 3 || h.M() != 1 || !h.HasEdge(1, 2) {
+		t.Fatalf("masked subgraph: %v (map %v)", h, orig)
+	}
+	if _, _, err := g.InducedSubgraphByMask([]bool{true}); err == nil {
+		t.Fatal("wrong mask length should fail")
+	}
+}
+
+func TestIsIndependentSet(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1}, {2, 3}})
+	if !g.IsIndependentSet([]int{0, 2}) {
+		t.Fatal("{0,2} is independent")
+	}
+	if g.IsIndependentSet([]int{2, 3}) {
+		t.Fatal("{2,3} is an edge")
+	}
+	if !g.IsIndependentSet(nil) {
+		t.Fatal("empty set is independent")
+	}
+}
+
+func TestIsInducedStar(t *testing.T) {
+	// Star K_{1,3} with one extra leaf-leaf edge.
+	g := MustFromEdges(4, []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}})
+	if !g.IsInducedStar(0, []int{1, 3}) {
+		t.Fatal("{0;1,3} is an induced 2-star")
+	}
+	if g.IsInducedStar(0, []int{1, 2}) {
+		t.Fatal("{0;1,2} has adjacent leaves")
+	}
+	if g.IsInducedStar(1, []int{3}) {
+		t.Fatal("1 and 3 are not adjacent")
+	}
+	if g.IsInducedStar(0, []int{0}) {
+		t.Fatal("center cannot be its own leaf")
+	}
+}

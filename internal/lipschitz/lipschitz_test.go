@@ -1,0 +1,231 @@
+package lipschitz
+
+import (
+	"math"
+	"testing"
+
+	"nodedp/internal/downsens"
+	"nodedp/internal/generate"
+	"nodedp/internal/graph"
+)
+
+const tol = 1e-5
+
+func fsf(g *graph.Graph) float64 { return float64(g.SpanningForestSize()) }
+
+func TestForestLPFamilyBasics(t *testing.T) {
+	fam := ForestLP{}
+	g := generate.Star(4)
+	if fam.Name() == "" {
+		t.Fatal("family needs a name")
+	}
+	if got := fam.Target(g); got != 4 {
+		t.Fatalf("target %v, want 4", got)
+	}
+	v, err := fam.Eval(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-2) > tol {
+		t.Fatalf("f_2(K_{1,4}) = %v, want 2", v)
+	}
+}
+
+func TestCheckPropertiesForestLPClean(t *testing.T) {
+	fam := ForestLP{}
+	deltas := []float64{1, 2, 4}
+	for seed := uint64(0); seed < 15; seed++ {
+		rng := generate.NewRand(seed)
+		g := generate.ErdosRenyi(2+rng.IntN(8), 0.4, rng)
+		viol, err := CheckProperties(fam, g, deltas, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(viol) != 0 {
+			t.Fatalf("seed %d: violations %+v", seed, viol)
+		}
+	}
+}
+
+func TestCheckPropertiesCatchesBadFamily(t *testing.T) {
+	// A deliberately broken family: constant 100 (over-estimates), and
+	// jumps with Δ in the wrong direction.
+	bad := badFamily{}
+	g := generate.Path(4)
+	viol, err := CheckProperties(bad, g, []float64{1, 2}, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) == 0 {
+		t.Fatal("broken family must produce violations")
+	}
+	foundUnder := false
+	for _, v := range viol {
+		if v.Property == "underestimation" {
+			foundUnder = true
+		}
+	}
+	if !foundUnder {
+		t.Fatalf("expected an underestimation violation, got %+v", viol)
+	}
+}
+
+type badFamily struct{}
+
+func (badFamily) Name() string                { return "bad" }
+func (badFamily) Target(*graph.Graph) float64 { return 0 }
+func (badFamily) Eval(g *graph.Graph, d float64) (float64, error) {
+	return 100 / d, nil // over-estimates and decreases in Δ
+}
+
+func TestDownSensitivityExtensionAnchors(t *testing.T) {
+	// Lemma A.1: if DS_f(G) ≤ Δ then f̂_Δ(G) = f(G).
+	fam := DownSensitivity{F: fsf, FName: "fsf"}
+	for seed := uint64(20); seed < 50; seed++ {
+		rng := generate.NewRand(seed)
+		n := 1 + rng.IntN(8)
+		g := generate.ErdosRenyi(n, 0.35, rng)
+		ds, err := DownSensitivityOf(g, fsf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := ds
+		if delta < 1 {
+			delta = 1
+		}
+		got, err := fam.Eval(g, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-fsf(g)) > tol {
+			t.Fatalf("seed %d: f̂_%v = %v, want f_sf = %v (DS=%v)", seed, delta, got, fsf(g), ds)
+		}
+	}
+}
+
+func TestDownSensitivityExtensionProperties(t *testing.T) {
+	// The Lemma A.1 family must itself satisfy Definition 3.2.
+	fam := DownSensitivity{F: fsf, FName: "fsf"}
+	deltas := []float64{1, 2, 4}
+	for seed := uint64(50); seed < 65; seed++ {
+		rng := generate.NewRand(seed)
+		g := generate.ErdosRenyi(2+rng.IntN(6), 0.4, rng)
+		viol, err := CheckProperties(fam, g, deltas, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(viol) != 0 {
+			t.Fatalf("seed %d: violations %+v", seed, viol)
+		}
+	}
+}
+
+func TestDownSensitivityOfMatchesBruteForce(t *testing.T) {
+	for seed := uint64(70); seed < 95; seed++ {
+		rng := generate.NewRand(seed)
+		n := 1 + rng.IntN(8)
+		g := generate.ErdosRenyi(n, 0.4, rng)
+		a, err := DownSensitivityOf(g, fsf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := downsens.DownSensitivityBruteForce(g, downsens.SpanningForestSizeF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("seed %d: recurrence %v != direct %v", seed, a, b)
+		}
+	}
+}
+
+func TestDownSensitivityExtensionRejects(t *testing.T) {
+	fam := DownSensitivity{F: fsf, FName: "fsf"}
+	if _, err := fam.Eval(graph.New(2), 0); err == nil {
+		t.Error("delta 0 should fail")
+	}
+	if _, err := fam.Eval(graph.New(maxDownSensVertices+1), 1); err == nil {
+		t.Error("oversized graph should fail")
+	}
+}
+
+// TestTheorem111Witness checks the implication of Theorem 1.11 with the
+// Lemma A.1 extension f̂_{Δ−1} as the competing (Δ−1)-Lipschitz function:
+//
+//	Err_G(f_Δ, f_sf) > 0  ⟹  Err_G(f_Δ, f_sf) ≤ 2·Err_G(f̂_{Δ−1}, f_sf) − 1.
+func TestTheorem111Witness(t *testing.T) {
+	forest := ForestLP{}
+	generic := DownSensitivity{F: fsf, FName: "fsf"}
+	for seed := uint64(100); seed < 118; seed++ {
+		rng := generate.NewRand(seed)
+		n := 2 + rng.IntN(6)
+		g := generate.ErdosRenyi(n, 0.5, rng)
+		for _, delta := range []float64{1, 2, 3} {
+			errOurs, err := ErrG(forest, g, delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if errOurs <= tol {
+				continue
+			}
+			if delta-1 <= 0 {
+				continue // F_0 competitors are out of Theorem 1.11's scope here
+			}
+			errRef, err := ErrG(generic, g, delta-1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if errOurs > 2*errRef-1+tol {
+				t.Fatalf("seed %d Δ=%v: Err=%v > 2·%v − 1 on %v", seed, delta, errOurs, errRef, g)
+			}
+		}
+	}
+}
+
+// TestConstrainedVariantOverestimates documents the Lemma A.1 subtlety: the
+// paper's literal construction (min restricted to DS_F(H) ≤ Δ) can exceed
+// F(G) when DS_F(G) > Δ. The 7-vertex graph below (found by randomized
+// search, seed 56) has f_sf = 6, DS = 3, and a constrained f̂_2 of 7.
+// Our unconstrained inf-convolution stays at or below F(G).
+func TestConstrainedVariantOverestimates(t *testing.T) {
+	g := graph.MustFromEdges(7, []graph.Edge{
+		graph.NewEdge(0, 3), graph.NewEdge(0, 4), graph.NewEdge(0, 6),
+		graph.NewEdge(1, 2), graph.NewEdge(1, 6), graph.NewEdge(2, 3),
+		graph.NewEdge(2, 5), graph.NewEdge(2, 6), graph.NewEdge(3, 4),
+		graph.NewEdge(4, 5),
+	})
+	fam := DownSensitivity{F: fsf, FName: "fsf"}
+	if got := fsf(g); got != 6 {
+		t.Fatalf("f_sf = %v, want 6", got)
+	}
+	constrained, err := fam.EvalConstrained(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constrained <= 6 {
+		t.Fatalf("expected the constrained variant to overestimate, got %v", constrained)
+	}
+	unconstrained, err := fam.Eval(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unconstrained > 6+tol {
+		t.Fatalf("unconstrained variant overestimates: %v", unconstrained)
+	}
+}
+
+func TestErrGStar(t *testing.T) {
+	// On K_{1,k} with Δ < k: max error over induced subgraphs is attained
+	// at stars: |f_Δ(K_{1,j}) − j| = j − Δ for j > Δ, so Err = k − Δ.
+	fam := ForestLP{}
+	got, err := ErrG(fam, generate.Star(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > tol {
+		t.Fatalf("Err_G = %v, want 2", got)
+	}
+	if _, err := ErrG(fam, graph.New(maxDownSensVertices+1), 1); err == nil {
+		t.Fatal("oversized graph should fail")
+	}
+}

@@ -1,0 +1,260 @@
+// Package lp implements a dense primal simplex solver for linear programs
+// of the form
+//
+//	maximize    c·x
+//	subject to  A x ≤ b,  x ≥ 0,  with b ≥ 0,
+//
+// which is exactly the shape of the degree-bounded forest polytope LP of
+// Definition 3.1 once the subtour constraints are generated lazily by the
+// cutting-plane loop in internal/forestlp. The restriction b ≥ 0 means the
+// all-slack basis is feasible, so no phase-one is needed.
+//
+// Two solvers are provided: a float64 tableau simplex (Dantzig pricing with
+// a Bland's-rule fallback for anti-cycling) used in production, and an
+// exact big.Rat simplex (Bland's rule throughout) used by tests to certify
+// the float results on small instances.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status describes the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Unbounded means the objective is unbounded above on the feasible
+	// region.
+	Unbounded
+	// IterationLimit means the pivot budget was exhausted. The returned
+	// solution is the best basic feasible point visited (feasible but not
+	// proven optimal).
+	IterationLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of Maximize.
+type Solution struct {
+	Status Status
+	// Value is c·X.
+	Value float64
+	// X is the structural variable assignment (length = len(c)).
+	X []float64
+	// Pivots is the number of simplex pivots performed.
+	Pivots int
+}
+
+// Options tunes the solver. The zero value uses sensible defaults.
+type Options struct {
+	// Tol is the feasibility/optimality tolerance. Default 1e-9.
+	Tol float64
+	// MaxPivots caps simplex iterations. Default 50*(rows+cols)+1000.
+	MaxPivots int
+	// BlandAfter switches from Dantzig to Bland's rule after this many
+	// consecutive non-improving (degenerate) pivots. Default 64.
+	BlandAfter int
+}
+
+func (o Options) withDefaults(rows, cols int) Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.MaxPivots <= 0 {
+		o.MaxPivots = 50*(rows+cols) + 1000
+	}
+	if o.BlandAfter <= 0 {
+		o.BlandAfter = 64
+	}
+	return o
+}
+
+// ErrBadInput is wrapped by errors returned for malformed problems.
+var ErrBadInput = errors.New("lp: bad input")
+
+// Maximize solves max c·x s.t. Ax ≤ b, x ≥ 0. Every b[i] must be ≥ 0.
+func Maximize(c []float64, a [][]float64, b []float64, opts Options) (Solution, error) {
+	m, n := len(a), len(c)
+	if len(b) != m {
+		return Solution{}, fmt.Errorf("%w: %d rows but %d rhs entries", ErrBadInput, m, len(b))
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return Solution{}, fmt.Errorf("%w: row %d has %d entries, want %d", ErrBadInput, i, len(row), n)
+		}
+	}
+	for i, bi := range b {
+		if bi < 0 {
+			return Solution{}, fmt.Errorf("%w: b[%d]=%v < 0 (standard-form solver needs b ≥ 0)", ErrBadInput, i, bi)
+		}
+		if math.IsNaN(bi) || math.IsInf(bi, 0) {
+			return Solution{}, fmt.Errorf("%w: b[%d]=%v", ErrBadInput, i, bi)
+		}
+	}
+	for j, cj := range c {
+		if math.IsNaN(cj) || math.IsInf(cj, 0) {
+			return Solution{}, fmt.Errorf("%w: c[%d]=%v", ErrBadInput, j, cj)
+		}
+	}
+	opts = opts.withDefaults(m, n)
+
+	// Tableau layout: rows 0..m-1 are constraints over columns
+	// [0,n) structural, [n,n+m) slack, column n+m is the rhs.
+	// Row m is the objective row holding reduced costs (z_j - c_j) and the
+	// current objective value in the rhs cell.
+	width := n + m + 1
+	tab := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]float64, width)
+		copy(tab[i], a[i])
+		tab[i][n+i] = 1
+		tab[i][n+m] = b[i]
+	}
+	obj := make([]float64, width)
+	for j := 0; j < n; j++ {
+		obj[j] = -c[j]
+	}
+	tab[m] = obj
+
+	basis := make([]int, m) // basis[i] = variable basic in row i
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	sol := Solution{}
+	degenerate := 0
+	lastValue := 0.0
+	proven := false
+	for sol.Pivots = 0; sol.Pivots < opts.MaxPivots; sol.Pivots++ {
+		// Pricing: pick entering column.
+		enter := -1
+		if degenerate >= opts.BlandAfter {
+			// Bland's rule: smallest index with negative reduced cost.
+			for j := 0; j < n+m; j++ {
+				if obj[j] < -opts.Tol {
+					enter = j
+					break
+				}
+			}
+		} else {
+			// Dantzig: most negative reduced cost.
+			best := -opts.Tol
+			for j := 0; j < n+m; j++ {
+				if obj[j] < best {
+					best = obj[j]
+					enter = j
+				}
+			}
+		}
+		if enter == -1 {
+			sol.Status = Optimal
+			proven = true
+			break
+		}
+
+		// Ratio test: pick leaving row.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			aie := tab[i][enter]
+			if aie <= opts.Tol {
+				continue
+			}
+			ratio := tab[i][n+m] / aie
+			if ratio < bestRatio-opts.Tol ||
+				(ratio < bestRatio+opts.Tol && (leave == -1 || basis[i] < basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave == -1 {
+			sol.Status = Unbounded
+			sol.Value = math.Inf(1)
+			sol.X = extractX(tab, basis, n, m)
+			return sol, nil
+		}
+
+		pivot(tab, leave, enter)
+		basis[leave] = enter
+
+		cur := currentValue(obj, n, m)
+		if cur <= lastValue+opts.Tol {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		lastValue = cur
+	}
+	if !proven {
+		sol.Status = IterationLimit
+	}
+	sol.X = extractX(tab, basis, n, m)
+	sol.Value = 0
+	for j := 0; j < n; j++ {
+		sol.Value += c[j] * sol.X[j]
+	}
+	return sol, nil
+}
+
+// currentValue reads the objective value from the objective row rhs.
+// With the z_j - c_j convention and max problems, the rhs of the objective
+// row is the current objective value.
+func currentValue(obj []float64, n, m int) float64 { return obj[n+m] }
+
+// pivot performs Gauss-Jordan elimination to make column `enter` the unit
+// vector for row `leave`.
+func pivot(tab [][]float64, leave, enter int) {
+	m := len(tab) - 1
+	width := len(tab[0])
+	pv := tab[leave][enter]
+	inv := 1 / pv
+	for j := 0; j < width; j++ {
+		tab[leave][j] *= inv
+	}
+	tab[leave][enter] = 1 // avoid drift
+	for i := 0; i <= m; i++ {
+		if i == leave {
+			continue
+		}
+		f := tab[i][enter]
+		if f == 0 {
+			continue
+		}
+		row := tab[i]
+		prow := tab[leave]
+		for j := 0; j < width; j++ {
+			row[j] -= f * prow[j]
+		}
+		row[enter] = 0 // avoid drift
+	}
+}
+
+// extractX reads the structural solution out of the tableau.
+func extractX(tab [][]float64, basis []int, n, m int) []float64 {
+	x := make([]float64, n)
+	for i, bv := range basis {
+		if bv < n {
+			x[bv] = tab[i][n+m]
+			if x[bv] < 0 && x[bv] > -1e-12 {
+				x[bv] = 0
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,162 @@
+package lp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// This file implements an exact simplex over big.Rat. It exists to certify
+// the float64 solver: on small forest-polytope instances the two must agree
+// to within the float tolerance. Bland's rule is used throughout, which
+// guarantees termination without any numeric tolerance.
+
+// RatSolution is the result of MaximizeRat.
+type RatSolution struct {
+	Status Status
+	Value  *big.Rat
+	X      []*big.Rat
+	Pivots int
+}
+
+// MaximizeRat solves max c·x s.t. Ax ≤ b, x ≥ 0 exactly. Every b[i] must be
+// ≥ 0. Inputs are not mutated.
+func MaximizeRat(c []*big.Rat, a [][]*big.Rat, b []*big.Rat, maxPivots int) (RatSolution, error) {
+	m, n := len(a), len(c)
+	if len(b) != m {
+		return RatSolution{}, fmt.Errorf("%w: %d rows but %d rhs entries", ErrBadInput, m, len(b))
+	}
+	zero := new(big.Rat)
+	for i, bi := range b {
+		if bi.Cmp(zero) < 0 {
+			return RatSolution{}, fmt.Errorf("%w: b[%d] < 0", ErrBadInput, i)
+		}
+		if len(a[i]) != n {
+			return RatSolution{}, fmt.Errorf("%w: row %d has %d entries, want %d", ErrBadInput, i, len(a[i]), n)
+		}
+	}
+	if maxPivots <= 0 {
+		maxPivots = 200*(m+n) + 2000
+	}
+
+	width := n + m + 1
+	tab := make([][]*big.Rat, m+1)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]*big.Rat, width)
+		for j := 0; j < n; j++ {
+			tab[i][j] = new(big.Rat).Set(a[i][j])
+		}
+		for j := n; j < n+m; j++ {
+			tab[i][j] = new(big.Rat)
+		}
+		tab[i][n+i].SetInt64(1)
+		tab[i][n+m] = new(big.Rat).Set(b[i])
+	}
+	obj := make([]*big.Rat, width)
+	for j := 0; j < n; j++ {
+		obj[j] = new(big.Rat).Neg(c[j])
+	}
+	for j := n; j < width; j++ {
+		obj[j] = new(big.Rat)
+	}
+	tab[m] = obj
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	sol := RatSolution{}
+	tmp := new(big.Rat)
+	proven := false
+	for sol.Pivots = 0; sol.Pivots < maxPivots; sol.Pivots++ {
+		// Bland's rule: smallest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < n+m; j++ {
+			if obj[j].Cmp(zero) < 0 {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			sol.Status = Optimal
+			proven = true
+			break
+		}
+		// Ratio test, ties to smallest basis variable (Bland).
+		leave := -1
+		var bestRatio *big.Rat
+		for i := 0; i < m; i++ {
+			if tab[i][enter].Cmp(zero) <= 0 {
+				continue
+			}
+			tmp.Quo(tab[i][n+m], tab[i][enter])
+			if leave == -1 || tmp.Cmp(bestRatio) < 0 ||
+				(tmp.Cmp(bestRatio) == 0 && basis[i] < basis[leave]) {
+				bestRatio = new(big.Rat).Set(tmp)
+				leave = i
+			}
+		}
+		if leave == -1 {
+			sol.Status = Unbounded
+			sol.X = extractXRat(tab, basis, n, m)
+			sol.Value = nil
+			return sol, nil
+		}
+		pivotRat(tab, leave, enter)
+		basis[leave] = enter
+	}
+	if !proven {
+		sol.Status = IterationLimit
+	}
+	sol.X = extractXRat(tab, basis, n, m)
+	sol.Value = new(big.Rat)
+	for j := 0; j < n; j++ {
+		sol.Value.Add(sol.Value, tmp.Mul(c[j], sol.X[j]))
+		tmp = new(big.Rat)
+	}
+	return sol, nil
+}
+
+func pivotRat(tab [][]*big.Rat, leave, enter int) {
+	m := len(tab) - 1
+	width := len(tab[0])
+	pv := new(big.Rat).Set(tab[leave][enter])
+	for j := 0; j < width; j++ {
+		tab[leave][j].Quo(tab[leave][j], pv)
+	}
+	f := new(big.Rat)
+	t := new(big.Rat)
+	for i := 0; i <= m; i++ {
+		if i == leave || tab[i][enter].Sign() == 0 {
+			continue
+		}
+		f.Set(tab[i][enter])
+		for j := 0; j < width; j++ {
+			t.Mul(f, tab[leave][j])
+			tab[i][j].Sub(tab[i][j], t)
+		}
+	}
+}
+
+func extractXRat(tab [][]*big.Rat, basis []int, n, m int) []*big.Rat {
+	x := make([]*big.Rat, n)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	for i, bv := range basis {
+		if bv < n {
+			x[bv].Set(tab[i][n+m])
+		}
+	}
+	return x
+}
+
+// RatFromFloat converts a float64 to an exact big.Rat. It panics on
+// NaN/Inf, which are programming errors in this codebase.
+func RatFromFloat(f float64) *big.Rat {
+	r := new(big.Rat).SetFloat64(f)
+	if r == nil {
+		panic(fmt.Sprintf("lp: cannot convert %v to rational", f))
+	}
+	return r
+}

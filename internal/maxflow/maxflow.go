@@ -1,0 +1,156 @@
+// Package maxflow implements Dinic's maximum-flow algorithm with float64
+// capacities. It powers the Padberg–Wolsey separation oracle for the
+// forest polytope (internal/forestlp): a violated subtour constraint
+// x(E[S]) ≤ |S|−1 is located via max-closure computations, each of which is
+// one s-t min-cut on a small bipartite-ish network.
+//
+// Capacities are nonnegative float64s; a tolerance of Eps governs residual
+// admissibility so that the tiny rounding noise produced by the LP solver
+// cannot create phantom augmenting paths.
+package maxflow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the admissibility tolerance: residual capacities below Eps are
+// treated as saturated.
+const Eps = 1e-12
+
+// Network is a flow network under construction. Vertices are 0..n-1.
+type Network struct {
+	n     int
+	head  []int32 // head[v] = first arc index of v, -1 if none
+	next  []int32 // next[a] = next arc of the same tail
+	to    []int32
+	cap   []float64
+	level []int32
+	iter  []int32
+}
+
+// New returns an empty network on n vertices.
+func New(n int) *Network {
+	head := make([]int32, n)
+	for i := range head {
+		head[i] = -1
+	}
+	return &Network{n: n, head: head}
+}
+
+// N returns the vertex count.
+func (nw *Network) N() int { return nw.n }
+
+// Arcs returns the number of directed arcs (including residual reverses).
+func (nw *Network) Arcs() int { return len(nw.to) }
+
+// AddEdge adds a directed edge u→v with the given capacity (and the
+// implicit residual reverse arc with capacity 0). Infinite capacity may be
+// passed as math.Inf(1).
+func (nw *Network) AddEdge(u, v int, capacity float64) {
+	if u < 0 || u >= nw.n || v < 0 || v >= nw.n {
+		panic(fmt.Sprintf("maxflow: edge (%d,%d) out of range [0,%d)", u, v, nw.n))
+	}
+	if capacity < 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("maxflow: bad capacity %v", capacity))
+	}
+	nw.addArc(u, v, capacity)
+	nw.addArc(v, u, 0)
+}
+
+func (nw *Network) addArc(u, v int, capacity float64) {
+	nw.to = append(nw.to, int32(v))
+	nw.cap = append(nw.cap, capacity)
+	nw.next = append(nw.next, nw.head[u])
+	nw.head[u] = int32(len(nw.to) - 1)
+}
+
+// bfs builds the level graph; returns true if t is reachable.
+func (nw *Network) bfs(s, t int) bool {
+	if nw.level == nil {
+		nw.level = make([]int32, nw.n)
+	}
+	for i := range nw.level {
+		nw.level[i] = -1
+	}
+	queue := make([]int32, 0, nw.n)
+	nw.level[s] = 0
+	queue = append(queue, int32(s))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for a := nw.head[u]; a != -1; a = nw.next[a] {
+			v := nw.to[a]
+			if nw.cap[a] > Eps && nw.level[v] == -1 {
+				nw.level[v] = nw.level[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nw.level[t] != -1
+}
+
+// dfs sends blocking flow along level-increasing admissible arcs.
+func (nw *Network) dfs(u, t int, limit float64) float64 {
+	if u == t {
+		return limit
+	}
+	for ; nw.iter[u] != -1; nw.iter[u] = nw.next[nw.iter[u]] {
+		a := nw.iter[u]
+		v := nw.to[a]
+		if nw.cap[a] <= Eps || nw.level[v] != nw.level[u]+1 {
+			continue
+		}
+		pushed := nw.dfs(int(v), t, math.Min(limit, nw.cap[a]))
+		if pushed > 0 {
+			nw.cap[a] -= pushed
+			nw.cap[a^1] += pushed
+			return pushed
+		}
+	}
+	return 0
+}
+
+// MaxFlow computes the maximum s→t flow. The network is mutated (residual
+// capacities); call MinCutSourceSide afterwards to read the cut.
+func (nw *Network) MaxFlow(s, t int) float64 {
+	if s == t {
+		panic("maxflow: source equals sink")
+	}
+	if nw.iter == nil {
+		nw.iter = make([]int32, nw.n)
+	}
+	total := 0.0
+	for nw.bfs(s, t) {
+		copy(nw.iter, nw.head)
+		for {
+			pushed := nw.dfs(s, t, math.Inf(1))
+			if pushed <= 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}
+
+// MinCutSourceSide returns, after MaxFlow(s,t), the set of vertices
+// reachable from s in the residual network — the source side of a minimum
+// cut.
+func (nw *Network) MinCutSourceSide(s int) []bool {
+	seen := make([]bool, nw.n)
+	seen[s] = true
+	stack := []int32{int32(s)}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for a := nw.head[u]; a != -1; a = nw.next[a] {
+			v := nw.to[a]
+			if nw.cap[a] > Eps && !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,190 @@
+package maxflow
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestSimplePath(t *testing.T) {
+	nw := New(3)
+	nw.AddEdge(0, 1, 5)
+	nw.AddEdge(1, 2, 3)
+	if got := nw.MaxFlow(0, 2); got != 3 {
+		t.Fatalf("flow=%v, want 3", got)
+	}
+}
+
+func TestParallelPaths(t *testing.T) {
+	nw := New(4)
+	nw.AddEdge(0, 1, 2)
+	nw.AddEdge(1, 3, 2)
+	nw.AddEdge(0, 2, 3)
+	nw.AddEdge(2, 3, 1)
+	if got := nw.MaxFlow(0, 3); got != 3 {
+		t.Fatalf("flow=%v, want 3", got)
+	}
+}
+
+func TestClassicCLRS(t *testing.T) {
+	// CLRS figure 26.1; max flow 23.
+	nw := New(6)
+	type arc struct {
+		u, v int
+		c    float64
+	}
+	for _, a := range []arc{
+		{0, 1, 16}, {0, 2, 13}, {1, 2, 10}, {2, 1, 4},
+		{1, 3, 12}, {3, 2, 9}, {2, 4, 14}, {4, 3, 7},
+		{3, 5, 20}, {4, 5, 4},
+	} {
+		nw.AddEdge(a.u, a.v, a.c)
+	}
+	if got := nw.MaxFlow(0, 5); got != 23 {
+		t.Fatalf("flow=%v, want 23", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	nw := New(4)
+	nw.AddEdge(0, 1, 7)
+	nw.AddEdge(2, 3, 7)
+	if got := nw.MaxFlow(0, 3); got != 0 {
+		t.Fatalf("flow=%v, want 0", got)
+	}
+}
+
+func TestInfiniteCapacityArc(t *testing.T) {
+	nw := New(3)
+	nw.AddEdge(0, 1, math.Inf(1))
+	nw.AddEdge(1, 2, 9)
+	if got := nw.MaxFlow(0, 2); got != 9 {
+		t.Fatalf("flow=%v, want 9", got)
+	}
+}
+
+func TestMinCutSourceSide(t *testing.T) {
+	// Bottleneck edge (1,2): cut should separate {0,1} from {2,3}.
+	nw := New(4)
+	nw.AddEdge(0, 1, 10)
+	nw.AddEdge(1, 2, 1)
+	nw.AddEdge(2, 3, 10)
+	if got := nw.MaxFlow(0, 3); got != 1 {
+		t.Fatalf("flow=%v, want 1", got)
+	}
+	side := nw.MinCutSourceSide(0)
+	want := []bool{true, true, false, false}
+	for i := range want {
+		if side[i] != want[i] {
+			t.Fatalf("cut side %v, want %v", side, want)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	nw := New(2)
+	mustPanic(t, func() { nw.AddEdge(0, 2, 1) })
+	mustPanic(t, func() { nw.AddEdge(0, 1, -1) })
+	mustPanic(t, func() { nw.AddEdge(0, 1, math.NaN()) })
+	mustPanic(t, func() { nw.MaxFlow(1, 1) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+// TestAgainstBruteForce enumerates all s-t cuts on random small networks
+// and checks max-flow == min-cut.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 37))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.IntN(6)
+		type arc struct {
+			u, v int
+			c    float64
+		}
+		var arcs []arc
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.4 {
+					arcs = append(arcs, arc{u, v, float64(rng.IntN(10))})
+				}
+			}
+		}
+		nw := New(n)
+		for _, a := range arcs {
+			nw.AddEdge(a.u, a.v, a.c)
+		}
+		s, tt := 0, n-1
+		flow := nw.MaxFlow(s, tt)
+
+		// Brute-force min cut over all subsets containing s, excluding t.
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<n; mask++ {
+			if mask&(1<<s) == 0 || mask&(1<<tt) != 0 {
+				continue
+			}
+			cut := 0.0
+			for _, a := range arcs {
+				if mask&(1<<a.u) != 0 && mask&(1<<a.v) == 0 {
+					cut += a.c
+				}
+			}
+			if cut < best {
+				best = cut
+			}
+		}
+		if math.Abs(flow-best) > 1e-9 {
+			t.Fatalf("trial %d: flow=%v mincut=%v (n=%d arcs=%v)", trial, flow, best, n, arcs)
+		}
+		// The reported cut side must realize the min cut value.
+		side := nw.MinCutSourceSide(s)
+		cutVal := 0.0
+		for _, a := range arcs {
+			if side[a.u] && !side[a.v] {
+				cutVal += a.c
+			}
+		}
+		if math.Abs(cutVal-best) > 1e-9 {
+			t.Fatalf("trial %d: reported cut %v != min %v", trial, cutVal, best)
+		}
+	}
+}
+
+func BenchmarkDinicGrid(b *testing.B) {
+	// 30x30 grid, source top-left corner fan, sink bottom-right.
+	const k = 30
+	build := func() *Network {
+		nw := New(k*k + 2)
+		s, t := k*k, k*k+1
+		id := func(r, c int) int { return r*k + c }
+		for r := 0; r < k; r++ {
+			for c := 0; c < k; c++ {
+				if c+1 < k {
+					nw.AddEdge(id(r, c), id(r, c+1), 1)
+					nw.AddEdge(id(r, c+1), id(r, c), 1)
+				}
+				if r+1 < k {
+					nw.AddEdge(id(r, c), id(r+1, c), 1)
+					nw.AddEdge(id(r+1, c), id(r, c), 1)
+				}
+			}
+		}
+		for i := 0; i < k; i++ {
+			nw.AddEdge(s, id(0, i), 1)
+			nw.AddEdge(id(k-1, i), t, 1)
+		}
+		return nw
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw := build()
+		nw.MaxFlow(k*k, k*k+1)
+	}
+}

@@ -1,0 +1,158 @@
+// Package mechanism implements the differentially private selection and
+// release primitives of the paper:
+//
+//   - the Laplace mechanism (Theorem 2.2),
+//   - the Exponential Mechanism of McSherry–Talwar in score-minimization
+//     form (Theorem B.1), and
+//   - the Generalized Exponential Mechanism of Raskhodnikova–Smith
+//     specialized to Lipschitz-extension threshold selection exactly as
+//     Algorithm 4: scores with heterogeneous sensitivities are normalized
+//     pairwise, s_i = max_j ((q_i + t·i) − (q_j + t·j))/(i + j), which has
+//     sensitivity ≤ 1 and is fed to the plain exponential mechanism.
+//
+// All mechanisms take an explicit *rand.Rand so that callers choose between
+// reproducible experiment noise and crypto-backed release noise
+// (dpnoise.NewCryptoRand).
+package mechanism
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"nodedp/internal/dpnoise"
+)
+
+// LaplaceRelease releases value + Lap(sensitivity/eps) (Theorem 2.2).
+func LaplaceRelease(rng *rand.Rand, value, sensitivity, eps float64) (float64, error) {
+	if err := checkEps(eps); err != nil {
+		return 0, err
+	}
+	if sensitivity <= 0 || math.IsInf(sensitivity, 0) || math.IsNaN(sensitivity) {
+		return 0, fmt.Errorf("mechanism: sensitivity %v must be positive and finite", sensitivity)
+	}
+	return value + dpnoise.Laplace(rng, sensitivity/eps), nil
+}
+
+// ExponentialMechanismMin privately selects an index with a LOW score:
+// Pr[i] ∝ exp(−eps·scores[i]/(2·sensitivity)). This is the McSherry–Talwar
+// mechanism (Theorem B.1) with the sign flipped for minimization, which is
+// how Algorithm 4 consumes it.
+func ExponentialMechanismMin(rng *rand.Rand, scores []float64, sensitivity, eps float64) (int, error) {
+	if err := checkEps(eps); err != nil {
+		return 0, err
+	}
+	if sensitivity <= 0 {
+		return 0, fmt.Errorf("mechanism: sensitivity %v must be positive", sensitivity)
+	}
+	if len(scores) == 0 {
+		return 0, fmt.Errorf("mechanism: no candidates")
+	}
+	// Stable weights: shift by the minimum score.
+	minScore := math.Inf(1)
+	for _, s := range scores {
+		if math.IsNaN(s) {
+			return 0, fmt.Errorf("mechanism: NaN score")
+		}
+		if s < minScore {
+			minScore = s
+		}
+	}
+	weights := make([]float64, len(scores))
+	total := 0.0
+	for i, s := range scores {
+		w := math.Exp(-eps * (s - minScore) / (2 * sensitivity))
+		weights[i] = w
+		total += w
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return i, nil
+		}
+	}
+	return len(scores) - 1, nil // float underflow fallback
+}
+
+// GEMResult reports the private selection made by GEM.
+type GEMResult struct {
+	// Index into the candidate slice.
+	Index int
+	// Delta is the selected Lipschitz parameter.
+	Delta float64
+	// Scores are the normalized sensitivity-1 scores fed to the EM
+	// (exported for experiment introspection; they are data-dependent and
+	// must not be released without further noise).
+	Scores []float64
+}
+
+// GEM privately selects a Lipschitz parameter from candidates (Algorithm 4).
+//
+// deltas is the grid I (increasing, each entry is both the candidate and
+// the sensitivity of its score); qs[i] is the data-dependent quality
+// q_i(G) = |h_i(G) − h(G)| + deltas[i]/eps, whose sensitivity is at most
+// deltas[i] (by the underestimation footnote of Algorithm 4, any additive
+// data-independent shift of qs leaves the selection distribution
+// unchanged, since the pairwise normalization uses only differences).
+//
+// eps is the privacy budget of the selection and beta its failure
+// probability (Theorem 3.5).
+func GEM(rng *rand.Rand, deltas, qs []float64, eps, beta float64) (GEMResult, error) {
+	if err := checkEps(eps); err != nil {
+		return GEMResult{}, err
+	}
+	if beta <= 0 || beta >= 1 {
+		return GEMResult{}, fmt.Errorf("mechanism: beta %v must be in (0,1)", beta)
+	}
+	k := len(deltas)
+	if k == 0 || len(qs) != k {
+		return GEMResult{}, fmt.Errorf("mechanism: %d deltas but %d qualities", k, len(qs))
+	}
+	for i := 0; i < k; i++ {
+		if deltas[i] <= 0 {
+			return GEMResult{}, fmt.Errorf("mechanism: delta[%d]=%v must be positive", i, deltas[i])
+		}
+		if i > 0 && deltas[i] <= deltas[i-1] {
+			return GEMResult{}, fmt.Errorf("mechanism: deltas must be strictly increasing")
+		}
+	}
+	// t = 2·ln(k/β)/ε, the confidence margin of Algorithm 4 Step 1.
+	t := 2 * math.Log(float64(k)/beta) / eps
+	scores := make([]float64, k)
+	for i := 0; i < k; i++ {
+		s := math.Inf(-1)
+		for j := 0; j < k; j++ {
+			v := ((qs[i] + t*deltas[i]) - (qs[j] + t*deltas[j])) / (deltas[i] + deltas[j])
+			if v > s {
+				s = v
+			}
+		}
+		scores[i] = s
+	}
+	idx, err := ExponentialMechanismMin(rng, scores, 1, eps)
+	if err != nil {
+		return GEMResult{}, err
+	}
+	return GEMResult{Index: idx, Delta: deltas[idx], Scores: scores}, nil
+}
+
+// PowerOfTwoGrid returns the Algorithm 4 grid I = {2^0, 2^1, …, 2^k} with
+// k = ⌊log₂(deltaMax)⌋. deltaMax must be ≥ 1.
+func PowerOfTwoGrid(deltaMax float64) ([]float64, error) {
+	if deltaMax < 1 || math.IsNaN(deltaMax) || math.IsInf(deltaMax, 0) {
+		return nil, fmt.Errorf("mechanism: deltaMax %v must be ≥ 1 and finite", deltaMax)
+	}
+	var grid []float64
+	for d := 1.0; d <= deltaMax; d *= 2 {
+		grid = append(grid, d)
+	}
+	return grid, nil
+}
+
+func checkEps(eps float64) error {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return fmt.Errorf("mechanism: privacy parameter eps %v must be positive and finite", eps)
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package mechanism
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func testRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed*2+1))
+}
+
+func TestLaplaceReleaseBasic(t *testing.T) {
+	rng := testRNG(1)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v, err := LaplaceRelease(rng, 10, 1, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("mean %v, want ≈10", mean)
+	}
+}
+
+func TestLaplaceReleaseValidation(t *testing.T) {
+	rng := testRNG(2)
+	if _, err := LaplaceRelease(rng, 0, 1, 0); err == nil {
+		t.Error("eps=0 should fail")
+	}
+	if _, err := LaplaceRelease(rng, 0, 0, 1); err == nil {
+		t.Error("sensitivity=0 should fail")
+	}
+	if _, err := LaplaceRelease(rng, 0, math.Inf(1), 1); err == nil {
+		t.Error("infinite sensitivity should fail")
+	}
+}
+
+func TestExponentialMechanismRatio(t *testing.T) {
+	// Two candidates with score gap s: selection odds must be ≈ exp(εs/2).
+	rng := testRNG(3)
+	const n = 200000
+	eps, gap := 1.0, 2.0
+	count0 := 0
+	for i := 0; i < n; i++ {
+		idx, err := ExponentialMechanismMin(rng, []float64{0, gap}, 1, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx == 0 {
+			count0++
+		}
+	}
+	p0 := float64(count0) / n
+	wantOdds := math.Exp(eps * gap / 2)
+	wantP0 := wantOdds / (wantOdds + 1)
+	if math.Abs(p0-wantP0) > 0.01 {
+		t.Fatalf("Pr[best] = %v, want %v", p0, wantP0)
+	}
+}
+
+func TestExponentialMechanismSensitivityScaling(t *testing.T) {
+	// Doubling the sensitivity must halve the exponent: with sens=2 the
+	// odds become exp(εs/4).
+	rng := testRNG(4)
+	const n = 200000
+	eps, gap := 1.0, 2.0
+	count0 := 0
+	for i := 0; i < n; i++ {
+		idx, err := ExponentialMechanismMin(rng, []float64{0, gap}, 2, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx == 0 {
+			count0++
+		}
+	}
+	p0 := float64(count0) / n
+	wantOdds := math.Exp(eps * gap / 4)
+	wantP0 := wantOdds / (wantOdds + 1)
+	if math.Abs(p0-wantP0) > 0.01 {
+		t.Fatalf("Pr[best] = %v, want %v", p0, wantP0)
+	}
+}
+
+func TestExponentialMechanismValidation(t *testing.T) {
+	rng := testRNG(5)
+	if _, err := ExponentialMechanismMin(rng, nil, 1, 1); err == nil {
+		t.Error("empty candidates should fail")
+	}
+	if _, err := ExponentialMechanismMin(rng, []float64{1}, 0, 1); err == nil {
+		t.Error("zero sensitivity should fail")
+	}
+	if _, err := ExponentialMechanismMin(rng, []float64{math.NaN()}, 1, 1); err == nil {
+		t.Error("NaN score should fail")
+	}
+	if _, err := ExponentialMechanismMin(rng, []float64{1}, 1, -1); err == nil {
+		t.Error("negative eps should fail")
+	}
+}
+
+func TestExponentialMechanismSingleCandidate(t *testing.T) {
+	idx, err := ExponentialMechanismMin(testRNG(6), []float64{42}, 1, 1)
+	if err != nil || idx != 0 {
+		t.Fatalf("idx=%d err=%v", idx, err)
+	}
+}
+
+func TestPowerOfTwoGrid(t *testing.T) {
+	grid, err := PowerOfTwoGrid(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 4, 8, 16}
+	if len(grid) != len(want) {
+		t.Fatalf("grid %v, want %v", grid, want)
+	}
+	for i := range want {
+		if grid[i] != want[i] {
+			t.Fatalf("grid %v, want %v", grid, want)
+		}
+	}
+	if g, _ := PowerOfTwoGrid(1); len(g) != 1 || g[0] != 1 {
+		t.Fatalf("grid(1) = %v", g)
+	}
+	if _, err := PowerOfTwoGrid(0.5); err == nil {
+		t.Fatal("deltaMax < 1 should fail")
+	}
+}
+
+func TestGEMPrefersGoodCandidate(t *testing.T) {
+	// Candidate Δ=1 with perfect quality (q = Δ/ε) versus much worse
+	// candidates: GEM must pick Δ=1 almost always at moderate ε.
+	rng := testRNG(7)
+	eps, beta := 2.0, 0.05
+	deltas := []float64{1, 2, 4, 8}
+	qs := []float64{1 / eps, 100 + 2/eps, 100 + 4/eps, 100 + 8/eps}
+	wins := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		res, err := GEM(rng, deltas, qs, eps, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Index == 0 {
+			wins++
+		}
+	}
+	if float64(wins)/n < 0.95 {
+		t.Fatalf("GEM picked the good candidate only %d/%d times", wins, n)
+	}
+}
+
+func TestGEMScoreOfArgminNonPositive(t *testing.T) {
+	// The normalized score of the (q + tΔ)-minimizer is ≤ 0 by definition
+	// (it never loses a pairwise comparison against itself).
+	rng := testRNG(8)
+	deltas := []float64{1, 2, 4}
+	qs := []float64{5, 3, 9}
+	res, err := GEM(rng, deltas, qs, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minScore := math.Inf(1)
+	for _, s := range res.Scores {
+		if s < minScore {
+			minScore = s
+		}
+	}
+	if minScore > 0 {
+		t.Fatalf("minimum normalized score %v > 0", minScore)
+	}
+	if res.Delta != deltas[res.Index] {
+		t.Fatal("Delta/Index mismatch")
+	}
+}
+
+func TestGEMShiftInvariance(t *testing.T) {
+	// Adding a constant to all qualities must not change the scores — this
+	// is what justifies the footnote's −h_Δ(G) + Δ/ε reformulation.
+	rngA, rngB := testRNG(9), testRNG(9)
+	deltas := []float64{1, 2, 4, 8}
+	qs := []float64{3, 1, 4, 1.5}
+	shifted := make([]float64, len(qs))
+	for i := range qs {
+		shifted[i] = qs[i] + 1234.5
+	}
+	a, err := GEM(rngA, deltas, qs, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GEM(rngB, deltas, shifted, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Index != b.Index {
+		t.Fatalf("shift changed selection: %d vs %d", a.Index, b.Index)
+	}
+	for i := range a.Scores {
+		if math.Abs(a.Scores[i]-b.Scores[i]) > 1e-9 {
+			t.Fatalf("shift changed scores: %v vs %v", a.Scores, b.Scores)
+		}
+	}
+}
+
+func TestGEMValidation(t *testing.T) {
+	rng := testRNG(10)
+	deltas := []float64{1, 2}
+	qs := []float64{1, 2}
+	if _, err := GEM(rng, deltas, qs, 0, 0.1); err == nil {
+		t.Error("eps=0 should fail")
+	}
+	if _, err := GEM(rng, deltas, qs, 1, 0); err == nil {
+		t.Error("beta=0 should fail")
+	}
+	if _, err := GEM(rng, deltas, qs, 1, 1); err == nil {
+		t.Error("beta=1 should fail")
+	}
+	if _, err := GEM(rng, deltas, []float64{1}, 1, 0.1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := GEM(rng, []float64{2, 1}, qs, 1, 0.1); err == nil {
+		t.Error("non-increasing deltas should fail")
+	}
+	if _, err := GEM(rng, []float64{-1, 1}, qs, 1, 0.1); err == nil {
+		t.Error("negative delta should fail")
+	}
+	if _, err := GEM(rng, nil, nil, 1, 0.1); err == nil {
+		t.Error("empty grid should fail")
+	}
+}

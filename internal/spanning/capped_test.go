@@ -1,0 +1,156 @@
+package spanning
+
+import (
+	"testing"
+
+	"nodedp/internal/generate"
+	"nodedp/internal/graph"
+)
+
+func uniformCaps(n, c int) []int {
+	caps := make([]int, n)
+	for i := range caps {
+		caps[i] = c
+	}
+	return caps
+}
+
+func TestCappedSpanningForestUniform(t *testing.T) {
+	// With uniform caps, CappedSpanningForest matches the plain search.
+	for seed := uint64(700); seed < 725; seed++ {
+		rng := generate.NewRand(seed)
+		n := 2 + rng.IntN(20)
+		g := generate.ErdosRenyi(n, 0.25, rng)
+		_, plainDeg := LowDegreeSpanningForest(g)
+		forest, ok := CappedSpanningForest(g, uniformCaps(n, plainDeg))
+		if !ok {
+			t.Fatalf("seed %d: capped search failed at the plain search's own degree %d", seed, plainDeg)
+		}
+		if !graph.IsSpanningForestOf(g, forest) {
+			t.Fatalf("seed %d: result is not a spanning forest", seed)
+		}
+	}
+}
+
+func TestCappedSpanningForestHeterogeneous(t *testing.T) {
+	// Every spanning tree of C4 is the cycle minus one edge: its two
+	// degree-1 endpoints are adjacent. So one cap-1 vertex is feasible,
+	// ADJACENT cap-1 vertices are feasible, but OPPOSITE cap-1 vertices
+	// are not, and a cap-0 vertex never is.
+	g := generate.Cycle(4)
+	forest, ok := CappedSpanningForest(g, []int{1, 2, 2, 2})
+	if !ok || !graph.IsSpanningForestOf(g, forest) {
+		t.Fatal("C4 with one cap-1 vertex should be feasible")
+	}
+	forest, ok = CappedSpanningForest(g, []int{1, 1, 2, 2})
+	if !ok || !graph.IsSpanningForestOf(g, forest) {
+		t.Fatal("C4 with adjacent cap-1 vertices should be feasible")
+	}
+	if _, ok = CappedSpanningForest(g, []int{1, 2, 1, 2}); ok {
+		t.Fatal("opposite cap-1 vertices on C4 are infeasible")
+	}
+	if _, ok = CappedSpanningForest(g, []int{0, 2, 2, 2}); ok {
+		t.Fatal("a cap-0 vertex on a cycle cannot be spanned")
+	}
+}
+
+func TestCappedSpanningForestRespectsDegreeCheck(t *testing.T) {
+	// Star K_{1,4} with center cap 2: no spanning forest can respect it;
+	// ok must be false but the returned forest still spans.
+	g := generate.Star(4)
+	forest, ok := CappedSpanningForest(g, []int{2, 4, 4, 4, 4})
+	if ok {
+		t.Fatal("star center cap 2 is infeasible")
+	}
+	if !graph.IsSpanningForestOf(g, forest) {
+		t.Fatal("even on failure the result must span")
+	}
+}
+
+// TestCappedMatchesExactSmall cross-checks feasibility against brute-force
+// enumeration of spanning forests on tiny graphs: whenever an exact
+// caps-respecting spanning forest exists AND the heuristic claims ok, the
+// claim must be genuine (no false positives ever; false negatives allowed
+// but counted and bounded).
+func TestCappedMatchesExactSmall(t *testing.T) {
+	misses := 0
+	total := 0
+	for seed := uint64(750); seed < 800; seed++ {
+		rng := generate.NewRand(seed)
+		n := 2 + rng.IntN(7)
+		g := generate.ErdosRenyi(n, 0.4, rng)
+		caps := make([]int, n)
+		for i := range caps {
+			caps[i] = 1 + rng.IntN(3)
+		}
+		exact := existsCappedForest(g, caps)
+		forest, ok := CappedSpanningForest(g, caps)
+		if ok {
+			if !exact {
+				t.Fatalf("seed %d: heuristic claims feasible but exact search disagrees", seed)
+			}
+			if !graph.IsSpanningForestOf(g, forest) {
+				t.Fatalf("seed %d: claimed forest is invalid", seed)
+			}
+			deg := make([]int, n)
+			for _, e := range forest {
+				deg[e.U]++
+				deg[e.V]++
+			}
+			for v := range deg {
+				if deg[v] > caps[v] {
+					t.Fatalf("seed %d: cap violated at %d", seed, v)
+				}
+			}
+		}
+		if exact {
+			total++
+			if !ok {
+				misses++
+			}
+		}
+	}
+	if total > 0 && misses*4 > total {
+		t.Fatalf("heuristic missed %d/%d feasible instances (>25%%)", misses, total)
+	}
+}
+
+// existsCappedForest brute-forces caps-respecting spanning forests.
+func existsCappedForest(g *graph.Graph, caps []int) bool {
+	edges := g.Edges()
+	target := g.SpanningForestSize()
+	n := g.N()
+	var rec func(idx, chosen int, deg []int, parent []int) bool
+	find := func(parent []int, x int) int {
+		for parent[x] != x {
+			x = parent[x]
+		}
+		return x
+	}
+	rec = func(idx, chosen int, deg []int, parent []int) bool {
+		if chosen == target {
+			return true
+		}
+		if idx == len(edges) || chosen+(len(edges)-idx) < target {
+			return false
+		}
+		e := edges[idx]
+		ru, rv := find(parent, e.U), find(parent, e.V)
+		if ru != rv && deg[e.U] < caps[e.U] && deg[e.V] < caps[e.V] {
+			p2 := append([]int(nil), parent...)
+			d2 := append([]int(nil), deg...)
+			p2[ru] = rv
+			d2[e.U]++
+			d2[e.V]++
+			if rec(idx+1, chosen+1, d2, p2) {
+				return true
+			}
+		}
+		return rec(idx+1, chosen, deg, parent)
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	return rec(0, 0, make([]int, n), parent)
+}

@@ -1,0 +1,298 @@
+package spanning
+
+import (
+	"testing"
+
+	"nodedp/internal/generate"
+	"nodedp/internal/graph"
+)
+
+func TestRepairOnStarBlocked(t *testing.T) {
+	// K_{1,5} has s(G)=5; Repair with Δ=3 must return a 3-star witness.
+	g := generate.Star(5)
+	forest, star, err := Repair(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forest != nil {
+		t.Fatalf("K_{1,5} has no spanning 3-forest, got %v", forest)
+	}
+	if star == nil || len(star.Leaves) != 3 {
+		t.Fatalf("witness %+v, want a 3-star", star)
+	}
+	if !g.IsInducedStar(star.Center, star.Leaves) {
+		t.Fatalf("witness %+v is not an induced star", star)
+	}
+}
+
+func TestRepairOnStarSucceeds(t *testing.T) {
+	// K_{1,5} with Δ=5: the star itself is the spanning forest.
+	g := generate.Star(5)
+	forest, star, err := Repair(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if star != nil {
+		t.Fatalf("unexpected witness %+v", star)
+	}
+	if !graph.IsSpanningForestOf(g, forest) || graph.MaxDegreeOfEdgeSet(g.N(), forest) > 5 {
+		t.Fatalf("bad forest %v", forest)
+	}
+}
+
+func TestRepairCompleteGraph(t *testing.T) {
+	// K_n has s=1, so for any Δ >= 2 repair must find a spanning Δ-forest
+	// (e.g. a Hamiltonian path for Δ=2).
+	for _, n := range []int{2, 3, 5, 8, 12} {
+		g := generate.Complete(n)
+		forest, star, err := Repair(g, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if star != nil {
+			t.Fatalf("K_%d: unexpected witness %+v", n, star)
+		}
+		if !graph.IsSpanningForestOf(g, forest) {
+			t.Fatalf("K_%d: not a spanning forest", n)
+		}
+		if d := graph.MaxDegreeOfEdgeSet(n, forest); d > 2 {
+			t.Fatalf("K_%d: max degree %d > 2", n, d)
+		}
+	}
+}
+
+func TestRepairMatchingDeltaOne(t *testing.T) {
+	g := generate.Matching(6)
+	forest, star, err := Repair(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if star != nil || !graph.IsSpanningForestOf(g, forest) {
+		t.Fatalf("matching should repair at Δ=1: forest=%v star=%+v", forest, star)
+	}
+}
+
+func TestRepairEdgeless(t *testing.T) {
+	g := graph.New(4)
+	forest, star, err := Repair(g, 1)
+	if err != nil || star != nil || len(forest) != 0 {
+		t.Fatalf("edgeless: forest=%v star=%+v err=%v", forest, star, err)
+	}
+}
+
+func TestRepairBadDelta(t *testing.T) {
+	if _, _, err := Repair(graph.New(1), 0); err == nil {
+		t.Fatal("delta 0 should error")
+	}
+}
+
+// TestRepairLemma18 is the headline property: for random graphs, compute
+// s(G) by brute force over neighborhoods, then Repair with Δ = s(G)+1 must
+// always succeed (Lemma 1.8: no induced Δ-star ⟹ spanning Δ-forest).
+func TestRepairLemma18(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		rng := generate.NewRand(seed)
+		n := 2 + rng.IntN(25)
+		p := 0.05 + 0.4*rng.Float64()
+		g := generate.ErdosRenyi(n, p, rng)
+		s := bruteForceMaxInducedStar(g)
+		delta := s + 1
+		forest, star, err := Repair(g, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if star != nil {
+			t.Fatalf("seed %d: repair blocked at Δ=s+1=%d with witness %+v (s=%d)", seed, delta, star, s)
+		}
+		if !graph.IsSpanningForestOf(g, forest) {
+			t.Fatalf("seed %d: result is not a spanning forest", seed)
+		}
+		if d := graph.MaxDegreeOfEdgeSet(n, forest); d > delta {
+			t.Fatalf("seed %d: forest degree %d > Δ=%d", seed, d, delta)
+		}
+	}
+}
+
+// TestRepairWitnessIsInducedStar: whenever repair is blocked the returned
+// witness must be a genuine induced Δ-star.
+func TestRepairWitnessIsInducedStar(t *testing.T) {
+	for seed := uint64(100); seed < 140; seed++ {
+		rng := generate.NewRand(seed)
+		n := 3 + rng.IntN(20)
+		g := generate.ErdosRenyi(n, 0.15, rng)
+		for delta := 1; delta <= 4; delta++ {
+			forest, star, err := Repair(g, delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch {
+			case forest != nil:
+				if !graph.IsSpanningForestOf(g, forest) {
+					t.Fatalf("seed %d Δ=%d: bad forest", seed, delta)
+				}
+				if d := graph.MaxDegreeOfEdgeSet(n, forest); d > delta {
+					t.Fatalf("seed %d Δ=%d: degree %d too high", seed, delta, d)
+				}
+			case star != nil:
+				if len(star.Leaves) != delta || !g.IsInducedStar(star.Center, star.Leaves) {
+					t.Fatalf("seed %d Δ=%d: bad witness %+v", seed, delta, star)
+				}
+			default:
+				t.Fatalf("seed %d Δ=%d: neither forest nor witness", seed, delta)
+			}
+		}
+	}
+}
+
+func TestImproveDegreeStarPlusPath(t *testing.T) {
+	// Star center 0 with leaves 1..4, plus path edges 1-2, 2-3, 3-4.
+	// BFS from 0 yields the star (degree 4); swaps can reach degree 2.
+	g := graph.MustFromEdges(5, []graph.Edge{
+		graph.NewEdge(0, 1), graph.NewEdge(0, 2), graph.NewEdge(0, 3), graph.NewEdge(0, 4),
+		graph.NewEdge(1, 2), graph.NewEdge(2, 3), graph.NewEdge(3, 4),
+	})
+	forest, deg := LowDegreeSpanningForest(g)
+	if !graph.IsSpanningForestOf(g, forest) {
+		t.Fatal("not a spanning forest")
+	}
+	if deg > 2 {
+		t.Fatalf("local search degree %d, want ≤ 2", deg)
+	}
+}
+
+func TestImproveDegreePreservesSpanning(t *testing.T) {
+	for seed := uint64(200); seed < 230; seed++ {
+		rng := generate.NewRand(seed)
+		n := 2 + rng.IntN(30)
+		g := generate.ErdosRenyi(n, 0.2, rng)
+		forest, deg := LowDegreeSpanningForest(g)
+		if !graph.IsSpanningForestOf(g, forest) {
+			t.Fatalf("seed %d: not spanning", seed)
+		}
+		if deg != graph.MaxDegreeOfEdgeSet(n, forest) {
+			t.Fatalf("seed %d: reported degree mismatch", seed)
+		}
+	}
+}
+
+func TestHasSpanningForestMaxDegree(t *testing.T) {
+	cases := []struct {
+		name  string
+		g     *graph.Graph
+		delta int
+		want  bool
+	}{
+		{"star5-d4", generate.Star(5), 4, false},
+		{"star5-d5", generate.Star(5), 5, true},
+		{"K4-d1", generate.Complete(4), 1, false},
+		{"K4-d2", generate.Complete(4), 2, true},
+		{"path-d1", generate.Path(4), 1, false},
+		{"path-d2", generate.Path(4), 2, true},
+		{"matching-d1", generate.Matching(3), 1, true},
+		{"edgeless-d0", graph.New(3), 0, true},
+		{"edge-d0", generate.Path(2), 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, exceeded := HasSpanningForestMaxDegree(tc.g, tc.delta, 0)
+			if exceeded {
+				t.Fatal("budget exceeded on tiny instance")
+			}
+			if got != tc.want {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMinMaxDegreeExact(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"edgeless", graph.New(4), 0},
+		{"single-edge", generate.Path(2), 1},
+		{"path", generate.Path(6), 2},
+		{"cycle", generate.Cycle(6), 2},
+		{"star7", generate.Star(7), 7},
+		{"K5", generate.Complete(5), 2},
+		{"matching", generate.Matching(4), 1},
+		{"grid", generate.Grid(3, 3), 2}, // 3x3 grid has a Hamiltonian path
+		{"K33", generate.CompleteBipartite(3, 3), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, exceeded := MinMaxDegreeExact(tc.g, 0)
+			if exceeded {
+				t.Fatal("budget exceeded")
+			}
+			if got != tc.want {
+				t.Fatalf("Δ* = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestLocalSearchVsExact measures the local search against exact Δ* on
+// small random graphs: it must never be below Δ* and is allowed limited
+// slack above (it is a heuristic; we assert ≤ Δ*+2 to catch regressions).
+func TestLocalSearchVsExact(t *testing.T) {
+	for seed := uint64(300); seed < 340; seed++ {
+		rng := generate.NewRand(seed)
+		n := 2 + rng.IntN(12)
+		g := generate.ErdosRenyi(n, 0.3, rng)
+		exact, exceeded := MinMaxDegreeExact(g, 0)
+		if exceeded {
+			t.Skip("budget exceeded (unexpected on tiny graphs)")
+		}
+		_, heur := LowDegreeSpanningForest(g)
+		if g.M() == 0 {
+			if heur != 0 {
+				t.Fatalf("seed %d: edgeless heuristic degree %d", seed, heur)
+			}
+			continue
+		}
+		if heur < exact {
+			t.Fatalf("seed %d: heuristic %d below exact %d (impossible)", seed, heur, exact)
+		}
+		if heur > exact+2 {
+			t.Fatalf("seed %d: heuristic %d much worse than exact %d", seed, heur, exact)
+		}
+	}
+}
+
+// bruteForceMaxInducedStar computes s(G) by enumerating subsets of each
+// neighborhood — exponential, for test graphs only.
+func bruteForceMaxInducedStar(g *graph.Graph) int {
+	best := 0
+	for v := 0; v < g.N(); v++ {
+		nbrs := g.Neighbors(v)
+		if len(nbrs) > 22 {
+			panic("test graph neighborhood too large for brute force")
+		}
+		for mask := 0; mask < 1<<len(nbrs); mask++ {
+			var set []int
+			for i, w := range nbrs {
+				if mask&(1<<i) != 0 {
+					set = append(set, w)
+				}
+			}
+			if len(set) > best && g.IsIndependentSet(set) {
+				best = len(set)
+			}
+		}
+	}
+	return best
+}
+
+func TestSortedEdges(t *testing.T) {
+	in := []graph.Edge{graph.NewEdge(2, 3), graph.NewEdge(0, 5), graph.NewEdge(0, 1)}
+	out := SortedEdges(in)
+	if out[0] != graph.NewEdge(0, 1) || out[1] != graph.NewEdge(0, 5) || out[2] != graph.NewEdge(2, 3) {
+		t.Fatalf("sorted %v", out)
+	}
+	if in[0] != graph.NewEdge(2, 3) {
+		t.Fatal("input mutated")
+	}
+}

@@ -1,0 +1,117 @@
+package unionfind
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic(t *testing.T) {
+	d := New(5)
+	if d.Len() != 5 || d.Sets() != 5 {
+		t.Fatalf("fresh DSU: len=%d sets=%d", d.Len(), d.Sets())
+	}
+	if !d.Union(0, 1) {
+		t.Fatal("first union should merge")
+	}
+	if d.Union(1, 0) {
+		t.Fatal("repeated union should not merge")
+	}
+	if !d.Same(0, 1) || d.Same(0, 2) {
+		t.Fatal("Same is wrong")
+	}
+	if d.Sets() != 4 {
+		t.Fatalf("sets=%d, want 4", d.Sets())
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	d := New(6)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.Union(1, 2)
+	for _, pair := range [][2]int{{0, 3}, {1, 3}, {0, 2}} {
+		if !d.Same(pair[0], pair[1]) {
+			t.Fatalf("%v should be connected", pair)
+		}
+	}
+	if d.Same(0, 4) || d.Same(4, 5) {
+		t.Fatal("4 and 5 should be singletons")
+	}
+	if d.Sets() != 3 {
+		t.Fatalf("sets=%d, want 3 ({0..3},{4},{5})", d.Sets())
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(4)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.Reset()
+	if d.Sets() != 4 || d.Same(0, 1) {
+		t.Fatal("reset should restore singletons")
+	}
+}
+
+// TestAgainstNaive compares DSU connectivity with a naive reachability
+// structure over random union sequences.
+func TestAgainstNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := 2 + int(seed%20)
+		d := New(n)
+		// Naive: component label per element, relabel on union.
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		for step := 0; step < 3*n; step++ {
+			x, y := rng.IntN(n), rng.IntN(n)
+			merged := d.Union(x, y)
+			if merged == (label[x] == label[y]) {
+				return false // DSU and naive disagree on whether merge happened
+			}
+			if merged {
+				old, new_ := label[x], label[y]
+				for i := range label {
+					if label[i] == old {
+						label[i] = new_
+					}
+				}
+			}
+		}
+		// Final pairwise agreement.
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				if d.Same(x, y) != (label[x] == label[y]) {
+					return false
+				}
+			}
+		}
+		// Set count agreement.
+		distinct := map[int]bool{}
+		for _, l := range label {
+			distinct[l] = true
+		}
+		return d.Sets() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	const n = 1 << 14
+	rng := rand.New(rand.NewPCG(5, 6))
+	pairs := make([][2]int, 1<<16)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.IntN(n), rng.IntN(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(n)
+		for _, p := range pairs {
+			d.Union(p[0], p[1])
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package nodedp is a production-oriented Go implementation of
+//
+//	Kalemaj, Raskhodnikova, Smith, Tsourakakis.
+//	"Node-Differentially Private Estimation of the Number of Connected
+//	Components." PODS 2023.
+//
+// It releases the number of connected components f_cc(G) (equivalently, the
+// spanning-forest size f_sf(G) = |V| − f_cc(G)) of a sensitive graph under
+// ε-node-differential privacy: the output distribution is nearly unchanged
+// when any single vertex, with all its incident edges, is added or removed
+// (Definition 1.2 of the paper).
+//
+// The estimator is the paper's Algorithm 1: a family of polynomial-time
+// Lipschitz extensions f_Δ of f_sf, built from the Δ-bounded forest
+// polytope (Definition 3.1) and evaluated by a cutting-plane LP with a
+// Padberg–Wolsey separation oracle; the Generalized Exponential Mechanism
+// selects the Lipschitz parameter Δ̂; and a Laplace release spends the rest
+// of the budget. The additive error is Δ*·Õ(ln ln n / ε) with probability
+// 1 − o(1), where Δ* is the smallest possible maximum degree of a spanning
+// forest of G (Theorem 1.3) — small on sparse, geometric and bounded-
+// degree-forest graphs even when the maximum degree of G is huge.
+//
+// # Quick start
+//
+//	g := nodedp.NewGraph(5)
+//	g.AddEdge(0, 1)
+//	g.AddEdge(2, 3)
+//	res, err := nodedp.EstimateComponentCount(g, nodedp.Options{Epsilon: 1})
+//	// res.Value ≈ 3 (components {0,1}, {2,3}, {4}) + calibrated noise
+//
+// Estimates returned by this package are node-private releases; all other
+// exported analysis helpers (MaxInducedStar, LipschitzExtensionValue, …)
+// compute exact data-dependent quantities and are NOT private on their own.
+package nodedp
+
+import (
+	"io"
+	"math/rand/v2"
+
+	"nodedp/internal/baseline"
+	"nodedp/internal/core"
+	"nodedp/internal/downsens"
+	"nodedp/internal/forestlp"
+	"nodedp/internal/graph"
+	"nodedp/internal/spanning"
+)
+
+// Graph is an undirected simple graph on vertices 0..N-1. See NewGraph and
+// GraphFromEdges.
+type Graph = graph.Graph
+
+// Edge is an undirected edge with normalized endpoints (U < V).
+type Edge = graph.Edge
+
+// NewEdge returns the normalized edge {min(u,v), max(u,v)}.
+func NewEdge(u, v int) Edge { return graph.NewEdge(u, v) }
+
+// NewGraph returns an empty graph on n isolated vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// GraphFromEdges builds a graph on n vertices with the given edge list.
+func GraphFromEdges(n int, edges []Edge) (*Graph, error) {
+	return graph.FromEdges(n, edges)
+}
+
+// ReadGraph parses the package's edge-list exchange format ("n <count>"
+// header plus one "u v" pair per line; '#' comments allowed).
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteGraph writes g in the edge-list exchange format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// Options configures the private estimators; see the fields of
+// internal/core.Options. Epsilon is required; every other field has a
+// sensible default (crypto-grade noise, β = 1/ln ln n, Δmax = n).
+type Options = core.Options
+
+// Result is the outcome of a private estimation, including the selected
+// Lipschitz parameter Δ̂ and per-Δ diagnostics.
+type Result = core.Result
+
+// EstimateSpanningForestSize releases an ε-node-private estimate of
+// f_sf(G), the number of edges in a spanning forest of G (Algorithm 1,
+// Theorem 1.3).
+func EstimateSpanningForestSize(g *Graph, opts Options) (Result, error) {
+	return core.EstimateSpanningForestSize(g, opts)
+}
+
+// EstimateComponentCount releases an ε-node-private estimate of f_cc(G),
+// the number of connected components, via f_cc = |V| − f_sf (Equation (1));
+// a configurable share of ε buys the private vertex count.
+func EstimateComponentCount(g *Graph, opts Options) (Result, error) {
+	return core.EstimateComponentCount(g, opts)
+}
+
+// EstimateComponentCountKnownN is EstimateComponentCount for settings where
+// the vertex count is public; the entire budget then goes to f_sf.
+func EstimateComponentCountKnownN(g *Graph, opts Options) (Result, error) {
+	return core.EstimateComponentCountKnownN(g, opts)
+}
+
+// LipschitzOptions configures LipschitzExtensionValue.
+type LipschitzOptions = forestlp.Options
+
+// LipschitzStats reports the work done by one extension evaluation.
+type LipschitzStats = forestlp.Stats
+
+// LipschitzExtensionValue computes f_Δ(G), the paper's Lipschitz extension
+// of the spanning-forest size (Definition 3.1), exactly (up to LP
+// tolerance). This value is data-dependent and NOT private by itself; feed
+// it to your own Laplace release (scale Δ/ε) if you need a fixed-Δ
+// mechanism, or use EstimateSpanningForestSize for the full algorithm.
+func LipschitzExtensionValue(g *Graph, delta float64, opts LipschitzOptions) (float64, LipschitzStats, error) {
+	return forestlp.Value(g, delta, opts)
+}
+
+// InducedStar describes an induced star: Center adjacent to every leaf,
+// leaves pairwise non-adjacent.
+type InducedStar = downsens.Star
+
+// MaxInducedStar computes s(G), the size of the largest induced star, which
+// equals the down-sensitivity of f_sf (Lemma 1.7). budget caps the exact
+// search (0 = default). NOT private.
+func MaxInducedStar(g *Graph, budget int) (InducedStar, error) {
+	return downsens.MaxInducedStar(g, budget)
+}
+
+// SpanningForestWithRepair runs the constructive proof of Lemma 1.8
+// (Algorithm 3): given Δ ≥ 1 it returns a spanning forest of maximum degree
+// ≤ Δ, or an induced Δ-star witnessing that s(G) ≥ Δ. Exactly one result is
+// non-nil.
+func SpanningForestWithRepair(g *Graph, delta int) ([]Edge, *RepairWitness, error) {
+	return spanning.Repair(g, delta)
+}
+
+// RepairWitness is the induced-star witness returned when Algorithm 3 is
+// blocked.
+type RepairWitness = spanning.Star
+
+// SpanningForestRepairTrace is SpanningForestWithRepair with a step logger:
+// every insertion and local-repair swap (Figure 1 of the paper) is reported
+// to trace.
+func SpanningForestRepairTrace(g *Graph, delta int, trace func(step string)) ([]Edge, *RepairWitness, error) {
+	return spanning.RepairWithTrace(g, delta, trace)
+}
+
+// LowDegreeSpanningForest returns a spanning forest of heuristically
+// minimized maximum degree together with that degree — an upper bound on
+// Δ*, the accuracy parameter of Theorem 1.3. NOT private.
+func LowDegreeSpanningForest(g *Graph) ([]Edge, int) {
+	return spanning.LowDegreeSpanningForest(g)
+}
+
+// Baselines: comparison estimators used by the experiment suite. See
+// internal/baseline for the privacy caveats of each (EdgeDP is only
+// edge-private; Truncation is a heuristic without a worst-case node-DP
+// guarantee).
+
+// EdgeDPComponentCount releases f_cc + Lap(1/ε): ε-EDGE-private only.
+func EdgeDPComponentCount(rng *rand.Rand, g *Graph, eps float64) (float64, error) {
+	return baseline.EdgeDPComponentCount(rng, g, eps)
+}
+
+// NaiveNodeDPComponentCount releases f_cc + Lap(n/ε): node-private but with
+// worst-case global-sensitivity noise.
+func NaiveNodeDPComponentCount(rng *rand.Rand, g *Graph, eps float64) (float64, error) {
+	return baseline.NaiveNodeDPComponentCount(rng, g, eps)
+}
+
+// FixedDeltaComponentCountKnownN releases n − (f_Δ(G) + Lap(Δ/ε)) for a
+// caller-chosen Lipschitz parameter Δ: the paper's mechanism without the
+// GEM selection step. ε-node-private for the f_sf part (n is treated as
+// public). Useful as an ablation and as the rigorous "calibrate to max
+// degree" baseline (Δ = MaxDegree()).
+func FixedDeltaComponentCountKnownN(rng *rand.Rand, g *Graph, delta, eps float64, opts LipschitzOptions) (float64, error) {
+	return baseline.FixedDeltaComponentCountKnownN(rng, g, delta, eps, opts)
+}

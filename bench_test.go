@@ -15,7 +15,12 @@ package nodedp
 //	go test -bench=BenchmarkE4 -benchmem
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
 	"math"
+	"os"
+	"runtime"
 	"testing"
 
 	"nodedp/internal/core"
@@ -23,6 +28,7 @@ import (
 	"nodedp/internal/experiments"
 	"nodedp/internal/forestlp"
 	"nodedp/internal/generate"
+	"nodedp/internal/graph"
 	"nodedp/internal/spanning"
 )
 
@@ -163,4 +169,164 @@ func BenchmarkComponents(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		g.CountComponents()
 	}
+}
+
+// BenchmarkCSRSnapshot measures building the immutable CSR snapshot plus
+// its per-component shard decomposition — the planning cost the engine
+// pays once per graph and then amortizes across the whole Δ-grid.
+func BenchmarkCSRSnapshot(b *testing.B) {
+	g := generate.ErdosRenyi(5000, 2.0/5000, generate.NewRand(11))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csr := graph.NewCSR(g)
+		csr.ComponentShards()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Parallel evaluation engine: serial vs. worker-pool benchmarks and the
+// machine-readable BENCH_parallel.json emitter.
+
+// parallelBenchFamilies are multi-component workloads for the engine
+// benchmarks. Each family yields many independent component LPs, so the
+// worker pool has real parallelism to exploit; "planted-er" is LP-heavy
+// (Δ=2 defeats the fast path on dense-ish clusters), "geometric-multi" is
+// fast-path-heavy (the engine's overhead floor), and "hub-clusters" mixes
+// the two.
+func parallelBenchFamilies() []struct {
+	Name  string
+	Graph *graph.Graph
+	Delta float64
+} {
+	rng := generate.NewRand(20)
+	planted := make([]int, 16)
+	for i := range planted {
+		planted[i] = 30
+	}
+	hubbed := generate.WithHubs(
+		generate.PlantedComponents([]int{40, 40, 40, 40}, 2.0/40, rng), 2, 0.1, rng)
+	return []struct {
+		Name  string
+		Graph *graph.Graph
+		Delta float64
+	}{
+		{"planted-er", generate.PlantedComponents(planted, 3.2/30, rng), 2},
+		{"hub-clusters", hubbed, 2},
+		{"geometric-multi", generate.Geometric(1200, 0.9/math.Sqrt(1200), rng), 4},
+	}
+}
+
+// benchEngine runs one plan evaluation per iteration at a fixed worker
+// count (0 = GOMAXPROCS).
+func benchEngine(b *testing.B, g *graph.Graph, delta float64, workers int) {
+	b.Helper()
+	plan := forestlp.NewPlan(g)
+	opts := forestlp.Options{Workers: workers}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := plan.Value(ctx, delta, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSerial and BenchmarkEngineParallel compare the sharded
+// evaluator at Workers=1 against the full worker pool on every family.
+// With ≥4 cores the LP-heavy families show the headline speedup; on a
+// single-core machine the two are within noise of each other, which bounds
+// the engine's coordination overhead.
+func BenchmarkEngineSerial(b *testing.B) {
+	for _, f := range parallelBenchFamilies() {
+		b.Run(f.Name, func(b *testing.B) { benchEngine(b, f.Graph, f.Delta, 1) })
+	}
+}
+
+func BenchmarkEngineParallel(b *testing.B) {
+	for _, f := range parallelBenchFamilies() {
+		b.Run(f.Name, func(b *testing.B) { benchEngine(b, f.Graph, f.Delta, 0) })
+	}
+}
+
+// BenchmarkAlgorithm1Workers measures the full private release end to end
+// (plan + Δ-grid + GEM + Laplace) at both ends of the worker range.
+func BenchmarkAlgorithm1Workers(b *testing.B) {
+	g := generate.PlantedComponents([]int{30, 30, 30, 30, 30, 30, 30, 30}, 3.0/30, generate.NewRand(21))
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := core.Options{Epsilon: 1, Rand: generate.NewRand(22)}
+			opts.ForestLP.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.EstimateSpanningForestSize(g, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// parallelBenchRecord is one row of BENCH_parallel.json.
+type parallelBenchRecord struct {
+	Family   string  `json:"family"`
+	N        int     `json:"n"`
+	M        int     `json:"m"`
+	Shards   int     `json:"shards"`
+	Delta    float64 `json:"delta"`
+	Workers  int     `json:"workers"`
+	NsPerOp  int64   `json:"ns_per_op"`
+	Speedup  float64 `json:"speedup_vs_serial"`
+	MaxProcs int     `json:"gomaxprocs"`
+}
+
+// TestEmitParallelBenchJSON writes BENCH_parallel.json: serial vs. parallel
+// ns/op for every benchmark family, to seed the performance trajectory
+// across PRs. It is opt-in (it spins real benchmarks), so plain `go test`
+// stays fast:
+//
+//	NODEDP_BENCH_JSON=1 go test -run TestEmitParallelBenchJSON .
+func TestEmitParallelBenchJSON(t *testing.T) {
+	if os.Getenv("NODEDP_BENCH_JSON") == "" {
+		t.Skip("set NODEDP_BENCH_JSON=1 to emit BENCH_parallel.json")
+	}
+	var records []parallelBenchRecord
+	for _, f := range parallelBenchFamilies() {
+		plan := forestlp.NewPlan(f.Graph)
+		var serialNs int64
+		for _, workers := range []int{1, 0} {
+			r := testing.Benchmark(func(b *testing.B) {
+				benchEngine(b, f.Graph, f.Delta, workers)
+			})
+			ns := r.NsPerOp()
+			speedup := 1.0
+			if workers == 1 {
+				serialNs = ns
+			} else if ns > 0 {
+				speedup = float64(serialNs) / float64(ns)
+			}
+			records = append(records, parallelBenchRecord{
+				Family:   f.Name,
+				N:        f.Graph.N(),
+				M:        f.Graph.M(),
+				Shards:   plan.Shards(),
+				Delta:    f.Delta,
+				Workers:  workers,
+				NsPerOp:  ns,
+				Speedup:  speedup,
+				MaxProcs: runtime.GOMAXPROCS(0),
+			})
+		}
+	}
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_parallel.json (%d records)", len(records))
 }

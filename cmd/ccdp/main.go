@@ -4,20 +4,28 @@
 //
 // Usage:
 //
-//	ccdp -epsilon 1.0 [-mode cc|cc-known-n|sf] [-input graph.txt] [-seed 0] [-v]
+//	ccdp -epsilon 1.0 [-mode cc|cc-known-n|sf] [-input graph.txt] [-seed 0]
+//	     [-workers 0] [-timeout 0] [-v]
 //
 // The input format is one "u v" pair per line with an optional "n <count>"
 // header for isolated vertices; '#' starts a comment. With -input omitted,
 // the graph is read from stdin. -seed 0 (the default) uses cryptographic
 // randomness; any other seed makes the release reproducible (for testing
 // only — a reproducible release is not private).
+//
+// -workers sets how many per-component LPs the evaluation engine solves
+// concurrently (0 = all CPUs); the released value is identical for every
+// setting. -timeout bounds the whole estimation; on expiry the run aborts
+// cleanly without spending budget.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"nodedp"
 )
@@ -35,12 +43,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	mode := fs.String("mode", "cc", "what to estimate: cc (components), cc-known-n (components, public vertex count), sf (spanning-forest size)")
 	input := fs.String("input", "", "edge-list file (default: stdin)")
 	seed := fs.Uint64("seed", 0, "0 = crypto randomness; nonzero = reproducible (testing only)")
+	workers := fs.Int("workers", 0, "concurrent component LP solves (0 = all CPUs; result is identical for any value)")
+	timeout := fs.Duration("timeout", 0, "abort the estimation after this long (0 = no deadline)")
 	verbose := fs.Bool("v", false, "print selection diagnostics (NOT private; testing only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *epsilon <= 0 {
 		return fmt.Errorf("-epsilon must be positive")
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be ≥ 0")
 	}
 
 	r := stdin
@@ -61,15 +74,24 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *seed != 0 {
 		opts.Rand = nodedp.NewRand(*seed)
 	}
+	opts.ForestLP.Workers = *workers
+	opts.ForestLP.ShardTimings = *verbose
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var res nodedp.Result
 	switch *mode {
 	case "cc":
-		res, err = nodedp.EstimateComponentCount(g, opts)
+		res, err = nodedp.EstimateComponentCountCtx(ctx, g, opts)
 	case "cc-known-n":
-		res, err = nodedp.EstimateComponentCountKnownN(g, opts)
+		res, err = nodedp.EstimateComponentCountKnownNCtx(ctx, g, opts)
 	case "sf":
-		res, err = nodedp.EstimateSpanningForestSize(g, opts)
+		res, err = nodedp.EstimateSpanningForestSizeCtx(ctx, g, opts)
 	default:
 		return fmt.Errorf("unknown -mode %q (want cc, cc-known-n or sf)", *mode)
 	}
@@ -86,6 +108,32 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		for _, ev := range res.Evaluations {
 			fmt.Fprintf(stdout, "  f_%g(G) = %.3f (q = %.3f)\n", ev.Delta, ev.FDelta, ev.Q)
 		}
+		fmt.Fprintf(stdout, "  engine: %d components, %d workers, %d fast-path hits, %d LP solves\n",
+			res.Stats.Components, res.Stats.Workers, res.Stats.FastPathHits, res.Stats.LPSolves)
+		printShardTimings(stdout, res.Stats.Shards)
 	}
 	return nil
+}
+
+// printShardTimings summarizes the slowest component evaluations across the
+// whole Δ-grid (the Stats carry one record per shard per grid point).
+func printShardTimings(w io.Writer, shards []nodedp.ShardTiming) {
+	if len(shards) == 0 {
+		return
+	}
+	slowest := shards[0]
+	var total time.Duration
+	lp := 0
+	for _, s := range shards {
+		total += s.Duration
+		if !s.FastPath {
+			lp++
+		}
+		if s.Duration > slowest.Duration {
+			slowest = s
+		}
+	}
+	fmt.Fprintf(w, "  shards: %d evaluations (%d via LP), Σ %s; slowest shard #%d (n=%d m=%d) took %s\n",
+		len(shards), lp, total.Round(time.Microsecond), slowest.Shard,
+		slowest.Vertices, slowest.Edges, slowest.Duration.Round(time.Microsecond))
 }

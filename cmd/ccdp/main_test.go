@@ -59,6 +59,43 @@ func TestRunFromFile(t *testing.T) {
 	}
 }
 
+// TestRunWorkersDeterminism checks the engine's contract at the CLI level:
+// with a fixed seed the release must be byte-identical for every -workers
+// value.
+func TestRunWorkersDeterminism(t *testing.T) {
+	const input = "n 40\n0 1\n1 2\n2 0\n3 4\n4 5\n5 3\n6 7\n7 8\n8 6\n10 11\n"
+	var want string
+	for _, workers := range []string{"1", "2", "8"} {
+		var out bytes.Buffer
+		args := []string{"-epsilon", "1", "-seed", "99", "-workers", workers, "-v"}
+		if err := run(args, strings.NewReader(input), &out); err != nil {
+			t.Fatalf("workers %s: %v", workers, err)
+		}
+		// Compare everything up to the engine summary (shard timings are
+		// wall-clock measurements and legitimately vary).
+		got, _, _ := strings.Cut(out.String(), "  engine:")
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Errorf("workers %s output diverged:\n%s\nwant:\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestRunTimeout checks that an expired -timeout aborts the estimation
+// with a context error instead of releasing anything.
+func TestRunTimeout(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-epsilon", "1", "-seed", "4", "-timeout", "1ns"},
+		strings.NewReader("0 1\n1 2\n2 0\n"), &out)
+	if err == nil || !strings.Contains(err.Error(), "context deadline exceeded") {
+		t.Fatalf("want deadline error, got %v (output %q)", err, out.String())
+	}
+	if strings.Contains(out.String(), "private estimate") {
+		t.Fatalf("timed-out run must not print an estimate:\n%s", out.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{},                                  // missing epsilon

@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+// TestSmoke runs the example end to end, guarding the exported API it
+// exercises against silent breakage during refactors.
+func TestSmoke(t *testing.T) {
+	main()
+}

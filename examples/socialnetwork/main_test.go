@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// TestSmoke runs the example end to end, guarding the exported API it
+// exercises against silent breakage during refactors. The example runs a
+// full multi-trial estimation, so it is skipped in -short mode.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow example; skipped in -short mode")
+	}
+	main()
+}

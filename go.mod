@@ -1,0 +1,3 @@
+module nodedp
+
+go 1.22

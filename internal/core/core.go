@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -153,11 +154,19 @@ func (r Result) NoiseInterval(beta float64) (float64, error) {
 // EstimateSpanningForestSize runs Algorithm 1: an ε-node-private estimate
 // of f_sf(G).
 func EstimateSpanningForestSize(g *graph.Graph, opts Options) (Result, error) {
+	return EstimateSpanningForestSizeCtx(context.Background(), g, opts)
+}
+
+// EstimateSpanningForestSizeCtx is EstimateSpanningForestSize with
+// cancelation and deadline support: the extension evaluations — the only
+// long-running part of Algorithm 1 — abort promptly with ctx.Err() when
+// ctx is done. A canceled run releases nothing and spends no budget.
+func EstimateSpanningForestSizeCtx(ctx context.Context, g *graph.Graph, opts Options) (Result, error) {
 	opts, err := opts.withDefaults(g.N())
 	if err != nil {
 		return Result{}, err
 	}
-	return estimateSF(g, opts, opts.Epsilon)
+	return estimateSF(ctx, g, opts, opts.Epsilon)
 }
 
 // Prepared caches the deterministic, expensive part of Algorithm 1 — the
@@ -184,19 +193,31 @@ func (p *Prepared) Evaluations() []DeltaEval {
 // PrepareSpanningForest evaluates the extension family once for g under the
 // given options.
 func PrepareSpanningForest(g *graph.Graph, opts Options) (*Prepared, error) {
+	return PrepareSpanningForestCtx(context.Background(), g, opts)
+}
+
+// PrepareSpanningForestCtx is PrepareSpanningForest with cancelation and
+// deadline support.
+func PrepareSpanningForestCtx(ctx context.Context, g *graph.Graph, opts Options) (*Prepared, error) {
 	opts, err := opts.withDefaults(g.N())
 	if err != nil {
 		return nil, err
 	}
-	return prepareSF(g, opts, opts.Epsilon)
+	return prepareSF(ctx, g, opts, opts.Epsilon)
 }
 
-func prepareSF(g *graph.Graph, opts Options, eps float64) (*Prepared, error) {
+func prepareSF(ctx context.Context, g *graph.Graph, opts Options, eps float64) (*Prepared, error) {
 	grid, err := mechanism.PowerOfTwoGrid(opts.DeltaMax)
 	if err != nil {
 		return nil, err
 	}
-	fsf := float64(g.SpanningForestSize())
+	// One CSR snapshot and shard plan serve the whole Δ-grid: the component
+	// decomposition, the per-component subgraphs, and the delta-independent
+	// fast-path certificates are derived once instead of once per grid
+	// point. Each grid evaluation then runs on the shared worker pool
+	// configured by opts.ForestLP.Workers.
+	plan := forestlp.NewPlan(g)
+	fsf := float64(plan.SpanningForestSize())
 	epsHalf := eps / 2
 	p := &Prepared{
 		grid:        grid,
@@ -208,16 +229,11 @@ func prepareSF(g *graph.Graph, opts Options, eps float64) (*Prepared, error) {
 		discrete:    opts.DiscreteRelease,
 	}
 	for i, d := range grid {
-		v, stats, err := forestlp.Value(g, d, opts.ForestLP)
+		v, stats, err := plan.Value(ctx, d, opts.ForestLP)
 		if err != nil {
 			return nil, fmt.Errorf("core: evaluating f_%v: %w", d, err)
 		}
-		p.stats.Components = stats.Components // identical each round
-		p.stats.FastPathHits += stats.FastPathHits
-		p.stats.LPSolves += stats.LPSolves
-		p.stats.CutsAdded += stats.CutsAdded
-		p.stats.MaxFlowCalls += stats.MaxFlowCalls
-		p.stats.SimplexPivots += stats.SimplexPivots
+		p.stats.MergeGridRound(stats)
 		// q_Δ(G) = |f_Δ(G) − f_sf(G)| + Δ/(ε/2)  (Algorithm 4 Step 4, with
 		// GEM's own budget ε/2).
 		p.qs[i] = math.Abs(v-fsf) + d/epsHalf
@@ -262,9 +278,15 @@ func (p *Prepared) Release() (Result, error) {
 
 // estimateSF implements Algorithm 1 with total budget eps (callers may pass
 // a partial budget when composing).
-func estimateSF(g *graph.Graph, opts Options, eps float64) (Result, error) {
-	p, err := prepareSF(g, opts, eps)
+func estimateSF(ctx context.Context, g *graph.Graph, opts Options, eps float64) (Result, error) {
+	p, err := prepareSF(ctx, g, opts, eps)
 	if err != nil {
+		return Result{}, err
+	}
+	// A cancelation landing after the last grid evaluation must still
+	// abort before any noise is drawn — the contract is that a canceled
+	// run spends no budget.
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	return p.Release()
@@ -275,6 +297,13 @@ func estimateSF(g *graph.Graph, opts Options, eps float64) (Result, error) {
 // buys the private vertex count (sensitivity 1 under node-privacy); the
 // rest runs Algorithm 1 for f_sf.
 func EstimateComponentCount(g *graph.Graph, opts Options) (Result, error) {
+	return EstimateComponentCountCtx(context.Background(), g, opts)
+}
+
+// EstimateComponentCountCtx is EstimateComponentCount with cancelation and
+// deadline support. The noisy vertex count is drawn only after the
+// extension evaluations succeed, so a canceled run spends no budget.
+func EstimateComponentCountCtx(ctx context.Context, g *graph.Graph, opts Options) (Result, error) {
 	opts, err := opts.withDefaults(g.N())
 	if err != nil {
 		return Result{}, err
@@ -282,11 +311,19 @@ func EstimateComponentCount(g *graph.Graph, opts Options) (Result, error) {
 	epsCount := opts.Epsilon * opts.CountBudgetFraction
 	epsSF := opts.Epsilon - epsCount
 
+	p, err := prepareSF(ctx, g, opts, epsSF)
+	if err != nil {
+		return Result{}, err
+	}
+	// As in estimateSF: no noise draws once ctx is done.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	nHat, err := mechanism.LaplaceRelease(opts.Rand, float64(g.N()), 1, epsCount)
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := estimateSF(g, opts, epsSF)
+	res, err := p.Release()
 	if err != nil {
 		return res, err
 	}
@@ -301,11 +338,17 @@ func EstimateComponentCount(g *graph.Graph, opts Options) (Result, error) {
 // is itself sensitive; use this variant only when n is released through
 // some other channel.
 func EstimateComponentCountKnownN(g *graph.Graph, opts Options) (Result, error) {
+	return EstimateComponentCountKnownNCtx(context.Background(), g, opts)
+}
+
+// EstimateComponentCountKnownNCtx is EstimateComponentCountKnownN with
+// cancelation and deadline support.
+func EstimateComponentCountKnownNCtx(ctx context.Context, g *graph.Graph, opts Options) (Result, error) {
 	opts, err := opts.withDefaults(g.N())
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := estimateSF(g, opts, opts.Epsilon)
+	res, err := estimateSF(ctx, g, opts, opts.Epsilon)
 	if err != nil {
 		return res, err
 	}

@@ -38,6 +38,7 @@ func Registry() []struct {
 		{"E13", E13GenericExtension},
 		{"E14", E14LPScaling},
 		{"E15", EpsilonSweep},
+		{"E16", E16ParallelEngine},
 		{"F1", F1RepairTrace},
 		{"F2", F2Lemma52},
 		{"F3", F3WinDecomposition},

@@ -1,0 +1,182 @@
+package forestlp
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"nodedp/internal/generate"
+	"nodedp/internal/graph"
+)
+
+// TestWorkerCountDeterminism is the determinism property test: on random
+// graphs from internal/generate, every worker count must produce the same
+// f_Δ bit for bit, with identical counting statistics.
+func TestWorkerCountDeterminism(t *testing.T) {
+	deltas := []float64{1, 2, 3, 7.5}
+	for seed := uint64(1); seed <= 6; seed++ {
+		rng := generate.NewRand(seed)
+		graphs := []*graph.Graph{
+			generate.ErdosRenyi(60, 2.5/60, rng),
+			generate.PlantedComponents([]int{15, 9, 21, 12}, 0.25, rng),
+			generate.WithHubs(generate.ErdosRenyi(50, 1.5/50, rng), 2, 0.3, rng),
+		}
+		for gi, g := range graphs {
+			plan := NewPlan(g)
+			for _, delta := range deltas {
+				base, baseStats, err := plan.Value(context.Background(), delta, Options{Workers: 1})
+				if err != nil {
+					t.Fatalf("seed %d graph %d delta %v: %v", seed, gi, delta, err)
+				}
+				for _, workers := range []int{2, 3, 8} {
+					v, stats, err := plan.Value(context.Background(), delta, Options{Workers: workers})
+					if err != nil {
+						t.Fatalf("seed %d graph %d delta %v workers %d: %v", seed, gi, delta, workers, err)
+					}
+					if math.Float64bits(v) != math.Float64bits(base) {
+						t.Errorf("seed %d graph %d delta %v: workers %d value %v != serial %v",
+							seed, gi, delta, workers, v, base)
+					}
+					if stats.LPSolves != baseStats.LPSolves ||
+						stats.CutsAdded != baseStats.CutsAdded ||
+						stats.MaxFlowCalls != baseStats.MaxFlowCalls ||
+						stats.SimplexPivots != baseStats.SimplexPivots ||
+						stats.FastPathHits != baseStats.FastPathHits ||
+						stats.Components != baseStats.Components ||
+						stats.StalledPieces != baseStats.StalledPieces {
+						t.Errorf("seed %d graph %d delta %v: workers %d stats %+v != serial %+v",
+							seed, gi, delta, workers, stats, baseStats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlanMatchesValue checks that the plan-reuse path is the one-shot path.
+func TestPlanMatchesValue(t *testing.T) {
+	rng := generate.NewRand(42)
+	g := generate.PlantedComponents([]int{12, 20, 8}, 0.3, rng)
+	plan := NewPlan(g)
+	for _, delta := range []float64{1, 2, 4, 8, 16} {
+		want, wantStats, err := Value(g, delta, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotStats, err := plan.Value(context.Background(), delta, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("delta %v: plan value %v != one-shot %v", delta, got, want)
+		}
+		if gotStats.LPSolves != wantStats.LPSolves || gotStats.FastPathHits != wantStats.FastPathHits {
+			t.Errorf("delta %v: plan stats %+v != one-shot %+v", delta, gotStats, wantStats)
+		}
+	}
+}
+
+// TestValueCtxCanceled checks the pre-canceled fast exit.
+func TestValueCtxCanceled(t *testing.T) {
+	g := generate.ErdosRenyi(40, 3.0/40, generate.NewRand(9))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := ValueCtx(ctx, g, 2, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestValueCtxCancelMidSolve cancels from inside the cutting-plane loop via
+// the Trace hook and checks that the engine aborts with the context error
+// for every worker count. The cancel fires on a round that found violated
+// cuts, so that shard is guaranteed to re-enter the loop and observe the
+// canceled context (a round with no new cuts would return its value before
+// the next check).
+func TestValueCtxCancelMidSolve(t *testing.T) {
+	rng := generate.NewRand(11)
+	g := generate.PlantedComponents([]int{25, 25, 25, 25}, 0.3, rng)
+
+	// Force the LP on every shard (triangle-rich clusters at Δ=2 violate
+	// subtour constraints immediately). Precondition: the workload must
+	// genuinely generate cuts, otherwise the cancel hook below never fires.
+	base := Options{Workers: 1, DisableFastPath: true, DisablePeel: true}
+	if _, stats, err := Value(g, 2, base); err != nil || stats.CutsAdded == 0 {
+		t.Fatalf("workload not LP-heavy enough: cuts=%d err=%v", stats.CutsAdded, err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var once sync.Once
+		opts := base
+		opts.Workers = workers
+		opts.Trace = func(round, activeCuts, newCuts int, value float64) {
+			if newCuts > 0 {
+				once.Do(cancel)
+			}
+		}
+		_, _, err := ValueCtx(ctx, g, 2, opts)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers %d: want context.Canceled, got %v", workers, err)
+		}
+	}
+}
+
+// TestValueCtxDeadline checks deadline expiry against a workload large
+// enough that the LP stage cannot finish within a microsecond.
+func TestValueCtxDeadline(t *testing.T) {
+	rng := generate.NewRand(13)
+	g := generate.PlantedComponents([]int{40, 40, 40, 40, 40, 40}, 0.25, rng)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	// The deadline may fire before or during evaluation; both must surface
+	// context.DeadlineExceeded rather than a wrong value.
+	_, _, err := ValueCtx(ctx, g, 1, Options{Workers: 4})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestShardTimings checks the per-shard diagnostics: one record per
+// non-trivial shard, in deterministic shard order, with consistent flags.
+func TestShardTimings(t *testing.T) {
+	rng := generate.NewRand(17)
+	g := generate.PlantedComponents([]int{10, 16, 2, 12}, 0.4, rng)
+	plan := NewPlan(g)
+
+	// Off by default: a grid sweep must not accumulate timing records.
+	if _, stats, err := plan.Value(context.Background(), 2, Options{Workers: 2}); err != nil || len(stats.Shards) != 0 {
+		t.Fatalf("timings without opt-in: %d records, err %v", len(stats.Shards), err)
+	}
+
+	_, stats, err := plan.Value(context.Background(), 2, Options{Workers: 2, ShardTimings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(stats.Shards), plan.Shards(); got != want {
+		t.Fatalf("got %d shard timings, want %d", got, want)
+	}
+	lpFromShards := 0
+	for i, sh := range stats.Shards {
+		if sh.Shard != i {
+			t.Errorf("shard %d: out-of-order index %d", i, sh.Shard)
+		}
+		if sh.Vertices < 2 {
+			t.Errorf("shard %d: trivial shard reported (n=%d)", i, sh.Vertices)
+		}
+		if sh.FastPath != (sh.LPSolves == 0) {
+			t.Errorf("shard %d: FastPath=%v inconsistent with LPSolves=%d", i, sh.FastPath, sh.LPSolves)
+		}
+		lpFromShards += sh.LPSolves
+	}
+	if lpFromShards != stats.LPSolves {
+		t.Errorf("per-shard LP solves %d != aggregate %d", lpFromShards, stats.LPSolves)
+	}
+	if stats.Workers < 1 {
+		t.Errorf("stats.Workers = %d, want ≥ 1", stats.Workers)
+	}
+}

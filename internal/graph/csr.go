@@ -1,0 +1,222 @@
+package graph
+
+// This file implements CSR, an immutable compressed-sparse-row snapshot of
+// a Graph. The mutable Graph stores adjacency as per-vertex hash maps —
+// convenient for edits, but every traversal either allocates (Neighbors)
+// or walks map buckets in random order (VisitNeighbors). A CSR snapshot is
+// built once and then shared freely: it is safe for concurrent readers,
+// its Neighbors method returns a sorted subslice of a single backing
+// array with zero allocation, and its component decomposition emits
+// per-component CSR shards in one O(n+m) pass. The parallel evaluation
+// engine (internal/forestlp) plans its work over these shards and reuses
+// one snapshot across the whole Δ-grid of Algorithm 1.
+
+// CSR is an immutable compressed-sparse-row view of an undirected simple
+// graph on vertices 0..N-1. The zero value is an empty graph on zero
+// vertices. A CSR is safe for concurrent use by multiple goroutines.
+type CSR struct {
+	// offsets has length n+1; the neighbors of v are
+	// targets[offsets[v]:offsets[v+1]], sorted increasingly.
+	offsets []int
+	targets []int
+	m       int
+}
+
+// NewCSR builds a CSR snapshot of g. Later mutations of g are not
+// reflected in the snapshot.
+func NewCSR(g *Graph) *CSR {
+	n := g.N()
+	c := &CSR{
+		offsets: make([]int, n+1),
+		targets: make([]int, 2*g.M()),
+		m:       g.M(),
+	}
+	for v := 0; v < n; v++ {
+		c.offsets[v+1] = c.offsets[v] + g.Degree(v)
+	}
+	// Counting-sort pass: because vertices are visited in increasing order,
+	// appending u to each neighbor's slot list leaves every adjacency run
+	// sorted without an explicit sort.
+	next := make([]int, n)
+	copy(next, c.offsets[:n])
+	for u := 0; u < n; u++ {
+		g.VisitNeighbors(u, func(w int) bool {
+			c.targets[next[w]] = u
+			next[w]++
+			return true
+		})
+	}
+	return c
+}
+
+// N returns the number of vertices.
+func (c *CSR) N() int {
+	if len(c.offsets) == 0 {
+		return 0
+	}
+	return len(c.offsets) - 1
+}
+
+// M returns the number of edges.
+func (c *CSR) M() int { return c.m }
+
+// Degree returns the degree of v.
+func (c *CSR) Degree(v int) int { return c.offsets[v+1] - c.offsets[v] }
+
+// Neighbors returns the neighbors of v in increasing order. The returned
+// slice aliases the snapshot's backing array and must not be modified.
+func (c *CSR) Neighbors(v int) []int { return c.targets[c.offsets[v]:c.offsets[v+1]] }
+
+// MaxDegree returns the maximum degree, or 0 for an edgeless graph.
+func (c *CSR) MaxDegree() int {
+	max := 0
+	for v, n := 0, c.N(); v < n; v++ {
+		if d := c.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Edges returns all edges, normalized and sorted lexicographically.
+func (c *CSR) Edges() []Edge {
+	out := make([]Edge, 0, c.m)
+	for u, n := 0, c.N(); u < n; u++ {
+		for _, v := range c.Neighbors(u) {
+			if u < v {
+				out = append(out, Edge{U: u, V: v})
+			}
+		}
+	}
+	return out
+}
+
+// Components labels every vertex with a component id in [0, count).
+// Ids are assigned in increasing order of the smallest vertex in the
+// component — the same deterministic order as Graph.Components.
+func (c *CSR) Components() (labels []int, count int) {
+	n := c.N()
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	stack := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		labels[s] = count
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range c.Neighbors(u) {
+				if labels[w] == -1 {
+					labels[w] = count
+					stack = append(stack, w)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// CountComponents returns f_cc, the number of connected components.
+func (c *CSR) CountComponents() int {
+	_, count := c.Components()
+	return count
+}
+
+// SpanningForestSize returns f_sf = |V| − f_cc.
+func (c *CSR) SpanningForestSize() int {
+	return c.N() - c.CountComponents()
+}
+
+// Shard is the CSR of one connected component, with vertices renumbered to
+// local ids 0..len(Orig)-1 by rank. Like CSR, a Shard is immutable and safe
+// for concurrent readers.
+type Shard struct {
+	CSR
+	// Orig maps local vertex ids to the parent snapshot's vertex ids; it is
+	// sorted increasingly.
+	Orig []int
+}
+
+// ComponentShards decomposes the snapshot into per-component CSR shards in
+// a single O(n+m) pass — no per-call Neighbors allocations and no hash
+// maps. Shards are ordered by smallest original vertex (the Components
+// order), and within a shard local ids follow original-vertex rank, so the
+// decomposition is fully deterministic.
+func (c *CSR) ComponentShards() []*Shard {
+	labels, count := c.Components()
+	n := c.N()
+
+	// Per-component sizes (vertices and directed edge slots).
+	vcount := make([]int, count)
+	ecount := make([]int, count)
+	for v := 0; v < n; v++ {
+		comp := labels[v]
+		vcount[comp]++
+		ecount[comp] += c.Degree(v)
+	}
+
+	shards := make([]*Shard, count)
+	for i := 0; i < count; i++ {
+		shards[i] = &Shard{
+			CSR: CSR{
+				offsets: make([]int, vcount[i]+1),
+				targets: make([]int, ecount[i]),
+				m:       ecount[i] / 2,
+			},
+			Orig: make([]int, 0, vcount[i]),
+		}
+	}
+
+	// Local ids by increasing original vertex: scanning v = 0..n-1 appends
+	// each vertex to its shard in rank order.
+	local := make([]int, n)
+	for v := 0; v < n; v++ {
+		sh := shards[labels[v]]
+		local[v] = len(sh.Orig)
+		sh.Orig = append(sh.Orig, v)
+	}
+
+	// Fill offsets and targets. Neighbor runs stay sorted because the
+	// rank-order renumbering is monotone within each component.
+	for i := 0; i < count; i++ {
+		sh := shards[i]
+		pos := 0
+		for lv, ov := range sh.Orig {
+			sh.offsets[lv] = pos
+			for _, w := range c.Neighbors(ov) {
+				sh.targets[pos] = local[w]
+				pos++
+			}
+		}
+		sh.offsets[len(sh.Orig)] = pos
+	}
+	return shards
+}
+
+// Graph materializes a mutable *Graph with the snapshot's vertex and edge
+// set. It is the bridge back to algorithms that require adjacency maps
+// (spanning-forest construction, peeling); the copy is built directly from
+// the CSR runs without intermediate allocations.
+func (c *CSR) Graph() *Graph {
+	n := c.N()
+	g := New(n)
+	g.m = c.m
+	for v := 0; v < n; v++ {
+		nbrs := c.Neighbors(v)
+		if len(nbrs) == 0 {
+			continue
+		}
+		set := make(map[int]struct{}, len(nbrs))
+		for _, w := range nbrs {
+			set[w] = struct{}{}
+		}
+		g.adj[v] = set
+	}
+	return g
+}

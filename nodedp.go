@@ -34,6 +34,7 @@
 package nodedp
 
 import (
+	"context"
 	"io"
 	"math/rand/v2"
 
@@ -73,6 +74,9 @@ func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) 
 // Options configures the private estimators; see the fields of
 // internal/core.Options. Epsilon is required; every other field has a
 // sensible default (crypto-grade noise, β = 1/ln ln n, Δmax = n).
+// Options.ForestLP.Workers sets how many per-component LPs the evaluation
+// engine solves concurrently (0 = runtime.GOMAXPROCS); the released value
+// is identical for every setting.
 type Options = core.Options
 
 // Result is the outcome of a private estimation, including the selected
@@ -86,6 +90,14 @@ func EstimateSpanningForestSize(g *Graph, opts Options) (Result, error) {
 	return core.EstimateSpanningForestSize(g, opts)
 }
 
+// EstimateSpanningForestSizeCtx is EstimateSpanningForestSize with
+// cancelation and deadline support: the extension evaluations (the
+// long-running part of Algorithm 1) abort promptly with ctx.Err() when ctx
+// is done, and a canceled run spends no privacy budget.
+func EstimateSpanningForestSizeCtx(ctx context.Context, g *Graph, opts Options) (Result, error) {
+	return core.EstimateSpanningForestSizeCtx(ctx, g, opts)
+}
+
 // EstimateComponentCount releases an ε-node-private estimate of f_cc(G),
 // the number of connected components, via f_cc = |V| − f_sf (Equation (1));
 // a configurable share of ε buys the private vertex count.
@@ -93,10 +105,40 @@ func EstimateComponentCount(g *Graph, opts Options) (Result, error) {
 	return core.EstimateComponentCount(g, opts)
 }
 
+// EstimateComponentCountCtx is EstimateComponentCount with cancelation and
+// deadline support.
+func EstimateComponentCountCtx(ctx context.Context, g *Graph, opts Options) (Result, error) {
+	return core.EstimateComponentCountCtx(ctx, g, opts)
+}
+
 // EstimateComponentCountKnownN is EstimateComponentCount for settings where
 // the vertex count is public; the entire budget then goes to f_sf.
 func EstimateComponentCountKnownN(g *Graph, opts Options) (Result, error) {
 	return core.EstimateComponentCountKnownN(g, opts)
+}
+
+// EstimateComponentCountKnownNCtx is EstimateComponentCountKnownN with
+// cancelation and deadline support.
+func EstimateComponentCountKnownNCtx(ctx context.Context, g *Graph, opts Options) (Result, error) {
+	return core.EstimateComponentCountKnownNCtx(ctx, g, opts)
+}
+
+// PreparedEstimator caches the deterministic, expensive half of
+// Algorithm 1 — the extension evaluations over the whole Δ-grid, computed
+// once on the sharded parallel engine — so repeated releases on the same
+// graph only pay GEM selection plus Laplace noise. Each Release is an
+// independent ε-node-private release; the caller accounts composition.
+type PreparedEstimator = core.Prepared
+
+// PrepareSpanningForest evaluates the extension family once for g.
+func PrepareSpanningForest(g *Graph, opts Options) (*PreparedEstimator, error) {
+	return core.PrepareSpanningForest(g, opts)
+}
+
+// PrepareSpanningForestCtx is PrepareSpanningForest with cancelation and
+// deadline support.
+func PrepareSpanningForestCtx(ctx context.Context, g *Graph, opts Options) (*PreparedEstimator, error) {
+	return core.PrepareSpanningForestCtx(ctx, g, opts)
 }
 
 // LipschitzOptions configures LipschitzExtensionValue.
@@ -110,9 +152,34 @@ type LipschitzStats = forestlp.Stats
 // tolerance). This value is data-dependent and NOT private by itself; feed
 // it to your own Laplace release (scale Δ/ε) if you need a fixed-Δ
 // mechanism, or use EstimateSpanningForestSize for the full algorithm.
+//
+// Independent per-component LPs run concurrently when opts.Workers allows
+// (0 defaults to runtime.GOMAXPROCS); the result is bit-for-bit identical
+// for every worker count.
 func LipschitzExtensionValue(g *Graph, delta float64, opts LipschitzOptions) (float64, LipschitzStats, error) {
 	return forestlp.Value(g, delta, opts)
 }
+
+// LipschitzExtensionValueCtx is LipschitzExtensionValue with cancelation
+// and deadline support.
+func LipschitzExtensionValueCtx(ctx context.Context, g *Graph, delta float64, opts LipschitzOptions) (float64, LipschitzStats, error) {
+	return forestlp.ValueCtx(ctx, g, delta, opts)
+}
+
+// LipschitzPlan is the reusable sharded decomposition behind the extension
+// evaluator: an immutable CSR snapshot of the graph, split into
+// per-component shards with their fast-path certificates precomputed.
+// Build one with NewLipschitzPlan and call Value for as many (Δ, options)
+// pairs as needed — Algorithm 1 does exactly this across its Δ-grid.
+type LipschitzPlan = forestlp.Plan
+
+// ShardTiming is the per-component diagnostic record reported in
+// LipschitzStats.Shards.
+type ShardTiming = forestlp.ShardTiming
+
+// NewLipschitzPlan snapshots g and plans its component shards for repeated
+// f_Δ evaluation.
+func NewLipschitzPlan(g *Graph) *LipschitzPlan { return forestlp.NewPlan(g) }
 
 // InducedStar describes an induced star: Center adjacent to every leaf,
 // leaves pairwise non-adjacent.

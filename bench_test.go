@@ -29,6 +29,7 @@ import (
 	"nodedp/internal/forestlp"
 	"nodedp/internal/generate"
 	"nodedp/internal/graph"
+	"nodedp/internal/serve"
 	"nodedp/internal/spanning"
 )
 
@@ -329,4 +330,138 @@ func TestEmitParallelBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote BENCH_parallel.json (%d records)", len(records))
+}
+
+// ---------------------------------------------------------------------------
+// Session serving: throughput benchmarks and the BENCH_session.json emitter.
+
+// sessionBenchGraph is the serving workload: many components with real LP
+// work at small Δ, so the one-time plan is expensive relative to a query.
+func sessionBenchGraph() *graph.Graph {
+	sizes := make([]int, 12)
+	for i := range sizes {
+		sizes[i] = 30
+	}
+	return generate.PlantedComponents(sizes, 3.0/30, generate.NewRand(30))
+}
+
+// BenchmarkSessionOpenCold measures Open without a plan cache: the full
+// snapshot + shard plan + Δ-grid cost a serving deployment pays once per
+// distinct graph.
+func BenchmarkSessionOpenCold(b *testing.B) {
+	g := sessionBenchGraph()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := serve.Open(ctx, g, serve.SessionOptions{TotalBudget: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionOpenCached measures Open against a warm plan cache: just
+// the CSR snapshot + fingerprint + lookup.
+func BenchmarkSessionOpenCached(b *testing.B) {
+	g := sessionBenchGraph()
+	ctx := context.Background()
+	cache := core.NewPlanCache(4)
+	if _, err := serve.Open(ctx, g, serve.SessionOptions{TotalBudget: 1, Cache: cache}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := serve.Open(ctx, g, serve.SessionOptions{TotalBudget: 1, Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionQuery measures one amortized budget-accounted query
+// (admission + GEM + Laplace) on an open session.
+func BenchmarkSessionQuery(b *testing.B) {
+	g := sessionBenchGraph()
+	ctx := context.Background()
+	sess, err := serve.Open(ctx, g, serve.SessionOptions{TotalBudget: 1e12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.ComponentCount(ctx, serve.QueryOptions{Epsilon: 0.5, Seed: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sessionBenchRecord is one row of BENCH_session.json.
+type sessionBenchRecord struct {
+	Scenario      string  `json:"scenario"`
+	N             int     `json:"n"`
+	M             int     `json:"m"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
+	Amortization  float64 `json:"amortization_vs_one_shot,omitempty"`
+	MaxProcs      int     `json:"gomaxprocs"`
+}
+
+// TestEmitSessionBenchJSON writes BENCH_session.json: the cost of a cold
+// open, a cache-served open, one amortized session query, and one one-shot
+// estimate, to track the serving layer's throughput across PRs. Opt-in like
+// the parallel emitter:
+//
+//	NODEDP_BENCH_JSON=1 go test -run TestEmitSessionBenchJSON .
+func TestEmitSessionBenchJSON(t *testing.T) {
+	if os.Getenv("NODEDP_BENCH_JSON") == "" {
+		t.Skip("set NODEDP_BENCH_JSON=1 to emit BENCH_session.json")
+	}
+	g := sessionBenchGraph()
+	scenarios := []struct {
+		name string
+		run  func(b *testing.B)
+	}{
+		{"open-cold", BenchmarkSessionOpenCold},
+		{"open-cached", BenchmarkSessionOpenCached},
+		{"session-query", BenchmarkSessionQuery},
+		{"one-shot", func(b *testing.B) {
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := core.Options{Epsilon: 0.5, Rand: generate.NewRand(uint64(i) + 1)}
+				if _, err := core.EstimateComponentCountCtx(ctx, g, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	ns := make(map[string]int64, len(scenarios))
+	var records []sessionBenchRecord
+	for _, sc := range scenarios {
+		r := testing.Benchmark(sc.run)
+		ns[sc.name] = r.NsPerOp()
+		rec := sessionBenchRecord{
+			Scenario: sc.name,
+			N:        g.N(),
+			M:        g.M(),
+			NsPerOp:  r.NsPerOp(),
+			MaxProcs: runtime.GOMAXPROCS(0),
+		}
+		if sc.name == "session-query" && r.NsPerOp() > 0 {
+			rec.QueriesPerSec = 1e9 / float64(r.NsPerOp())
+		}
+		records = append(records, rec)
+	}
+	// Amortization: how many session queries fit in one one-shot estimate.
+	for i := range records {
+		if records[i].Scenario == "session-query" && records[i].NsPerOp > 0 {
+			records[i].Amortization = float64(ns["one-shot"]) / float64(records[i].NsPerOp)
+		}
+	}
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_session.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_session.json (%d records)", len(records))
 }

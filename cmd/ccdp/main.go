@@ -1,30 +1,52 @@
-// Command ccdp releases a node-differentially private estimate of the
+// Command ccdp releases node-differentially private estimates of the
 // number of connected components (or the spanning-forest size) of a graph
 // read from an edge-list file.
 //
-// Usage:
+// One-shot usage:
 //
 //	ccdp -epsilon 1.0 [-mode cc|cc-known-n|sf] [-input graph.txt] [-seed 0]
 //	     [-workers 0] [-timeout 0] [-v]
 //
+// Serving usage (one plan, many budget-accounted queries):
+//
+//	ccdp serve -budget 4.0 -queries queries.txt [-input graph.txt]
+//	     [-seed 0] [-workers 0] [-timeout 0] [-v]
+//
 // The input format is one "u v" pair per line with an optional "n <count>"
 // header for isolated vertices; '#' starts a comment. With -input omitted,
 // the graph is read from stdin. -seed 0 (the default) uses cryptographic
-// randomness; any other seed makes the release reproducible (for testing
+// randomness; any other seed makes releases reproducible (for testing
 // only — a reproducible release is not private).
 //
 // -workers sets how many per-component LPs the evaluation engine solves
 // concurrently (0 = all CPUs); the released value is identical for every
-// setting. -timeout bounds the whole estimation; on expiry the run aborts
-// cleanly without spending budget.
+// setting. Negative values are a usage error.
+//
+// -timeout bounds the whole run. In one-shot mode an expired deadline
+// aborts the single estimation before any noise is drawn, spending no
+// budget. In serve mode the deadline covers the one-time session plan
+// build plus every query: a query canceled by the deadline fails without
+// spending its ε, and the summary reports what the earlier queries spent.
+//
+// The serve query file has one query per line ('#' comments allowed):
+//
+//	<mode> <epsilon> [seed]
+//
+// with mode cc, cc-known-n, or sf — e.g. "cc 0.5 7". All queries are
+// admitted against the session budget in file order: once a query does not
+// fit, it fails with "budget exhausted" and spends nothing.
 package main
 
 import (
+	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"nodedp"
@@ -38,37 +60,33 @@ func main() {
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], stdin, stdout)
+	}
+
 	fs := flag.NewFlagSet("ccdp", flag.ContinueOnError)
 	epsilon := fs.Float64("epsilon", 0, "total privacy budget ε (required, > 0)")
 	mode := fs.String("mode", "cc", "what to estimate: cc (components), cc-known-n (components, public vertex count), sf (spanning-forest size)")
 	input := fs.String("input", "", "edge-list file (default: stdin)")
 	seed := fs.Uint64("seed", 0, "0 = crypto randomness; nonzero = reproducible (testing only)")
-	workers := fs.Int("workers", 0, "concurrent component LP solves (0 = all CPUs; result is identical for any value)")
-	timeout := fs.Duration("timeout", 0, "abort the estimation after this long (0 = no deadline)")
+	workers := fs.Int("workers", 0, "concurrent component LP solves (0 = all CPUs, ≥ 0; result is identical for any value)")
+	timeout := fs.Duration("timeout", 0, "abort the estimation after this long, spending no budget (0 = no deadline)")
 	verbose := fs.Bool("v", false, "print selection diagnostics (NOT private; testing only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *epsilon <= 0 {
-		return fmt.Errorf("-epsilon must be positive")
+		return usageError(fs, "-epsilon must be positive")
 	}
 	if *workers < 0 {
-		return fmt.Errorf("-workers must be ≥ 0")
+		return usageError(fs, "-workers must be ≥ 0, got %d", *workers)
 	}
 
-	r := stdin
-	if *input != "" {
-		f, err := os.Open(*input)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		r = f
-	}
-	g, err := nodedp.ReadGraph(r)
+	g, closeInput, err := readInputGraph(stdin, *input)
 	if err != nil {
 		return err
 	}
+	defer closeInput()
 
 	opts := nodedp.Options{Epsilon: *epsilon}
 	if *seed != 0 {
@@ -77,12 +95,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	opts.ForestLP.Workers = *workers
 	opts.ForestLP.ShardTimings = *verbose
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
 
 	var res nodedp.Result
 	switch *mode {
@@ -93,7 +107,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	case "sf":
 		res, err = nodedp.EstimateSpanningForestSizeCtx(ctx, g, opts)
 	default:
-		return fmt.Errorf("unknown -mode %q (want cc, cc-known-n or sf)", *mode)
+		return usageError(fs, "unknown -mode %q (want cc, cc-known-n or sf)", *mode)
 	}
 	if err != nil {
 		return err
@@ -113,6 +127,186 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		printShardTimings(stdout, res.Stats.Shards)
 	}
 	return nil
+}
+
+// runServe implements the serve subcommand: one session, many queries from
+// a query file, each debiting the session budget.
+func runServe(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ccdp serve", flag.ContinueOnError)
+	budget := fs.Float64("budget", 0, "total session privacy budget ε (required, > 0); queries debit it under sequential composition")
+	queries := fs.String("queries", "", "query file, one \"<mode> <epsilon> [seed]\" per line (required)")
+	input := fs.String("input", "", "edge-list file (default: stdin)")
+	seed := fs.Uint64("seed", 0, "session noise source: 0 = crypto randomness; nonzero = reproducible (testing only); per-query seeds override")
+	workers := fs.Int("workers", 0, "concurrent component LP solves for the one-time plan build (0 = all CPUs, ≥ 0)")
+	timeout := fs.Duration("timeout", 0, "deadline for plan build + all queries; an expired query fails without spending its ε (0 = no deadline)")
+	verbose := fs.Bool("v", false, "print per-query selection diagnostics (NOT private; testing only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *budget <= 0 {
+		return usageError(fs, "-budget must be positive")
+	}
+	if *queries == "" {
+		return usageError(fs, "-queries is required")
+	}
+	if *workers < 0 {
+		return usageError(fs, "-workers must be ≥ 0, got %d", *workers)
+	}
+
+	reqs, err := readQueryFile(*queries)
+	if err != nil {
+		return err
+	}
+
+	g, closeInput, err := readInputGraph(stdin, *input)
+	if err != nil {
+		return err
+	}
+	defer closeInput()
+
+	sopts := nodedp.SessionOptions{TotalBudget: *budget}
+	if *seed != 0 {
+		sopts.Rand = nodedp.NewRand(*seed)
+	}
+	sopts.ForestLP.Workers = *workers
+
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
+
+	sess, err := nodedp.Open(ctx, g, sopts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "session: n=%d m=%d fingerprint=%s budget ε=%g\n",
+		g.N(), g.M(), sess.Fingerprint(), *budget)
+
+	resps := sess.Do(ctx, reqs)
+	for i, resp := range resps {
+		label := fmt.Sprintf("q%d %-10s ε=%-6g", i+1, describeRequest(reqs[i]), reqs[i].Epsilon)
+		switch {
+		case errors.Is(resp.Err, nodedp.ErrBudgetExhausted):
+			fmt.Fprintf(stdout, "%s REJECTED: budget exhausted\n", label)
+		case resp.Err != nil:
+			fmt.Fprintf(stdout, "%s FAILED: %v\n", label, resp.Err)
+		default:
+			fmt.Fprintf(stdout, "%s estimate %.2f\n", label, resp.Result.Value)
+			if *verbose {
+				fmt.Fprintf(stdout, "  [not private] Δ̂ = %g, noise scale %.3f\n",
+					resp.Result.Delta, resp.Result.NoiseScale)
+			}
+		}
+	}
+
+	st := sess.Stats()
+	fmt.Fprintf(stdout, "session: %d/%d queries admitted, spent ε=%g of %g (remaining %g), plans built %d\n",
+		st.Admitted, st.Queries, st.Spent, st.TotalBudget, st.Remaining, st.PlansBuilt)
+	return nil
+}
+
+// readQueryFile parses the serve query format: "<mode> <epsilon> [seed]"
+// per line, '#' comments and blank lines allowed.
+func readQueryFile(path string) ([]nodedp.BatchRequest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var reqs []nodedp.BatchRequest
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) > 3 {
+			return nil, fmt.Errorf("%s:%d: want \"<mode> <epsilon> [seed]\", got %d fields", path, lineNo, len(fields))
+		}
+		var req nodedp.BatchRequest
+		switch fields[0] {
+		case "cc":
+			req.Op = nodedp.OpComponentCount
+		case "cc-known-n":
+			req.Op, req.Mode = nodedp.OpComponentCount, nodedp.ModeKnownN
+		case "sf":
+			req.Op = nodedp.OpSpanningForestSize
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown mode %q (want cc, cc-known-n or sf)", path, lineNo, fields[0])
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%s:%d: missing epsilon", path, lineNo)
+		}
+		req.Epsilon, err = strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad epsilon %q: %v", path, lineNo, fields[1], err)
+		}
+		if len(fields) == 3 {
+			req.Seed, err = strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad seed %q: %v", path, lineNo, fields[2], err)
+			}
+		}
+		reqs = append(reqs, req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("%s: no queries", path)
+	}
+	return reqs, nil
+}
+
+// describeRequest renders a request's mode the way the query file spells it.
+func describeRequest(r nodedp.BatchRequest) string {
+	if r.Op == nodedp.OpSpanningForestSize {
+		return "sf"
+	}
+	if r.Mode == nodedp.ModeKnownN {
+		return "cc-known-n"
+	}
+	return "cc"
+}
+
+// readInputGraph reads the graph from path, or from stdin when path is
+// empty; the returned closer is a no-op for stdin.
+func readInputGraph(stdin io.Reader, path string) (*nodedp.Graph, func(), error) {
+	r, closer := stdin, func() {}
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, closer = f, func() { f.Close() }
+	}
+	g, err := nodedp.ReadGraph(r)
+	if err != nil {
+		closer()
+		return nil, nil, err
+	}
+	return g, closer, nil
+}
+
+// timeoutContext returns a background context bounded by d (unbounded when
+// d is zero).
+func timeoutContext(d time.Duration) (context.Context, context.CancelFunc) {
+	if d > 0 {
+		return context.WithTimeout(context.Background(), d)
+	}
+	return context.Background(), func() {}
+}
+
+// usageError prints the flag set's usage and returns the formatted error,
+// so invalid invocations fail loudly instead of being passed through.
+func usageError(fs *flag.FlagSet, format string, args ...interface{}) error {
+	fs.Usage()
+	return fmt.Errorf(format, args...)
 }
 
 // printShardTimings summarizes the slowest component evaluations across the

@@ -113,3 +113,122 @@ func TestRunErrors(t *testing.T) {
 		t.Error("self-loop input should fail")
 	}
 }
+
+func TestRunWorkersNegativeIsUsageError(t *testing.T) {
+	for _, args := range [][]string{
+		{"-epsilon", "1", "-workers", "-2"},
+		{"serve", "-budget", "1", "-queries", "whatever.txt", "-workers", "-2"},
+	} {
+		err := run(args, strings.NewReader("0 1\n"), &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), "-workers must be ≥ 0") {
+			t.Errorf("args %v: err = %v, want -workers usage error", args, err)
+		}
+	}
+}
+
+func writeQueryFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "queries.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestServeSubcommand(t *testing.T) {
+	queries := writeQueryFile(t, `
+# three affordable queries, then one that cannot fit
+cc 0.5 7
+sf 0.25 8
+cc-known-n 0.25 9
+cc 4 10
+`)
+	var out bytes.Buffer
+	err := run([]string{"serve", "-budget", "1", "-queries", queries, "-seed", "3"},
+		strings.NewReader("n 9\n0 1\n1 2\n3 4\n5 6\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"session: n=9 m=4 fingerprint=",
+		"budget ε=1",
+		"q1 cc         ε=0.5",
+		"q2 sf         ε=0.25",
+		"q3 cc-known-n ε=0.25",
+		"q4 cc         ε=4      REJECTED: budget exhausted",
+		"3/4 queries admitted, spent ε=1 of 1 (remaining 0), plans built 1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("serve output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestServeMatchesOneShot checks the serving determinism contract at the
+// CLI level: a seeded serve query prints the same estimate as the one-shot
+// invocation with that seed.
+func TestServeMatchesOneShot(t *testing.T) {
+	const input = "n 6\n0 1\n2 3\n"
+	var oneShot bytes.Buffer
+	if err := run([]string{"-epsilon", "0.5", "-seed", "7"}, strings.NewReader(input), &oneShot); err != nil {
+		t.Fatal(err)
+	}
+	_, estimate, ok := strings.Cut(oneShot.String(), "private estimate: ")
+	if !ok {
+		t.Fatalf("unexpected one-shot output: %q", oneShot.String())
+	}
+	estimate = strings.TrimSpace(estimate)
+
+	queries := writeQueryFile(t, "cc 0.5 7\n")
+	var served bytes.Buffer
+	if err := run([]string{"serve", "-budget", "1", "-queries", queries},
+		strings.NewReader(input), &served); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(served.String(), "estimate "+estimate) {
+		t.Fatalf("serve estimate differs from one-shot %s:\n%s", estimate, served.String())
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	good := writeQueryFile(t, "cc 0.5\n")
+	cases := [][]string{
+		{"serve"},                 // missing budget
+		{"serve", "-budget", "1"}, // missing queries
+		{"serve", "-budget", "0", "-queries", good},
+		{"serve", "-budget", "1", "-queries", "/nonexistent/queries"},
+	}
+	for _, args := range cases {
+		if err := run(args, strings.NewReader("0 1\n"), &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+	for name, content := range map[string]string{
+		"bad-mode":    "bogus 0.5\n",
+		"bad-epsilon": "cc nope\n",
+		"bad-seed":    "cc 0.5 nope\n",
+		"no-epsilon":  "cc\n",
+		"extra":       "cc 0.5 1 2\n",
+		"empty":       "# nothing\n",
+	} {
+		bad := writeQueryFile(t, content)
+		err := run([]string{"serve", "-budget", "1", "-queries", bad},
+			strings.NewReader("0 1\n"), &bytes.Buffer{})
+		if err == nil {
+			t.Errorf("%s query file should fail", name)
+		}
+	}
+}
+
+// TestServeTimeout: an already-expired deadline aborts the plan build, so
+// nothing is released and no budget is spent.
+func TestServeTimeout(t *testing.T) {
+	queries := writeQueryFile(t, "cc 0.5\n")
+	var out bytes.Buffer
+	err := run([]string{"serve", "-budget", "1", "-queries", queries, "-timeout", "1ns"},
+		strings.NewReader("0 1\n1 2\n"), &out)
+	if err == nil || !strings.Contains(err.Error(), "context deadline exceeded") {
+		t.Fatalf("want deadline error, got %v (output %q)", err, out.String())
+	}
+}

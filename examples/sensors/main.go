@@ -11,12 +11,18 @@
 // example verifies the star bound, builds the degree-≤6 forest with the
 // paper's own Algorithm 3, and reports private estimates across radii.
 //
+// Each deployment is served through a Session with a hard ε budget: the
+// operator gets exactly one release per deployment, and the session's
+// accountant — not caller-side bookkeeping — refuses anything more.
+//
 // Run with:
 //
 //	go run ./examples/sensors
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -60,15 +66,24 @@ func main() {
 			}
 		}
 
-		res, err := nodedp.EstimateComponentCountKnownN(g, nodedp.Options{
-			Epsilon: 1,
-			Rand:    rng,
-		})
+		// One serving session per deployment, with the whole ε=1 budget:
+		// the first query spends it all, so the accountant guarantees no
+		// second release can leak more about these sensor locations.
+		ctx := context.Background()
+		sess, err := nodedp.Open(ctx, g, nodedp.SessionOptions{TotalBudget: 1, Rand: rng})
 		if err != nil {
 			log.Fatal(err)
+		}
+		res, err := sess.ComponentCount(ctx, nodedp.QueryOptions{Epsilon: 1, Mode: nodedp.ModeKnownN})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sess.ComponentCount(ctx, nodedp.QueryOptions{Epsilon: 0.1}); !errors.Is(err, nodedp.ErrBudgetExhausted) {
+			log.Fatalf("budget accountant failed to refuse a second release: %v", err)
 		}
 		fmt.Printf("%8.2f %8d %10d %12d %12d %10.1f\n",
 			r, g.M(), g.CountComponents(), star.Size, maxDeg, res.Value)
 	}
-	fmt.Println("\nacross all radii the error stays O(lnln n/ε): geometry caps Δ* at 6.")
+	fmt.Println("\nacross all radii the error stays O(lnln n/ε): geometry caps Δ* at 6;")
+	fmt.Println("each deployment's session spent its entire budget on the one release above.")
 }

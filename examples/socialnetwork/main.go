@@ -21,9 +21,10 @@
 // you pay for the graph you have, not for the worst graph imaginable.
 //
 // The expensive half of Algorithm 1 — evaluating the extension family over
-// the Δ-grid — is deterministic, so the example prepares it once with
-// PrepareSpanningForest and then draws every trial's release from the
-// cached evaluations.
+// the Δ-grid — is deterministic, so the example opens one serving Session:
+// the plan is paid once, each trial's release is a budget-accounted query
+// against it, and the session does the composition bookkeeping that earlier
+// versions of this example hand-rolled.
 //
 // Run with:
 //
@@ -31,6 +32,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -59,22 +61,27 @@ func main() {
 
 	eps := 1.0
 	const trials = 5
-	// The Δ-grid evaluations are deterministic, so they are shared across
-	// trials; each Release below is an independent ε-node-private release
-	// of f_sf (the vertex count is public in this scenario).
-	prep, err := nodedp.PrepareSpanningForest(g, nodedp.Options{Epsilon: eps, Rand: rng})
+	ctx := context.Background()
+	// One session: the Δ-grid evaluations are paid once and shared across
+	// trials, and the session's accountant enforces the total budget
+	// trials·ε instead of the caller tracking composition by hand.
+	sess, err := nodedp.Open(ctx, g, nodedp.SessionOptions{
+		TotalBudget: trials * eps,
+		Rand:        rng,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	var ours, fixedMax, naive float64
 	var pickedDelta float64
 	for i := 0; i < trials; i++ {
-		res, err := prep.Release()
+		// Each query is an independent ε-node-private release of f_cc with
+		// the vertex count treated as public in this scenario.
+		res, err := sess.ComponentCount(ctx, nodedp.QueryOptions{Epsilon: eps, Mode: nodedp.ModeKnownN})
 		if err != nil {
 			log.Fatal(err)
 		}
-		estimate := float64(g.N()) - res.Value // f_cc = n − f_sf, n public
-		ours += math.Abs(estimate - float64(trueCC))
+		ours += math.Abs(res.Value - float64(trueCC))
 		pickedDelta = res.Delta
 
 		// The rigorous max-degree-calibrated alternative: release
@@ -97,5 +104,8 @@ func main() {
 	fmt.Printf("%-38s %14.1f\n", fmt.Sprintf("Algorithm 1 (GEM picked Δ̂=%g)", pickedDelta), ours/trials)
 	fmt.Printf("%-38s %14.1f\n", fmt.Sprintf("fixed extension at Δ=maxdeg (%d)", maxDeg), fixedMax/trials)
 	fmt.Printf("%-38s %14.1f\n", fmt.Sprintf("naive Laplace (GS=n=%d)", g.N()), naive/trials)
-	fmt.Println("\nnoise pays for Δ* ≈", deltaUB, "— not for the celebrities' degree and not for n.")
+	st := sess.Stats()
+	fmt.Printf("\nsession: %d queries on %d plan build(s), spent ε=%g of %g\n",
+		st.Admitted, st.PlansBuilt, st.Spent, st.TotalBudget)
+	fmt.Println("noise pays for Δ* ≈", deltaUB, "— not for the celebrities' degree and not for n.")
 }

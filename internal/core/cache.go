@@ -1,0 +1,189 @@
+package core
+
+// This file implements PlanCache, a bounded LRU cache of grid evaluations
+// keyed by canonical graph fingerprint plus a digest of the plan-relevant
+// options. The Δ-grid of Lipschitz-extension LPs is the expensive half of
+// Algorithm 1 and is fully deterministic per (graph, grid, LP options), so
+// a serving deployment pays it once per distinct graph: opening a session
+// on an identical graph — same *Graph, a re-read copy, or one built in a
+// different edge order — reuses the cached evaluation and goes straight to
+// the cheap per-query noise. Any one-edge difference changes the
+// fingerprint and misses.
+//
+// Cached GridEvals are immutable and shared by reference; the cache only
+// bounds how many distinct (graph, options) evaluations it retains, not
+// their lifetime in sessions that already hold one.
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"nodedp/internal/graph"
+)
+
+// DefaultPlanCacheCapacity is the entry bound used when NewPlanCache is
+// given a non-positive capacity.
+const DefaultPlanCacheCapacity = 16
+
+// CacheStats reports a PlanCache's counters. Hits and Misses count GridEval
+// lookups; Evictions counts entries dropped by the LRU bound; Invalidations
+// counts entries removed by Invalidate.
+type CacheStats struct {
+	Hits, Misses, Evictions, Invalidations int64
+	// Entries is the current number of cached evaluations.
+	Entries int
+}
+
+// cacheKey identifies one cached evaluation: the graph's canonical
+// fingerprint plus a digest of every option that changes the grid values.
+type cacheKey struct {
+	fp   graph.Fingerprint
+	opts string
+}
+
+// planOptionsDigest captures the options that alter a grid evaluation's
+// values: the grid itself (DeltaMax) and the evaluator's numeric knobs,
+// normalized so zero-valued and explicitly-default configurations digest
+// identically. Workers, ShardTimings, and Trace change only scheduling and
+// diagnostics, never values, and are deliberately excluded so sessions with
+// different concurrency settings share entries.
+func planOptionsDigest(o Options) string {
+	f := o.ForestLP.Normalize()
+	return fmt.Sprintf("dmax=%g tol=%g rounds=%d cuts=%d drop=%d stall=%d nofast=%t nopeel=%t lp=%+v",
+		o.DeltaMax, f.Tol, f.MaxRounds, f.MaxCutsPerRound, f.DropSlackAfter, f.StallRounds,
+		f.DisableFastPath, f.DisablePeel, f.LP)
+}
+
+type cacheEntry struct {
+	key cacheKey
+	ge  *GridEval
+}
+
+// PlanCache is a bounded, thread-safe LRU cache of grid evaluations keyed
+// by graph fingerprint. A single PlanCache may back any number of
+// concurrent sessions; the zero value is not usable — construct with
+// NewPlanCache.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[cacheKey]*list.Element
+	stats   CacheStats
+}
+
+// NewPlanCache returns an empty cache bounded to capacity entries
+// (DefaultPlanCacheCapacity if capacity <= 0).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheCapacity
+	}
+	return &PlanCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[cacheKey]*list.Element),
+	}
+}
+
+// GridEval returns the grid evaluation for g under opts, computing and
+// caching it on a miss. hit reports whether planning was skipped. Options
+// handling matches EvaluateGrid: Epsilon is irrelevant to the result and
+// may be zero.
+//
+// Two concurrent misses on the same key both evaluate (no single-flight
+// de-duplication); the second insert wins and the results are identical, so
+// the only cost is duplicated work during a cold start.
+func (c *PlanCache) GridEval(ctx context.Context, g *graph.Graph, opts Options) (ge *GridEval, hit bool, err error) {
+	if opts.Epsilon == 0 {
+		opts.Epsilon = 1 // as in EvaluateGrid: ε does not enter grid values
+	}
+	opts, err = opts.withDefaults(g.N())
+	if err != nil {
+		return nil, false, err
+	}
+	csr := graph.NewCSR(g)
+	key := cacheKey{fp: csr.Fingerprint(), opts: planOptionsDigest(opts)}
+
+	if ge := c.lookup(key); ge != nil {
+		return ge, true, nil
+	}
+	ge, err = evaluateGridCSR(ctx, csr, key.fp, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	c.insert(key, ge)
+	return ge, false, nil
+}
+
+// lookup returns the cached evaluation for key (bumping it to
+// most-recently-used) or nil, updating hit/miss counters.
+func (c *PlanCache) lookup(key cacheKey) *GridEval {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*cacheEntry).ge
+	}
+	c.stats.Misses++
+	return nil
+}
+
+// insert adds an evaluation, evicting the least recently used entries past
+// the capacity bound. A racing insert of the same key keeps the existing
+// entry.
+func (c *PlanCache) insert(key cacheKey, ge *GridEval) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, ge: ge})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Invalidate removes every cached evaluation of the graph with the given
+// fingerprint (across all option digests) and returns how many entries were
+// dropped. Mutating a graph already changes its fingerprint, so future
+// lookups would miss anyway; Invalidate exists to reclaim the memory of
+// evaluations that can no longer be hit and to give mutation sites an
+// explicit hook.
+func (c *PlanCache) Invalidate(fp graph.Fingerprint) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if entry := el.Value.(*cacheEntry); entry.key.fp == fp {
+			c.ll.Remove(el)
+			delete(c.entries, entry.key)
+			c.stats.Invalidations++
+			removed++
+		}
+		el = next
+	}
+	return removed
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	return s
+}
+
+// Len returns the current number of cached evaluations.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"context"
+	"math/rand/v2"
+	"testing"
+
+	"nodedp/internal/graph"
+)
+
+// cacheTestGraph builds a fixed multi-component graph from the given edge
+// order.
+func cacheTestGraph(t *testing.T, edges []graph.Edge) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(10, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+var cacheTestEdges = []graph.Edge{
+	{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, // triangle
+	{U: 3, V: 4}, {U: 4, V: 5}, // path
+	{U: 6, V: 7}, {U: 7, V: 8}, {U: 8, V: 6}, {U: 6, V: 8},
+}
+
+func TestPlanCacheHitOnIdenticalGraphDifferentOrder(t *testing.T) {
+	// Drop the duplicate edge {6,8} (FromEdges rejects duplicates).
+	edges := cacheTestEdges[:8]
+	g1 := cacheTestGraph(t, edges)
+	reversed := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		reversed[len(edges)-1-i] = e
+	}
+	g2 := cacheTestGraph(t, reversed)
+
+	cache := NewPlanCache(4)
+	ctx := context.Background()
+	ge1, hit, err := cache.GridEval(ctx, g1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first lookup must miss")
+	}
+	ge2, hit, err := cache.GridEval(ctx, g2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("identical graph built in a different edge order must hit")
+	}
+	if ge1 != ge2 {
+		t.Fatal("hit must return the shared cached evaluation")
+	}
+	if s := cache.Stats(); s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", s)
+	}
+}
+
+func TestPlanCacheOneEdgeMutationMisses(t *testing.T) {
+	edges := cacheTestEdges[:8]
+	g := cacheTestGraph(t, edges)
+	cache := NewPlanCache(4)
+	ctx := context.Background()
+	if _, _, err := cache.GridEval(ctx, g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(5, 9); err != nil {
+		t.Fatal(err)
+	}
+	_, hit, err := cache.GridEval(ctx, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("one-edge mutation must miss the cache")
+	}
+	if s := cache.Stats(); s.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 (one per graph version)", s.Entries)
+	}
+}
+
+func TestPlanCacheOptionsChangeMisses(t *testing.T) {
+	g := cacheTestGraph(t, cacheTestEdges[:8])
+	cache := NewPlanCache(4)
+	ctx := context.Background()
+	if _, _, err := cache.GridEval(ctx, g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// A different grid is a different plan.
+	if _, hit, err := cache.GridEval(ctx, g, Options{DeltaMax: 4}); err != nil || hit {
+		t.Fatalf("DeltaMax change: hit=%v err=%v, want miss", hit, err)
+	}
+	// Workers only changes scheduling; same values, must hit.
+	opts := Options{}
+	opts.ForestLP.Workers = 3
+	if _, hit, err := cache.GridEval(ctx, g, opts); err != nil || !hit {
+		t.Fatalf("Workers change: hit=%v err=%v, want hit", hit, err)
+	}
+	// Explicitly spelling out a documented default asks for the same
+	// evaluation as leaving it zero; the digest normalizes, so it must hit.
+	opts = Options{}
+	opts.ForestLP.Tol = 1e-7
+	opts.ForestLP.MaxRounds = 1000
+	if _, hit, err := cache.GridEval(ctx, g, opts); err != nil || !hit {
+		t.Fatalf("explicit-default options: hit=%v err=%v, want hit", hit, err)
+	}
+	// A genuinely different solver tolerance is a different plan.
+	opts = Options{}
+	opts.ForestLP.Tol = 1e-3
+	if _, hit, err := cache.GridEval(ctx, g, opts); err != nil || hit {
+		t.Fatalf("Tol change: hit=%v err=%v, want miss", hit, err)
+	}
+}
+
+func TestPlanCacheLRUEvicts(t *testing.T) {
+	cache := NewPlanCache(2)
+	ctx := context.Background()
+	rng := rand.New(rand.NewPCG(3, 4))
+	graphs := make([]*graph.Graph, 3)
+	for i := range graphs {
+		g := graph.New(6)
+		for k := 0; k < 5; k++ {
+			u, v := rng.IntN(6), rng.IntN(6)
+			if u != v && !g.HasEdge(u, v) {
+				if err := g.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Make the graphs pairwise distinct for sure.
+		if i > 0 {
+			g.RemoveEdge(g.Edges()[0].U, g.Edges()[0].V)
+		}
+		graphs[i] = g
+	}
+	for _, g := range graphs {
+		if _, _, err := cache.GridEval(ctx, g, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := cache.Stats()
+	if s.Entries != 2 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries and 1 eviction", s)
+	}
+	// graphs[0] was least recently used and must have been evicted.
+	if _, hit, err := cache.GridEval(ctx, graphs[0], Options{}); err != nil || hit {
+		t.Fatalf("evicted entry: hit=%v err=%v, want miss", hit, err)
+	}
+	// graphs[2] is still resident.
+	if _, hit, err := cache.GridEval(ctx, graphs[2], Options{}); err != nil || !hit {
+		t.Fatalf("resident entry: hit=%v err=%v, want hit", hit, err)
+	}
+}
+
+func TestPlanCacheInvalidate(t *testing.T) {
+	g := cacheTestGraph(t, cacheTestEdges[:8])
+	cache := NewPlanCache(4)
+	ctx := context.Background()
+	// Two option digests for the same fingerprint.
+	if _, _, err := cache.GridEval(ctx, g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cache.GridEval(ctx, g, Options{DeltaMax: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if removed := cache.Invalidate(g.Fingerprint()); removed != 2 {
+		t.Fatalf("Invalidate removed %d entries, want 2", removed)
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("cache still holds %d entries after Invalidate", cache.Len())
+	}
+	if _, hit, err := cache.GridEval(ctx, g, Options{}); err != nil || hit {
+		t.Fatalf("post-invalidate lookup: hit=%v err=%v, want miss", hit, err)
+	}
+	if removed := cache.Invalidate(g.Fingerprint()); removed != 1 {
+		t.Fatalf("second Invalidate removed %d, want 1", removed)
+	}
+}
+
+// TestGridEvalMatchesOneShot pins the refactoring invariant: a release from
+// a cached grid evaluation is bit-for-bit the release of the one-shot
+// estimator with the same seed.
+func TestGridEvalMatchesOneShot(t *testing.T) {
+	g := cacheTestGraph(t, cacheTestEdges[:8])
+	ctx := context.Background()
+	cache := NewPlanCache(2)
+	ge, _, err := cache.GridEval(ctx, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		for name, pair := range map[string][2]func(*rand.Rand) (Result, error){
+			"sf": {
+				func(r *rand.Rand) (Result, error) {
+					return EstimateSpanningForestSize(g, Options{Epsilon: 1.5, Rand: r})
+				},
+				func(r *rand.Rand) (Result, error) {
+					return EstimateSpanningForestSizeFromGrid(ctx, ge, Options{Epsilon: 1.5, Rand: r})
+				},
+			},
+			"cc": {
+				func(r *rand.Rand) (Result, error) {
+					return EstimateComponentCount(g, Options{Epsilon: 1.5, Rand: r})
+				},
+				func(r *rand.Rand) (Result, error) {
+					return EstimateComponentCountFromGrid(ctx, ge, Options{Epsilon: 1.5, Rand: r})
+				},
+			},
+			"cc-known-n": {
+				func(r *rand.Rand) (Result, error) {
+					return EstimateComponentCountKnownN(g, Options{Epsilon: 1.5, Rand: r})
+				},
+				func(r *rand.Rand) (Result, error) {
+					return EstimateComponentCountKnownNFromGrid(ctx, ge, Options{Epsilon: 1.5, Rand: r})
+				},
+			},
+		} {
+			oneShot, err := pair[0](rand.New(rand.NewPCG(seed, seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromGrid, err := pair[1](rand.New(rand.NewPCG(seed, seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if oneShot.Value != fromGrid.Value || oneShot.Delta != fromGrid.Delta || oneShot.NHat != fromGrid.NHat {
+				t.Fatalf("%s seed %d: one-shot (%v, Δ=%v, n̂=%v) != from-grid (%v, Δ=%v, n̂=%v)",
+					name, seed, oneShot.Value, oneShot.Delta, oneShot.NHat,
+					fromGrid.Value, fromGrid.Delta, fromGrid.NHat)
+			}
+		}
+	}
+}
+
+func TestEstimateFromGridRejectsMismatchedGrid(t *testing.T) {
+	g := cacheTestGraph(t, cacheTestEdges[:8])
+	ge, err := EvaluateGrid(context.Background(), g, Options{DeltaMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = EstimateSpanningForestSizeFromGrid(context.Background(), ge,
+		Options{Epsilon: 1, DeltaMax: 8})
+	if err == nil {
+		t.Fatal("mismatched DeltaMax must be rejected")
+	}
+	// Value-affecting evaluator options are part of the grid identity too.
+	mismatched := Options{Epsilon: 1, DeltaMax: 4}
+	mismatched.ForestLP.Tol = 1e-3
+	if _, err = EstimateSpanningForestSizeFromGrid(context.Background(), ge, mismatched); err == nil {
+		t.Fatal("mismatched evaluator options must be rejected")
+	}
+	// Spelling out the defaults the evaluation was computed under is fine.
+	matching := Options{Epsilon: 1, DeltaMax: 4, Rand: rand.New(rand.NewPCG(1, 1))}
+	matching.ForestLP.Tol = 1e-7
+	if _, err = EstimateSpanningForestSizeFromGrid(context.Background(), ge, matching); err != nil {
+		t.Fatalf("explicit-default options rejected: %v", err)
+	}
+}

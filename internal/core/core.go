@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"nodedp/internal/dpnoise"
 	"nodedp/internal/forestlp"
@@ -169,26 +170,125 @@ func EstimateSpanningForestSizeCtx(ctx context.Context, g *graph.Graph, opts Opt
 	return estimateSF(ctx, g, opts, opts.Epsilon)
 }
 
+// GridEval is the deterministic, expensive half of Algorithm 1: the values
+// f_Δ(G) over the whole GEM grid, evaluated once on the sharded parallel
+// engine, together with the exact f_sf(G) they are scored against. A
+// GridEval is ε-independent (ε only enters the GEM qualities and the noise,
+// both computed per release), immutable, and safe to share between any
+// number of concurrent sessions — this is what the PlanCache stores and
+// what the serving layer in internal/serve fans queries onto.
+type GridEval struct {
+	n           int
+	deltaMax    float64
+	optsDigest  string
+	fingerprint graph.Fingerprint
+	grid        []float64
+	fdeltas     []float64
+	fsf         float64
+	stats       forestlp.Stats
+}
+
+// N returns the vertex count of the evaluated graph.
+func (ge *GridEval) N() int { return ge.n }
+
+// Fingerprint returns the canonical fingerprint of the evaluated graph.
+// Evaluations produced by EvaluateGrid or the PlanCache always carry one;
+// the one-shot estimators skip the hashing pass (they never consult a
+// cache) and leave it zero.
+func (ge *GridEval) Fingerprint() graph.Fingerprint { return ge.fingerprint }
+
+// SpanningForestSize returns the exact (non-private) f_sf of the evaluated
+// graph.
+func (ge *GridEval) SpanningForestSize() float64 { return ge.fsf }
+
+// Stats aggregates the extension evaluator's work across the grid.
+func (ge *GridEval) Stats() forestlp.Stats { return ge.stats }
+
+// EvaluateGrid runs the deterministic half of Algorithm 1 for g: one CSR
+// snapshot, one shard plan, and one extension evaluation per grid point.
+// The result is independent of Options.Epsilon (which may be left zero
+// here); every other plan-relevant option — DeltaMax and the ForestLP
+// configuration — is baked into the returned evaluation.
+func EvaluateGrid(ctx context.Context, g *graph.Graph, opts Options) (*GridEval, error) {
+	if opts.Epsilon == 0 {
+		opts.Epsilon = 1 // ε does not enter the grid values; see doc comment
+	}
+	opts, err := opts.withDefaults(g.N())
+	if err != nil {
+		return nil, err
+	}
+	csr := graph.NewCSR(g)
+	return evaluateGridCSR(ctx, csr, csr.Fingerprint(), opts)
+}
+
+// evaluateGridCSR is EvaluateGrid on an existing snapshot with a
+// precomputed fingerprint; opts must already carry defaults.
+func evaluateGridCSR(ctx context.Context, csr *graph.CSR, fp graph.Fingerprint, opts Options) (*GridEval, error) {
+	grid, err := mechanism.PowerOfTwoGrid(opts.DeltaMax)
+	if err != nil {
+		return nil, err
+	}
+	// One CSR snapshot and shard plan serve the whole Δ-grid: the component
+	// decomposition, the per-component subgraphs, and the delta-independent
+	// fast-path certificates are derived once instead of once per grid
+	// point. Each grid evaluation then runs on the shared worker pool
+	// configured by opts.ForestLP.Workers.
+	plan := forestlp.NewPlanCSR(csr)
+	values, stats, err := plan.GridValues(ctx, grid, opts.ForestLP)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &GridEval{
+		n:           csr.N(),
+		deltaMax:    opts.DeltaMax,
+		optsDigest:  planOptionsDigest(opts),
+		fingerprint: fp,
+		grid:        grid,
+		fdeltas:     values,
+		fsf:         float64(plan.SpanningForestSize()),
+		stats:       stats,
+	}, nil
+}
+
 // Prepared caches the deterministic, expensive part of Algorithm 1 — the
 // extension evaluations f_Δ(G) over the GEM grid — so that repeated
-// releases on the same graph (each spending its own ε; the caller must
-// account composition) skip the LP work. The random steps (GEM selection
-// and the Laplace release) happen per call to Release.
+// releases on the same graph skip the LP work. The random steps (GEM
+// selection and the Laplace release) happen per call to Release.
+//
+// Composition accounting is the caller's job at this layer: Epsilon,
+// Releases, and SpentBudget expose what has been spent so far, and the
+// session API in internal/serve enforces a total budget on top. Release and
+// the introspection methods are safe for concurrent use only when the
+// underlying noise source is (the default crypto source is not; guard a
+// shared *rand.Rand yourself or use a Session).
 type Prepared struct {
-	grid        []float64
+	ge          *GridEval
 	qs          []float64
 	evaluations []DeltaEval
-	stats       forestlp.Stats
 	eps         float64
 	beta        float64
 	rand        *rand.Rand
 	discrete    bool
+	releases    atomic.Int64
 }
 
 // Evaluations returns the cached per-Δ diagnostics (not private).
 func (p *Prepared) Evaluations() []DeltaEval {
 	return append([]DeltaEval(nil), p.evaluations...)
 }
+
+// Epsilon returns ε, the privacy budget each Release spends.
+func (p *Prepared) Epsilon() float64 { return p.eps }
+
+// Releases returns how many Release calls have run so far. Calls that
+// returned an error still count: noise may have been drawn before the
+// failure, and budget accounting must stay conservative.
+func (p *Prepared) Releases() int { return int(p.releases.Load()) }
+
+// SpentBudget returns Releases()·Epsilon(), the total privacy cost of this
+// estimator so far under sequential composition (Lemma 2.4). Callers with a
+// hard budget should prefer the Session API, which enforces one.
+func (p *Prepared) SpentBudget() float64 { return float64(p.Releases()) * p.eps }
 
 // PrepareSpanningForest evaluates the extension family once for g under the
 // given options.
@@ -207,48 +307,49 @@ func PrepareSpanningForestCtx(ctx context.Context, g *graph.Graph, opts Options)
 }
 
 func prepareSF(ctx context.Context, g *graph.Graph, opts Options, eps float64) (*Prepared, error) {
-	grid, err := mechanism.PowerOfTwoGrid(opts.DeltaMax)
+	csr := graph.NewCSR(g)
+	ge, err := evaluateGridCSR(ctx, csr, graph.Fingerprint{}, opts) // one-shot path: no cache, skip hashing
 	if err != nil {
 		return nil, err
 	}
-	// One CSR snapshot and shard plan serve the whole Δ-grid: the component
-	// decomposition, the per-component subgraphs, and the delta-independent
-	// fast-path certificates are derived once instead of once per grid
-	// point. Each grid evaluation then runs on the shared worker pool
-	// configured by opts.ForestLP.Workers.
-	plan := forestlp.NewPlan(g)
-	fsf := float64(plan.SpanningForestSize())
+	return newPrepared(ge, opts, eps), nil
+}
+
+// newPrepared performs the ε-dependent scoring of a grid evaluation: the
+// GEM qualities q_Δ(G) = |f_Δ(G) − f_sf(G)| + Δ/(ε/2) (Algorithm 4 Step 4,
+// with GEM's own budget ε/2). It is cheap — O(grid) float ops — which is
+// why one cached GridEval can serve queries with different ε.
+func newPrepared(ge *GridEval, opts Options, eps float64) *Prepared {
 	epsHalf := eps / 2
 	p := &Prepared{
-		grid:        grid,
-		qs:          make([]float64, len(grid)),
-		evaluations: make([]DeltaEval, len(grid)),
+		ge:          ge,
+		qs:          make([]float64, len(ge.grid)),
+		evaluations: make([]DeltaEval, len(ge.grid)),
 		eps:         eps,
 		beta:        opts.Beta,
 		rand:        opts.Rand,
 		discrete:    opts.DiscreteRelease,
 	}
-	for i, d := range grid {
-		v, stats, err := plan.Value(ctx, d, opts.ForestLP)
-		if err != nil {
-			return nil, fmt.Errorf("core: evaluating f_%v: %w", d, err)
-		}
-		p.stats.MergeGridRound(stats)
-		// q_Δ(G) = |f_Δ(G) − f_sf(G)| + Δ/(ε/2)  (Algorithm 4 Step 4, with
-		// GEM's own budget ε/2).
-		p.qs[i] = math.Abs(v-fsf) + d/epsHalf
+	for i, d := range ge.grid {
+		v := ge.fdeltas[i]
+		p.qs[i] = math.Abs(v-ge.fsf) + d/epsHalf
 		p.evaluations[i] = DeltaEval{Delta: d, FDelta: v, Q: p.qs[i]}
 	}
-	return p, nil
+	return p
 }
 
-// Release performs the random half of Algorithm 1: GEM selection at ε/2
-// and a Laplace release at ε/2. Each call is an independent ε-node-private
-// release; run k of them and you have spent k·ε.
+// Release performs the random half of Algorithm 1: GEM selection at ε/2 and
+// a Laplace release at ε/2, where ε = Epsilon() is the budget this
+// estimator was prepared with (for the component-count path that is the
+// forest share of the total, not the caller's whole budget). Each call is
+// an independent ε-node-private release: k calls compose to k·ε by
+// Lemma 2.4, tracked by Releases and SpentBudget but not enforced — use the
+// Session API for a hard budget.
 func (p *Prepared) Release() (Result, error) {
-	res := Result{Evaluations: p.evaluations, Stats: p.stats}
+	p.releases.Add(1)
+	res := Result{Evaluations: p.evaluations, Stats: p.ge.stats}
 	epsHalf := p.eps / 2
-	sel, err := mechanism.GEM(p.rand, p.grid, p.qs, epsHalf, p.beta)
+	sel, err := mechanism.GEM(p.rand, p.ge.grid, p.qs, epsHalf, p.beta)
 	if err != nil {
 		return res, fmt.Errorf("core: GEM selection: %w", err)
 	}
@@ -279,10 +380,20 @@ func (p *Prepared) Release() (Result, error) {
 // estimateSF implements Algorithm 1 with total budget eps (callers may pass
 // a partial budget when composing).
 func estimateSF(ctx context.Context, g *graph.Graph, opts Options, eps float64) (Result, error) {
-	p, err := prepareSF(ctx, g, opts, eps)
+	csr := graph.NewCSR(g)
+	ge, err := evaluateGridCSR(ctx, csr, graph.Fingerprint{}, opts) // one-shot path: no cache, skip hashing
 	if err != nil {
 		return Result{}, err
 	}
+	return estimateSFFromGrid(ctx, ge, opts, eps)
+}
+
+// estimateSFFromGrid is the release half of estimateSF on a precomputed
+// grid evaluation. The one-shot estimators and the session serving layer
+// both funnel through here, which is what makes a seeded session query
+// bit-for-bit identical to the equivalent one-shot call.
+func estimateSFFromGrid(ctx context.Context, ge *GridEval, opts Options, eps float64) (Result, error) {
+	p := newPrepared(ge, opts, eps)
 	// A cancelation landing after the last grid evaluation must still
 	// abort before any noise is drawn — the contract is that a canceled
 	// run spends no budget.
@@ -290,6 +401,93 @@ func estimateSF(ctx context.Context, g *graph.Graph, opts Options, eps float64) 
 		return Result{}, err
 	}
 	return p.Release()
+}
+
+// checkGrid rejects a grid evaluation that was computed under a different
+// Δ-grid or different value-affecting evaluator options than the
+// (defaulted) options ask for — silently releasing from a mismatched
+// evaluation would be an accuracy bug, not a privacy bug, but still a bug.
+func checkGrid(ge *GridEval, opts Options) error {
+	if ge.deltaMax != opts.DeltaMax {
+		return fmt.Errorf("core: grid evaluation has DeltaMax %v, options ask for %v", ge.deltaMax, opts.DeltaMax)
+	}
+	if ge.optsDigest != planOptionsDigest(opts) {
+		return fmt.Errorf("core: grid evaluation was computed under different evaluator options (%s) than requested (%s)",
+			ge.optsDigest, planOptionsDigest(opts))
+	}
+	return nil
+}
+
+// EstimateSpanningForestSizeFromGrid is EstimateSpanningForestSizeCtx with
+// the deterministic half replaced by a precomputed (possibly cached) grid
+// evaluation: only GEM selection and the Laplace release run here. With the
+// same options and noise source, the release is bit-for-bit identical to
+// the one-shot call on the same graph.
+func EstimateSpanningForestSizeFromGrid(ctx context.Context, ge *GridEval, opts Options) (Result, error) {
+	opts, err := opts.withDefaults(ge.n)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := checkGrid(ge, opts); err != nil {
+		return Result{}, err
+	}
+	return estimateSFFromGrid(ctx, ge, opts, opts.Epsilon)
+}
+
+// EstimateComponentCountFromGrid is EstimateComponentCountCtx on a
+// precomputed grid evaluation; see EstimateSpanningForestSizeFromGrid.
+func EstimateComponentCountFromGrid(ctx context.Context, ge *GridEval, opts Options) (Result, error) {
+	opts, err := opts.withDefaults(ge.n)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := checkGrid(ge, opts); err != nil {
+		return Result{}, err
+	}
+	return estimateCCFromGrid(ctx, ge, opts)
+}
+
+// estimateCCFromGrid splits the (defaulted) budget between the private
+// vertex count and the forest estimate, drawing the count noise first —
+// the same draw order as the one-shot path, so seeded runs agree.
+func estimateCCFromGrid(ctx context.Context, ge *GridEval, opts Options) (Result, error) {
+	epsCount := opts.Epsilon * opts.CountBudgetFraction
+	epsSF := opts.Epsilon - epsCount
+	p := newPrepared(ge, opts, epsSF)
+	// As in estimateSF: no noise draws once ctx is done.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	nHat, err := mechanism.LaplaceRelease(opts.Rand, float64(ge.n), 1, epsCount)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := p.Release()
+	if err != nil {
+		return res, err
+	}
+	res.NHat = nHat
+	res.Value = nHat - res.Value
+	return res, nil
+}
+
+// EstimateComponentCountKnownNFromGrid is EstimateComponentCountKnownNCtx
+// on a precomputed grid evaluation; see EstimateSpanningForestSizeFromGrid.
+func EstimateComponentCountKnownNFromGrid(ctx context.Context, ge *GridEval, opts Options) (Result, error) {
+	opts, err := opts.withDefaults(ge.n)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := checkGrid(ge, opts); err != nil {
+		return Result{}, err
+	}
+	res, err := estimateSFFromGrid(ctx, ge, opts, opts.Epsilon)
+	if err != nil {
+		return res, err
+	}
+	res.NHat = float64(ge.n)
+	res.Value = float64(ge.n) - res.Value
+	return res, nil
 }
 
 // EstimateComponentCount releases an ε-node-private estimate of f_cc(G)
@@ -308,28 +506,12 @@ func EstimateComponentCountCtx(ctx context.Context, g *graph.Graph, opts Options
 	if err != nil {
 		return Result{}, err
 	}
-	epsCount := opts.Epsilon * opts.CountBudgetFraction
-	epsSF := opts.Epsilon - epsCount
-
-	p, err := prepareSF(ctx, g, opts, epsSF)
+	csr := graph.NewCSR(g)
+	ge, err := evaluateGridCSR(ctx, csr, graph.Fingerprint{}, opts) // one-shot path: no cache, skip hashing
 	if err != nil {
 		return Result{}, err
 	}
-	// As in estimateSF: no noise draws once ctx is done.
-	if err := ctx.Err(); err != nil {
-		return Result{}, err
-	}
-	nHat, err := mechanism.LaplaceRelease(opts.Rand, float64(g.N()), 1, epsCount)
-	if err != nil {
-		return Result{}, err
-	}
-	res, err := p.Release()
-	if err != nil {
-		return res, err
-	}
-	res.NHat = nHat
-	res.Value = nHat - res.Value
-	return res, nil
+	return estimateCCFromGrid(ctx, ge, opts)
 }
 
 // EstimateComponentCountKnownN is EstimateComponentCount for settings where

@@ -39,6 +39,7 @@ func Registry() []struct {
 		{"E14", E14LPScaling},
 		{"E15", EpsilonSweep},
 		{"E16", E16ParallelEngine},
+		{"E17", E17SessionServing},
 		{"F1", F1RepairTrace},
 		{"F2", F2Lemma52},
 		{"F3", F3WinDecomposition},

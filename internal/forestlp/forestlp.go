@@ -85,6 +85,13 @@ type Options struct {
 	Trace func(round, activeCuts, newCuts int, value float64)
 }
 
+// Normalize returns o with every zero tuning field replaced by its
+// documented default — the form under which two Options ask for the same
+// evaluation. The plan cache digests normalized options so zero-valued and
+// explicit-default configurations share entries. (The nested LP options
+// default per solve, from the problem dimensions, and are left as given.)
+func (o Options) Normalize() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.Tol <= 0 {
 		o.Tol = 1e-7

@@ -2,6 +2,7 @@ package forestlp
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sync"
 
@@ -86,6 +87,27 @@ func (p *Plan) SpanningForestSize() int { return p.fsf }
 // Shards returns the number of non-trivial (≥ 2 vertex) component shards,
 // i.e. the maximum useful worker count.
 func (p *Plan) Shards() int { return len(p.shards) }
+
+// GridValues evaluates f_Δ for every Δ in grid on the shared plan,
+// returning the values in grid order together with the grid-aggregated
+// statistics (counters accumulate across grid points, gauges keep maxima,
+// Components keeps the per-round value — see Stats.MergeGridRound). This is
+// the plan-reuse hook behind Algorithm 1's Δ-sweep and the serving-layer
+// plan cache: one snapshot, one shard decomposition, and one set of triage
+// certificates serve the whole grid.
+func (p *Plan) GridValues(ctx context.Context, grid []float64, opts Options) ([]float64, Stats, error) {
+	values := make([]float64, len(grid))
+	var stats Stats
+	for i, d := range grid {
+		v, st, err := p.Value(ctx, d, opts)
+		if err != nil {
+			return nil, stats, fmt.Errorf("evaluating f_%v: %w", d, err)
+		}
+		stats.MergeGridRound(st)
+		values[i] = v
+	}
+	return values, stats, nil
+}
 
 // lowDegree returns the cached low-degree spanning-forest bound, computing
 // it on first use. Safe for concurrent callers.

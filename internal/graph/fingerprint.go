@@ -1,0 +1,114 @@
+package graph
+
+// This file implements canonical graph fingerprints: a 128-bit digest of a
+// graph's exact vertex count and edge set, independent of how the graph was
+// built (edge insertion order, intermediate removals, Graph vs. CSR). The
+// plan cache in internal/core keys the expensive Δ-grid evaluations of
+// Algorithm 1 by fingerprint, so re-reading the same graph from disk — or
+// opening a second serving session on an identical graph — skips planning
+// entirely, while any one-edge difference changes the key.
+//
+// The digest is two independent FNV-1a-style 64-bit lanes over the
+// canonical byte stream (n, m, then the lexicographically sorted edge
+// list). It is a content hash for caching, not a cryptographic commitment:
+// collisions are astronomically unlikely by accident but not hard to
+// construct on purpose, so the cache must never be shared with untrusted
+// writers.
+
+import "fmt"
+
+// Fingerprint is a 128-bit canonical digest of a graph's vertex count and
+// edge set. Two graphs with the same vertices and edges have the same
+// fingerprint regardless of construction order; graphs differing in even a
+// single edge differ (up to hash collision). The zero value is not the
+// fingerprint of any graph, including the empty one.
+type Fingerprint struct {
+	Hi, Lo uint64
+}
+
+// String formats the fingerprint as 32 hex digits.
+func (f Fingerprint) String() string { return fmt.Sprintf("%016x%016x", f.Hi, f.Lo) }
+
+// IsZero reports whether f is the zero value (no graph hashes to it).
+func (f Fingerprint) IsZero() bool { return f.Hi == 0 && f.Lo == 0 }
+
+const (
+	// Lane seeds and multipliers: lane lo is standard FNV-1a 64; lane hi
+	// uses a distinct odd multiplier (the 64-bit golden-ratio constant,
+	// forced odd) and seed so the two lanes evolve independently.
+	fpLoOffset = 0xcbf29ce484222325
+	fpLoPrime  = 0x00000100000001b3
+	fpHiOffset = 0x6a09e667f3bcc909 // frac(sqrt(2)), the SHA-512 IV word
+	fpHiPrime  = 0x9e3779b97f4a7c15 | 1
+)
+
+// fpHasher accumulates the two lanes.
+type fpHasher struct {
+	hi, lo uint64
+}
+
+func newFPHasher() fpHasher { return fpHasher{hi: fpHiOffset, lo: fpLoOffset} }
+
+// mix folds one 64-bit word into both lanes, byte by byte.
+func (h *fpHasher) mix(x uint64) {
+	for i := 0; i < 8; i++ {
+		b := uint64(byte(x))
+		x >>= 8
+		h.lo = (h.lo ^ b) * fpLoPrime
+		h.hi = (h.hi ^ b) * fpHiPrime
+	}
+}
+
+// sum finalizes the digest with an avalanche pass so that short inputs
+// (small graphs) still spread across all 128 bits.
+func (h fpHasher) sum() Fingerprint {
+	fin := func(x uint64) uint64 {
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		x *= 0xc4ceb9fe1a85ec53
+		x ^= x >> 33
+		return x
+	}
+	return Fingerprint{Hi: fin(h.hi ^ h.lo<<1), Lo: fin(h.lo)}
+}
+
+// fingerprintEdges hashes the canonical stream: n, m, then each edge (u,v)
+// with u < v in lexicographic order, as produced by visit.
+func fingerprintEdges(n, m int, visit func(emit func(u, v int))) Fingerprint {
+	h := newFPHasher()
+	h.mix(uint64(n))
+	h.mix(uint64(m))
+	visit(func(u, v int) {
+		h.mix(uint64(u))
+		h.mix(uint64(v))
+	})
+	return h.sum()
+}
+
+// Fingerprint returns the canonical 128-bit digest of g's vertex count and
+// edge set. It is independent of insertion order and of whether the graph
+// was built directly or round-tripped through removals, CSR snapshots, or
+// the edge-list exchange format. Cost: O(n + m) time and memory — the
+// adjacency maps are canonicalized through a temporary CSR snapshot, whose
+// counting-sort construction avoids the per-vertex sorts a direct map walk
+// would need. Callers that already hold a CSR should fingerprint that
+// instead.
+func (g *Graph) Fingerprint() Fingerprint {
+	return NewCSR(g).Fingerprint()
+}
+
+// Fingerprint returns the canonical digest of the snapshot's vertex count
+// and edge set. It equals Graph.Fingerprint of the graph the snapshot was
+// taken from.
+func (c *CSR) Fingerprint() Fingerprint {
+	return fingerprintEdges(c.N(), c.M(), func(emit func(u, v int)) {
+		for u, n := 0, c.N(); u < n; u++ {
+			for _, v := range c.Neighbors(u) {
+				if u < v {
+					emit(u, v)
+				}
+			}
+		}
+	})
+}

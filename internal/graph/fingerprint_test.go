@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestFingerprintInsertionOrderInvariance(t *testing.T) {
+	edges := []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 4}, {5, 6}, {3, 7}}
+	g1 := MustFromEdges(9, edges)
+
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(len(edges))
+		shuffled := make([]Edge, len(edges))
+		for i, j := range perm {
+			shuffled[i] = edges[j]
+		}
+		g2 := MustFromEdges(9, shuffled)
+		if g1.Fingerprint() != g2.Fingerprint() {
+			t.Fatalf("trial %d: same edge set, different fingerprints: %v vs %v",
+				trial, g1.Fingerprint(), g2.Fingerprint())
+		}
+	}
+}
+
+func TestFingerprintSurvivesRemovalRoundTrip(t *testing.T) {
+	g := MustFromEdges(5, []Edge{{0, 1}, {1, 2}})
+	fp := g.Fingerprint()
+	if err := g.AddEdge(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if g.Fingerprint() == fp {
+		t.Fatal("adding an edge did not change the fingerprint")
+	}
+	if !g.RemoveEdge(3, 4) {
+		t.Fatal("remove failed")
+	}
+	if g.Fingerprint() != fp {
+		t.Fatal("add+remove round trip changed the fingerprint")
+	}
+}
+
+func TestFingerprintOneEdgeMutationDiffers(t *testing.T) {
+	base := MustFromEdges(6, []Edge{{0, 1}, {2, 3}, {4, 5}})
+	seen := map[Fingerprint]string{base.Fingerprint(): "base"}
+	variants := map[string]*Graph{
+		"drop-01":  MustFromEdges(6, []Edge{{2, 3}, {4, 5}}),
+		"swap-e":   MustFromEdges(6, []Edge{{0, 1}, {2, 3}, {3, 5}}),
+		"extra":    MustFromEdges(6, []Edge{{0, 1}, {2, 3}, {4, 5}, {1, 2}}),
+		"more-n":   MustFromEdges(7, []Edge{{0, 1}, {2, 3}, {4, 5}}),
+		"relabel":  MustFromEdges(6, []Edge{{0, 2}, {1, 3}, {4, 5}}),
+		"edgeless": New(6),
+	}
+	for name, g := range variants {
+		fp := g.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("fingerprint collision between %q and %q: %v", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}
+
+func TestFingerprintCSRAgreesWithGraph(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.IntN(40)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u != v && !g.HasEdge(u, v) {
+				if err := g.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if got, want := NewCSR(g).Fingerprint(), g.Fingerprint(); got != want {
+			t.Fatalf("trial %d: CSR fingerprint %v != graph fingerprint %v", trial, got, want)
+		}
+	}
+}
+
+func TestFingerprintEmptyAndZero(t *testing.T) {
+	if New(0).Fingerprint().IsZero() {
+		t.Fatal("empty graph must not hash to the zero fingerprint")
+	}
+	if New(0).Fingerprint() == New(1).Fingerprint() {
+		t.Fatal("vertex count must enter the fingerprint")
+	}
+	var zero Fingerprint
+	if !zero.IsZero() {
+		t.Fatal("zero value must report IsZero")
+	}
+	if s := New(3).Fingerprint().String(); len(s) != 32 {
+		t.Fatalf("String() = %q, want 32 hex digits", s)
+	}
+}

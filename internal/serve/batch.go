@@ -1,0 +1,108 @@
+package serve
+
+// This file implements the batch request/response layer: many queries with
+// individual ε/mode/seed are admitted against the accountant in request
+// order — so admission is deterministic regardless of scheduling — and then
+// executed concurrently on the session's single prepared plan.
+
+import (
+	"context"
+	"sync"
+
+	"nodedp/internal/core"
+)
+
+// Request is one query of a batch.
+type Request struct {
+	// Op selects the estimate (component count or spanning-forest size).
+	Op Op
+	// Epsilon, Mode, and Seed carry QueryOptions semantics.
+	Epsilon float64
+	Mode    Mode
+	Seed    uint64
+}
+
+// Response is the outcome of one batch request, at the same index.
+type Response struct {
+	Result core.Result
+	// Err is non-nil when the request was rejected (validation or
+	// ErrBudgetExhausted) or canceled; the Result is then meaningless.
+	Err error
+}
+
+// Do serves a batch of queries against the session's one prepared plan.
+// Budget admission happens in request order before anything executes: each
+// request is debited in turn, and one that no longer fits fails with
+// ErrBudgetExhausted without spending — for uniform epsilons that is
+// exactly the affordable prefix.
+//
+// Execution is deterministic in request order: seeded requests draw from
+// their own PRNGs and run concurrently, while unseeded requests on a
+// session with a caller-provided Rand — which must serialize on that PRNG
+// anyway — run sequentially by request index. A batch's releases are
+// therefore bit-for-bit the releases of the same requests issued
+// sequentially, including for a fully seeded-session batch.
+func (s *Session) Do(ctx context.Context, reqs []Request) []Response {
+	resps := make([]Response, len(reqs))
+
+	// Phase 1: deterministic admission, in request order.
+	admitted := make([]bool, len(reqs))
+	for i, r := range reqs {
+		s.queries.Add(1)
+		q := QueryOptions{Epsilon: r.Epsilon, Mode: r.Mode, Seed: r.Seed}
+		if err := s.validate(r.Op, q); err != nil {
+			s.rejected.Add(1)
+			resps[i].Err = err
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			s.rejected.Add(1)
+			resps[i].Err = err
+			continue
+		}
+		if err := s.acct.reserve(r.Epsilon); err != nil {
+			s.rejected.Add(1)
+			resps[i].Err = err
+			continue
+		}
+		s.admitted.Add(1)
+		admitted[i] = true
+	}
+
+	// Phase 2: execution. Each request is GEM + Laplace on the shared
+	// immutable plan — microseconds — so one goroutine per independent
+	// request is cheap.
+	runOne := func(i int) {
+		r := reqs[i]
+		q := QueryOptions{Epsilon: r.Epsilon, Mode: r.Mode, Seed: r.Seed}
+		res, err := s.execute(ctx, r.Op, q)
+		if err != nil && errIsCancel(err) {
+			s.acct.refund(r.Epsilon) // no noise drawn; see Session.query
+		}
+		resps[i] = Response{Result: res, Err: err}
+	}
+	var wg sync.WaitGroup
+	var shared []int // requests drawing from the shared session PRNG
+	for i := range reqs {
+		if !admitted[i] {
+			continue
+		}
+		if reqs[i].Seed == 0 && s.rand != nil {
+			shared = append(shared, i)
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runOne(i)
+		}(i)
+	}
+	// Shared-PRNG requests consume a common random stream; running them in
+	// request order (they could only serialize on randMu anyway) keeps a
+	// seeded session's batch output reproducible.
+	for _, i := range shared {
+		runOne(i)
+	}
+	wg.Wait()
+	return resps
+}

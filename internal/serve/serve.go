@@ -1,0 +1,413 @@
+// Package serve implements the session-oriented serving layer over
+// Algorithm 1: a long-lived Session snapshots a sensitive graph once — CSR,
+// shard plan, and the full Δ-grid of Lipschitz-extension evaluations, via
+// internal/core's grid evaluation and optionally a fingerprint-keyed
+// PlanCache — and then answers many private queries against it, each
+// debiting a thread-safe sequential-composition budget accountant.
+//
+// The split mirrors the structure of the mechanism itself: the grid
+// evaluation is deterministic and data-dependent but not released, so it
+// may be computed once and shared; every query pays only GEM selection plus
+// Laplace noise (microseconds) and its own ε under sequential composition
+// (Lemma 2.4). A query that would overdraw the session budget fails with
+// ErrBudgetExhausted before any noise is drawn, spending nothing.
+//
+// Determinism contract: a query with an explicit Seed releases bit-for-bit
+// the value the equivalent one-shot nodedp.Estimate*Ctx call with
+// Rand = NewRand(seed) would have released on the same graph and options —
+// enforced by routing both through the same core release path — and a batch
+// served by Do equals the same queries issued sequentially.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+
+	"nodedp/internal/core"
+	"nodedp/internal/dpnoise"
+	"nodedp/internal/forestlp"
+	"nodedp/internal/generate"
+	"nodedp/internal/graph"
+)
+
+// ErrBudgetExhausted is returned (wrapped, with the requested and remaining
+// budgets) by queries that would overdraw the session's total privacy
+// budget. The failing query spends nothing; test with
+// errors.Is(err, ErrBudgetExhausted).
+var ErrBudgetExhausted = errors.New("privacy budget exhausted")
+
+// Mode selects how a component-count query treats the vertex count.
+type Mode int
+
+const (
+	// PrivateN (the default) buys a private vertex count out of the query's
+	// ε, as EstimateComponentCount does.
+	PrivateN Mode = iota
+	// KnownN treats the vertex count as public and spends the whole query ε
+	// on the spanning-forest estimate, as EstimateComponentCountKnownN does.
+	KnownN
+)
+
+func (m Mode) String() string {
+	switch m {
+	case PrivateN:
+		return "private-n"
+	case KnownN:
+		return "known-n"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Op selects what a batch request estimates.
+type Op int
+
+const (
+	// OpComponentCount estimates f_cc (honoring the request Mode).
+	OpComponentCount Op = iota
+	// OpSpanningForestSize estimates f_sf.
+	OpSpanningForestSize
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpComponentCount:
+		return "cc"
+	case OpSpanningForestSize:
+		return "sf"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// SessionOptions configures Open. TotalBudget is required; everything else
+// defaults exactly as the one-shot estimators do (crypto noise,
+// β = 1/ln ln n, Δmax = n, count share 0.2).
+type SessionOptions struct {
+	// TotalBudget is ε_total, the hard cap on the sum of query epsilons
+	// this session will serve under sequential composition. Required.
+	TotalBudget float64
+	// Beta, DeltaMax, CountBudgetFraction, DiscreteRelease, and ForestLP
+	// carry the same meaning (and defaults) as the corresponding
+	// core.Options fields and apply to every query of the session.
+	Beta                float64
+	DeltaMax            float64
+	CountBudgetFraction float64
+	DiscreteRelease     bool
+	ForestLP            forestlp.Options
+	// Rand is the noise source for queries without an explicit Seed. If
+	// nil, each unseeded query draws from a fresh crypto-backed source.
+	// A caller-provided Rand is serialized by the session (queries sharing
+	// one PRNG cannot draw concurrently), so seeded or crypto queries
+	// parallelize better.
+	Rand *rand.Rand
+	// Cache, when non-nil, is consulted before planning and populated
+	// after: opening a session on a graph whose fingerprint (and
+	// plan-relevant options) match a cached evaluation skips the Δ-grid
+	// LPs entirely. Multiple sessions may share one cache.
+	Cache *core.PlanCache
+}
+
+// QueryOptions configures one private query.
+type QueryOptions struct {
+	// Epsilon is this query's privacy budget. Required; debited from the
+	// session total on admission.
+	Epsilon float64
+	// Mode applies to component-count queries only (PrivateN by default);
+	// a spanning-forest query with Mode set is rejected.
+	Mode Mode
+	// Seed, when nonzero, makes the release reproducible: the query draws
+	// from NewRand(Seed) and equals the one-shot call with the same seed.
+	// Reproducible releases are for testing only — they are not private.
+	// Zero uses the session's noise source (crypto-grade by default).
+	Seed uint64
+}
+
+// Stats is a snapshot of a session's serving counters.
+type Stats struct {
+	// PlansBuilt is how many grid evaluations this session computed: 1 for
+	// a cold open, 0 when the plan cache supplied one.
+	PlansBuilt int
+	// CacheHit reports whether Open was served from the plan cache.
+	CacheHit bool
+	// Queries, Admitted, and Rejected count all queries received, those
+	// that passed budget admission, and those refused (budget or
+	// validation).
+	Queries, Admitted, Rejected int64
+	// TotalBudget, Spent, and Remaining describe the accountant's state.
+	TotalBudget, Spent, Remaining float64
+	// Engine aggregates the extension evaluator's work for the plan this
+	// session serves (zero work was added if CacheHit).
+	Engine forestlp.Stats
+}
+
+// Session is a long-lived serving handle on one sensitive graph: the
+// expensive deterministic half of Algorithm 1 is computed (or fetched from
+// the plan cache) once at Open, and every query pays only selection and
+// release noise plus its ε. All methods are safe for concurrent use.
+type Session struct {
+	ge       *core.GridEval
+	cacheHit bool
+
+	// Per-session option template; zero fields default per query inside
+	// core, which is what keeps seeded queries identical to one-shot calls.
+	beta      float64
+	deltaMax  float64
+	countFrac float64
+	discrete  bool
+	forestLP  forestlp.Options
+
+	acct accountant
+
+	// rand is the shared unseeded noise source (nil = fresh crypto source
+	// per query); randMu serializes draws from it.
+	rand   *rand.Rand
+	randMu sync.Mutex
+
+	queries  atomic.Int64
+	admitted atomic.Int64
+	rejected atomic.Int64
+}
+
+// Open snapshots g and prepares it for serving: CSR snapshot, component
+// shard plan, and the full Δ-grid of extension evaluations, reused for
+// every subsequent query. With a Cache whose fingerprint-keyed lookup hits,
+// planning is skipped entirely. Open spends no privacy budget; a canceled
+// ctx aborts the evaluation promptly with ctx.Err().
+//
+// Mutating g after Open does not affect the session (it serves the
+// snapshot); it does change g's fingerprint, so a later Open sees the new
+// graph. Use Cache.Invalidate to reclaim stale cached plans.
+func Open(ctx context.Context, g *graph.Graph, opts SessionOptions) (*Session, error) {
+	if opts.TotalBudget <= 0 || math.IsNaN(opts.TotalBudget) || math.IsInf(opts.TotalBudget, 0) {
+		return nil, fmt.Errorf("serve: total budget %v must be positive and finite", opts.TotalBudget)
+	}
+	probe := core.Options{
+		Beta:                opts.Beta,
+		DeltaMax:            opts.DeltaMax,
+		CountBudgetFraction: opts.CountBudgetFraction,
+		DiscreteRelease:     opts.DiscreteRelease,
+		ForestLP:            opts.ForestLP,
+	}
+	var (
+		ge  *core.GridEval
+		hit bool
+		err error
+	)
+	if opts.Cache != nil {
+		ge, hit, err = opts.Cache.GridEval(ctx, g, probe)
+	} else {
+		ge, err = core.EvaluateGrid(ctx, g, probe)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		ge:        ge,
+		cacheHit:  hit,
+		beta:      opts.Beta,
+		deltaMax:  opts.DeltaMax,
+		countFrac: opts.CountBudgetFraction,
+		discrete:  opts.DiscreteRelease,
+		forestLP:  opts.ForestLP,
+		rand:      opts.Rand,
+	}
+	s.acct.total = opts.TotalBudget
+	return s, nil
+}
+
+// ComponentCount releases an ε-node-private estimate of f_cc, debiting
+// q.Epsilon from the session budget (ErrBudgetExhausted if it does not
+// fit — nothing is spent then). q.Mode selects the vertex-count treatment.
+func (s *Session) ComponentCount(ctx context.Context, q QueryOptions) (core.Result, error) {
+	return s.query(ctx, OpComponentCount, q)
+}
+
+// SpanningForestSize releases an ε-node-private estimate of f_sf, debiting
+// q.Epsilon from the session budget.
+func (s *Session) SpanningForestSize(ctx context.Context, q QueryOptions) (core.Result, error) {
+	return s.query(ctx, OpSpanningForestSize, q)
+}
+
+// query validates, admits, and executes one private query.
+func (s *Session) query(ctx context.Context, op Op, q QueryOptions) (core.Result, error) {
+	s.queries.Add(1)
+	if err := s.validate(op, q); err != nil {
+		s.rejected.Add(1)
+		return core.Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		s.rejected.Add(1)
+		return core.Result{}, err
+	}
+	if err := s.acct.reserve(q.Epsilon); err != nil {
+		s.rejected.Add(1)
+		return core.Result{}, err
+	}
+	s.admitted.Add(1)
+	res, err := s.execute(ctx, op, q)
+	if err != nil && errIsCancel(err) {
+		// The core release path checks ctx exactly once, before any noise
+		// is drawn, so a cancelation error means nothing was released and
+		// the reservation can be returned.
+		s.acct.refund(q.Epsilon)
+	}
+	// Any other error keeps the budget spent: noise may already have been
+	// drawn, and accounting must stay conservative.
+	return res, err
+}
+
+// validate rejects malformed queries before any budget or noise is
+// touched. Session-wide options were validated at Open.
+func (s *Session) validate(op Op, q QueryOptions) error {
+	if q.Epsilon <= 0 || math.IsNaN(q.Epsilon) || math.IsInf(q.Epsilon, 0) {
+		return fmt.Errorf("serve: query epsilon %v must be positive and finite", q.Epsilon)
+	}
+	if op == OpSpanningForestSize && q.Mode != PrivateN {
+		return fmt.Errorf("serve: Mode applies only to component-count queries")
+	}
+	if q.Mode != PrivateN && q.Mode != KnownN {
+		return fmt.Errorf("serve: unknown mode %v", q.Mode)
+	}
+	return nil
+}
+
+// execute runs the admitted query's random half on the shared plan.
+func (s *Session) execute(ctx context.Context, op Op, q QueryOptions) (core.Result, error) {
+	var rng *rand.Rand
+	switch {
+	case q.Seed != 0:
+		rng = generate.NewRand(q.Seed)
+	case s.rand != nil:
+		// A shared PRNG is stateful: serialize draws from it.
+		s.randMu.Lock()
+		defer s.randMu.Unlock()
+		rng = s.rand
+	default:
+		rng = dpnoise.NewCryptoRand()
+	}
+	opts := core.Options{
+		Epsilon:             q.Epsilon,
+		Beta:                s.beta,
+		Rand:                rng,
+		DeltaMax:            s.deltaMax,
+		ForestLP:            s.forestLP,
+		CountBudgetFraction: s.countFrac,
+		DiscreteRelease:     s.discrete,
+	}
+	switch {
+	case op == OpSpanningForestSize:
+		return core.EstimateSpanningForestSizeFromGrid(ctx, s.ge, opts)
+	case q.Mode == KnownN:
+		return core.EstimateComponentCountKnownNFromGrid(ctx, s.ge, opts)
+	default:
+		return core.EstimateComponentCountFromGrid(ctx, s.ge, opts)
+	}
+}
+
+// TotalBudget returns ε_total.
+func (s *Session) TotalBudget() float64 { return s.acct.total }
+
+// Spent returns the budget consumed by admitted queries so far.
+func (s *Session) Spent() float64 { return s.acct.spentNow() }
+
+// Remaining returns TotalBudget() − Spent().
+func (s *Session) Remaining() float64 { return s.acct.remaining() }
+
+// Fingerprint returns the canonical fingerprint of the served graph.
+func (s *Session) Fingerprint() graph.Fingerprint { return s.ge.Fingerprint() }
+
+// N returns the served graph's vertex count. Like every non-Estimate
+// accessor it is exact data-dependent information: do not release it when
+// the vertex count is sensitive.
+func (s *Session) N() int { return s.ge.N() }
+
+// Stats returns a snapshot of the session's serving counters. The budget
+// triple is read atomically (Spent + Remaining == TotalBudget always), and
+// Admitted/Rejected are read before Queries, so Queries ≥ Admitted +
+// Rejected holds even while queries are in flight.
+func (s *Session) Stats() Stats {
+	plans := 1
+	var engine forestlp.Stats
+	if s.cacheHit {
+		plans = 0
+	} else {
+		engine = s.ge.Stats()
+	}
+	spent, remaining := s.acct.snapshot()
+	admitted, rejected := s.admitted.Load(), s.rejected.Load()
+	return Stats{
+		PlansBuilt:  plans,
+		CacheHit:    s.cacheHit,
+		Queries:     s.queries.Load(),
+		Admitted:    admitted,
+		Rejected:    rejected,
+		TotalBudget: s.acct.total,
+		Spent:       spent,
+		Remaining:   remaining,
+		Engine:      engine,
+	}
+}
+
+// errIsCancel reports whether err is a context cancelation or deadline.
+func errIsCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// accountant is the thread-safe sequential-composition ledger. Comparisons
+// are exact float64 arithmetic: rounding error can only reject a marginal
+// query, never admit an over-budget one.
+type accountant struct {
+	mu    sync.Mutex
+	total float64
+	spent float64
+}
+
+// reserve debits eps atomically, or returns ErrBudgetExhausted (wrapped
+// with the requested and remaining amounts) leaving the ledger untouched.
+func (a *accountant) reserve(eps float64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.spent+eps > a.total {
+		return fmt.Errorf("serve: %w: requested ε=%g with %g of %g remaining",
+			ErrBudgetExhausted, eps, a.total-a.spent, a.total)
+	}
+	a.spent += eps
+	return nil
+}
+
+// refund returns a reservation whose query provably drew no noise.
+func (a *accountant) refund(eps float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spent -= eps
+	if a.spent < 0 {
+		a.spent = 0
+	}
+}
+
+func (a *accountant) spentNow() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+func (a *accountant) remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total - a.spent
+}
+
+// snapshot returns spent and remaining under one lock acquisition, so the
+// pair is consistent (spent + remaining == total) even under concurrent
+// reservations.
+func (a *accountant) snapshot() (spent, remaining float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent, a.total - a.spent
+}

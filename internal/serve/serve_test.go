@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"nodedp/internal/core"
+	"nodedp/internal/generate"
+	"nodedp/internal/graph"
+)
+
+// testGraph is a small multi-component workload shared by the tests.
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	return generate.PlantedComponents([]int{8, 8, 8}, 0.4, generate.NewRand(11))
+}
+
+func mustOpen(t testing.TB, g *graph.Graph, opts SessionOptions) *Session {
+	t.Helper()
+	s, err := Open(context.Background(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOpenValidatesBudget(t *testing.T) {
+	g := testGraph(t)
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := Open(context.Background(), g, SessionOptions{TotalBudget: bad}); err == nil {
+			t.Fatalf("TotalBudget %v accepted", bad)
+		}
+	}
+}
+
+func TestSessionMatchesOneShot(t *testing.T) {
+	g := testGraph(t)
+	s := mustOpen(t, g, SessionOptions{TotalBudget: 100})
+	ctx := context.Background()
+
+	for seed := uint64(1); seed <= 4; seed++ {
+		oneShot, err := core.EstimateComponentCountCtx(ctx, g,
+			core.Options{Epsilon: 0.5, Rand: generate.NewRand(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.ComponentCount(ctx, QueryOptions{Epsilon: 0.5, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Value != oneShot.Value || got.Delta != oneShot.Delta || got.NHat != oneShot.NHat {
+			t.Fatalf("seed %d: session release (%v, Δ=%v) != one-shot (%v, Δ=%v)",
+				seed, got.Value, got.Delta, oneShot.Value, oneShot.Delta)
+		}
+
+		oneShotSF, err := core.EstimateSpanningForestSizeCtx(ctx, g,
+			core.Options{Epsilon: 0.25, Rand: generate.NewRand(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSF, err := s.SpanningForestSize(ctx, QueryOptions{Epsilon: 0.25, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotSF.Value != oneShotSF.Value {
+			t.Fatalf("seed %d: sf session %v != one-shot %v", seed, gotSF.Value, oneShotSF.Value)
+		}
+
+		oneShotKN, err := core.EstimateComponentCountKnownNCtx(ctx, g,
+			core.Options{Epsilon: 0.25, Rand: generate.NewRand(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotKN, err := s.ComponentCount(ctx, QueryOptions{Epsilon: 0.25, Mode: KnownN, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotKN.Value != oneShotKN.Value {
+			t.Fatalf("seed %d: known-n session %v != one-shot %v", seed, gotKN.Value, oneShotKN.Value)
+		}
+	}
+
+	st := s.Stats()
+	if st.PlansBuilt != 1 {
+		t.Fatalf("PlansBuilt = %d, want exactly 1 for all queries", st.PlansBuilt)
+	}
+	if want := 4 * (0.5 + 0.25 + 0.25); math.Abs(st.Spent-want) > 1e-12 {
+		t.Fatalf("Spent = %v, want %v", st.Spent, want)
+	}
+}
+
+// TestConcurrentQueriesNeverOverspend is the composition property test: k
+// concurrent queries whose epsilons sum past the total budget admit at most
+// the affordable count, never double-spend, and every rejection is
+// ErrBudgetExhausted. Run under -race this also exercises the accountant's
+// and the shared-PRNG serialization's thread safety.
+func TestConcurrentQueriesNeverOverspend(t *testing.T) {
+	g := testGraph(t)
+	const (
+		total = 1.0
+		eps   = 0.125 // dyadic: 8 queries fit exactly
+		k     = 20
+	)
+	s := mustOpen(t, g, SessionOptions{TotalBudget: total, Rand: generate.NewRand(5)})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Mix seeded, session-PRNG, and crypto draws across goroutines.
+			var q QueryOptions
+			switch i % 3 {
+			case 0:
+				q = QueryOptions{Epsilon: eps, Seed: uint64(i + 1)}
+			case 1:
+				q = QueryOptions{Epsilon: eps}
+			default:
+				q = QueryOptions{Epsilon: eps, Mode: KnownN}
+			}
+			_, errs[i] = s.ComponentCount(ctx, q)
+		}(i)
+	}
+	wg.Wait()
+
+	succeeded, rejected := 0, 0
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			succeeded++
+		case errors.Is(err, ErrBudgetExhausted):
+			rejected++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	affordable := int(total / eps)
+	if succeeded != affordable {
+		t.Fatalf("%d queries succeeded, want exactly %d (the affordable count)", succeeded, affordable)
+	}
+	if rejected != k-affordable {
+		t.Fatalf("%d rejected, want %d", rejected, k-affordable)
+	}
+	if spent := s.Spent(); spent != float64(succeeded)*eps {
+		t.Fatalf("Spent = %v, want %v: budget was double- or under-counted", spent, float64(succeeded)*eps)
+	}
+	if s.Remaining() != total-s.Spent() {
+		t.Fatalf("Remaining %v != total-spent %v", s.Remaining(), total-s.Spent())
+	}
+	st := s.Stats()
+	if st.Admitted != int64(affordable) || st.Rejected != int64(k-affordable) || st.Queries != k {
+		t.Fatalf("stats %+v inconsistent with %d/%d admitted", st, affordable, k)
+	}
+}
+
+func TestOverBudgetQuerySpendsNothing(t *testing.T) {
+	g := testGraph(t)
+	s := mustOpen(t, g, SessionOptions{TotalBudget: 1})
+	ctx := context.Background()
+	if _, err := s.ComponentCount(ctx, QueryOptions{Epsilon: 2}); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if s.Spent() != 0 {
+		t.Fatalf("rejected query spent %v", s.Spent())
+	}
+	// The budget is still fully available.
+	if _, err := s.ComponentCount(ctx, QueryOptions{Epsilon: 1, Seed: 1}); err != nil {
+		t.Fatalf("affordable query after rejection failed: %v", err)
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("Remaining = %v, want 0", s.Remaining())
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	g := testGraph(t)
+	s := mustOpen(t, g, SessionOptions{TotalBudget: 1})
+	ctx := context.Background()
+	for _, eps := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := s.ComponentCount(ctx, QueryOptions{Epsilon: eps}); err == nil {
+			t.Fatalf("epsilon %v accepted", eps)
+		}
+	}
+	if _, err := s.SpanningForestSize(ctx, QueryOptions{Epsilon: 0.1, Mode: KnownN}); err == nil {
+		t.Fatal("Mode on a spanning-forest query must be rejected")
+	}
+	if s.Spent() != 0 {
+		t.Fatalf("invalid queries spent %v", s.Spent())
+	}
+}
+
+func TestCanceledQueryRefunds(t *testing.T) {
+	g := testGraph(t)
+	s := mustOpen(t, g, SessionOptions{TotalBudget: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.ComponentCount(ctx, QueryOptions{Epsilon: 0.5}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.Spent() != 0 {
+		t.Fatalf("canceled query spent %v", s.Spent())
+	}
+}
+
+// TestBatchMatchesSequential is the batch determinism property test: a
+// batch served by Do releases bit-for-bit what the same seeded queries
+// issued sequentially release.
+func TestBatchMatchesSequential(t *testing.T) {
+	g := testGraph(t)
+	reqs := []Request{
+		{Op: OpComponentCount, Epsilon: 0.25, Seed: 101},
+		{Op: OpSpanningForestSize, Epsilon: 0.5, Seed: 102},
+		{Op: OpComponentCount, Mode: KnownN, Epsilon: 0.125, Seed: 103},
+		{Op: OpComponentCount, Epsilon: 0.25, Seed: 104},
+	}
+
+	batch := mustOpen(t, g, SessionOptions{TotalBudget: 2})
+	resps := batch.Do(context.Background(), reqs)
+
+	seq := mustOpen(t, g, SessionOptions{TotalBudget: 2})
+	for i, r := range reqs {
+		q := QueryOptions{Epsilon: r.Epsilon, Mode: r.Mode, Seed: r.Seed}
+		var want core.Result
+		var err error
+		if r.Op == OpSpanningForestSize {
+			want, err = seq.SpanningForestSize(context.Background(), q)
+		} else {
+			want, err = seq.ComponentCount(context.Background(), q)
+		}
+		if err != nil || resps[i].Err != nil {
+			t.Fatalf("request %d errored: batch=%v seq=%v", i, resps[i].Err, err)
+		}
+		if resps[i].Result.Value != want.Value || resps[i].Result.Delta != want.Delta {
+			t.Fatalf("request %d: batch release (%v, Δ=%v) != sequential (%v, Δ=%v)",
+				i, resps[i].Result.Value, resps[i].Result.Delta, want.Value, want.Delta)
+		}
+	}
+	if batch.Spent() != seq.Spent() {
+		t.Fatalf("batch spent %v, sequential spent %v", batch.Spent(), seq.Spent())
+	}
+}
+
+// TestBatchAdmitsAffordablePrefix checks deterministic in-order admission:
+// with uniform epsilons exceeding the budget, exactly the affordable prefix
+// is admitted and the tail fails with ErrBudgetExhausted.
+func TestBatchAdmitsAffordablePrefix(t *testing.T) {
+	g := testGraph(t)
+	s := mustOpen(t, g, SessionOptions{TotalBudget: 1})
+	reqs := make([]Request, 7)
+	for i := range reqs {
+		reqs[i] = Request{Op: OpComponentCount, Epsilon: 0.25, Seed: uint64(i + 1)}
+	}
+	resps := s.Do(context.Background(), reqs)
+	for i, r := range resps {
+		if i < 4 && r.Err != nil {
+			t.Fatalf("prefix request %d rejected: %v", i, r.Err)
+		}
+		if i >= 4 && !errors.Is(r.Err, ErrBudgetExhausted) {
+			t.Fatalf("tail request %d: err = %v, want ErrBudgetExhausted", i, r.Err)
+		}
+	}
+	if s.Spent() != 1 {
+		t.Fatalf("Spent = %v, want 1", s.Spent())
+	}
+}
+
+func TestSessionSharesPlanViaCache(t *testing.T) {
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}}
+	g1, err := graph.FromEdges(6, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same graph, reversed insertion order — a "re-read" copy.
+	g2 := graph.New(6)
+	for i := len(edges) - 1; i >= 0; i-- {
+		if err := g2.AddEdge(edges[i].U, edges[i].V); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cache := core.NewPlanCache(4)
+	ctx := context.Background()
+	s1, err := Open(ctx, g1, SessionOptions{TotalBudget: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(ctx, g2, SessionOptions{TotalBudget: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Stats().PlansBuilt != 1 || s1.Stats().CacheHit {
+		t.Fatalf("cold open: %+v, want 1 plan built", s1.Stats())
+	}
+	if s2.Stats().PlansBuilt != 0 || !s2.Stats().CacheHit {
+		t.Fatalf("warm open: %+v, want cache hit and 0 plans built", s2.Stats())
+	}
+	if s1.Fingerprint() != s2.Fingerprint() {
+		t.Fatal("identical graphs must share a fingerprint")
+	}
+	// Both sessions release identically for identical seeds.
+	r1, err := s1.ComponentCount(ctx, QueryOptions{Epsilon: 0.5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s2.ComponentCount(ctx, QueryOptions{Epsilon: 0.5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Value != r2.Value {
+		t.Fatalf("shared-plan sessions disagree: %v vs %v", r1.Value, r2.Value)
+	}
+	// Budgets are per-session, not per-cache-entry.
+	if s1.Spent() != 0.5 || s2.Spent() != 0.5 {
+		t.Fatalf("budgets leaked across sessions: %v, %v", s1.Spent(), s2.Spent())
+	}
+}
+
+// TestBatchSharedRandDeterministic pins the fix for unseeded batches on a
+// seeded session: requests drawing from the shared session PRNG execute in
+// request order, so two identically-seeded sessions produce identical
+// batches, and a batch equals the same queries issued sequentially.
+func TestBatchSharedRandDeterministic(t *testing.T) {
+	g := testGraph(t)
+	reqs := []Request{
+		{Op: OpComponentCount, Epsilon: 0.25},
+		{Op: OpSpanningForestSize, Epsilon: 0.25},
+		{Op: OpComponentCount, Mode: KnownN, Epsilon: 0.25},
+		{Op: OpComponentCount, Epsilon: 0.25},
+	}
+	run := func() []float64 {
+		s := mustOpen(t, g, SessionOptions{TotalBudget: 1, Rand: generate.NewRand(77)})
+		resps := s.Do(context.Background(), reqs)
+		vals := make([]float64, len(resps))
+		for i, r := range resps {
+			if r.Err != nil {
+				t.Fatalf("request %d: %v", i, r.Err)
+			}
+			vals[i] = r.Result.Value
+		}
+		return vals
+	}
+	first := run()
+	second := run()
+
+	seq := mustOpen(t, g, SessionOptions{TotalBudget: 1, Rand: generate.NewRand(77)})
+	for i, r := range reqs {
+		q := QueryOptions{Epsilon: r.Epsilon, Mode: r.Mode}
+		var want core.Result
+		var err error
+		if r.Op == OpSpanningForestSize {
+			want, err = seq.SpanningForestSize(context.Background(), q)
+		} else {
+			want, err = seq.ComponentCount(context.Background(), q)
+		}
+		if err != nil {
+			t.Fatalf("sequential request %d: %v", i, err)
+		}
+		if first[i] != second[i] || first[i] != want.Value {
+			t.Fatalf("request %d not deterministic: batch runs %v / %v, sequential %v",
+				i, first[i], second[i], want.Value)
+		}
+	}
+}

@@ -28,6 +28,11 @@
 //	res, err := nodedp.EstimateComponentCount(g, nodedp.Options{Epsilon: 1})
 //	// res.Value ≈ 3 (components {0,1}, {2,3}, {4}) + calibrated noise
 //
+// To serve many queries against one graph, Open a Session: the expensive
+// Δ-grid of LP evaluations is paid once (or fetched from a fingerprint-
+// keyed PlanCache) and every query spends its own ε against a total budget
+// enforced by the session's composition accountant.
+//
 // Estimates returned by this package are node-private releases; all other
 // exported analysis helpers (MaxInducedStar, LipschitzExtensionValue, …)
 // compute exact data-dependent quantities and are NOT private on their own.
@@ -43,6 +48,7 @@ import (
 	"nodedp/internal/downsens"
 	"nodedp/internal/forestlp"
 	"nodedp/internal/graph"
+	"nodedp/internal/serve"
 	"nodedp/internal/spanning"
 )
 
@@ -127,7 +133,9 @@ func EstimateComponentCountKnownNCtx(ctx context.Context, g *Graph, opts Options
 // Algorithm 1 — the extension evaluations over the whole Δ-grid, computed
 // once on the sharded parallel engine — so repeated releases on the same
 // graph only pay GEM selection plus Laplace noise. Each Release is an
-// independent ε-node-private release; the caller accounts composition.
+// independent release spending Epsilon(); Releases and SpentBudget report
+// the sequential-composition cost so far, but nothing is enforced at this
+// layer — Open a Session for a hard total budget.
 type PreparedEstimator = core.Prepared
 
 // PrepareSpanningForest evaluates the extension family once for g.
@@ -140,6 +148,98 @@ func PrepareSpanningForest(g *Graph, opts Options) (*PreparedEstimator, error) {
 func PrepareSpanningForestCtx(ctx context.Context, g *Graph, opts Options) (*PreparedEstimator, error) {
 	return core.PrepareSpanningForestCtx(ctx, g, opts)
 }
+
+// Session is a long-lived serving handle on one sensitive graph: Open pays
+// the deterministic, expensive half of Algorithm 1 once (CSR snapshot,
+// component shard plan, Δ-grid of extension evaluations — reusing a cached
+// plan when an identical graph was served before), and every subsequent
+// query pays only GEM selection plus Laplace noise and its own ε, debited
+// from the session's total budget by a thread-safe sequential-composition
+// accountant. All methods are safe for concurrent use.
+//
+//	sess, err := nodedp.Open(ctx, g, nodedp.SessionOptions{TotalBudget: 4})
+//	res, err := sess.ComponentCount(ctx, nodedp.QueryOptions{Epsilon: 0.5})
+//	res, err = sess.SpanningForestSize(ctx, nodedp.QueryOptions{Epsilon: 0.5})
+//	sess.Remaining() // 3.0
+//
+// Queries that would overdraw the budget fail with ErrBudgetExhausted and
+// spend nothing. A query with an explicit Seed releases bit-for-bit the
+// value of the equivalent one-shot Estimate*Ctx call with the same seed
+// (testing only — reproducible releases are not private).
+type Session = serve.Session
+
+// SessionOptions configures Open; TotalBudget is required, everything else
+// defaults as in Options.
+type SessionOptions = serve.SessionOptions
+
+// QueryOptions configures one Session query: its ε (required), the
+// component-count Mode, and an optional reproducibility Seed.
+type QueryOptions = serve.QueryOptions
+
+// SessionStats is the snapshot returned by Session.Stats: plans built
+// (exactly 1 per distinct graph; 0 on a plan-cache hit), query admission
+// counters, and budget state.
+type SessionStats = serve.Stats
+
+// QueryMode selects how a component-count query treats the vertex count.
+type QueryMode = serve.Mode
+
+const (
+	// ModePrivateN buys a private vertex count out of the query ε
+	// (the default; the EstimateComponentCount behavior).
+	ModePrivateN = serve.PrivateN
+	// ModeKnownN treats the vertex count as public
+	// (the EstimateComponentCountKnownN behavior).
+	ModeKnownN = serve.KnownN
+)
+
+// ErrBudgetExhausted is returned by Session queries that would overdraw the
+// total budget; the failing query spends nothing. Test with errors.Is.
+var ErrBudgetExhausted = serve.ErrBudgetExhausted
+
+// Open snapshots g and starts a serving session with the given total
+// privacy budget. Open itself spends no budget; a canceled ctx aborts the
+// plan construction promptly.
+func Open(ctx context.Context, g *Graph, opts SessionOptions) (*Session, error) {
+	return serve.Open(ctx, g, opts)
+}
+
+// BatchRequest is one query of a Session.Do batch, with per-request
+// ε/op/mode/seed.
+type BatchRequest = serve.Request
+
+// BatchResponse is the outcome of one BatchRequest, at the same index.
+type BatchResponse = serve.Response
+
+// BatchOp selects what a BatchRequest estimates.
+type BatchOp = serve.Op
+
+const (
+	// OpComponentCount estimates f_cc (honoring the request's Mode).
+	OpComponentCount = serve.OpComponentCount
+	// OpSpanningForestSize estimates f_sf.
+	OpSpanningForestSize = serve.OpSpanningForestSize
+)
+
+// PlanCache is a bounded, thread-safe LRU cache of the Δ-grid evaluations,
+// keyed by canonical graph fingerprint plus the plan-relevant options.
+// Hand the same cache to many Open calls (SessionOptions.Cache) and
+// identical graphs — even ones re-read from disk or built in a different
+// edge order — skip planning entirely; any one-edge difference misses.
+// Invalidate reclaims entries for a mutated graph.
+type PlanCache = core.PlanCache
+
+// PlanCacheStats reports a PlanCache's hit/miss/eviction counters.
+type PlanCacheStats = core.CacheStats
+
+// NewPlanCache returns an empty plan cache bounded to capacity entries
+// (a small default if capacity <= 0).
+func NewPlanCache(capacity int) *PlanCache { return core.NewPlanCache(capacity) }
+
+// Fingerprint is the canonical 128-bit digest of a graph's vertex count
+// and edge set, independent of construction order; Graph.Fingerprint
+// computes it. It keys the PlanCache and identifies sessions.
+type Fingerprint = graph.Fingerprint
 
 // LipschitzOptions configures LipschitzExtensionValue.
 type LipschitzOptions = forestlp.Options

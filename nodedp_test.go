@@ -2,6 +2,8 @@ package nodedp
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"testing"
 )
@@ -132,5 +134,81 @@ func TestKnownNFacade(t *testing.T) {
 	}
 	if math.Abs(sf.Value-25) > 25 {
 		t.Fatalf("f_sf estimate %v too far from 25", sf.Value)
+	}
+}
+
+func TestSessionFacade(t *testing.T) {
+	g := Matching(20)
+	ctx := context.Background()
+	cache := NewPlanCache(0)
+	sess, err := Open(ctx, g, SessionOptions{TotalBudget: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A seeded session query equals the one-shot call with the same seed.
+	oneShot, err := EstimateComponentCountCtx(ctx, g, Options{Epsilon: 0.5, Rand: NewRand(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.ComponentCount(ctx, QueryOptions{Epsilon: 0.5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != oneShot.Value {
+		t.Fatalf("session release %v != one-shot release %v", res.Value, oneShot.Value)
+	}
+	if sess.Remaining() != 1.5 {
+		t.Fatalf("Remaining = %v, want 1.5", sess.Remaining())
+	}
+
+	// Batch with per-request ε/mode/seed on the same plan.
+	resps := sess.Do(ctx, []BatchRequest{
+		{Op: OpSpanningForestSize, Epsilon: 0.5, Seed: 1},
+		{Op: OpComponentCount, Mode: ModeKnownN, Epsilon: 0.5, Seed: 2},
+		{Op: OpComponentCount, Epsilon: 9, Seed: 3}, // over budget
+	})
+	if resps[0].Err != nil || resps[1].Err != nil {
+		t.Fatalf("batch errors: %v, %v", resps[0].Err, resps[1].Err)
+	}
+	if !errors.Is(resps[2].Err, ErrBudgetExhausted) {
+		t.Fatalf("over-budget request: err = %v, want ErrBudgetExhausted", resps[2].Err)
+	}
+	if st := sess.Stats(); st.PlansBuilt != 1 || st.Admitted != 3 || st.Rejected != 1 {
+		t.Fatalf("session stats %+v, want 1 plan, 3 admitted, 1 rejected", st)
+	}
+
+	// A second session on an equal graph is served from the cache.
+	sess2, err := Open(ctx, g.Clone(), SessionOptions{TotalBudget: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sess2.Stats(); st.PlansBuilt != 0 || !st.CacheHit {
+		t.Fatalf("second open stats %+v, want a cache hit", st)
+	}
+	if hits := cache.Stats().Hits; hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+	if g.Fingerprint() != sess2.Fingerprint() {
+		t.Fatal("fingerprint mismatch between graph and session")
+	}
+}
+
+func TestPreparedIntrospection(t *testing.T) {
+	g := Matching(10)
+	prep, err := PrepareSpanningForest(g, Options{Epsilon: 1, Rand: NewRand(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.Epsilon() != 1 || prep.Releases() != 0 || prep.SpentBudget() != 0 {
+		t.Fatalf("fresh estimator: ε=%v releases=%d spent=%v", prep.Epsilon(), prep.Releases(), prep.SpentBudget())
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := prep.Release(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if prep.Releases() != 3 || prep.SpentBudget() != 3 {
+		t.Fatalf("after 3 releases: releases=%d spent=%v", prep.Releases(), prep.SpentBudget())
 	}
 }

@@ -5,12 +5,13 @@
 // One-shot usage:
 //
 //	ccdp -epsilon 1.0 [-mode cc|cc-known-n|sf] [-input graph.txt] [-seed 0]
-//	     [-workers 0] [-timeout 0] [-v]
+//	     [-workers 0] [-sep-workers 0] [-no-warm-start] [-timeout 0] [-v]
 //
 // Serving usage (one plan, many budget-accounted queries):
 //
 //	ccdp serve -budget 4.0 -queries queries.txt [-input graph.txt]
-//	     [-seed 0] [-workers 0] [-timeout 0] [-v]
+//	     [-seed 0] [-workers 0] [-sep-workers 0] [-no-warm-start]
+//	     [-timeout 0] [-v]
 //
 // The input format is one "u v" pair per line with an optional "n <count>"
 // header for isolated vertices; '#' starts a comment. With -input omitted,
@@ -21,6 +22,21 @@
 // -workers sets how many per-component LPs the evaluation engine solves
 // concurrently (0 = all CPUs); the released value is identical for every
 // setting. Negative values are a usage error.
+//
+// -sep-workers sets how many max-flow oracle calls run concurrently inside
+// a single component's separation round — the lever for graphs whose work
+// is one giant component, where -workers has nothing to parallelize
+// (0 = inherit -workers). The released value is identical for every
+// setting. Negative values are a usage error.
+//
+// -no-warm-start makes the Δ-grid evaluation solve every grid point from
+// scratch instead of carrying subtour cuts and simplex bases between
+// adjacent Δ (and between cutting-plane rounds). It exists for performance
+// bisection: on graphs whose cutting planes converge the release
+// distribution is unchanged and only the work counters move; a component
+// that hits the evaluator's stall bailout returns an approximate bound
+// whose exact value is solve-path-dependent and may differ across this
+// flag (see forestlp.Options.DisableWarmStart).
 //
 // -timeout bounds the whole run. In one-shot mode an expired deadline
 // aborts the single estimation before any noise is drawn, spending no
@@ -70,6 +86,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	input := fs.String("input", "", "edge-list file (default: stdin)")
 	seed := fs.Uint64("seed", 0, "0 = crypto randomness; nonzero = reproducible (testing only)")
 	workers := fs.Int("workers", 0, "concurrent component LP solves (0 = all CPUs, ≥ 0; result is identical for any value)")
+	sepWorkers := fs.Int("sep-workers", 0, "concurrent separation oracle calls within one component (0 = inherit -workers, ≥ 0; result is identical for any value)")
+	noWarm := fs.Bool("no-warm-start", false, "evaluate every Δ grid point from scratch (perf bisection; release distribution unchanged)")
 	timeout := fs.Duration("timeout", 0, "abort the estimation after this long, spending no budget (0 = no deadline)")
 	verbose := fs.Bool("v", false, "print selection diagnostics (NOT private; testing only)")
 	if err := fs.Parse(args); err != nil {
@@ -80,6 +98,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if *workers < 0 {
 		return usageError(fs, "-workers must be ≥ 0, got %d", *workers)
+	}
+	if *sepWorkers < 0 {
+		return usageError(fs, "-sep-workers must be ≥ 0, got %d", *sepWorkers)
 	}
 
 	g, closeInput, err := readInputGraph(stdin, *input)
@@ -93,6 +114,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		opts.Rand = nodedp.NewRand(*seed)
 	}
 	opts.ForestLP.Workers = *workers
+	opts.ForestLP.SepWorkers = *sepWorkers
+	opts.ForestLP.DisableWarmStart = *noWarm
 	opts.ForestLP.ShardTimings = *verbose
 
 	ctx, cancel := timeoutContext(*timeout)
@@ -138,6 +161,8 @@ func runServe(args []string, stdin io.Reader, stdout io.Writer) error {
 	input := fs.String("input", "", "edge-list file (default: stdin)")
 	seed := fs.Uint64("seed", 0, "session noise source: 0 = crypto randomness; nonzero = reproducible (testing only); per-query seeds override")
 	workers := fs.Int("workers", 0, "concurrent component LP solves for the one-time plan build (0 = all CPUs, ≥ 0)")
+	sepWorkers := fs.Int("sep-workers", 0, "concurrent separation oracle calls within one component (0 = inherit -workers, ≥ 0)")
+	noWarm := fs.Bool("no-warm-start", false, "evaluate every Δ grid point of the plan from scratch (perf bisection)")
 	timeout := fs.Duration("timeout", 0, "deadline for plan build + all queries; an expired query fails without spending its ε (0 = no deadline)")
 	verbose := fs.Bool("v", false, "print per-query selection diagnostics (NOT private; testing only)")
 	if err := fs.Parse(args); err != nil {
@@ -151,6 +176,9 @@ func runServe(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if *workers < 0 {
 		return usageError(fs, "-workers must be ≥ 0, got %d", *workers)
+	}
+	if *sepWorkers < 0 {
+		return usageError(fs, "-sep-workers must be ≥ 0, got %d", *sepWorkers)
 	}
 
 	reqs, err := readQueryFile(*queries)
@@ -169,6 +197,8 @@ func runServe(args []string, stdin io.Reader, stdout io.Writer) error {
 		sopts.Rand = nodedp.NewRand(*seed)
 	}
 	sopts.ForestLP.Workers = *workers
+	sopts.ForestLP.SepWorkers = *sepWorkers
+	sopts.ForestLP.DisableWarmStart = *noWarm
 
 	ctx, cancel := timeoutContext(*timeout)
 	defer cancel()

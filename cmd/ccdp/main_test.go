@@ -126,6 +126,43 @@ func TestRunWorkersNegativeIsUsageError(t *testing.T) {
 	}
 }
 
+func TestRunSepWorkersNegativeIsUsageError(t *testing.T) {
+	for _, args := range [][]string{
+		{"-epsilon", "1", "-sep-workers", "-3"},
+		{"serve", "-budget", "1", "-queries", "whatever.txt", "-sep-workers", "-3"},
+	} {
+		err := run(args, strings.NewReader("0 1\n"), &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), "-sep-workers must be ≥ 0") {
+			t.Errorf("args %v: err = %v, want -sep-workers usage error", args, err)
+		}
+	}
+}
+
+// TestRunSepWorkersAndWarmStartDeterminism: for a fixed seed, the printed
+// release is identical across separation worker counts and with warm
+// starts disabled — both knobs move work, never values.
+func TestRunSepWorkersAndWarmStartDeterminism(t *testing.T) {
+	const input = "n 40\n0 1\n1 2\n2 0\n0 3\n3 4\n4 0\n1 5\n5 6\n6 1\n10 11\n"
+	var want string
+	for _, args := range [][]string{
+		{"-epsilon", "1", "-seed", "99", "-sep-workers", "1"},
+		{"-epsilon", "1", "-seed", "99", "-sep-workers", "4"},
+		{"-epsilon", "1", "-seed", "99", "-sep-workers", "8"},
+		{"-epsilon", "1", "-seed", "99", "-no-warm-start"},
+		{"-epsilon", "1", "-seed", "99", "-no-warm-start", "-sep-workers", "8"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, strings.NewReader(input), &out); err != nil {
+			t.Fatalf("args %v: %v", args, err)
+		}
+		if want == "" {
+			want = out.String()
+		} else if out.String() != want {
+			t.Errorf("args %v output diverged:\n%s\nwant:\n%s", args, out.String(), want)
+		}
+	}
+}
+
 func writeQueryFile(t *testing.T, content string) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "queries.txt")

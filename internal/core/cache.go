@@ -17,6 +17,7 @@ package core
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -29,9 +30,11 @@ const DefaultPlanCacheCapacity = 16
 
 // CacheStats reports a PlanCache's counters. Hits and Misses count GridEval
 // lookups; Evictions counts entries dropped by the LRU bound; Invalidations
-// counts entries removed by Invalidate.
+// counts entries removed by Invalidate; Coalesced counts lookups that
+// joined another caller's in-flight evaluation of the same key instead of
+// duplicating it (single-flight).
 type CacheStats struct {
-	Hits, Misses, Evictions, Invalidations int64
+	Hits, Misses, Evictions, Invalidations, Coalesced int64
 	// Entries is the current number of cached evaluations.
 	Entries int
 }
@@ -46,14 +49,18 @@ type cacheKey struct {
 // planOptionsDigest captures the options that alter a grid evaluation's
 // values: the grid itself (DeltaMax) and the evaluator's numeric knobs,
 // normalized so zero-valued and explicitly-default configurations digest
-// identically. Workers, ShardTimings, and Trace change only scheduling and
-// diagnostics, never values, and are deliberately excluded so sessions with
-// different concurrency settings share entries.
+// identically. Workers, SepWorkers, ShardTimings, and Trace change only
+// scheduling and diagnostics, never values, and are deliberately excluded
+// so sessions with different concurrency settings share entries.
+// DisableWarmStart and SepExhaustive are included conservatively: they are
+// value-neutral on converging instances, but a stalled piece returns its
+// path-dependent relaxation bound, and they also change the work counters
+// stored with the cached evaluation.
 func planOptionsDigest(o Options) string {
 	f := o.ForestLP.Normalize()
-	return fmt.Sprintf("dmax=%g tol=%g rounds=%d cuts=%d drop=%d stall=%d nofast=%t nopeel=%t lp=%+v",
+	return fmt.Sprintf("dmax=%g tol=%g rounds=%d cuts=%d drop=%d stall=%d nofast=%t nopeel=%t nowarm=%t exh=%t lp=%+v",
 		o.DeltaMax, f.Tol, f.MaxRounds, f.MaxCutsPerRound, f.DropSlackAfter, f.StallRounds,
-		f.DisableFastPath, f.DisablePeel, f.LP)
+		f.DisableFastPath, f.DisablePeel, f.DisableWarmStart, f.SepExhaustive, f.LP)
 }
 
 type cacheEntry struct {
@@ -61,16 +68,26 @@ type cacheEntry struct {
 	ge  *GridEval
 }
 
+// flight is one in-progress evaluation that concurrent misses of the same
+// key wait on instead of duplicating. ge and err are written before done is
+// closed, so waiters read them without further synchronization.
+type flight struct {
+	done chan struct{}
+	ge   *GridEval
+	err  error
+}
+
 // PlanCache is a bounded, thread-safe LRU cache of grid evaluations keyed
 // by graph fingerprint. A single PlanCache may back any number of
 // concurrent sessions; the zero value is not usable — construct with
 // NewPlanCache.
 type PlanCache struct {
-	mu      sync.Mutex
-	cap     int
-	ll      *list.List // front = most recently used
-	entries map[cacheKey]*list.Element
-	stats   CacheStats
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List // front = most recently used
+	entries  map[cacheKey]*list.Element
+	inflight map[cacheKey]*flight
+	stats    CacheStats
 }
 
 // NewPlanCache returns an empty cache bounded to capacity entries
@@ -80,9 +97,10 @@ func NewPlanCache(capacity int) *PlanCache {
 		capacity = DefaultPlanCacheCapacity
 	}
 	return &PlanCache{
-		cap:     capacity,
-		ll:      list.New(),
-		entries: make(map[cacheKey]*list.Element),
+		cap:      capacity,
+		ll:       list.New(),
+		entries:  make(map[cacheKey]*list.Element),
+		inflight: make(map[cacheKey]*flight),
 	}
 }
 
@@ -91,9 +109,11 @@ func NewPlanCache(capacity int) *PlanCache {
 // handling matches EvaluateGrid: Epsilon is irrelevant to the result and
 // may be zero.
 //
-// Two concurrent misses on the same key both evaluate (no single-flight
-// de-duplication); the second insert wins and the results are identical, so
-// the only cost is duplicated work during a cold start.
+// Concurrent misses on the same key are single-flighted: the first caller
+// evaluates, the rest wait on its result and report a cache hit (they did
+// no planning). A waiter whose own ctx expires leaves with ctx.Err(); if
+// the evaluating caller is canceled, a surviving waiter takes over the
+// evaluation rather than inheriting the cancelation.
 func (c *PlanCache) GridEval(ctx context.Context, g *graph.Graph, opts Options) (ge *GridEval, hit bool, err error) {
 	if opts.Epsilon == 0 {
 		opts.Epsilon = 1 // as in EvaluateGrid: ε does not enter grid values
@@ -105,37 +125,64 @@ func (c *PlanCache) GridEval(ctx context.Context, g *graph.Graph, opts Options) 
 	csr := graph.NewCSR(g)
 	key := cacheKey{fp: csr.Fingerprint(), opts: planOptionsDigest(opts)}
 
-	if ge := c.lookup(key); ge != nil {
-		return ge, true, nil
+	// Each logical lookup counts exactly once — Hits, Misses, or Coalesced
+	// — even when a canceled leader makes a waiter loop and take over.
+	counted := false
+	count := func(counter *int64) {
+		if !counted {
+			*counter++
+			counted = true
+		}
 	}
-	ge, err = evaluateGridCSR(ctx, csr, key.fp, opts)
-	if err != nil {
-		return nil, false, err
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.ll.MoveToFront(el)
+			count(&c.stats.Hits)
+			c.mu.Unlock()
+			return el.Value.(*cacheEntry).ge, true, nil
+		}
+		if f, ok := c.inflight[key]; ok {
+			count(&c.stats.Coalesced)
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if f.err == nil {
+				return f.ge, true, nil
+			}
+			if errIsCancel(f.err) {
+				continue // the evaluator bailed, not us: take over
+			}
+			return nil, false, f.err
+		}
+		count(&c.stats.Misses)
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		c.mu.Unlock()
+
+		f.ge, f.err = evaluateGridCSR(ctx, csr, key.fp, opts)
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil {
+			c.insertLocked(key, f.ge)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		return f.ge, false, nil
 	}
-	c.insert(key, ge)
-	return ge, false, nil
 }
 
-// lookup returns the cached evaluation for key (bumping it to
-// most-recently-used) or nil, updating hit/miss counters.
-func (c *PlanCache) lookup(key cacheKey) *GridEval {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		c.ll.MoveToFront(el)
-		c.stats.Hits++
-		return el.Value.(*cacheEntry).ge
-	}
-	c.stats.Misses++
-	return nil
-}
-
-// insert adds an evaluation, evicting the least recently used entries past
-// the capacity bound. A racing insert of the same key keeps the existing
-// entry.
-func (c *PlanCache) insert(key cacheKey, ge *GridEval) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// insertLocked adds an evaluation (c.mu held), evicting the least recently
+// used entries past the capacity bound. A racing insert of the same key
+// keeps the existing entry.
+func (c *PlanCache) insertLocked(key cacheKey, ge *GridEval) {
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		return
@@ -147,6 +194,11 @@ func (c *PlanCache) insert(key cacheKey, ge *GridEval) {
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
 		c.stats.Evictions++
 	}
+}
+
+// errIsCancel reports whether err is a context cancelation or deadline.
+func errIsCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Invalidate removes every cached evaluation of the graph with the given

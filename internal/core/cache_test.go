@@ -259,3 +259,88 @@ func TestEstimateFromGridRejectsMismatchedGrid(t *testing.T) {
 		t.Fatalf("explicit-default options rejected: %v", err)
 	}
 }
+
+// TestPlanCacheSingleFlight launches many concurrent cold lookups of the
+// same graph and checks that exactly one evaluates (one miss), the rest
+// coalesce onto it, and everyone receives the same evaluation.
+func TestPlanCacheSingleFlight(t *testing.T) {
+	g := cacheTestGraph(t, cacheTestEdges[:8])
+	cache := NewPlanCache(4)
+	opts := Options{Epsilon: 1, Rand: rand.New(rand.NewPCG(1, 2))}
+
+	const callers = 16
+	type outcome struct {
+		ge  *GridEval
+		hit bool
+		err error
+	}
+	results := make([]outcome, callers)
+	start := make(chan struct{})
+	done := make(chan int, callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			<-start
+			ge, hit, err := cache.GridEval(context.Background(), g, opts)
+			results[i] = outcome{ge, hit, err}
+			done <- i
+		}(i)
+	}
+	close(start)
+	for i := 0; i < callers; i++ {
+		<-done
+	}
+
+	first := results[0].ge
+	misses := 0
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("caller %d: %v", i, r.err)
+		}
+		if r.ge == nil {
+			t.Fatalf("caller %d: nil evaluation", i)
+		}
+		if r.ge != first {
+			t.Errorf("caller %d received a different evaluation pointer", i)
+		}
+		if !r.hit {
+			misses++
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 (single-flight)", st.Misses)
+	}
+	if misses != 1 {
+		t.Errorf("%d callers report doing the planning, want 1", misses)
+	}
+	if st.Coalesced+st.Hits != callers-1 {
+		t.Errorf("coalesced %d + hits %d != %d", st.Coalesced, st.Hits, callers-1)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+}
+
+// TestPlanCacheSingleFlightLeaderCanceled cancels the first (evaluating)
+// caller and checks that a waiting caller takes over instead of inheriting
+// the cancelation.
+func TestPlanCacheSingleFlightLeaderCanceled(t *testing.T) {
+	g := cacheTestGraph(t, cacheTestEdges[:8])
+	cache := NewPlanCache(4)
+	opts := Options{Epsilon: 1, Rand: rand.New(rand.NewPCG(3, 4))}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	cancelLeader() // the leader is doomed before it starts
+	_, _, err := cache.GridEval(leaderCtx, g, opts)
+	if err == nil {
+		t.Fatal("canceled leader should fail")
+	}
+	// A fresh caller must still be able to evaluate.
+	ge, hit, err := cache.GridEval(context.Background(), g, opts)
+	if err != nil || ge == nil {
+		t.Fatalf("follow-up evaluation failed: %v", err)
+	}
+	if hit {
+		t.Fatal("follow-up after canceled leader cannot be a hit")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"nodedp/internal/forestlp"
@@ -54,6 +55,65 @@ func TestWorkerCountDeterminism(t *testing.T) {
 					math.Float64bits(s.Q) != math.Float64bits(p.Q) {
 					t.Errorf("seed %d graph %d: grid point Δ=%v diverges across worker counts",
 						seed, gi, s.Delta)
+				}
+			}
+		}
+	}
+}
+
+// TestSepWorkersWarmStartReleaseDeterminism extends the end-to-end
+// determinism contract to the intra-component knobs: with a seeded PRNG,
+// the release, the GEM selection, and every grid diagnostic must be
+// bit-identical across SepWorkers settings and with warm starts disabled —
+// both knobs move work counters, never the random trajectory.
+func TestSepWorkersWarmStartReleaseDeterminism(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		rng := generate.NewRand(seed * 389)
+		graphs := []*graph.Graph{
+			generate.PlantedComponents([]int{50}, 4.0/50, rng), // one giant component
+			generate.WithHubs(generate.PlantedComponents([]int{25, 25}, 3.5/25, rng), 2, 0.3, rng),
+		}
+		for gi, g := range graphs {
+			run := func(sepWorkers int, noWarm bool) Result {
+				opts := Options{Epsilon: 1, Rand: generate.NewRand(seed)}
+				opts.ForestLP.SepWorkers = sepWorkers
+				opts.ForestLP.DisableWarmStart = noWarm
+				res, err := EstimateComponentCount(g, opts)
+				if err != nil {
+					t.Fatalf("seed %d graph %d sepWorkers %d noWarm %v: %v", seed, gi, sepWorkers, noWarm, err)
+				}
+				return res
+			}
+			base := run(1, false)
+			if base.Stats.StalledPieces > 0 {
+				t.Fatalf("seed %d graph %d stalled; the bit-identity contract needs a converging instance", seed, gi)
+			}
+			for _, cfg := range []struct {
+				sepWorkers int
+				noWarm     bool
+			}{{4, false}, {8, false}, {1, true}, {8, true}} {
+				got := run(cfg.sepWorkers, cfg.noWarm)
+				if math.Float64bits(got.Value) != math.Float64bits(base.Value) {
+					t.Errorf("seed %d graph %d: release %v (SepWorkers=%d noWarm=%v) != %v (baseline)",
+						seed, gi, got.Value, cfg.sepWorkers, cfg.noWarm, base.Value)
+				}
+				if got.Delta != base.Delta {
+					t.Errorf("seed %d graph %d: GEM Δ̂=%v (SepWorkers=%d noWarm=%v) != Δ̂=%v",
+						seed, gi, got.Delta, cfg.sepWorkers, cfg.noWarm, base.Delta)
+				}
+				for i := range base.Evaluations {
+					b, o := base.Evaluations[i], got.Evaluations[i]
+					if math.Float64bits(b.FDelta) != math.Float64bits(o.FDelta) ||
+						math.Float64bits(b.Q) != math.Float64bits(o.Q) {
+						t.Errorf("seed %d graph %d: grid point Δ=%v diverges (SepWorkers=%d noWarm=%v)",
+							seed, gi, b.Delta, cfg.sepWorkers, cfg.noWarm)
+					}
+				}
+				if !cfg.noWarm && !reflect.DeepEqual(got.Stats, base.Stats) {
+					// Same warm configuration must also reproduce the exact
+					// work counters regardless of SepWorkers.
+					t.Errorf("seed %d graph %d: stats diverge across SepWorkers: %+v != %+v",
+						seed, gi, got.Stats, base.Stats)
 				}
 			}
 		}

@@ -40,6 +40,7 @@ func Registry() []struct {
 		{"E15", EpsilonSweep},
 		{"E16", E16ParallelEngine},
 		{"E17", E17SessionServing},
+		{"E18", E18SeparationWarmStarts},
 		{"F1", F1RepairTrace},
 		{"F2", F2Lemma52},
 		{"F3", F3WinDecomposition},

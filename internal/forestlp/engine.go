@@ -68,6 +68,14 @@ func resolveWorkers(configured, shards int) int {
 // rounds and before each shard starts, so Value returns promptly with
 // ctx.Err() after the deadline.
 func (p *Plan) Value(ctx context.Context, delta float64, opts Options) (float64, Stats, error) {
+	return p.value(ctx, delta, opts, nil)
+}
+
+// value is Value with an optional grid-sweep warm-start state: warm, when
+// non-nil, carries per-shard cut pools and basis memos between the calls
+// of one GridValues sweep. Each shard's state is touched only by the one
+// worker evaluating that shard, so no synchronization is needed.
+func (p *Plan) value(ctx context.Context, delta float64, opts Options, warm *gridWarm) (float64, Stats, error) {
 	var stats Stats
 	if err := checkDelta(delta); err != nil {
 		return 0, stats, err
@@ -78,11 +86,17 @@ func (p *Plan) Value(ctx context.Context, delta float64, opts Options) (float64,
 	opts = opts.withDefaults()
 	workers := resolveWorkers(opts.Workers, len(p.shards))
 	stats.Workers = workers
+	shardWarmState := func(i int) *shardWarm {
+		if warm == nil {
+			return nil
+		}
+		return warm.shards[i]
+	}
 
 	results := make([]shardResult, len(p.shards))
 	if workers <= 1 {
 		for i, ps := range p.shards {
-			results[i] = p.evalShard(ctx, i, ps, delta, opts)
+			results[i] = p.evalShard(ctx, i, ps, delta, opts, shardWarmState(i))
 			if results[i].err != nil {
 				break
 			}
@@ -99,7 +113,7 @@ func (p *Plan) Value(ctx context.Context, delta float64, opts Options) (float64,
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					results[i] = p.evalShard(ectx, i, p.shards[i], delta, opts)
+					results[i] = p.evalShard(ectx, i, p.shards[i], delta, opts, shardWarmState(i))
 					if results[i].err != nil {
 						cancel()
 					}
@@ -174,12 +188,12 @@ func (p *Plan) Value(ctx context.Context, delta float64, opts Options) (float64,
 
 // evalShard runs one shard and packages the outcome with its timing (the
 // timing record is discarded by the merger unless Options.ShardTimings).
-func (p *Plan) evalShard(ctx context.Context, i int, ps *planShard, delta float64, opts Options) shardResult {
+func (p *Plan) evalShard(ctx context.Context, i int, ps *planShard, delta float64, opts Options, sw *shardWarm) shardResult {
 	if err := ctx.Err(); err != nil {
 		return shardResult{done: true, err: err}
 	}
 	start := time.Now()
-	v, st, err := ps.eval(ctx, delta, opts)
+	v, st, err := ps.eval(ctx, delta, opts, sw)
 	if err != nil {
 		return shardResult{done: true, err: fmt.Errorf("forestlp: component of size %d: %w", ps.n, err)}
 	}

@@ -38,6 +38,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 
 	"nodedp/internal/graph"
 	"nodedp/internal/lp"
@@ -51,6 +52,35 @@ type Options struct {
 	// returned value and all counting statistics are identical for every
 	// setting — only wall-clock time changes.
 	Workers int
+	// SepWorkers is the number of concurrent max-closure oracle calls
+	// inside one component's separation round — the intra-component
+	// parallelism that Workers cannot reach when one giant component is a
+	// single shard. 0 (the default) inherits Workers' resolution; 1 forces
+	// serial separation. Forced vertices are dispatched in waves whose
+	// schedule never depends on the worker count, and results merge in
+	// vertex order, so the returned value and all counting statistics
+	// (including max-flow calls) are identical for every setting; useful
+	// parallelism is capped at the maximum wave width (16).
+	SepWorkers int
+	// DisableWarmStart turns off every warm-start layer: the cross-Δ cut
+	// pool and piece-basis memos of grid sweeps, the round-to-round
+	// simplex basis carrying inside each cutting-plane solve, and the
+	// parked-cut pool that revives known violated cuts without an oracle
+	// flow. Every LP then re-pivots from the all-slack basis and every cut
+	// is re-discovered by max-flow, as the original engine did. On pieces
+	// whose cutting planes converge, warm starts change only the work
+	// counters (max-flow calls, pivots, LP rounds), never the values; a
+	// piece that hits the stall bailout returns its path-dependent
+	// relaxation bound (within Stats.StallGap of the optimum), which can
+	// differ across this knob — the plan cache digests it for exactly
+	// that reason. The knob exists for benchmarks and bisection.
+	DisableWarmStart bool
+	// SepExhaustive disables the separation oracle's eligible-vertex
+	// screening and its wave dispatch (reverting to the original
+	// one-forced-vertex-at-a-time sweep over every uncovered vertex).
+	// Results are identical, strictly more max-flow calls are made; the
+	// benchmark suite uses it to quantify the screening.
+	SepExhaustive bool
 	// ShardTimings enables per-shard wall-clock diagnostics in
 	// Stats.Shards. Off by default: every evaluation retains one record
 	// per non-trivial component, so a Δ-grid sweep over a graph with many
@@ -125,6 +155,20 @@ type Stats struct {
 	MaxFlowCalls int
 	// SimplexPivots sums pivots over all LP solves.
 	SimplexPivots int
+	// CutsRevived counts violated constraints served by the zero-flow
+	// parked-cut pool instead of the max-flow oracle (aged-out actives,
+	// truncation overflow, and cross-Δ pool seeds that became violated
+	// again).
+	CutsRevived int
+	// WarmCutsReused counts subtour constraints seeded from the cross-Δ
+	// cut pool instead of being re-discovered by the oracle (grid sweeps
+	// with warm starts enabled only).
+	WarmCutsReused int
+	// WarmBasisHits counts LP solves that successfully resumed from a
+	// previous basis — the preceding cutting-plane round's, or a matching
+	// piece's at the neighboring grid point — instead of the all-slack
+	// start (restoration plus dual repair, see internal/lp).
+	WarmBasisHits int
 	// StalledPieces counts LP pieces abandoned on a degenerate optimal
 	// face. For such pieces the returned value is the stalled relaxation
 	// bound: it never exceeds f_sf (the clamp guarantees underestimation
@@ -150,6 +194,9 @@ func (s *Stats) add(t Stats) {
 	s.CutsAdded += t.CutsAdded
 	s.MaxFlowCalls += t.MaxFlowCalls
 	s.SimplexPivots += t.SimplexPivots
+	s.CutsRevived += t.CutsRevived
+	s.WarmCutsReused += t.WarmCutsReused
+	s.WarmBasisHits += t.WarmBasisHits
 	s.StalledPieces += t.StalledPieces
 	if t.StallGap > s.StallGap {
 		s.StallGap = t.StallGap
@@ -195,9 +242,42 @@ func checkDelta(delta float64) error {
 	return nil
 }
 
+// maxWarmFails is the per-piece strike limit on rejected warm bases: a
+// failed restoration costs real pivots and then solves cold anyway, and on
+// degenerate pieces the failure repeats round after round.
+const maxWarmFails = 2
+
+// warmBasisMinRows gates the round-to-round (and cross-Δ) simplex basis
+// reuse by LP size: restoring a basis costs about one elimination per
+// basic structural variable, which rivals a full cold solve on small
+// programs — warm starts only pay off once the cold solve is
+// superlinearly more expensive than the restoration.
+const warmBasisMinRows = 96
+
+// resolveSepWorkers maps the Options to the separation worker count:
+// SepWorkers, inheriting Workers when zero, then GOMAXPROCS, clamped to
+// the wave width (beyond which extra workers would idle).
+func resolveSepWorkers(opts Options) int {
+	w := opts.SepWorkers
+	if w == 0 {
+		w = opts.Workers
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > sepWave {
+		w = sepWave
+	}
+	return w
+}
+
 // lpValue solves max x(E) over the forest polytope of sub intersected with
-// per-vertex degree budgets, by cutting planes.
-func lpValue(ctx context.Context, sub *graph.Graph, caps []float64, opts Options, stats *Stats) (float64, error) {
+// per-vertex degree budgets, by cutting planes. sw, when non-nil, is the
+// owning shard's cross-Δ warm-start state and orig the piece→shard vertex
+// map: pooled subtour cuts seed the first relaxation (they are valid at
+// every Δ), a matching piece resumes from its previous simplex basis, and
+// every cut generated here is pooled for the neighboring grid points.
+func lpValue(ctx context.Context, sub *graph.Graph, caps []float64, opts Options, stats *Stats, sw *shardWarm, orig []int) (float64, error) {
 	n := sub.N()
 	fsf := float64(n - 1)
 
@@ -254,20 +334,43 @@ func lpValue(ctx context.Context, sub *graph.Graph, caps []float64, opts Options
 	baseRows = append(baseRows, all)
 	baseRHS = append(baseRHS, fsf)
 
-	sep := newSeparator(sub, edges, opts.Tol)
-	var active []*cut
+	sep := newSeparator(sub, edges, opts.Tol, resolveSepWorkers(opts))
+	sep.exhaustive = opts.SepExhaustive
+	sep.noRevive = opts.DisableWarmStart
 	cutRow := func(ct *cut) []float64 {
 		row := make([]float64, m)
-		for i, e := range edges {
-			if ct.member[e.U] && ct.member[e.V] {
-				row[i] = 1
-			}
+		for _, i := range ct.edgeIdx {
+			row[i] = 1
 		}
 		return row
 	}
 
+	defer func() { stats.CutsRevived += sep.revived }()
+
+	// Cross-Δ warm start: seed the parked pool with every cut known for
+	// this piece's shard and, for a structurally matching piece, resume
+	// from the previous grid point's active rows and simplex basis.
+	var active []*cut
+	var curBasis []int // basis aligned with the upcoming solve's row layout
+	if sw != nil {
+		var seeded int
+		active, curBasis, seeded = sw.inject(sep, orig)
+		stats.WarmCutsReused += seeded
+	}
+
+	// primalLB is the value of a greedily built feasible 0/1 forest — a
+	// lower bound on the piece's optimum that the relaxation value (an
+	// upper bound) is compared against every round: once they meet, the
+	// piece is solved, skipping both further cutting-plane rounds and the
+	// final certification sweep of the oracle. The bound depends only on
+	// (sub, caps), so every configuration returns the identical float when
+	// the pinch fires, whatever route its relaxation took there.
+	primalLB := float64(primalCappedForestBound(sub, caps))
+
+	baseRowCount := len(baseRows)
 	prevValue := math.Inf(1)
 	stall := 0
+	warmFails := 0
 	for round := 0; round < opts.MaxRounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return 0, err
@@ -278,14 +381,41 @@ func lpValue(ctx context.Context, sub *graph.Graph, caps []float64, opts Options
 			rows = append(rows, cutRow(ct))
 			rhs = append(rhs, float64(ct.size-1))
 		}
-		sol, err := lp.Maximize(c, rows, rhs, opts.LP)
+		lpOpts := opts.LP
+		if len(rows) >= warmBasisMinRows && warmFails < maxWarmFails {
+			lpOpts.Basis = curBasis
+		}
+		sol, err := lp.Maximize(c, rows, rhs, lpOpts)
 		stats.LPSolves++
-		stats.SimplexPivots += sol.Pivots
+		stats.SimplexPivots += sol.Pivots + sol.WarmPivots
 		if err != nil {
 			return 0, err
 		}
+		if sol.WarmStarted {
+			stats.WarmBasisHits++
+		} else if lpOpts.Basis != nil {
+			// A rejected basis burned its restoration and repair pivots and
+			// then solved cold anyway; on degenerate pieces that failure
+			// mode repeats, so stop offering bases after a couple of
+			// strikes.
+			warmFails++
+		}
 		if sol.Status != lp.Optimal {
 			return 0, fmt.Errorf("LP solve ended with status %v", sol.Status)
+		}
+		// Gap pinch: sol.Value bounds the optimum from above, primalLB from
+		// below; when they meet within tolerance the piece is solved.
+		if sol.Value <= primalLB+opts.Tol {
+			if sw != nil {
+				sw.store(orig, active, sol.Basis)
+			}
+			return primalLB, nil
+		}
+		var prevBasis []int
+		var prevActive []*cut
+		if !opts.DisableWarmStart {
+			prevBasis = sol.Basis
+			prevActive = append([]*cut(nil), active...)
 		}
 
 		cuts, flows := sep.findViolated(sol.X, opts.MaxCutsPerRound)
@@ -294,6 +424,9 @@ func lpValue(ctx context.Context, sub *graph.Graph, caps []float64, opts Options
 			opts.Trace(round, len(active), len(cuts), sol.Value)
 		}
 		if len(cuts) == 0 {
+			if sw != nil {
+				sw.store(orig, active, sol.Basis)
+			}
 			value := sol.Value
 			if value < 0 {
 				value = 0
@@ -304,17 +437,33 @@ func lpValue(ctx context.Context, sub *graph.Graph, caps []float64, opts Options
 		// Stall detection: a frozen objective across many rounds while new
 		// cuts keep appearing means Kelley is walking a degenerate optimal
 		// face (e.g. hub graphs, whose optima are symmetric in which
-		// spokes carry weight). Try to certify the frozen value with a
-		// primal capped-forest bound; otherwise return the relaxation
-		// bound and record the residual gap.
-		if sol.Value >= prevValue-opts.Tol {
+		// spokes carry weight). With the parked pool enabled, "frozen"
+		// uses a coarser threshold than the feasibility tolerance: cheap
+		// revivals let degenerate instances creep by O(Tol·10³) per round
+		// forever, which is the same pathology at a glacial pace. With
+		// warm starts disabled the original engine's exact threshold is
+		// kept, so the legacy baseline stalls (and converges) exactly as
+		// before. Try to certify the frozen value with a primal
+		// capped-forest bound; otherwise return the relaxation bound and
+		// record the residual gap.
+		stallTol := opts.Tol
+		if !opts.DisableWarmStart {
+			stallTol = 1000 * opts.Tol
+		}
+		if sol.Value >= prevValue-stallTol {
 			stall++
 		} else {
 			stall = 0
 		}
+		if stall >= opts.StallRounds/2 && !sep.noRevive {
+			sep.flushParked()
+		}
 		prevValue = sol.Value
 		if stall >= opts.StallRounds {
-			lb := float64(primalCappedForestBound(sub, caps))
+			if sw != nil {
+				sw.store(orig, active, sol.Basis)
+			}
+			lb := primalLB
 			value := sol.Value
 			if value < 0 {
 				value = 0
@@ -329,28 +478,100 @@ func lpValue(ctx context.Context, sub *graph.Graph, caps []float64, opts Options
 		}
 
 		// Cut management: age out constraints that have been slack for
-		// several consecutive rounds (releasing their keys so they may
-		// return), then admit the new violated cuts.
+		// several consecutive rounds (parking them for free revival), then
+		// admit the new violated cuts — pooling each for the neighboring
+		// grid points, where they remain valid.
 		kept := active[:0]
 		for _, ct := range active {
 			lhs := 0.0
-			row := cutRow(ct)
-			for i, coef := range row {
-				lhs += coef * sol.X[i]
+			for _, i := range ct.edgeIdx {
+				lhs += sol.X[i]
 			}
 			if lhs < float64(ct.size-1)-opts.Tol {
 				ct.slackRounds++
 			} else {
 				ct.slackRounds = 0
 			}
-			if ct.slackRounds >= opts.DropSlackAfter {
-				sep.forget(ct.key)
+			if ct.slackRounds >= opts.DropSlackAfter && (ct.revivals < 2 || sep.noRevive) {
+				ct.slackParked = true
+				sep.park(ct)
 				continue
 			}
 			kept = append(kept, ct)
 		}
+		if sw != nil {
+			for _, ct := range cuts {
+				sw.addCut(orig, ct.ids)
+			}
+		}
 		active = append(kept, cuts...)
 		stats.CutsAdded += len(cuts)
+		// Resume the next round from this optimum: the surviving rows keep
+		// their basic variables, the new cut rows start slack-basic
+		// (primal-infeasible exactly there), and lp.Maximize repairs that
+		// with a few dual pivots instead of a cold re-solve. Skip the
+		// translation whenever the basis could never be offered: warm
+		// starts off, next round's LP below the size gate, or this
+		// piece's warm-fail strikes exhausted.
+		if opts.DisableWarmStart || warmFails >= maxWarmFails ||
+			baseRowCount+len(active) < warmBasisMinRows {
+			curBasis = nil
+		} else {
+			curBasis = mapBasis(prevBasis, prevActive, active, m, baseRowCount)
+		}
 	}
 	return 0, fmt.Errorf("cutting planes did not converge in %d rounds", opts.MaxRounds)
+}
+
+// mapBasis translates a basis across a cutting-plane row change: base rows
+// keep their positions, surviving cuts map old row → new row, dropped rows
+// vanish (their basic variable with them), and rows without a mapped basic
+// variable — the newly admitted cuts — start with their own slack. Returns
+// nil when the old basis is not translatable (a basic slack belonged to a
+// dropped row); lp.Maximize additionally validates whatever this produces
+// and falls back to a cold start on rejection, so the mapping may be
+// lenient.
+func mapBasis(prev []int, prevActive, active []*cut, cols, baseRows int) []int {
+	if prev == nil {
+		return nil
+	}
+	pos := make(map[*cut]int, len(active))
+	for i, ct := range active {
+		pos[ct] = i
+	}
+	oldToNew := make([]int, baseRows+len(prevActive))
+	for i := 0; i < baseRows; i++ {
+		oldToNew[i] = i
+	}
+	for i, ct := range prevActive {
+		if j, ok := pos[ct]; ok {
+			oldToNew[baseRows+i] = baseRows + j
+		} else {
+			oldToNew[baseRows+i] = -1
+		}
+	}
+	out := make([]int, baseRows+len(active))
+	for i := range out {
+		out[i] = -1
+	}
+	for oldRow, v := range prev {
+		newRow := oldToNew[oldRow]
+		if newRow == -1 {
+			continue // dropped row: its basic variable leaves the basis
+		}
+		if v >= cols {
+			s := oldToNew[v-cols]
+			if s == -1 {
+				return nil // basic slack of a dropped row: untranslatable
+			}
+			v = cols + s
+		}
+		out[newRow] = v
+	}
+	for i := range out {
+		if out[i] == -1 {
+			out[i] = cols + i
+		}
+	}
+	return out
 }

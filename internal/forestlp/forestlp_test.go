@@ -275,15 +275,16 @@ func TestFractionalDelta(t *testing.T) {
 }
 
 // TestMaxRoundsFailure: a tiny round budget must produce an error, not a
-// wrong answer. On a triangle at Δ=3 (fast path disabled; no leaves, so
-// peeling is a no-op) the first relaxation loads weight 2 onto a single
-// edge, which violates a pair constraint, so at least two rounds are
-// needed.
+// wrong answer. The instance needs a genuine primal-dual gap — on K₄ at
+// Δ = 1.5 the optimum is the fractional 3 (x ≡ ½) while the greedy capped
+// forest reaches only 2, so the gap-pinch termination cannot fire — and a
+// first relaxation whose vertices overload single edges past the pair
+// bound, so at least two rounds are needed.
 func TestMaxRoundsFailure(t *testing.T) {
-	g := generate.Cycle(3)
-	_, _, err := Value(g, 3, Options{MaxRounds: 1, DisableFastPath: true})
+	g := generate.Complete(4)
+	_, _, err := Value(g, 1.5, Options{MaxRounds: 1, DisableFastPath: true})
 	if err == nil {
-		t.Fatal("MaxRounds=1 should fail on K_3 at Δ=3")
+		t.Fatal("MaxRounds=1 should fail on K_4 at Δ=1.5")
 	}
 }
 

@@ -95,11 +95,27 @@ func (p *Plan) Shards() int { return len(p.shards) }
 // the plan-reuse hook behind Algorithm 1's Δ-sweep and the serving-layer
 // plan cache: one snapshot, one shard decomposition, and one set of triage
 // certificates serve the whole grid.
+//
+// Unless opts.DisableWarmStart, the sweep threads a per-shard warm-start
+// state between grid points: subtour cuts generated at one Δ are valid at
+// every other (only the degree rows depend on Δ), so they are injected
+// into the neighboring evaluations instead of being re-separated, and a
+// piece whose structure recurs resumes from its previous simplex basis.
+// On converging pieces warm starts change the work counters
+// (Stats.MaxFlowCalls, Stats.SimplexPivots, Stats.WarmCutsReused,
+// Stats.WarmBasisHits), never the returned values; see
+// Options.DisableWarmStart for the stall-bailout caveat. The state is
+// owned by this call, so concurrent GridValues on one Plan stay
+// independent.
 func (p *Plan) GridValues(ctx context.Context, grid []float64, opts Options) ([]float64, Stats, error) {
 	values := make([]float64, len(grid))
+	var warm *gridWarm
+	if !opts.DisableWarmStart {
+		warm = newGridWarm(p)
+	}
 	var stats Stats
 	for i, d := range grid {
-		v, st, err := p.Value(ctx, d, opts)
+		v, st, err := p.value(ctx, d, opts, warm)
 		if err != nil {
 			return nil, stats, fmt.Errorf("evaluating f_%v: %w", d, err)
 		}
@@ -121,7 +137,10 @@ func (ps *planShard) lowDegree() int {
 // eval computes f_Δ restricted to this shard. It is the delta-dependent
 // pipeline: fast-path triage (three certificates of increasing cost), then
 // exact leaf peeling, then one cutting-plane LP per remaining 2-core piece.
-func (ps *planShard) eval(ctx context.Context, delta float64, opts Options) (float64, Stats, error) {
+// sw, when non-nil, is this shard's cross-Δ warm-start state (cut pool and
+// piece basis memos); it is touched by exactly one goroutine at a time —
+// the worker evaluating this shard — because grid points run sequentially.
+func (ps *planShard) eval(ctx context.Context, delta float64, opts Options, sw *shardWarm) (float64, Stats, error) {
 	var stats Stats
 	fsf := float64(ps.n - 1)
 
@@ -173,7 +192,7 @@ func (ps *planShard) eval(ctx context.Context, delta float64, opts Options) (flo
 		for i, ov := range orig {
 			pcaps[i] = caps[ov]
 		}
-		v, err := lpValue(ctx, psub, pcaps, opts, &stats)
+		v, err := lpValue(ctx, psub, pcaps, opts, &stats, sw, orig)
 		if err != nil {
 			return 0, stats, err
 		}

@@ -3,15 +3,14 @@ package forestlp
 import (
 	"math"
 	"sort"
-	"strconv"
-	"strings"
+	"sync"
 
 	"nodedp/internal/graph"
 	"nodedp/internal/maxflow"
 )
 
-// separator finds violated subtour constraints x(E[S]) ≤ |S|−1 following
-// Padberg–Wolsey: for a forced vertex u, the quantity
+// This file implements the Padberg–Wolsey separation oracle for the forest
+// polytope: for a forced vertex u, the quantity
 //
 //	W(u) = max_{S ∋ u} ( x(E[S]) − |S| + 1 )
 //
@@ -20,42 +19,299 @@ import (
 // vertex (cost 1, waived for u). A subtour constraint is violated iff
 // W(u) > 0 for some u, and the minimizing cut's source side reads off S.
 //
-// Every candidate S is split into the connected components of G[S] before
-// being emitted: x(E[S]) = Σ_parts x(E[S_i]) and |S|−1 ≥ Σ(|S_i|−1), so
-// whenever S is violated some connected part is violated at least as much,
-// and the per-part constraints are stronger and sparser.
-type separator struct {
-	g     *graph.Graph
-	edges []graph.Edge
-	tol   float64
-	seen  map[string]bool // canonical keys of currently active cuts
+// The oracle is organized for the hot path:
+//
+//   - One flow-network template is built per separation round; each
+//     per-forced-vertex variant differs only in one sink-arc capacity, so
+//     workers stamp the template into a long-lived arena (maxflow.CopyFrom)
+//     instead of reallocating O(n+m) structures per call.
+//   - Forced vertices are dispatched in waves of geometrically ramping
+//     width across a worker pool (Options.SepWorkers). The wave schedule
+//     and the merge — covered screening and dedup in vertex order — are
+//     independent of the worker count, so results and flow counts are
+//     bit-for-bit identical for any SepWorkers setting.
+//   - A parked pool of previously discovered cuts is re-checked against
+//     every LP point before the oracle runs: reviving a known violated cut
+//     costs one sparse dot product and pre-covers its vertices, so flows
+//     are spent only where no known cut separates.
+//   - Forced vertices are screened to the 2-core of the fractional
+//     support: any set avoiding that core induces a forest of ≤1-weight
+//     support edges and cannot be violated beyond tolerance, so the
+//     certification sweeps that dominate the oracle's cost shrink to the
+//     (often empty) core.
+//   - Cuts are identified by canonical 128-bit hashes of their sorted
+//     vertex ids (no string keys), and per-set violation sums walk only the
+//     edges incident to the set via a per-vertex edge index instead of
+//     rescanning all m edges.
+
+// sepWave caps the wave width of the parallel oracle: how many forced
+// vertices are dispatched at most before the covered screening is
+// re-applied. It is a constant — never derived from SepWorkers — because
+// the wave schedule determines which oracle calls run, and those must not
+// change with the worker count. It also caps the useful SepWorkers.
+const sepWave = 16
+
+// cutKey is the canonical 128-bit identity of a vertex set: two sets
+// collide only with probability ≈ 2⁻¹²⁸. It replaces the string keys of the
+// original oracle (one allocation and O(|S|) formatting per candidate) and
+// doubles as the deterministic secondary sort key of capCuts.
+type cutKey struct{ hi, lo uint64 }
+
+// less orders keys lexicographically; used only for tie-breaking.
+func (k cutKey) less(o cutKey) bool {
+	if k.hi != o.hi {
+		return k.hi < o.hi
+	}
+	return k.lo < o.lo
+}
+
+// mix64 is the splitmix64 finalizer: a fast bijective mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// keyOfIDs hashes a strictly increasing id list into a canonical cutKey.
+// The two halves fold the stream through independent mixes so a collision
+// must defeat both.
+func keyOfIDs(ids []int32) cutKey {
+	hi := uint64(0x9e3779b97f4a7c15)
+	lo := uint64(0x517cc1b727220a95)
+	for _, v := range ids {
+		hi = mix64(hi ^ (uint64(v) + 1))
+		lo = mix64(lo + (uint64(v)+1)*0xc2b2ae3d27d4eb4f)
+	}
+	return cutKey{hi: hi, lo: lo}
 }
 
 // cut is a violated vertex set together with its bookkeeping key and the
 // violation amount at the separating point.
 type cut struct {
-	member    []bool
+	// ids are the member vertex ids, sorted ascending (LP-local space).
+	ids []int32
+	// edgeIdx are the LP edge indices with both endpoints in the set; cut
+	// rows and slack checks iterate these instead of all m edges.
+	edgeIdx   []int32
 	size      int
-	key       string
+	key       cutKey
 	violation float64
 	// slackRounds counts consecutive LP rounds in which the cut was slack;
 	// managed by the cutting-plane loop.
 	slackRounds int
+	// slackParked marks a cut parked by the slack-aging path (as opposed
+	// to truncation overflow or pool seeding); it distinguishes genuine
+	// drop/revive oscillation for the revivals counter.
+	slackParked bool
+	// revivals counts returns from the parked pool after a slack-aging
+	// drop. A cut revived twice this way is oscillating — dropped as
+	// slack, violated again, repeat — and each swing of that cycle costs
+	// a full LP round while the bouncing objective defeats the stall
+	// detector; the cutting-plane loop pins such cuts in the active set
+	// for good. Truncation overflow and pool seeds do not count: they
+	// were never judged useless, so re-activating them is not a cycle.
+	revivals int
 }
 
-func newSeparator(g *graph.Graph, edges []graph.Edge, tol float64) *separator {
-	return &separator{g: g, edges: edges, tol: tol, seen: make(map[string]bool)}
+// closureResult is one forced vertex's oracle outcome within a wave.
+type closureResult struct {
+	member   []bool // slot-owned scratch, valid until the next wave
+	size     int
+	violated bool
 }
 
-// forget releases a dropped cut's key so the set may be regenerated later.
-func (sp *separator) forget(key string) { delete(sp.seen, key) }
+// separator owns the oracle state for one piece's cutting-plane run.
+type separator struct {
+	g        *graph.Graph
+	edges    []graph.Edge
+	incident [][]int32 // incident[v] = indices into edges touching v
+	tol      float64
+	workers  int
+	// exhaustive reverts to the original oracle sweep: every uncovered
+	// vertex is forced (no eligibility screening), one at a time (wave
+	// width 1). Identical results, strictly more flows; benchmarks use it
+	// as the pre-screening baseline.
+	exhaustive bool
+	seen       map[cutKey]bool // canonical keys of every known cut (active or parked)
+
+	// parked holds known-but-inactive cuts: aged-out actives, truncation
+	// overflow, and cross-Δ pool seeds. findViolated re-checks them against
+	// the LP point before paying for any oracle flow — reviving a known
+	// violated cut costs one sparse dot product, re-discovering it costs a
+	// max-flow.
+	parked []*cut
+	// revived counts cuts returned by the zero-flow revive pass.
+	revived int
+	// noRevive disables the parked pool (Options.DisableWarmStart): parked
+	// cuts are forgotten instead, so the oracle re-derives them with flows
+	// as the original engine did.
+	noRevive bool
+
+	// Per-round flow template and its per-vertex sink arcs.
+	template *maxflow.Network
+	sinkArc  []int
+	totalX   float64
+
+	// Arenas and wave scratch, allocated lazily and reused across rounds.
+	arenas   []*maxflow.Network
+	results  []closureResult
+	waveBuf  []int
+	eligible []bool
+	covered  []bool
+	supDeg   []int32
+	partSeen []bool
+	partMask []bool
+	stack    []int32
+}
+
+func newSeparator(g *graph.Graph, edges []graph.Edge, tol float64, workers int) *separator {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > sepWave {
+		workers = sepWave
+	}
+	n := g.N()
+	incident := make([][]int32, n)
+	deg := make([]int32, n)
+	for _, e := range edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	flat := make([]int32, 2*len(edges))
+	off := 0
+	for v := 0; v < n; v++ {
+		incident[v] = flat[off : off : off+int(deg[v])]
+		off += int(deg[v])
+	}
+	for i, e := range edges {
+		incident[e.U] = append(incident[e.U], int32(i))
+		incident[e.V] = append(incident[e.V], int32(i))
+	}
+	return &separator{
+		g:        g,
+		edges:    edges,
+		incident: incident,
+		tol:      tol,
+		workers:  workers,
+		seen:     make(map[cutKey]bool),
+	}
+}
+
+// park moves a cut to the inactive pool: it stays registered (the oracle
+// will not re-derive it with a flow) and returns to the active set for free
+// if a later LP point violates it again. With noRevive the cut is
+// forgotten instead, releasing its key for oracle re-discovery.
+func (sp *separator) park(ct *cut) {
+	if sp.noRevive {
+		delete(sp.seen, ct.key)
+		return
+	}
+	sp.parked = append(sp.parked, ct)
+}
+
+// flushParked forgets every parked cut and disables further parking: the
+// cutting-plane loop calls it when a piece is halfway to the stall
+// bailout, because on degenerate faces the pool's cheap revivals feed the
+// churn instead of finishing it — the stall detector then sees the same
+// frozen face the original engine did.
+func (sp *separator) flushParked() {
+	for _, ct := range sp.parked {
+		delete(sp.seen, ct.key)
+	}
+	sp.parked = nil
+	sp.noRevive = true
+}
+
+// revive scans the parked pool against x and extracts the violated cuts,
+// in parked order (the caller's capCuts establishes the final ranking). It
+// is the zero-flow separation path: revived cuts rejoin the candidate set
+// without any oracle call.
+func (sp *separator) revive(x []float64) []*cut {
+	var violated []*cut
+	keep := sp.parked[:0]
+	for _, ct := range sp.parked {
+		lhs := 0.0
+		for _, i := range ct.edgeIdx {
+			lhs += x[i]
+		}
+		if v := lhs - float64(ct.size-1); v > sp.tol {
+			ct.violation = v
+			ct.slackRounds = 0
+			if ct.slackParked {
+				ct.revivals++
+				ct.slackParked = false
+			}
+			violated = append(violated, ct)
+		} else {
+			keep = append(keep, ct)
+		}
+	}
+	sp.parked = keep
+	return violated
+}
+
+// adopt registers an externally supplied vertex set (a warm-start pool cut,
+// already translated to this piece's id space, sorted ascending) as an
+// active cut with zero recorded violation. ok=false if an identical cut is
+// already registered.
+func (sp *separator) adopt(ids []int32) (*cut, bool) {
+	key := keyOfIDs(ids)
+	if sp.seen[key] {
+		return nil, false
+	}
+	sp.seen[key] = true
+	return &cut{
+		ids:     append([]int32(nil), ids...),
+		edgeIdx: sp.edgesWithin(ids),
+		size:    len(ids),
+		key:     key,
+	}, true
+}
+
+// edgesWithin returns the edge indices with both endpoints in ids (sorted
+// id list), using the incident index — O(volume of the set), not O(m).
+func (sp *separator) edgesWithin(ids []int32) []int32 {
+	mask := sp.scratchMask()
+	for _, v := range ids {
+		mask[v] = true
+	}
+	var out []int32
+	for _, v := range ids {
+		for _, i := range sp.incident[v] {
+			e := sp.edges[i]
+			if e.U == int(v) && mask[e.V] {
+				out = append(out, i)
+			}
+		}
+	}
+	for _, v := range ids {
+		mask[v] = false
+	}
+	return out
+}
+
+// scratchMask returns the shared n-length membership scratch (callers must
+// clear the bits they set before returning).
+func (sp *separator) scratchMask() []bool {
+	if sp.partMask == nil {
+		sp.partMask = make([]bool, sp.g.N())
+	}
+	return sp.partMask
+}
 
 // findViolated returns new violated subtour constraints for the LP point x
-// (strongest first), and the number of max-flow calls made. It first
-// screens the trivial pair sets S = {u,v} (the x_e ≤ 1 constraints) without
-// flows; if any pair is violated those are returned immediately. Otherwise
-// it runs the max-closure oracle once per forced vertex, skipping vertices
-// already covered by a violated set found in this call.
+// (strongest first), and the number of max-flow calls made. Two zero-flow
+// passes run first: the trivial pair sets S = {u,v} (the x_e ≤ 1
+// constraints) and the parked pool of previously discovered cuts; if
+// either yields violated cuts those are returned without any flow. Only
+// then does the max-closure oracle sweep the eligible forced vertices in
+// waves, skipping vertices already covered by a violated set found in an
+// earlier wave and discarding (in vertex order) results covered within the
+// wave — a schedule independent of the worker count.
 func (sp *separator) findViolated(x []float64, maxCuts int) ([]*cut, int) {
 	n := sp.g.N()
 
@@ -63,9 +319,8 @@ func (sp *separator) findViolated(x []float64, maxCuts int) ([]*cut, int) {
 	var pairs []*cut
 	for i, e := range sp.edges {
 		if x[i] > 1+sp.tol {
-			member := make([]bool, n)
-			member[e.U], member[e.V] = true, true
-			if c, ok := sp.record(member, 2, x[i]-1); ok {
+			ids := []int32{int32(e.U), int32(e.V)}
+			if c, ok := sp.record(ids, x[i]-1, []int32{int32(i)}); ok {
 				pairs = append(pairs, c)
 			}
 		}
@@ -74,162 +329,359 @@ func (sp *separator) findViolated(x []float64, maxCuts int) ([]*cut, int) {
 		return sp.capCuts(pairs, maxCuts), 0
 	}
 
-	var cuts []*cut
-	covered := make([]bool, n)
+	sp.buildTemplate(x)
+	if sp.totalX <= sp.tol {
+		// Every subtour lhs is at most Σx ≤ tol < 1 ≤ |S|−1: nothing to find.
+		return nil, 0
+	}
+	sp.ensureScratch(n)
+	sp.screenEligible(x)
+	eligible := sp.eligible
+	covered := sp.covered
+	for v := range covered {
+		covered[v] = false
+	}
+
+	// Zero-flow pass: revive parked cuts the point violates. They rejoin
+	// the candidate set for free and pre-cover their vertices, so the
+	// oracle spends its flows only where no known cut already separates.
+	cuts := sp.revive(x)
+	sp.revived += len(cuts)
+	for _, ct := range cuts {
+		for _, v := range ct.ids {
+			covered[v] = true
+		}
+	}
+
+	// Oracle sweep in waves of geometrically ramping width: the first
+	// probes are sequential — on rounds where violated sets exist, the
+	// first forced vertex usually finds one whose coverage silences many
+	// others, so narrow early waves avoid paying flows for results the
+	// merge would discard — while certification rounds (nothing to find,
+	// nothing covered) ramp to full width and parallelize across
+	// SepWorkers. The schedule depends only on (x, coverage), never on the
+	// worker count. Exhaustive mode pins the width to 1, reproducing the
+	// original one-at-a-time sweep.
 	flows := 0
-	for u := 0; u < n; u++ {
-		if covered[u] {
-			continue
-		}
-		member, size, violated := sp.closure(x, u)
-		flows++
-		if !violated || size < 2 {
-			continue
-		}
-		for v := 0; v < n; v++ {
-			if member[v] {
-				covered[v] = true
+	width := 1
+	next := 0
+	for next < n {
+		// Collect the next wave of eligible, uncovered forced vertices.
+		wave := sp.waveBuf[:0]
+		for ; next < n && len(wave) < width; next++ {
+			if eligible[next] && !covered[next] {
+				wave = append(wave, next)
 			}
 		}
-		// Split into connected parts and keep the genuinely violated ones.
-		for _, part := range sp.connectedParts(member) {
-			if part.size < 2 {
+		if !sp.exhaustive {
+			width *= 2
+			if width > sepWave {
+				width = sepWave
+			}
+		}
+		if len(wave) == 0 {
+			break
+		}
+		flows += len(wave)
+		sp.runWave(x, wave)
+
+		// Deterministic merge in vertex order: a result covered by an
+		// earlier wave member is discarded (its flow was the price of the
+		// parallel dispatch), everything else covers its vertices and is
+		// split into connected parts.
+		for k, u := range wave {
+			res := &sp.results[k]
+			if covered[u] || !res.violated || res.size < 2 {
 				continue
 			}
-			lhs := 0.0
-			for i, e := range sp.edges {
-				if part.member[e.U] && part.member[e.V] {
-					lhs += x[i]
+			for v := 0; v < n; v++ {
+				if res.member[v] {
+					covered[v] = true
 				}
 			}
-			viol := lhs - float64(part.size-1)
-			if viol <= sp.tol {
-				continue
-			}
-			if c, ok := sp.record(part.member, part.size, viol); ok {
-				cuts = append(cuts, c)
-			}
+			cuts = sp.emitParts(x, res.member, cuts)
 		}
 	}
 	return sp.capCuts(cuts, maxCuts), flows
 }
 
-type vertexSet struct {
-	member []bool
-	size   int
+// screenEligible marks the forced vertices the oracle must visit for the
+// LP point x. Beyond the basic screen (a profitless vertex is never in an
+// optimal closure except as the forced anchor, so vertices with no
+// incident fractional weight need no oracle call), the support 2-core
+// screen applies when every edge weight is at most 1 up to a summed slack
+// of tol: peeling a vertex with at most one support edge from a candidate
+// set S changes its violation by 1 − x_e ≥ −max(0, x_e − 1), so any set
+// with violation > tol + Σ_e max(0, x_e−1) peels down to a violated subset
+// inside the 2-core of the support graph, and forcing a vertex there finds
+// a cut at least as strong. Converged rounds — where the oracle's only job
+// is certifying that no violated set exists — often have forest-supported
+// optima whose 2-core is empty, turning the O(n)-flows certification sweep
+// into zero flows.
+func (sp *separator) screenEligible(x []float64) {
+	eligible := sp.eligible
+	if sp.exhaustive {
+		for v := range eligible {
+			eligible[v] = true
+		}
+		return
+	}
+	n := sp.g.N()
+	deg := sp.supDeg
+	for v := range deg {
+		deg[v] = 0
+	}
+	totalSlack := 0.0
+	for i, e := range sp.edges {
+		if x[i] > sp.tol {
+			deg[e.U]++
+			deg[e.V]++
+			if x[i] > 1 {
+				totalSlack += x[i] - 1
+			}
+		}
+	}
+	if totalSlack > sp.tol {
+		// Slack too large for the peeling bound: fall back to the basic
+		// positive-incident-weight screen.
+		for v := 0; v < n; v++ {
+			eligible[v] = deg[v] >= 1
+		}
+		return
+	}
+	// Iteratively strip support leaves; what survives is the 2-core.
+	queue := sp.stack[:0]
+	for v := 0; v < n; v++ {
+		if deg[v] == 1 {
+			queue = append(queue, int32(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := int(queue[len(queue)-1])
+		queue = queue[:len(queue)-1]
+		if deg[v] != 1 {
+			continue
+		}
+		deg[v] = 0
+		for _, i := range sp.incident[v] {
+			if x[i] <= sp.tol {
+				continue
+			}
+			e := sp.edges[i]
+			w := e.U + e.V - v
+			if deg[w] > 0 {
+				deg[w]--
+				if deg[w] == 1 {
+					queue = append(queue, int32(w))
+				}
+			}
+		}
+	}
+	sp.stack = queue[:0]
+	for v := 0; v < n; v++ {
+		eligible[v] = deg[v] >= 2
+	}
 }
 
-// connectedParts splits a membership mask into the connected components of
-// the induced subgraph.
-func (sp *separator) connectedParts(member []bool) []vertexSet {
+// emitParts splits a closure set into the connected components of the
+// induced subgraph and records the genuinely violated ones: x(E[S]) =
+// Σ_parts x(E[S_i]) and |S|−1 ≥ Σ(|S_i|−1), so whenever S is violated some
+// connected part is violated at least as much, and the per-part constraints
+// are stronger and sparser.
+func (sp *separator) emitParts(x []float64, member []bool, cuts []*cut) []*cut {
 	n := sp.g.N()
-	seen := make([]bool, n)
-	var parts []vertexSet
+	seen := sp.partSeen
+	for v := 0; v < n; v++ {
+		seen[v] = false
+	}
 	for s := 0; s < n; s++ {
 		if !member[s] || seen[s] {
 			continue
 		}
-		part := make([]bool, n)
-		stack := []int{s}
+		ids := []int32{int32(s)}
+		stack := append(sp.stack[:0], int32(s))
 		seen[s] = true
-		part[s] = true
-		size := 1
 		for len(stack) > 0 {
-			u := stack[len(stack)-1]
+			u := int(stack[len(stack)-1])
 			stack = stack[:len(stack)-1]
 			sp.g.VisitNeighbors(u, func(w int) bool {
 				if member[w] && !seen[w] {
 					seen[w] = true
-					part[w] = true
-					size++
-					stack = append(stack, w)
+					ids = append(ids, int32(w))
+					stack = append(stack, int32(w))
 				}
 				return true
 			})
 		}
-		parts = append(parts, vertexSet{member: part, size: size})
+		sp.stack = stack[:0]
+		if len(ids) < 2 {
+			continue
+		}
+		// Canonicalize: neighbor iteration order is unspecified, and the id
+		// order feeds the hash and the float accumulation below.
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		edgeIdx := sp.edgesWithin(ids)
+		lhs := 0.0
+		for _, i := range edgeIdx {
+			lhs += x[i]
+		}
+		viol := lhs - float64(len(ids)-1)
+		if viol <= sp.tol {
+			continue
+		}
+		if c, ok := sp.record(ids, viol, edgeIdx); ok {
+			cuts = append(cuts, c)
+		}
 	}
-	return parts
+	return cuts
 }
 
-// capCuts sorts by violation (descending) and truncates, releasing the
-// truncated cuts' keys so they can be regenerated in a later round.
+// capCuts sorts by violation (descending) with the canonical cut hash as a
+// stable secondary key — equal-violation cuts would otherwise keep their
+// arrival order, which is a per-wave artifact — and truncates. Truncated
+// cuts are parked, not forgotten: they were paid for once and will revive
+// for free when still violated.
 func (sp *separator) capCuts(cuts []*cut, maxCuts int) []*cut {
-	sort.Slice(cuts, func(i, j int) bool { return cuts[i].violation > cuts[j].violation })
+	sort.Slice(cuts, func(i, j int) bool {
+		if cuts[i].violation != cuts[j].violation {
+			return cuts[i].violation > cuts[j].violation
+		}
+		return cuts[i].key.less(cuts[j].key)
+	})
 	if maxCuts > 0 && len(cuts) > maxCuts {
 		for _, dropped := range cuts[maxCuts:] {
-			sp.forget(dropped.key)
+			sp.park(dropped)
 		}
 		return cuts[:maxCuts]
 	}
 	return cuts
 }
 
-// closure solves the max-closure problem forcing u ∈ S and returns the
-// optimizing S (as a membership mask), its size, and whether W(u) > tol.
-func (sp *separator) closure(x []float64, u int) (member []bool, size int, violated bool) {
+// buildTemplate assembles the round's shared closure network: a node per
+// positive-weight edge (profit x_e, requiring both endpoints) and a node
+// per vertex (unit cost). Per-forced-vertex variants differ only in zeroing
+// one sink arc, so workers copy this template instead of rebuilding.
+//
+// Network layout: 0 = source, 1..m edge nodes, m+1..m+n vertex nodes,
+// m+n+1 = sink.
+func (sp *separator) buildTemplate(x []float64) {
 	n := sp.g.N()
 	m := len(sp.edges)
-	// Network layout: 0 = source, 1..m edge nodes, m+1..m+n vertex nodes,
-	// m+n+1 = sink.
+	if sp.template == nil {
+		sp.template = maxflow.New(0)
+		sp.sinkArc = make([]int, n)
+	}
 	src, snk := 0, m+n+1
-	nw := maxflow.New(m + n + 2)
-	totalX := 0.0
+	sp.template.Reset(m + n + 2)
+	sp.totalX = 0
 	for i, e := range sp.edges {
 		if x[i] <= sp.tol {
 			continue
 		}
-		nw.AddEdge(src, 1+i, x[i])
-		nw.AddEdge(1+i, m+1+e.U, math.Inf(1))
-		nw.AddEdge(1+i, m+1+e.V, math.Inf(1))
-		totalX += x[i]
+		sp.template.AddEdge(src, 1+i, x[i])
+		sp.template.AddEdge(1+i, m+1+e.U, math.Inf(1))
+		sp.template.AddEdge(1+i, m+1+e.V, math.Inf(1))
+		sp.totalX += x[i]
 	}
 	for v := 0; v < n; v++ {
-		if v == u {
-			continue // forced member: its unit cost is waived
+		sp.sinkArc[v] = sp.template.AddEdge(m+1+v, snk, 1)
+	}
+}
+
+// ensureScratch sizes the wave result slots and screening masks.
+func (sp *separator) ensureScratch(n int) {
+	if sp.eligible == nil {
+		sp.eligible = make([]bool, n)
+		sp.covered = make([]bool, n)
+		sp.supDeg = make([]int32, n)
+		sp.partSeen = make([]bool, n)
+		sp.waveBuf = make([]int, 0, sepWave)
+		sp.results = make([]closureResult, sepWave)
+		for k := range sp.results {
+			sp.results[k].member = make([]bool, n)
 		}
-		nw.AddEdge(m+1+v, snk, 1)
 	}
-	if totalX <= sp.tol {
-		return nil, 0, false
+	if sp.arenas == nil {
+		sp.arenas = make([]*maxflow.Network, sp.workers)
+		for w := range sp.arenas {
+			sp.arenas[w] = maxflow.New(0)
+		}
 	}
-	flow := nw.MaxFlow(src, snk)
-	w := totalX - flow // = max_{S ∋ u} x(E[S]) − (|S| − 1)
+}
+
+// runWave evaluates the max-closure oracle for every forced vertex of the
+// wave, striping slots across the worker pool. Slot k's result depends only
+// on (x, wave[k]) — each worker stamps the shared template into its own
+// arena — so the outcome is identical for every worker count.
+func (sp *separator) runWave(x []float64, wave []int) {
+	sp.waveBuf = wave // retain the (possibly regrown) buffer
+	workers := sp.workers
+	if workers > len(wave) {
+		workers = len(wave)
+	}
+	if workers <= 1 {
+		for k, u := range wave {
+			sp.closureInto(u, sp.arenas[0], &sp.results[k])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			arena := sp.arenas[w]
+			for k := w; k < len(wave); k += workers {
+				sp.closureInto(wave[k], arena, &sp.results[k])
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// closureInto solves the max-closure problem forcing u ∈ S into the slot.
+// The forced vertex's unit cost is waived by zeroing its sink arc (a
+// zero-capacity arc and an absent arc cut identically).
+func (sp *separator) closureInto(u int, arena *maxflow.Network, out *closureResult) {
+	n := sp.g.N()
+	m := len(sp.edges)
+	src, snk := 0, m+n+1
+	arena.CopyFrom(sp.template)
+	arena.SetCap(sp.sinkArc[u], 0)
+	flow := arena.MaxFlow(src, snk)
+	w := sp.totalX - flow // = max_{S ∋ u} x(E[S]) − (|S| − 1)
 	if w <= sp.tol {
-		return nil, 0, false
+		out.violated = false
+		return
 	}
-	side := nw.MinCutSourceSide(src)
-	member = make([]bool, n)
-	member[u] = true
-	size = 1
+	side := arena.MinCutSourceSide(src)
+	member := out.member
 	for v := 0; v < n; v++ {
-		if v != u && side[m+1+v] {
-			member[v] = true
+		member[v] = v == u || side[m+1+v]
+	}
+	size := 0
+	for v := 0; v < n; v++ {
+		if member[v] {
 			size++
 		}
 	}
-	return member, size, true
+	out.size = size
+	out.violated = true
 }
 
-// record canonicalizes a vertex set and registers it; ok=false means the
-// identical cut is already active (so the caller must not re-add it).
-func (sp *separator) record(member []bool, size int, violation float64) (*cut, bool) {
-	ids := make([]int, 0, size)
-	for v, in := range member {
-		if in {
-			ids = append(ids, v)
-		}
-	}
-	sort.Ints(ids)
-	var b strings.Builder
-	for _, id := range ids {
-		b.WriteString(strconv.Itoa(id))
-		b.WriteByte(',')
-	}
-	key := b.String()
+// record registers a canonical vertex set; ok=false means the identical cut
+// is already active (so the caller must not re-add it).
+func (sp *separator) record(ids []int32, violation float64, edgeIdx []int32) (*cut, bool) {
+	key := keyOfIDs(ids)
 	if sp.seen[key] {
 		return nil, false
 	}
 	sp.seen[key] = true
-	return &cut{member: member, size: size, key: key, violation: violation}, true
+	return &cut{
+		ids:       ids,
+		edgeIdx:   edgeIdx,
+		size:      len(ids),
+		key:       key,
+		violation: violation,
+	}, true
 }

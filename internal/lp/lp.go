@@ -59,6 +59,20 @@ type Solution struct {
 	X []float64
 	// Pivots is the number of simplex pivots performed.
 	Pivots int
+	// WarmPivots is the number of Gauss–Jordan eliminations spent restoring
+	// Options.Basis before iterating (0 for cold solves and rejected
+	// warm starts). Restoration pivots cost the same tableau work as
+	// simplex iterations, so honest accounting sums both.
+	WarmPivots int
+	// WarmStarted reports whether Options.Basis was accepted: restored to a
+	// feasible basic point that the iterations then continued from.
+	WarmStarted bool
+	// Basis records the final basis (Basis[i] = the variable, structural
+	// j < n or slack n+i', basic in row i). Feed it to a later solve of a
+	// structurally identical program — same columns, same row layout,
+	// possibly different rhs — via Options.Basis to skip re-pivoting from
+	// the all-slack basis.
+	Basis []int
 }
 
 // Options tunes the solver. The zero value uses sensible defaults.
@@ -70,6 +84,17 @@ type Options struct {
 	// BlandAfter switches from Dantzig to Bland's rule after this many
 	// consecutive non-improving (degenerate) pivots. Default 64.
 	BlandAfter int
+	// Basis, when non-nil, is a starting basis from a previous Solution on
+	// a structurally compatible program (one basic variable per row, same
+	// columns; the rhs and appended rows may differ). The solver restores
+	// it by direct elimination; a restored point that is primal-infeasible
+	// but dual-feasible — the cutting-plane case, where newly added rows
+	// are violated by the old optimum — is repaired by dual simplex
+	// pivots before the primal iterations resume. If the basis is
+	// singular, malformed, or beyond the dual repair, the solve silently
+	// falls back to the all-slack start (the result is correct either
+	// way — only the pivot count changes).
+	Basis []int
 }
 
 func (o Options) withDefaults(rows, cols int) Options {
@@ -118,28 +143,50 @@ func Maximize(c []float64, a [][]float64, b []float64, opts Options) (Solution, 
 	// [0,n) structural, [n,n+m) slack, column n+m is the rhs.
 	// Row m is the objective row holding reduced costs (z_j - c_j) and the
 	// current objective value in the rhs cell.
-	width := n + m + 1
-	tab := make([][]float64, m+1)
-	for i := 0; i < m; i++ {
-		tab[i] = make([]float64, width)
-		copy(tab[i], a[i])
-		tab[i][n+i] = 1
-		tab[i][n+m] = b[i]
+	build := func() ([][]float64, []float64, []int) {
+		width := n + m + 1
+		tab := make([][]float64, m+1)
+		for i := 0; i < m; i++ {
+			tab[i] = make([]float64, width)
+			copy(tab[i], a[i])
+			tab[i][n+i] = 1
+			tab[i][n+m] = b[i]
+		}
+		obj := make([]float64, width)
+		for j := 0; j < n; j++ {
+			obj[j] = -c[j]
+		}
+		tab[m] = obj
+		basis := make([]int, m) // basis[i] = variable basic in row i
+		for i := range basis {
+			basis[i] = n + i
+		}
+		return tab, obj, basis
 	}
-	obj := make([]float64, width)
-	for j := 0; j < n; j++ {
-		obj[j] = -c[j]
-	}
-	tab[m] = obj
-
-	basis := make([]int, m) // basis[i] = variable basic in row i
-	for i := range basis {
-		basis[i] = n + i
-	}
+	tab, obj, basis := build()
 
 	sol := Solution{}
+	if opts.Basis != nil {
+		ok, restored := restoreBasis(tab, basis, opts.Basis, n, m, opts.Tol)
+		sol.WarmPivots = restored
+		if ok {
+			// The restored basis is dual-feasible by construction (the
+			// objective row was carried through the eliminations); repair
+			// any primal infeasibility — negative rhs in rows whose
+			// constraints the old optimum violates — with dual simplex.
+			dual, repaired := dualRepair(tab, basis, n, m, opts)
+			sol.WarmPivots += dual
+			ok = repaired
+		}
+		sol.WarmStarted = ok
+		if !ok {
+			// The attempted basis was malformed, singular, or beyond dual
+			// repair: fall back to a pristine all-slack tableau.
+			tab, obj, basis = build()
+		}
+	}
 	degenerate := 0
-	lastValue := 0.0
+	lastValue := currentValue(obj, n, m)
 	proven := false
 	for sol.Pivots = 0; sol.Pivots < opts.MaxPivots; sol.Pivots++ {
 		// Pricing: pick entering column.
@@ -187,6 +234,7 @@ func Maximize(c []float64, a [][]float64, b []float64, opts Options) (Solution, 
 			sol.Status = Unbounded
 			sol.Value = math.Inf(1)
 			sol.X = extractX(tab, basis, n, m)
+			sol.Basis = append([]int(nil), basis...)
 			return sol, nil
 		}
 
@@ -209,7 +257,146 @@ func Maximize(c []float64, a [][]float64, b []float64, opts Options) (Solution, 
 	for j := 0; j < n; j++ {
 		sol.Value += c[j] * sol.X[j]
 	}
+	sol.Basis = append([]int(nil), basis...)
 	return sol, nil
+}
+
+// dualRepair runs dual simplex pivots until every rhs is nonnegative. It
+// is called on a restored warm basis, which is dual-feasible when the
+// originating solve ended optimal (reduced costs depend on the basis and
+// columns, not the rhs, and appended rows enter slack-basic with zero
+// reduced cost); the only damage a changed rhs or appended violated rows
+// can do is primal infeasibility, which is exactly what dual pivots fix —
+// typically in a handful of iterations, against the hundreds a cold
+// re-solve would spend. Returns ok=false when the repair exceeds its
+// budget or a row proves locally unfixable; the caller then rebuilds cold,
+// so a failed repair costs pivots but never correctness.
+func dualRepair(tab [][]float64, basis []int, n, m int, opts Options) (pivots int, ok bool) {
+	obj := tab[m]
+	// Budget proportional to the damage: a healthy repair resolves each
+	// infeasible row in O(1) pivots, so anything far beyond that is a
+	// degenerate walk that would rival a cold solve — fail fast instead.
+	neg := 0
+	for i := 0; i < m; i++ {
+		if tab[i][n+m] < -opts.Tol {
+			neg++
+		}
+	}
+	limit := 6*neg + 24
+	for {
+		// Leaving row: most negative rhs (ties to the smallest basic
+		// variable, for determinism).
+		leave := -1
+		worst := -opts.Tol
+		for i := 0; i < m; i++ {
+			rhs := tab[i][n+m]
+			if rhs < worst || (leave != -1 && rhs == worst && basis[i] < basis[leave]) {
+				worst = rhs
+				leave = i
+			}
+		}
+		if leave == -1 {
+			for i := 0; i < m; i++ {
+				if tab[i][n+m] < 0 {
+					tab[i][n+m] = 0 // clamp tolerance-level noise
+				}
+			}
+			return pivots, true
+		}
+		if pivots >= limit {
+			return pivots, false
+		}
+		// Entering column: dual ratio test over the row's negative entries,
+		// keeping the reduced costs nonnegative. Strict improvement with
+		// an ascending scan means near-ties keep the smallest column
+		// index — deterministic by construction.
+		enter := -1
+		best := math.Inf(1)
+		for j := 0; j < n+m; j++ {
+			aij := tab[leave][j]
+			if aij >= -opts.Tol {
+				continue
+			}
+			ratio := obj[j] / -aij
+			if ratio < best-opts.Tol {
+				best = ratio
+				enter = j
+			}
+		}
+		if enter == -1 {
+			// No negative entry: the row is infeasible at any x ≥ 0. For
+			// this package's programs (b ≥ 0, so x = 0 is feasible) this
+			// can only be numerical damage — bail to the cold start.
+			return pivots, false
+		}
+		pivot(tab, leave, enter)
+		basis[leave] = enter
+		pivots++
+	}
+}
+
+// restoreBasis pivots the freshly built tableau from the all-slack basis
+// onto the basis SET in `want`, returning whether the restoration
+// succeeded and how many eliminations were performed (counted even on
+// rejection — the work happened). Only the column set matters — a basic
+// solution is determined by which variables are basic, not by which row
+// the simplex happened to park them in — so the restoration is Gaussian
+// elimination with partial row pivoting: each wanted column is eliminated
+// on the unassigned row where it is largest, which succeeds whenever the
+// set is numerically nonsingular, including the slack permutations a
+// prescribed row-for-row crash would reject. The basis is rejected if it
+// is malformed (wrong length, out-of-range or duplicate entries) or
+// dependent. A restored basis may still be primal-infeasible under the
+// current rhs — dualRepair handles that; restoration itself only
+// guarantees that the objective row holds the basis's reduced costs and
+// each wanted column is a unit vector.
+func restoreBasis(tab [][]float64, basis, want []int, n, m int, tol float64) (bool, int) {
+	if len(want) != m {
+		return false, 0
+	}
+	taken := make([]bool, n+m)
+	for _, bv := range want {
+		if bv < 0 || bv >= n+m || taken[bv] {
+			return false, 0
+		}
+		taken[bv] = true
+	}
+	assigned := make([]bool, m)
+	pivots := 0
+	for _, c := range want {
+		r := -1
+		best := tol
+		for i := 0; i < m; i++ {
+			if assigned[i] {
+				continue
+			}
+			if a := math.Abs(tab[i][c]); a > best {
+				best = a
+				r = i
+			}
+		}
+		if r == -1 {
+			return false, pivots // dependent (or numerically so)
+		}
+		assigned[r] = true
+		basis[r] = c
+		// Skip the elimination when the column is already r's unit vector
+		// (common for slacks no earlier pivot dirtied).
+		unit := tab[r][c] == 1
+		if unit {
+			for i := 0; i <= m; i++ {
+				if i != r && tab[i][c] != 0 {
+					unit = false
+					break
+				}
+			}
+		}
+		if !unit {
+			pivot(tab, r, c)
+			pivots++
+		}
+	}
+	return true, pivots
 }
 
 // currentValue reads the objective value from the objective row rhs.

@@ -113,6 +113,112 @@ func TestIterationLimit(t *testing.T) {
 	}
 }
 
+// TestWarmStartSameProblem re-solves the textbook LP from its own optimal
+// basis: the restored point is already optimal, so zero simplex iterations
+// are needed and the solution is unchanged.
+func TestWarmStartSameProblem(t *testing.T) {
+	c := []float64{3, 5}
+	a := [][]float64{{1, 0}, {0, 2}, {3, 2}}
+	b := []float64{4, 12, 18}
+	cold, err := Maximize(c, a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Status != Optimal || len(cold.Basis) != 3 {
+		t.Fatalf("cold solve %+v", cold)
+	}
+	warm, err := Maximize(c, a, b, Options{Basis: cold.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStarted {
+		t.Fatalf("optimal basis rejected: %+v", warm)
+	}
+	if warm.Status != Optimal || !approx(warm.Value, 36, 1e-8) {
+		t.Fatalf("warm solve %+v, want value 36", warm)
+	}
+	if warm.Pivots != 0 {
+		t.Fatalf("warm solve took %d iterations, want 0", warm.Pivots)
+	}
+	if math.Float64bits(warm.X[0]) != math.Float64bits(cold.X[0]) ||
+		math.Float64bits(warm.X[1]) != math.Float64bits(cold.X[1]) {
+		t.Fatalf("warm x %v != cold x %v", warm.X, cold.X)
+	}
+}
+
+// TestWarmStartShiftedRHS warm-starts after an rhs change, the cutting-plane
+// grid scenario: same rows and columns, different bounds. The old basis
+// stays feasible here, so the warm solve needs few or no iterations and
+// both solves agree with the exact optimum.
+func TestWarmStartShiftedRHS(t *testing.T) {
+	c := []float64{3, 5}
+	a := [][]float64{{1, 0}, {0, 2}, {3, 2}}
+	cold, err := Maximize(c, a, []float64{4, 12, 18}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relax every bound: with b = {6, 14, 26}, 2y<=14 and 3x+2y<=26 give
+	// y=7, x=4, z=47.
+	warm, err := Maximize(c, a, []float64{6, 14, 26}, Options{Basis: cold.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Maximize(c, a, []float64{6, 14, 26}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != Optimal || !approx(warm.Value, ref.Value, 1e-8) {
+		t.Fatalf("warm %+v, cold reference %+v", warm, ref)
+	}
+	if warm.WarmStarted && warm.Pivots > ref.Pivots {
+		t.Fatalf("warm start took %d iterations, cold took %d", warm.Pivots, ref.Pivots)
+	}
+}
+
+// TestWarmStartRejectsBadBasis: malformed or infeasible bases must fall
+// back to the all-slack start and still solve correctly.
+func TestWarmStartRejectsBadBasis(t *testing.T) {
+	c := []float64{3, 5}
+	a := [][]float64{{1, 0}, {0, 2}, {3, 2}}
+	b := []float64{4, 12, 18}
+	for name, basis := range map[string][]int{
+		"wrong-length": {0, 1},
+		"out-of-range": {0, 1, 99},
+		"duplicate":    {0, 0, 1},
+	} {
+		sol, err := Maximize(c, a, b, Options{Basis: basis})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sol.WarmStarted {
+			t.Errorf("%s: basis %v was accepted", name, basis)
+		}
+		if sol.Status != Optimal || !approx(sol.Value, 36, 1e-8) {
+			t.Errorf("%s: fallback solve %+v, want value 36", name, sol)
+		}
+	}
+}
+
+// TestWarmStartSlackPermutation: a basis naming the same variable SET in a
+// permuted row order must restore — a basic solution is determined by
+// which variables are basic, not by the rows the previous solve parked
+// them in.
+func TestWarmStartSlackPermutation(t *testing.T) {
+	c := []float64{3, 5}
+	a := [][]float64{{1, 0}, {0, 2}, {3, 2}}
+	b := []float64{4, 12, 18}
+	sol, err := Maximize(c, a, b, Options{Basis: []int{3, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.WarmStarted {
+		t.Fatalf("permuted all-slack basis rejected: %+v", sol)
+	}
+	if sol.Status != Optimal || !approx(sol.Value, 36, 1e-8) {
+		t.Fatalf("solve %+v, want value 36", sol)
+	}
+}
+
 func TestStatusString(t *testing.T) {
 	if Optimal.String() != "optimal" || Unbounded.String() != "unbounded" ||
 		IterationLimit.String() != "iteration-limit" || Status(99).String() != "Status(99)" {

@@ -7,6 +7,13 @@
 // Capacities are nonnegative float64s; a tolerance of Eps governs residual
 // admissibility so that the tiny rounding noise produced by the LP solver
 // cannot create phantom augmenting paths.
+//
+// Networks are arena-style reusable: Reset re-initializes a network in
+// place keeping its buffers, and CopyFrom stamps one network's arcs into
+// another without allocating (once the destination has grown to size).
+// The separation oracle builds one template network per cutting-plane
+// round and each worker replays per-forced-vertex variants into its own
+// long-lived arena, so the hot loop performs no O(n+m) allocations.
 package maxflow
 
 import (
@@ -27,15 +34,47 @@ type Network struct {
 	cap   []float64
 	level []int32
 	iter  []int32
+	queue []int32 // bfs scratch
+	seen  []bool  // min-cut scratch
 }
 
 // New returns an empty network on n vertices.
 func New(n int) *Network {
-	head := make([]int32, n)
-	for i := range head {
-		head[i] = -1
+	nw := &Network{}
+	nw.Reset(n)
+	return nw
+}
+
+// Reset re-initializes nw in place as an empty network on n vertices,
+// keeping the underlying buffers so repeated solves on same-sized networks
+// allocate nothing after the first.
+func (nw *Network) Reset(n int) {
+	if n < 0 {
+		panic("maxflow: negative vertex count")
 	}
-	return &Network{n: n, head: head}
+	nw.n = n
+	if cap(nw.head) < n {
+		nw.head = make([]int32, n)
+	}
+	nw.head = nw.head[:n]
+	for i := range nw.head {
+		nw.head[i] = -1
+	}
+	nw.next = nw.next[:0]
+	nw.to = nw.to[:0]
+	nw.cap = nw.cap[:0]
+}
+
+// CopyFrom makes nw an exact copy of src (vertices, arcs, and residual
+// capacities), reusing nw's buffers. The two networks share no state
+// afterwards, so a template can be stamped into per-worker arenas and
+// mutated concurrently.
+func (nw *Network) CopyFrom(src *Network) {
+	nw.n = src.n
+	nw.head = append(nw.head[:0], src.head...)
+	nw.next = append(nw.next[:0], src.next...)
+	nw.to = append(nw.to[:0], src.to...)
+	nw.cap = append(nw.cap[:0], src.cap...)
 }
 
 // N returns the vertex count.
@@ -44,18 +83,30 @@ func (nw *Network) N() int { return nw.n }
 // Arcs returns the number of directed arcs (including residual reverses).
 func (nw *Network) Arcs() int { return len(nw.to) }
 
+// SetCap overwrites the capacity of arc a (an index returned by AddEdge;
+// a^1 addresses its residual reverse). It is the cheap way to specialize a
+// copied template — e.g. waiving one vertex's cost by zeroing its sink arc.
+func (nw *Network) SetCap(a int, capacity float64) {
+	if capacity < 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("maxflow: bad capacity %v", capacity))
+	}
+	nw.cap[a] = capacity
+}
+
 // AddEdge adds a directed edge u→v with the given capacity (and the
-// implicit residual reverse arc with capacity 0). Infinite capacity may be
-// passed as math.Inf(1).
-func (nw *Network) AddEdge(u, v int, capacity float64) {
+// implicit residual reverse arc with capacity 0), returning the arc index
+// of the forward arc. Infinite capacity may be passed as math.Inf(1).
+func (nw *Network) AddEdge(u, v int, capacity float64) int {
 	if u < 0 || u >= nw.n || v < 0 || v >= nw.n {
 		panic(fmt.Sprintf("maxflow: edge (%d,%d) out of range [0,%d)", u, v, nw.n))
 	}
 	if capacity < 0 || math.IsNaN(capacity) {
 		panic(fmt.Sprintf("maxflow: bad capacity %v", capacity))
 	}
+	a := len(nw.to)
 	nw.addArc(u, v, capacity)
 	nw.addArc(v, u, 0)
+	return a
 }
 
 func (nw *Network) addArc(u, v int, capacity float64) {
@@ -67,18 +118,18 @@ func (nw *Network) addArc(u, v int, capacity float64) {
 
 // bfs builds the level graph; returns true if t is reachable.
 func (nw *Network) bfs(s, t int) bool {
-	if nw.level == nil {
+	if cap(nw.level) < nw.n {
 		nw.level = make([]int32, nw.n)
 	}
+	nw.level = nw.level[:nw.n]
 	for i := range nw.level {
 		nw.level[i] = -1
 	}
-	queue := make([]int32, 0, nw.n)
+	queue := nw.queue[:0]
 	nw.level[s] = 0
 	queue = append(queue, int32(s))
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for i := 0; i < len(queue); i++ {
+		u := queue[i]
 		for a := nw.head[u]; a != -1; a = nw.next[a] {
 			v := nw.to[a]
 			if nw.cap[a] > Eps && nw.level[v] == -1 {
@@ -87,6 +138,7 @@ func (nw *Network) bfs(s, t int) bool {
 			}
 		}
 	}
+	nw.queue = queue[:0] // keep the grown buffer
 	return nw.level[t] != -1
 }
 
@@ -117,9 +169,10 @@ func (nw *Network) MaxFlow(s, t int) float64 {
 	if s == t {
 		panic("maxflow: source equals sink")
 	}
-	if nw.iter == nil {
+	if cap(nw.iter) < nw.n {
 		nw.iter = make([]int32, nw.n)
 	}
+	nw.iter = nw.iter[:nw.n]
 	total := 0.0
 	for nw.bfs(s, t) {
 		copy(nw.iter, nw.head)
@@ -136,11 +189,20 @@ func (nw *Network) MaxFlow(s, t int) float64 {
 
 // MinCutSourceSide returns, after MaxFlow(s,t), the set of vertices
 // reachable from s in the residual network — the source side of a minimum
-// cut.
+// cut. The returned slice is owned by the network and overwritten by the
+// next MinCutSourceSide call; copy it if it must outlive the network's
+// reuse cycle.
 func (nw *Network) MinCutSourceSide(s int) []bool {
-	seen := make([]bool, nw.n)
+	if cap(nw.seen) < nw.n {
+		nw.seen = make([]bool, nw.n)
+	}
+	seen := nw.seen[:nw.n]
+	for i := range seen {
+		seen[i] = false
+	}
 	seen[s] = true
-	stack := []int32{int32(s)}
+	stack := nw.queue[:0]
+	stack = append(stack, int32(s))
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -152,5 +214,7 @@ func (nw *Network) MinCutSourceSide(s int) []bool {
 			}
 		}
 	}
+	nw.queue = stack[:0]
+	nw.seen = seen
 	return seen
 }

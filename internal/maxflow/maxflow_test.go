@@ -157,6 +157,79 @@ func TestAgainstBruteForce(t *testing.T) {
 	}
 }
 
+// TestResetReuse solves alternating networks on one arena and checks that
+// stale arcs, levels, and cut scratch never leak between solves.
+func TestResetReuse(t *testing.T) {
+	nw := New(3)
+	nw.AddEdge(0, 1, 5)
+	nw.AddEdge(1, 2, 3)
+	if got := nw.MaxFlow(0, 2); got != 3 {
+		t.Fatalf("first solve: flow=%v, want 3", got)
+	}
+
+	// Smaller network: the old vertex 2 and its arcs must be gone.
+	nw.Reset(2)
+	nw.AddEdge(0, 1, 7)
+	if got := nw.MaxFlow(0, 1); got != 7 {
+		t.Fatalf("after shrink: flow=%v, want 7", got)
+	}
+
+	// Larger network than ever before: buffers must regrow.
+	nw.Reset(5)
+	nw.AddEdge(0, 4, 2)
+	if got := nw.MaxFlow(0, 4); got != 2 {
+		t.Fatalf("after grow: flow=%v, want 2", got)
+	}
+	side := nw.MinCutSourceSide(0)
+	if len(side) != 5 || side[4] {
+		t.Fatalf("cut side %v, want 5 entries with sink unreachable", side)
+	}
+}
+
+// TestCopyFromIsolation stamps a template into an arena, mutates the copy,
+// and checks the template is untouched — the contract the parallel
+// separation oracle relies on.
+func TestCopyFromIsolation(t *testing.T) {
+	tmpl := New(4)
+	a01 := tmpl.AddEdge(0, 1, 4)
+	tmpl.AddEdge(1, 2, 4)
+	tmpl.AddEdge(2, 3, 4)
+
+	arena := New(0)
+	for i := 0; i < 3; i++ {
+		arena.CopyFrom(tmpl)
+		if i == 1 {
+			arena.SetCap(a01, 1) // specialize the copy only
+		}
+		want := 4.0
+		if i == 1 {
+			want = 1
+		}
+		if got := arena.MaxFlow(0, 3); got != want {
+			t.Fatalf("copy %d: flow=%v, want %v", i, got, want)
+		}
+	}
+	// The template never ran a flow; solving it now still sees virgin caps.
+	if got := tmpl.MaxFlow(0, 3); got != 4 {
+		t.Fatalf("template flow=%v, want 4", got)
+	}
+}
+
+// TestAddEdgeIndex checks the arc index returned by AddEdge addresses the
+// forward arc (and a^1 its reverse).
+func TestAddEdgeIndex(t *testing.T) {
+	nw := New(3)
+	a := nw.AddEdge(0, 1, 5)
+	b := nw.AddEdge(1, 2, 5)
+	if a != 0 || b != 2 {
+		t.Fatalf("arc indices %d,%d, want 0,2", a, b)
+	}
+	nw.SetCap(b, 2)
+	if got := nw.MaxFlow(0, 2); got != 2 {
+		t.Fatalf("flow=%v, want 2", got)
+	}
+}
+
 func BenchmarkDinicGrid(b *testing.B) {
 	// 30x30 grid, source top-left corner fan, sink bottom-right.
 	const k = 30

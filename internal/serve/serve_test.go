@@ -366,3 +366,57 @@ func TestBatchSharedRandDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentColdOpensPlanOnce races many cold Opens of the same graph
+// against one shared cache: the single-flight layer must let exactly one of
+// them build the plan while the rest coalesce onto it, and every session
+// must serve identical seeded releases.
+func TestConcurrentColdOpensPlanOnce(t *testing.T) {
+	g := testGraph(t)
+	cache := core.NewPlanCache(4)
+	ctx := context.Background()
+
+	const openers = 12
+	sessions := make([]*Session, openers)
+	errs := make([]error, openers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < openers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			sessions[i], errs[i] = Open(ctx, g, SessionOptions{TotalBudget: 10, Cache: cache})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	plansBuilt := 0
+	for i, s := range sessions {
+		if errs[i] != nil {
+			t.Fatalf("open %d: %v", i, errs[i])
+		}
+		plansBuilt += s.Stats().PlansBuilt
+	}
+	if plansBuilt != 1 {
+		t.Fatalf("%d plans built across %d concurrent cold opens, want 1", plansBuilt, openers)
+	}
+	if st := cache.Stats(); st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("cache stats %+v, want exactly one miss and one entry", st)
+	}
+	// All sessions share the evaluation: identical seeded releases.
+	want, err := sessions[0].ComponentCount(ctx, QueryOptions{Epsilon: 0.5, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < openers; i++ {
+		got, err := sessions[i].ComponentCount(ctx, QueryOptions{Epsilon: 0.5, Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.Value) != math.Float64bits(want.Value) {
+			t.Fatalf("session %d released %v, session 0 released %v", i, got.Value, want.Value)
+		}
+	}
+}

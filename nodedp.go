@@ -81,8 +81,13 @@ func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) 
 // internal/core.Options. Epsilon is required; every other field has a
 // sensible default (crypto-grade noise, β = 1/ln ln n, Δmax = n).
 // Options.ForestLP.Workers sets how many per-component LPs the evaluation
-// engine solves concurrently (0 = runtime.GOMAXPROCS); the released value
-// is identical for every setting.
+// engine solves concurrently (0 = runtime.GOMAXPROCS) and
+// Options.ForestLP.SepWorkers how many separation-oracle max-flow calls
+// run concurrently inside a single component (0 = inherit Workers) — the
+// lever for graphs dominated by one giant component; the released value
+// is identical for every setting of either. Grid sweeps warm-start
+// adjacent Δ evaluations (cut pool + simplex bases) by default;
+// Options.ForestLP.DisableWarmStart turns that off for perf bisection.
 type Options = core.Options
 
 // Result is the outcome of a private estimation, including the selected

@@ -1,0 +1,318 @@
+package nodedp
+
+// Daemon benchmarks and the BENCH_serve.json emitter: the HTTP/JSON front
+// end measured against the in-process serving layer it wraps, so the
+// network tax (JSON encode/decode + HTTP + loopback TCP) per private query
+// is a recorded number instead of folklore. The suite measures single
+// queries and Do-backed batches through a real httptest server (full HTTP
+// stack, loopback only), plus the in-process baseline on the identical
+// session workload.
+//
+// The emitter also certifies the daemon's determinism contract — a seeded
+// HTTP release equals the in-process release bit-for-bit — and records the
+// queries-admitted advantage of the advanced-composition accountant at
+// equal ε_total.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+
+	"nodedp/internal/generate"
+	"nodedp/internal/graph"
+	"nodedp/internal/httpapi"
+	"nodedp/internal/serve"
+)
+
+// serveBenchGraph is the daemon benchmark workload: mid-sized and
+// multi-component, so the plan build is nontrivial but the per-query cost
+// is dominated by the serving path under test.
+func serveBenchGraph() *graph.Graph {
+	rng := generate.NewRand(50)
+	return generate.PlantedComponents([]int{40, 40, 40, 40}, 3.0/40, rng)
+}
+
+// benchUploadBody renders the workload graph as a JSON upload.
+func benchUploadBody(g *graph.Graph, budget float64) []byte {
+	edges := make([][2]int, 0, g.M())
+	for _, e := range g.Edges() {
+		edges = append(edges, [2]int{e.U, e.V})
+	}
+	raw, err := json.Marshal(httpapi.CreateSessionRequest{N: g.N(), Edges: edges, Budget: budget})
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+// startBenchDaemon boots an httptest daemon and opens one big-budget
+// session, returning the base URL and session id.
+func startBenchDaemon(tb testing.TB, g *graph.Graph) (base, sessionID string, closefn func()) {
+	tb.Helper()
+	ts := httptest.NewServer(httpapi.New(httpapi.Config{MaxInflight: 256}))
+	resp, err := http.Post(ts.URL+"/v1/graphs", "application/json",
+		bytes.NewReader(benchUploadBody(g, 1e9)))
+	if err != nil {
+		ts.Close()
+		tb.Fatal(err)
+	}
+	var created httpapi.CreateSessionResponse
+	err = json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusCreated {
+		ts.Close()
+		tb.Fatalf("upload failed: status %d err %v", resp.StatusCode, err)
+	}
+	return ts.URL, created.SessionID, ts.Close
+}
+
+// BenchmarkDaemonQuery measures one seeded private release through the
+// full HTTP stack.
+func BenchmarkDaemonQuery(b *testing.B) {
+	g := serveBenchGraph()
+	base, id, closefn := startBenchDaemon(b, g)
+	defer closefn()
+	url := base + "/v1/sessions/" + id + "/query"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body, _ := json.Marshal(httpapi.QueryRequest{Op: "cc", Epsilon: 1e-6, Seed: uint64(i) + 1})
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out httpapi.QueryResponse
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			b.Fatalf("query failed: status %d err %v", resp.StatusCode, err)
+		}
+	}
+}
+
+// BenchmarkDaemonBatch measures a Do-backed batch of batchSize seeded
+// queries per HTTP request (amortizing the HTTP round trip).
+func BenchmarkDaemonBatch(b *testing.B) {
+	const batchSize = 32
+	g := serveBenchGraph()
+	base, id, closefn := startBenchDaemon(b, g)
+	defer closefn()
+	url := base + "/v1/sessions/" + id + "/batch"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		queries := make([]httpapi.QueryRequest, batchSize)
+		for j := range queries {
+			queries[j] = httpapi.QueryRequest{Op: "cc", Epsilon: 1e-6, Seed: uint64(i*batchSize+j) + 1}
+		}
+		body, _ := json.Marshal(httpapi.BatchRequest{Queries: queries})
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out httpapi.BatchResponse
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			b.Fatalf("batch failed: status %d err %v", resp.StatusCode, err)
+		}
+		if len(out.Responses) != batchSize {
+			b.Fatalf("batch returned %d/%d responses", len(out.Responses), batchSize)
+		}
+	}
+}
+
+// BenchmarkDaemonInProcessBaseline is the same workload without the
+// network: seeded queries straight into a serve.Session.
+func BenchmarkDaemonInProcessBaseline(b *testing.B) {
+	g := serveBenchGraph()
+	sess, err := serve.Open(context.Background(), g, serve.SessionOptions{TotalBudget: 1e9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.ComponentCount(ctx, serve.QueryOptions{Epsilon: 1e-6, Seed: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// serveBenchRecord is one row of BENCH_serve.json.
+type serveBenchRecord struct {
+	Path string `json:"path"` // http-query | http-batch | in-process
+	N    int    `json:"n"`
+	M    int    `json:"m"`
+	// NsPerQuery is wall-clock nanoseconds per private release (for the
+	// batch path, per batched query).
+	NsPerQuery int64 `json:"ns_per_query"`
+	// QueriesPerSecond is the derived throughput.
+	QueriesPerSecond float64 `json:"queries_per_second"`
+	// BatchSize is 1 for single-query paths.
+	BatchSize int `json:"batch_size"`
+	// HTTPOverheadNs is NsPerQuery minus the in-process baseline (HTTP
+	// paths only).
+	HTTPOverheadNs int64 `json:"http_overhead_ns,omitempty"`
+	// SeededBitIdentical certifies the determinism contract: HTTP and
+	// in-process releases agree bit-for-bit on a seeded probe set.
+	SeededBitIdentical bool `json:"seeded_bit_identical"`
+	// AdvancedAdmitRatio is (queries admitted under advanced composition)
+	// / (under sequential) at equal ε_total — recorded once on the
+	// http-query row.
+	AdvancedAdmitRatio float64 `json:"advanced_admit_ratio,omitempty"`
+	MaxProcs           int     `json:"gomaxprocs"`
+}
+
+// serveSeededBitIdentical probes the determinism contract over HTTP.
+func serveSeededBitIdentical(t *testing.T, g *graph.Graph) bool {
+	base, id, closefn := startBenchDaemon(t, g)
+	defer closefn()
+	sess, err := serve.Open(context.Background(), g, serve.SessionOptions{TotalBudget: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		want, err := sess.ComponentCount(context.Background(), serve.QueryOptions{Epsilon: 0.5, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := json.Marshal(httpapi.QueryRequest{Op: "cc", Epsilon: 0.5, Seed: seed})
+		resp, err := http.Post(base+"/v1/sessions/"+id+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got httpapi.QueryResponse
+		err = json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("probe query: status %d err %v", resp.StatusCode, err)
+		}
+		if math.Float64bits(got.Value) != math.Float64bits(want.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// serveAdvancedAdmitRatio counts queries admitted over HTTP under each
+// accountant at ε_total=1, ε₀=0.01.
+func serveAdvancedAdmitRatio(t *testing.T, g *graph.Graph) float64 {
+	ts := httptest.NewServer(httpapi.New(httpapi.Config{MaxInflight: 64}))
+	defer ts.Close()
+	count := func(accountant string, delta float64) int {
+		edges := make([][2]int, 0, g.M())
+		for _, e := range g.Edges() {
+			edges = append(edges, [2]int{e.U, e.V})
+		}
+		raw, _ := json.Marshal(httpapi.CreateSessionRequest{
+			N: g.N(), Edges: edges, Budget: 1, Accountant: accountant, Delta: delta,
+		})
+		resp, err := http.Post(ts.URL+"/v1/graphs", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var created httpapi.CreateSessionResponse
+		err = json.NewDecoder(resp.Body).Decode(&created)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload: status %d err %v", resp.StatusCode, err)
+		}
+		admitted := 0
+		for i := 0; ; i++ {
+			if i > 100000 {
+				t.Fatalf("accountant %q admitted unboundedly many queries", accountant)
+			}
+			body, _ := json.Marshal(httpapi.QueryRequest{Op: "cc", Epsilon: 0.01, Seed: uint64(i) + 1})
+			qresp, err := http.Post(ts.URL+"/v1/sessions/"+created.SessionID+"/query",
+				"application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			qresp.Body.Close()
+			if qresp.StatusCode != http.StatusOK {
+				return admitted
+			}
+			admitted++
+		}
+	}
+	seq := count("sequential", 0)
+	adv := count("advanced", 1e-9)
+	if seq == 0 {
+		t.Fatal("sequential accountant admitted nothing")
+	}
+	return float64(adv) / float64(seq)
+}
+
+// TestEmitServeBenchJSON writes BENCH_serve.json. Opt-in like the other
+// emitters (it spins real benchmarks):
+//
+//	NODEDP_BENCH_JSON=1 go test -run TestEmitServeBenchJSON .
+func TestEmitServeBenchJSON(t *testing.T) {
+	if os.Getenv("NODEDP_BENCH_JSON") == "" {
+		t.Skip("set NODEDP_BENCH_JSON=1 to emit BENCH_serve.json")
+	}
+	g := serveBenchGraph()
+	bit := serveSeededBitIdentical(t, g)
+	ratio := serveAdvancedAdmitRatio(t, g)
+
+	mk := func(path string, nsPerOp int64, batch int) serveBenchRecord {
+		perQuery := nsPerOp / int64(batch)
+		rec := serveBenchRecord{
+			Path:       path,
+			N:          g.N(),
+			M:          g.M(),
+			NsPerQuery: perQuery,
+			BatchSize:  batch,
+
+			SeededBitIdentical: bit,
+			MaxProcs:           runtime.GOMAXPROCS(0),
+		}
+		if perQuery > 0 {
+			rec.QueriesPerSecond = 1e9 / float64(perQuery)
+		}
+		return rec
+	}
+
+	inproc := testing.Benchmark(BenchmarkDaemonInProcessBaseline)
+	single := testing.Benchmark(BenchmarkDaemonQuery)
+	batch := testing.Benchmark(BenchmarkDaemonBatch)
+
+	base := mk("in-process", inproc.NsPerOp(), 1)
+	httpSingle := mk("http-query", single.NsPerOp(), 1)
+	httpSingle.HTTPOverheadNs = httpSingle.NsPerQuery - base.NsPerQuery
+	httpSingle.AdvancedAdmitRatio = ratio
+	httpBatch := mk("http-batch", batch.NsPerOp(), 32)
+	httpBatch.HTTPOverheadNs = httpBatch.NsPerQuery - base.NsPerQuery
+
+	records := []serveBenchRecord{base, httpSingle, httpBatch}
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_serve.json (%d records)", len(records))
+
+	// Acceptance: the determinism contract must hold, the advanced
+	// accountant must win at equal ε_total, and batching must beat
+	// single-query HTTP per released value.
+	if !bit {
+		t.Error("seeded HTTP releases are not bit-identical to in-process releases")
+	}
+	if ratio <= 1 {
+		t.Errorf("advanced/sequential admit ratio %.2f, want > 1", ratio)
+	}
+	if httpBatch.NsPerQuery >= httpSingle.NsPerQuery {
+		t.Errorf("batching (%d ns/query) does not beat single queries (%d ns/query)",
+			httpBatch.NsPerQuery, httpSingle.NsPerQuery)
+	}
+	fmt.Printf("daemon bench: in-process %d ns/q, http %d ns/q (overhead %d), batch %d ns/q, adv ratio %.1f×\n",
+		base.NsPerQuery, httpSingle.NsPerQuery, httpSingle.HTTPOverheadNs, httpBatch.NsPerQuery, ratio)
+}

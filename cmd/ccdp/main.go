@@ -10,8 +10,23 @@
 // Serving usage (one plan, many budget-accounted queries):
 //
 //	ccdp serve -budget 4.0 -queries queries.txt [-input graph.txt]
+//	     [-accountant sequential|advanced] [-acct-delta 0]
 //	     [-seed 0] [-workers 0] [-sep-workers 0] [-no-warm-start]
 //	     [-timeout 0] [-v]
+//
+// Daemon usage (multi-tenant HTTP/JSON front end over sessions):
+//
+//	ccdp daemon [-listen 127.0.0.1:8080] [-max-inflight 64]
+//	     [-read-limit 8388608] [-max-sessions 256] [-max-per-tenant 32]
+//	     [-idle-ttl 30m] [-cache-weight 4194304] [-drain-timeout 30s]
+//
+// The daemon serves POST /v1/graphs (upload a graph, open a budgeted
+// session), POST /v1/sessions/{id}/query and /batch (private releases),
+// GET /v1/sessions/{id} (budget and plan-cache introspection),
+// DELETE /v1/sessions/{id}, GET /healthz, and GET /metrics (Prometheus
+// text). Requests beyond -max-inflight are shed with 429 + Retry-After;
+// SIGTERM/SIGINT drain gracefully: /healthz flips to 503, in-flight
+// requests finish, then the listener closes (bounded by -drain-timeout).
 //
 // The input format is one "u v" pair per line with an optional "n <count>"
 // header for isolated vertices; '#' starts a comment. With -input omitted,
@@ -46,11 +61,19 @@
 //
 // The serve query file has one query per line ('#' comments allowed):
 //
-//	<mode> <epsilon> [seed]
+//	<mode> <epsilon> [seed | seed=N]
 //
-// with mode cc, cc-known-n, or sf — e.g. "cc 0.5 7". All queries are
-// admitted against the session budget in file order: once a query does not
-// fit, it fails with "budget exhausted" and spends nothing.
+// with mode cc, cc-known-n, or sf — e.g. "cc 0.5 7". A malformed line —
+// unknown mode, non-positive or non-finite epsilon, zero or duplicate
+// seed, extra fields — fails with a line-numbered error and nonzero exit
+// before any budget is touched. All queries are admitted against the
+// session budget in file order: once a query does not fit, it fails with
+// "budget exhausted" and spends nothing.
+//
+// -accountant selects the session's composition rule: sequential (the
+// default, pure-ε Lemma 2.4) or advanced ((ε, δ) advanced composition,
+// which admits many more small queries at equal ε_total; -acct-delta is
+// then required in (0, 1)).
 package main
 
 import (
@@ -60,12 +83,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"nodedp"
+	"nodedp/internal/httpapi"
 )
 
 func main() {
@@ -78,6 +107,9 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if len(args) > 0 && args[0] == "serve" {
 		return runServe(args[1:], stdin, stdout)
+	}
+	if len(args) > 0 && args[0] == "daemon" {
+		return runDaemon(args[1:], stdout)
 	}
 
 	fs := flag.NewFlagSet("ccdp", flag.ContinueOnError)
@@ -152,11 +184,89 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	return nil
 }
 
+// runDaemon implements the daemon subcommand: the HTTP/JSON front end of
+// internal/httpapi behind a graceful-drain lifecycle. SIGTERM or SIGINT
+// starts the drain: /healthz flips to 503 so load balancers stop routing
+// here, in-flight requests complete, and the listener closes once idle (or
+// after -drain-timeout, whichever comes first).
+func runDaemon(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ccdp daemon", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:8080", "address to listen on (host:port; port 0 picks a free port)")
+	maxInflight := fs.Int("max-inflight", httpapi.DefaultMaxInflight, "maximum concurrently executing /v1 requests; excess requests are shed with 429 + Retry-After")
+	readLimit := fs.Int64("read-limit", httpapi.DefaultReadLimit, "maximum request body size in bytes")
+	maxSessions := fs.Int("max-sessions", httpapi.DefaultMaxSessions, "maximum live sessions across all tenants")
+	maxPerTenant := fs.Int("max-per-tenant", httpapi.DefaultMaxPerTenant, "maximum live sessions per tenant")
+	idleTTL := fs.Duration("idle-ttl", httpapi.DefaultIdleTTL, "evict sessions idle longer than this")
+	cacheWeight := fs.Int64("cache-weight", httpapi.DefaultCacheWeight, "per-tenant plan-cache budget in grid-evaluation cost units (≈ (n+m)·grid points per plan)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "maximum time to wait for in-flight requests on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *maxInflight <= 0 || *readLimit <= 0 || *maxSessions <= 0 || *maxPerTenant <= 0 {
+		return usageError(fs, "-max-inflight, -read-limit, -max-sessions and -max-per-tenant must be positive")
+	}
+
+	api := httpapi.New(httpapi.Config{
+		MaxInflight: *maxInflight,
+		ReadLimit:   *readLimit,
+		CacheWeight: *cacheWeight,
+		Registry: httpapi.RegistryConfig{
+			MaxSessions:  *maxSessions,
+			MaxPerTenant: *maxPerTenant,
+			IdleTTL:      *idleTTL,
+		},
+	})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "ccdp daemon listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: api, ReadHeaderTimeout: 10 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Idle sessions must expire even when no request ever sweeps them.
+	sweeper := time.NewTicker(time.Minute)
+	defer sweeper.Stop()
+	go func() {
+		for {
+			select {
+			case <-sweeper.C:
+				api.Sweep()
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener failed outright
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "ccdp daemon draining")
+	api.StartDrain()
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	fmt.Fprintln(stdout, "ccdp daemon stopped")
+	return nil
+}
+
 // runServe implements the serve subcommand: one session, many queries from
 // a query file, each debiting the session budget.
 func runServe(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ccdp serve", flag.ContinueOnError)
-	budget := fs.Float64("budget", 0, "total session privacy budget ε (required, > 0); queries debit it under sequential composition")
+	budget := fs.Float64("budget", 0, "total session privacy budget ε (required, > 0); queries debit it under the selected composition accountant")
+	accountant := fs.String("accountant", "sequential", "composition accountant: sequential (pure ε) or advanced ((ε, δ); -acct-delta required)")
+	acctDelta := fs.Float64("acct-delta", 0, "advanced-composition failure probability δ in (0, 1); only with -accountant advanced")
 	queries := fs.String("queries", "", "query file, one \"<mode> <epsilon> [seed]\" per line (required)")
 	input := fs.String("input", "", "edge-list file (default: stdin)")
 	seed := fs.Uint64("seed", 0, "session noise source: 0 = crypto randomness; nonzero = reproducible (testing only); per-query seeds override")
@@ -192,7 +302,14 @@ func runServe(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	defer closeInput()
 
-	sopts := nodedp.SessionOptions{TotalBudget: *budget}
+	sopts := nodedp.SessionOptions{TotalBudget: *budget, Delta: *acctDelta}
+	switch *accountant {
+	case "sequential":
+	case "advanced":
+		sopts.Composition = nodedp.CompositionAdvanced
+	default:
+		return usageError(fs, "unknown -accountant %q (want sequential or advanced)", *accountant)
+	}
 	if *seed != 0 {
 		sopts.Rand = nodedp.NewRand(*seed)
 	}
@@ -207,8 +324,12 @@ func runServe(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "session: n=%d m=%d fingerprint=%s budget ε=%g\n",
-		g.N(), g.M(), sess.Fingerprint(), *budget)
+	acctLabel := sess.AccountantName()
+	if d := sess.Delta(); d > 0 {
+		acctLabel = fmt.Sprintf("%s (δ=%g)", acctLabel, d)
+	}
+	fmt.Fprintf(stdout, "session: n=%d m=%d fingerprint=%s budget ε=%g accountant=%s\n",
+		g.N(), g.M(), sess.Fingerprint(), *budget, acctLabel)
 
 	resps := sess.Do(ctx, reqs)
 	for i, resp := range resps {
@@ -233,8 +354,12 @@ func runServe(args []string, stdin io.Reader, stdout io.Writer) error {
 	return nil
 }
 
-// readQueryFile parses the serve query format: "<mode> <epsilon> [seed]"
-// per line, '#' comments and blank lines allowed.
+// readQueryFile parses the serve query format: "<mode> <epsilon>" followed
+// by an optional seed ("7" or "seed=7") per line, '#' comments and blank
+// lines allowed. Every malformed line — unknown mode, missing/non-positive/
+// non-finite epsilon, zero or duplicate seed, unknown or repeated
+// key=value fields — fails with a line-numbered error so a typo never
+// silently skips a query or runs it with different randomness than asked.
 func readQueryFile(path string) ([]nodedp.BatchRequest, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -255,42 +380,73 @@ func readQueryFile(path string) ([]nodedp.BatchRequest, error) {
 		if len(fields) == 0 {
 			continue
 		}
-		if len(fields) > 3 {
-			return nil, fmt.Errorf("%s:%d: want \"<mode> <epsilon> [seed]\", got %d fields", path, lineNo, len(fields))
-		}
-		var req nodedp.BatchRequest
-		switch fields[0] {
-		case "cc":
-			req.Op = nodedp.OpComponentCount
-		case "cc-known-n":
-			req.Op, req.Mode = nodedp.OpComponentCount, nodedp.ModeKnownN
-		case "sf":
-			req.Op = nodedp.OpSpanningForestSize
-		default:
-			return nil, fmt.Errorf("%s:%d: unknown mode %q (want cc, cc-known-n or sf)", path, lineNo, fields[0])
-		}
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("%s:%d: missing epsilon", path, lineNo)
-		}
-		req.Epsilon, err = strconv.ParseFloat(fields[1], 64)
+		req, err := parseQueryLine(fields)
 		if err != nil {
-			return nil, fmt.Errorf("%s:%d: bad epsilon %q: %v", path, lineNo, fields[1], err)
-		}
-		if len(fields) == 3 {
-			req.Seed, err = strconv.ParseUint(fields[2], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("%s:%d: bad seed %q: %v", path, lineNo, fields[2], err)
-			}
+			return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
 		}
 		reqs = append(reqs, req)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%s:%d: %w", path, lineNo+1, err)
 	}
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("%s: no queries", path)
 	}
 	return reqs, nil
+}
+
+// parseQueryLine parses the fields of one non-empty query line.
+func parseQueryLine(fields []string) (nodedp.BatchRequest, error) {
+	var req nodedp.BatchRequest
+	switch fields[0] {
+	case "cc":
+		req.Op = nodedp.OpComponentCount
+	case "cc-known-n":
+		req.Op, req.Mode = nodedp.OpComponentCount, nodedp.ModeKnownN
+	case "sf":
+		req.Op = nodedp.OpSpanningForestSize
+	default:
+		return req, fmt.Errorf("unknown mode %q (want cc, cc-known-n or sf)", fields[0])
+	}
+	if len(fields) < 2 {
+		return req, fmt.Errorf("missing epsilon (want \"<mode> <epsilon> [seed]\")")
+	}
+	eps, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return req, fmt.Errorf("bad epsilon %q: %v", fields[1], err)
+	}
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		// The session would reject this later anyway, but without a line
+		// number — and after the plan build.
+		return req, fmt.Errorf("epsilon %v must be positive and finite", eps)
+	}
+	req.Epsilon = eps
+
+	seenSeed := false
+	for _, field := range fields[2:] {
+		val := field
+		if key, v, ok := strings.Cut(field, "="); ok {
+			if key != "seed" {
+				return req, fmt.Errorf("unknown field %q (only seed=N is allowed)", field)
+			}
+			val = v
+		}
+		if seenSeed {
+			return req, fmt.Errorf("duplicate seed field %q", field)
+		}
+		seenSeed = true
+		seed, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return req, fmt.Errorf("bad seed %q: %v", val, err)
+		}
+		if seed == 0 {
+			// Seed 0 is the "unseeded" sentinel: accepting it would
+			// silently switch the query to crypto randomness.
+			return req, fmt.Errorf("seed must be nonzero (omit the field for crypto randomness)")
+		}
+		req.Seed = seed
+	}
+	return req, nil
 }
 
 // describeRequest renders a request's mode the way the query file spells it.

@@ -1,11 +1,18 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func TestRunFromStdin(t *testing.T) {
@@ -267,5 +274,218 @@ func TestServeTimeout(t *testing.T) {
 		strings.NewReader("0 1\n1 2\n"), &out)
 	if err == nil || !strings.Contains(err.Error(), "context deadline exceeded") {
 		t.Fatalf("want deadline error, got %v (output %q)", err, out.String())
+	}
+}
+
+// TestReadQueryFileTable is the line-validation table: every malformed or
+// duplicate-field line must fail with a line-numbered error (the CLI turns
+// that into a nonzero exit), and valid syntax must parse exactly.
+func TestReadQueryFileTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		content string
+		wantErr string // substring of the error; empty = must succeed
+		wantN   int
+	}{
+		{"valid-mixed", "cc 0.5 7\nsf 0.25\ncc-known-n 1 seed=9\n", "", 3},
+		{"valid-comments", "# header\n\ncc 0.5 # trailing\n", "", 1},
+		{"unknown-mode", "bogus 0.5\n", ":1: unknown mode \"bogus\"", 0},
+		{"missing-epsilon", "cc\n", ":1: missing epsilon", 0},
+		{"bad-epsilon", "cc nope\n", ":1: bad epsilon", 0},
+		{"zero-epsilon", "cc 0\n", ":1: epsilon 0 must be positive", 0},
+		{"negative-epsilon", "cc -0.5\n", ":1: epsilon -0.5 must be positive", 0},
+		{"inf-epsilon", "cc +Inf\n", ":1: epsilon +Inf must be positive and finite", 0},
+		{"nan-epsilon", "cc NaN\n", ":1: epsilon NaN must be positive", 0},
+		{"bad-seed", "cc 0.5 nope\n", ":1: bad seed", 0},
+		{"zero-seed", "cc 0.5 0\n", ":1: seed must be nonzero", 0},
+		{"zero-seed-kv", "cc 0.5 seed=0\n", ":1: seed must be nonzero", 0},
+		{"duplicate-seed", "cc 0.5 7 8\n", ":1: duplicate seed field", 0},
+		{"duplicate-seed-kv", "cc 0.5 seed=7 seed=8\n", ":1: duplicate seed field", 0},
+		{"duplicate-mixed", "cc 0.5 7 seed=8\n", ":1: duplicate seed field", 0},
+		{"unknown-field", "cc 0.5 mode=cc\n", ":1: unknown field \"mode=cc\"", 0},
+		{"error-line-number", "cc 0.5 1\nsf 0.2\ncc zero\n", ":3: bad epsilon", 0},
+		{"empty", "# nothing here\n", "no queries", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeQueryFile(t, tc.content)
+			reqs, err := readQueryFile(path)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if len(reqs) != tc.wantN {
+					t.Fatalf("parsed %d queries, want %d", len(reqs), tc.wantN)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got %d queries", tc.wantErr, len(reqs))
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestReadQueryFileSeedForms: both seed spellings parse to the same query.
+func TestReadQueryFileSeedForms(t *testing.T) {
+	bare, err := readQueryFile(writeQueryFile(t, "cc 0.5 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, err := readQueryFile(writeQueryFile(t, "cc 0.5 seed=7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare[0] != kv[0] {
+		t.Fatalf("seed forms parse differently: %+v vs %+v", bare[0], kv[0])
+	}
+}
+
+// TestServeAccountantFlag: the advanced accountant admits more small
+// queries than sequential at the same -budget, and bad selections are
+// usage errors.
+func TestServeAccountantFlag(t *testing.T) {
+	var lines strings.Builder
+	for i := 0; i < 60; i++ {
+		fmt.Fprintf(&lines, "cc 0.02 %d\n", i+1)
+	}
+	queries := writeQueryFile(t, lines.String())
+	const input = "n 6\n0 1\n2 3\n"
+
+	admitted := func(extra ...string) int {
+		args := append([]string{"serve", "-budget", "1", "-queries", queries}, extra...)
+		var out bytes.Buffer
+		if err := run(args, strings.NewReader(input), &out); err != nil {
+			t.Fatalf("args %v: %v", args, err)
+		}
+		_, summary, ok := strings.Cut(out.String(), "session: ")
+		_, summary, ok2 := strings.Cut(summary, "session: ")
+		if !ok || !ok2 {
+			t.Fatalf("no summary in output:\n%s", out.String())
+		}
+		var adm, total int
+		if _, err := fmt.Sscanf(summary, "%d/%d", &adm, &total); err != nil {
+			t.Fatalf("unparseable summary %q: %v", summary, err)
+		}
+		return adm
+	}
+	seq := admitted()
+	adv := admitted("-accountant", "advanced", "-acct-delta", "1e-9")
+	if adv <= seq {
+		t.Fatalf("advanced admitted %d, sequential %d; want strictly more", adv, seq)
+	}
+
+	for _, args := range [][]string{
+		{"serve", "-budget", "1", "-queries", queries, "-accountant", "renyi"},
+		{"serve", "-budget", "1", "-queries", queries, "-accountant", "advanced"},                     // missing delta
+		{"serve", "-budget", "1", "-queries", queries, "-acct-delta", "0.1"},                          // delta without advanced
+		{"serve", "-budget", "1", "-queries", queries, "-accountant", "advanced", "-acct-delta", "2"}, // delta out of range
+	} {
+		if err := run(args, strings.NewReader(input), &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+// TestDaemonLifecycle drives the daemon end to end in process: boot on a
+// free port, upload a graph, run a seeded query (bit-identical to the
+// one-shot CLI path by the serving contract), check /healthz and /metrics,
+// then SIGTERM and assert a clean drain.
+func TestDaemonLifecycle(t *testing.T) {
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"daemon", "-listen", "127.0.0.1:0", "-max-inflight", "8"}, strings.NewReader(""), pw)
+	}()
+
+	// The first output line carries the bound address.
+	sc := bufio.NewScanner(pr)
+	if !sc.Scan() {
+		t.Fatalf("no daemon output; exit: %v", <-done)
+	}
+	first := sc.Text()
+	go func() { // drain remaining output so the daemon never blocks on the pipe
+		for sc.Scan() {
+		}
+	}()
+	addr, ok := strings.CutPrefix(first, "ccdp daemon listening on ")
+	if !ok {
+		t.Fatalf("unexpected first line %q", first)
+	}
+	base := "http://" + addr
+
+	post := func(path, body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+
+	code, body := post("/v1/graphs", `{"n":6,"edges":[[0,1],[2,3]],"budget":2}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	var created struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.Unmarshal([]byte(body), &created); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body = post("/v1/sessions/"+created.SessionID+"/query", `{"op":"cc","epsilon":0.5,"seed":7}`)
+	if code != http.StatusOK || !strings.Contains(body, `"value"`) {
+		t.Fatalf("query: %d %s", code, body)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "nodedp_queries_served_total 1") {
+		t.Fatalf("/metrics missing served counter:\n%s", raw)
+	}
+
+	// Graceful drain on SIGTERM.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain within 10s of SIGTERM")
+	}
+}
+
+// TestDaemonFlagValidation: nonsensical daemon limits are usage errors.
+func TestDaemonFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"daemon", "-max-inflight", "0"},
+		{"daemon", "-read-limit", "-1"},
+		{"daemon", "-max-sessions", "0"},
+		{"daemon", "-max-per-tenant", "-2"},
+	} {
+		if err := run(args, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
 	}
 }

@@ -29,14 +29,21 @@ import (
 const DefaultPlanCacheCapacity = 16
 
 // CacheStats reports a PlanCache's counters. Hits and Misses count GridEval
-// lookups; Evictions counts entries dropped by the LRU bound; Invalidations
-// counts entries removed by Invalidate; Coalesced counts lookups that
-// joined another caller's in-flight evaluation of the same key instead of
-// duplicating it (single-flight).
+// lookups; Evictions counts entries dropped by the LRU bounds (entry count
+// or weight); Invalidations counts entries removed by Invalidate; Coalesced
+// counts lookups that joined another caller's in-flight evaluation of the
+// same key instead of duplicating it (single-flight).
 type CacheStats struct {
 	Hits, Misses, Evictions, Invalidations, Coalesced int64
 	// Entries is the current number of cached evaluations.
 	Entries int
+	// Weight is the summed grid-evaluation cost of the cached entries (see
+	// GridEval.Cost) and WeightCapacity the admission bound on it (0 =
+	// bounded by entry count only). EntryWeights lists the per-entry costs
+	// in most-recently-used-first order, so one huge plan is visibly not
+	// interchangeable with many trivial ones.
+	Weight, WeightCapacity int64
+	EntryWeights           []int64
 }
 
 // cacheKey identifies one cached evaluation: the graph's canonical
@@ -52,20 +59,26 @@ type cacheKey struct {
 // identically. Workers, SepWorkers, ShardTimings, and Trace change only
 // scheduling and diagnostics, never values, and are deliberately excluded
 // so sessions with different concurrency settings share entries.
-// DisableWarmStart and SepExhaustive are included conservatively: they are
-// value-neutral on converging instances, but a stalled piece returns its
+// DisableWarmStart, SepExhaustive, and SepWaveWidth are included
+// conservatively: they are value-neutral on converging instances, but they
+// change the oracle schedule, so a stalled piece can return a different
 // path-dependent relaxation bound, and they also change the work counters
 // stored with the cached evaluation.
 func planOptionsDigest(o Options) string {
 	f := o.ForestLP.Normalize()
-	return fmt.Sprintf("dmax=%g tol=%g rounds=%d cuts=%d drop=%d stall=%d nofast=%t nopeel=%t nowarm=%t exh=%t lp=%+v",
+	return fmt.Sprintf("dmax=%g tol=%g rounds=%d cuts=%d drop=%d stall=%d nofast=%t nopeel=%t nowarm=%t exh=%t wave=%d lp=%+v",
 		o.DeltaMax, f.Tol, f.MaxRounds, f.MaxCutsPerRound, f.DropSlackAfter, f.StallRounds,
-		f.DisableFastPath, f.DisablePeel, f.DisableWarmStart, f.SepExhaustive, f.LP)
+		f.DisableFastPath, f.DisablePeel, f.DisableWarmStart, f.SepExhaustive, f.SepWaveWidth, f.LP)
 }
 
 type cacheEntry struct {
 	key cacheKey
 	ge  *GridEval
+	// h is the entry's GreedyDual-Size credit (weighted caches only):
+	// the eviction clock at the last touch plus the entry's cost, so
+	// expensive plans out-survive parades of cheap ones while the rising
+	// clock ages every entry toward eviction eventually.
+	h float64
 }
 
 // flight is one in-progress evaluation that concurrent misses of the same
@@ -82,12 +95,15 @@ type flight struct {
 // concurrent sessions; the zero value is not usable — construct with
 // NewPlanCache.
 type PlanCache struct {
-	mu       sync.Mutex
-	cap      int
-	ll       *list.List // front = most recently used
-	entries  map[cacheKey]*list.Element
-	inflight map[cacheKey]*flight
-	stats    CacheStats
+	mu        sync.Mutex
+	cap       int
+	weightCap int64      // 0 = no weight bound
+	weight    int64      // summed Cost of cached entries
+	clock     float64    // GreedyDual-Size eviction clock (weighted mode)
+	ll        *list.List // front = most recently used
+	entries   map[cacheKey]*list.Element
+	inflight  map[cacheKey]*flight
+	stats     CacheStats
 }
 
 // NewPlanCache returns an empty cache bounded to capacity entries
@@ -102,6 +118,26 @@ func NewPlanCache(capacity int) *PlanCache {
 		entries:  make(map[cacheKey]*list.Element),
 		inflight: make(map[cacheKey]*flight),
 	}
+}
+
+// NewPlanCacheWeighted returns a cache bounded by summed grid-evaluation
+// cost (GridEval.Cost units) instead of raw entry count, with
+// GreedyDual-Size eviction: every entry holds a credit of (eviction clock
+// at last touch) + cost, the victim is always the minimum-credit entry, and
+// the clock rises to the victim's credit. Cheap plans therefore go first —
+// one huge plan cannot be evicted by a parade of trivial ones, the failure
+// mode of raw entry counting — while the rising clock still ages a stale
+// huge plan out once the cache has moved on. A single entry heavier than
+// maxWeight is still cached (evicting it immediately would thrash the one
+// plan the deployment needs most); it then has the cache to itself.
+// maxWeight must be positive.
+func NewPlanCacheWeighted(maxWeight int64) *PlanCache {
+	if maxWeight <= 0 {
+		maxWeight = 1
+	}
+	c := NewPlanCache(int(^uint(0) >> 1)) // weight-bounded: no entry bound
+	c.weightCap = maxWeight
+	return c
 }
 
 // GridEval returns the grid evaluation for g under opts, computing and
@@ -138,9 +174,11 @@ func (c *PlanCache) GridEval(ctx context.Context, g *graph.Graph, opts Options) 
 		c.mu.Lock()
 		if el, ok := c.entries[key]; ok {
 			c.ll.MoveToFront(el)
+			entry := el.Value.(*cacheEntry)
+			entry.h = c.clock + float64(entry.ge.Cost())
 			count(&c.stats.Hits)
 			c.mu.Unlock()
-			return el.Value.(*cacheEntry).ge, true, nil
+			return entry.ge, true, nil
 		}
 		if f, ok := c.inflight[key]; ok {
 			count(&c.stats.Coalesced)
@@ -179,19 +217,40 @@ func (c *PlanCache) GridEval(ctx context.Context, g *graph.Graph, opts Options) 
 	}
 }
 
-// insertLocked adds an evaluation (c.mu held), evicting the least recently
-// used entries past the capacity bound. A racing insert of the same key
-// keeps the existing entry.
+// insertLocked adds an evaluation (c.mu held), evicting entries past the
+// capacity bounds: least-recently-used under the entry-count bound,
+// minimum GreedyDual-Size credit under the weight bound. A racing insert of
+// the same key keeps the existing entry. The newly inserted entry itself is
+// never evicted: a plan heavier than the whole weight budget is more
+// valuable alone than an empty cache.
 func (c *PlanCache) insertLocked(key cacheKey, ge *GridEval) {
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, ge: ge})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	inserted := c.ll.PushFront(&cacheEntry{key: key, ge: ge, h: c.clock + float64(ge.Cost())})
+	c.entries[key] = inserted
+	c.weight += ge.Cost()
+	for c.ll.Len() > 1 && (c.ll.Len() > c.cap || (c.weightCap > 0 && c.weight > c.weightCap)) {
+		victim := c.ll.Back()
+		if c.weightCap > 0 {
+			// Weight pressure: evict the minimum-credit entry (LRU order
+			// breaks credit ties), sparing the entry just inserted, and
+			// advance the clock to the departing credit.
+			for el := c.ll.Back(); el != nil; el = el.Prev() {
+				if el == inserted {
+					continue
+				}
+				if el.Value.(*cacheEntry).h < victim.Value.(*cacheEntry).h || victim == inserted {
+					victim = el
+				}
+			}
+			c.clock = victim.Value.(*cacheEntry).h
+		}
+		c.ll.Remove(victim)
+		entry := victim.Value.(*cacheEntry)
+		delete(c.entries, entry.key)
+		c.weight -= entry.ge.Cost()
 		c.stats.Evictions++
 	}
 }
@@ -216,6 +275,7 @@ func (c *PlanCache) Invalidate(fp graph.Fingerprint) int {
 		if entry := el.Value.(*cacheEntry); entry.key.fp == fp {
 			c.ll.Remove(el)
 			delete(c.entries, entry.key)
+			c.weight -= entry.ge.Cost()
 			c.stats.Invalidations++
 			removed++
 		}
@@ -224,12 +284,19 @@ func (c *PlanCache) Invalidate(fp graph.Fingerprint) int {
 	return removed
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters, including the per-entry
+// grid-evaluation weights in most-recently-used-first order.
 func (c *PlanCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := c.stats
 	s.Entries = c.ll.Len()
+	s.Weight = c.weight
+	s.WeightCapacity = c.weightCap
+	s.EntryWeights = make([]int64, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		s.EntryWeights = append(s.EntryWeights, el.Value.(*cacheEntry).ge.Cost())
+	}
 	return s
 }
 

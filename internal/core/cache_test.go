@@ -344,3 +344,117 @@ func TestPlanCacheSingleFlightLeaderCanceled(t *testing.T) {
 		t.Fatal("follow-up after canceled leader cannot be a hit")
 	}
 }
+
+// weightTestGraph builds a path on n vertices (n−1 edges), giving graphs of
+// controllable, strictly ordered grid-evaluation cost.
+func weightTestGraph(t *testing.T, n int, mark int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		// Skip one edge identified by mark so equal-size graphs differ.
+		if v == mark {
+			continue
+		}
+		if err := g.AddEdge(v, v+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// TestPlanCacheWeightedAdmission: a weight-bounded cache evicts by summed
+// grid-evaluation cost, so a stream of trivial plans cannot displace one
+// huge plan the way it would under a raw entry bound.
+func TestPlanCacheWeightedAdmission(t *testing.T) {
+	ctx := context.Background()
+	big := weightTestGraph(t, 120, -1)
+	bigCost := func() int64 {
+		ge, err := EvaluateGrid(ctx, big, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ge.Cost()
+	}()
+
+	// Budget: the big plan plus a little slack, far below 2× the big plan.
+	cache := NewPlanCacheWeighted(bigCost + bigCost/4)
+	if _, hit, err := cache.GridEval(ctx, big, Options{}); err != nil || hit {
+		t.Fatalf("big plan first insert: hit=%v err=%v", hit, err)
+	}
+
+	// A parade of trivial plans: each is admitted, but eviction pressure
+	// must fall on the older trivial plans, never on the big plan — its
+	// weight dominates the ledger, so the trivial ones go first.
+	for i := 0; i < 12; i++ {
+		small := weightTestGraph(t, 16, i)
+		if _, _, err := cache.GridEval(ctx, small, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, hit, err := cache.GridEval(ctx, big, Options{}); err != nil || !hit {
+		t.Fatalf("big plan evicted by trivial plans: hit=%v err=%v, want hit", hit, err)
+	}
+
+	s := cache.Stats()
+	if s.WeightCapacity != bigCost+bigCost/4 {
+		t.Fatalf("WeightCapacity = %d, want %d", s.WeightCapacity, bigCost+bigCost/4)
+	}
+	if s.Weight <= 0 || s.Weight > s.WeightCapacity {
+		t.Fatalf("Weight = %d, want in (0, %d]", s.Weight, s.WeightCapacity)
+	}
+	if len(s.EntryWeights) != s.Entries {
+		t.Fatalf("EntryWeights has %d entries, cache has %d", len(s.EntryWeights), s.Entries)
+	}
+	// The big plan was just touched: it must be the MRU entry and its
+	// weight must dwarf every trivial one.
+	if s.EntryWeights[0] != bigCost {
+		t.Fatalf("MRU weight = %d, want the big plan's %d", s.EntryWeights[0], bigCost)
+	}
+	for _, w := range s.EntryWeights[1:] {
+		if w >= bigCost {
+			t.Fatalf("trivial plan weight %d ≥ big plan %d", w, bigCost)
+		}
+	}
+	if s.Evictions == 0 {
+		t.Fatal("no evictions: the weight bound never engaged")
+	}
+}
+
+// TestPlanCacheWeightedOversizedEntry: a single plan heavier than the whole
+// weight budget is still cached (and alone).
+func TestPlanCacheWeightedOversizedEntry(t *testing.T) {
+	ctx := context.Background()
+	cache := NewPlanCacheWeighted(1)
+	g := weightTestGraph(t, 40, -1)
+	if _, hit, err := cache.GridEval(ctx, g, Options{}); err != nil || hit {
+		t.Fatalf("oversized insert: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := cache.GridEval(ctx, g, Options{}); err != nil || !hit {
+		t.Fatalf("oversized entry not resident: hit=%v err=%v", hit, err)
+	}
+	if s := cache.Stats(); s.Entries != 1 || s.Weight <= s.WeightCapacity {
+		t.Fatalf("stats = %+v, want exactly the oversized entry", s)
+	}
+}
+
+// TestPlanCacheInvalidateUpdatesWeight: invalidation returns an entry's
+// weight to the ledger.
+func TestPlanCacheInvalidateUpdatesWeight(t *testing.T) {
+	ctx := context.Background()
+	cache := NewPlanCacheWeighted(1 << 40)
+	g := weightTestGraph(t, 30, -1)
+	h := weightTestGraph(t, 20, -1)
+	for _, gr := range []*graph.Graph{g, h} {
+		if _, _, err := cache.GridEval(ctx, gr, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := cache.Stats().Weight
+	if removed := cache.Invalidate(graph.NewCSR(g).Fingerprint()); removed != 1 {
+		t.Fatalf("Invalidate removed %d, want 1", removed)
+	}
+	after := cache.Stats().Weight
+	if after >= before || after <= 0 {
+		t.Fatalf("weight %d → %d after invalidation, want a strict drop to > 0", before, after)
+	}
+}

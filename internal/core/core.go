@@ -179,6 +179,7 @@ func EstimateSpanningForestSizeCtx(ctx context.Context, g *graph.Graph, opts Opt
 // what the serving layer in internal/serve fans queries onto.
 type GridEval struct {
 	n           int
+	m           int
 	deltaMax    float64
 	optsDigest  string
 	fingerprint graph.Fingerprint
@@ -190,6 +191,14 @@ type GridEval struct {
 
 // N returns the vertex count of the evaluated graph.
 func (ge *GridEval) N() int { return ge.n }
+
+// Cost is the deterministic grid-evaluation cost estimate used by the
+// PlanCache's weight-based admission: (n + m + 1) CSR units per grid point,
+// the size of the work each evaluation walks. It is a relative weight, not
+// a wall-clock measurement, so identical graphs always weigh the same.
+func (ge *GridEval) Cost() int64 {
+	return int64(ge.n+ge.m+1) * int64(len(ge.grid))
+}
 
 // Fingerprint returns the canonical fingerprint of the evaluated graph.
 // Evaluations produced by EvaluateGrid or the PlanCache always carry one;
@@ -240,6 +249,7 @@ func evaluateGridCSR(ctx context.Context, csr *graph.CSR, fp graph.Fingerprint, 
 	}
 	return &GridEval{
 		n:           csr.N(),
+		m:           csr.M(),
 		deltaMax:    opts.DeltaMax,
 		optsDigest:  planOptionsDigest(opts),
 		fingerprint: fp,

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+
+	"nodedp/internal/core"
+	"nodedp/internal/generate"
+	"nodedp/internal/graph"
+	"nodedp/internal/httpapi"
+	"nodedp/internal/serve"
+)
+
+// E19DaemonServing validates the HTTP/JSON network front end against the
+// in-process serving layer: a seeded query over HTTP must release
+// bit-for-bit the in-process Session value (the determinism contract of
+// the daemon), the typed error taxonomy must distinguish budget exhaustion
+// from overload from unknown sessions, load shedding must engage at the
+// inflight cap, and — the accountant half — the advanced-composition
+// accountant must admit strictly more small queries than sequential
+// composition at equal ε_total, over the network, without ever exceeding
+// the budget.
+func E19DaemonServing(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E19",
+		Title:   "HTTP/JSON daemon over sessions with pluggable accountants",
+		Claim:   "network serving is bit-identical to in-process serving; advanced composition admits more queries at equal ε_total",
+		Columns: []string{"check", "want", "got", "pass"},
+	}
+	clusters, size, seededQueries := 6, 20, 10
+	if cfg.Quick {
+		clusters, size, seededQueries = 3, 14, 6
+	}
+	sizes := make([]int, clusters)
+	for i := range sizes {
+		sizes[i] = size
+	}
+	rng := generate.NewRand(cfg.Seed*1693 + 7)
+	g := generate.PlantedComponents(sizes, 2.5/float64(size), rng)
+	ctx := context.Background()
+
+	srv := httpapi.New(httpapi.Config{MaxInflight: 64})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post := func(path string, body any, out any) (int, error) {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return resp.StatusCode, fmt.Errorf("decoding %s response: %w", path, err)
+			}
+		}
+		return resp.StatusCode, nil
+	}
+
+	upload := func(budget float64, accountant string, delta float64) (httpapi.CreateSessionResponse, error) {
+		var created httpapi.CreateSessionResponse
+		code, err := post("/v1/graphs", uploadRequest(g, budget, accountant, delta), &created)
+		if err != nil {
+			return created, err
+		}
+		if code != http.StatusCreated {
+			return created, fmt.Errorf("upload: status %d", code)
+		}
+		return created, nil
+	}
+
+	// --- determinism: seeded HTTP releases equal in-process releases ---
+	created, err := upload(float64(seededQueries), "", 0)
+	if err != nil {
+		return nil, err
+	}
+	inproc, err := serve.Open(ctx, g, serve.SessionOptions{TotalBudget: float64(seededQueries)})
+	if err != nil {
+		return nil, err
+	}
+	ops := []struct {
+		wire string
+		mode serve.Mode
+		sf   bool
+	}{{wire: "cc"}, {wire: "sf", sf: true}, {wire: "cc-known-n", mode: serve.KnownN}}
+	identical := 0
+	for i := 0; i < seededQueries; i++ {
+		op := ops[i%len(ops)]
+		seed := cfg.Seed*4000 + uint64(i) + 1
+		eps := 0.2 * float64(1+i%2)
+		q := serve.QueryOptions{Epsilon: eps, Mode: op.mode, Seed: seed}
+		var want core.Result
+		if op.sf {
+			want, err = inproc.SpanningForestSize(ctx, q)
+		} else {
+			want, err = inproc.ComponentCount(ctx, q)
+		}
+		if err != nil {
+			return nil, err
+		}
+		var got httpapi.QueryResponse
+		code, err := post("/v1/sessions/"+created.SessionID+"/query",
+			httpapi.QueryRequest{Op: op.wire, Epsilon: eps, Seed: seed}, &got)
+		if err != nil {
+			return nil, err
+		}
+		if code == http.StatusOK && math.Float64bits(got.Value) == math.Float64bits(want.Value) {
+			identical++
+		}
+	}
+	t.AddRow("seeded HTTP releases ≡ in-process", seededQueries, identical, identical == seededQueries)
+
+	// --- error taxonomy ---
+	var eb httpapi.ErrorBody
+	code, err := post("/v1/sessions/"+created.SessionID+"/query",
+		httpapi.QueryRequest{Op: "cc", Epsilon: 100}, &eb)
+	if err != nil {
+		return nil, err
+	}
+	exhausted := code == http.StatusForbidden && eb.Error.Code == httpapi.CodeBudgetExhausted
+	t.AddRow("over-budget → 403 budget_exhausted", true, exhausted, exhausted)
+
+	eb = httpapi.ErrorBody{}
+	code, err = post("/v1/sessions/missing/query", httpapi.QueryRequest{Op: "cc", Epsilon: 0.1}, &eb)
+	if err != nil {
+		return nil, err
+	}
+	notFound := code == http.StatusNotFound && eb.Error.Code == httpapi.CodeNotFound
+	t.AddRow("unknown session → 404 not_found", true, notFound, notFound)
+
+	// --- load shedding at the inflight cap ---
+	shedSrv := httpapi.New(httpapi.Config{MaxInflight: 1})
+	shedTS := httptest.NewServer(shedSrv)
+	defer shedTS.Close()
+	// Saturate the one slot from outside the handler, then observe a 429.
+	shedSrv.TestingHoldSlot(1)
+	resp, err := http.Get(shedTS.URL + "/v1/sessions/whatever")
+	if err != nil {
+		return nil, err
+	}
+	var shedBody httpapi.ErrorBody
+	shedErr := json.NewDecoder(resp.Body).Decode(&shedBody)
+	resp.Body.Close()
+	shedSrv.TestingHoldSlot(-1)
+	shed := shedErr == nil && resp.StatusCode == http.StatusTooManyRequests &&
+		shedBody.Error.Code == httpapi.CodeOverloaded && resp.Header.Get("Retry-After") != ""
+	t.AddRow("inflight cap → 429 overloaded + Retry-After", true, shed, shed)
+
+	// --- accountants: queries admitted at equal ε_total over HTTP ---
+	const eps = 0.01
+	countAdmitted := func(accountant string, delta float64) (int, float64, error) {
+		sess, err := upload(1, accountant, delta)
+		if err != nil {
+			return 0, 0, err
+		}
+		admitted := 0
+		for i := 0; ; i++ {
+			if i > 100000 {
+				return 0, 0, fmt.Errorf("accountant %q admitted unboundedly many queries", accountant)
+			}
+			var out httpapi.QueryResponse
+			code, err := post("/v1/sessions/"+sess.SessionID+"/query",
+				httpapi.QueryRequest{Op: "cc", Epsilon: eps, Seed: uint64(i) + 1}, &out)
+			if err != nil {
+				return 0, 0, err
+			}
+			if code != http.StatusOK {
+				break
+			}
+			admitted++
+		}
+		var info httpapi.SessionInfo
+		resp, err := http.Get(ts.URL + "/v1/sessions/" + sess.SessionID)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			return 0, 0, err
+		}
+		return admitted, info.Budget.Spent, nil
+	}
+	seqAdmitted, seqSpent, err := countAdmitted("sequential", 0)
+	if err != nil {
+		return nil, err
+	}
+	advAdmitted, advSpent, err := countAdmitted("advanced", 1e-9)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("advanced admits more than sequential", "adv > seq",
+		fmt.Sprintf("%d vs %d", advAdmitted, seqAdmitted), advAdmitted > seqAdmitted)
+	noOverspend := seqSpent <= 1+1e-12 && advSpent <= 1+1e-12
+	t.AddRow("neither accountant overspends ε_total=1", true, noOverspend, noOverspend)
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("advanced composition (δ=1e-9) admitted %.1f× the queries of sequential composition at ε_total=1, ε₀=%g",
+			float64(advAdmitted)/math.Max(1, float64(seqAdmitted)), eps),
+		"the daemon path adds JSON encode/decode and TCP to every query; BENCH_serve.json quantifies the per-query overhead")
+	return t, nil
+}
+
+// uploadRequest renders g as a JSON upload body.
+func uploadRequest(g *graph.Graph, budget float64, accountant string, delta float64) httpapi.CreateSessionRequest {
+	edges := make([][2]int, 0, g.M())
+	for _, e := range g.Edges() {
+		edges = append(edges, [2]int{e.U, e.V})
+	}
+	return httpapi.CreateSessionRequest{
+		N: g.N(), Edges: edges, Budget: budget, Accountant: accountant, Delta: delta,
+	}
+}

@@ -41,6 +41,7 @@ func Registry() []struct {
 		{"E16", E16ParallelEngine},
 		{"E17", E17SessionServing},
 		{"E18", E18SeparationWarmStarts},
+		{"E19", E19DaemonServing},
 		{"F1", F1RepairTrace},
 		{"F2", F2Lemma52},
 		{"F3", F3WinDecomposition},

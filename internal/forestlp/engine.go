@@ -80,6 +80,10 @@ func (p *Plan) value(ctx context.Context, delta float64, opts Options, warm *gri
 	if err := checkDelta(delta); err != nil {
 		return 0, stats, err
 	}
+	if opts.SepWaveWidth < 0 {
+		return 0, stats, fmt.Errorf("forestlp: SepWaveWidth must be ≥ 0 (0 = default %d), got %d",
+			sepWaveDefault, opts.SepWaveWidth)
+	}
 	if err := ctx.Err(); err != nil {
 		return 0, stats, err
 	}

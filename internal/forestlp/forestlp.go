@@ -60,8 +60,21 @@ type Options struct {
 	// schedule never depends on the worker count, and results merge in
 	// vertex order, so the returned value and all counting statistics
 	// (including max-flow calls) are identical for every setting; useful
-	// parallelism is capped at the maximum wave width (16).
+	// parallelism is capped at the maximum wave width (SepWaveWidth,
+	// default 16).
 	SepWorkers int
+	// SepWaveWidth is the maximum wave width of the parallel separation
+	// oracle: how many forced vertices are dispatched at most before the
+	// covered screening is re-applied. 0 (the default) means 16; negative
+	// values are rejected. The wave schedule — which oracle calls run —
+	// depends on the width, so changing it moves the work counters
+	// (max-flow calls) and, on pieces that hit the stall bailout, can move
+	// the path-dependent relaxation bound; for a FIXED width the result is
+	// still bit-identical for every SepWorkers setting, which is why the
+	// plan cache digests the width. Raise it on many-core machines where
+	// more than 16 concurrent oracle flows pay off; the useful SepWorkers
+	// is capped at this width.
+	SepWaveWidth int
 	// DisableWarmStart turns off every warm-start layer: the cross-Δ cut
 	// pool and piece-basis memos of grid sweeps, the round-to-round
 	// simplex basis carrying inside each cutting-plane solve, and the
@@ -137,6 +150,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StallRounds <= 0 {
 		o.StallRounds = 80
+	}
+	if o.SepWaveWidth == 0 {
+		o.SepWaveWidth = sepWaveDefault
 	}
 	return o
 }
@@ -265,10 +281,19 @@ func resolveSepWorkers(opts Options) int {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if w > sepWave {
-		w = sepWave
+	if wave := resolveSepWave(opts); w > wave {
+		w = wave
 	}
 	return w
+}
+
+// resolveSepWave maps the Options to the oracle's maximum wave width,
+// tolerating un-defaulted options (0 means sepWaveDefault).
+func resolveSepWave(opts Options) int {
+	if opts.SepWaveWidth <= 0 {
+		return sepWaveDefault
+	}
+	return opts.SepWaveWidth
 }
 
 // lpValue solves max x(E) over the forest polytope of sub intersected with
@@ -334,7 +359,7 @@ func lpValue(ctx context.Context, sub *graph.Graph, caps []float64, opts Options
 	baseRows = append(baseRows, all)
 	baseRHS = append(baseRHS, fsf)
 
-	sep := newSeparator(sub, edges, opts.Tol, resolveSepWorkers(opts))
+	sep := newSeparator(sub, edges, opts.Tol, resolveSepWorkers(opts), resolveSepWave(opts))
 	sep.exhaustive = opts.SepExhaustive
 	sep.noRevive = opts.DisableWarmStart
 	cutRow := func(ct *cut) []float64 {

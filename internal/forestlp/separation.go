@@ -44,12 +44,13 @@ import (
 //     edges incident to the set via a per-vertex edge index instead of
 //     rescanning all m edges.
 
-// sepWave caps the wave width of the parallel oracle: how many forced
-// vertices are dispatched at most before the covered screening is
-// re-applied. It is a constant — never derived from SepWorkers — because
-// the wave schedule determines which oracle calls run, and those must not
-// change with the worker count. It also caps the useful SepWorkers.
-const sepWave = 16
+// sepWaveDefault is the default maximum wave width of the parallel oracle:
+// how many forced vertices are dispatched at most before the covered
+// screening is re-applied. The effective width is configured per evaluation
+// (Options.SepWaveWidth) but never derived from SepWorkers, because the
+// wave schedule determines which oracle calls run, and those must not
+// change with the worker count. The width also caps the useful SepWorkers.
+const sepWaveDefault = 16
 
 // cutKey is the canonical 128-bit identity of a vertex set: two sets
 // collide only with probability ≈ 2⁻¹²⁸. It replaces the string keys of the
@@ -130,6 +131,7 @@ type separator struct {
 	incident [][]int32 // incident[v] = indices into edges touching v
 	tol      float64
 	workers  int
+	wave     int // maximum wave width (Options.SepWaveWidth, ≥ 1)
 	// exhaustive reverts to the original oracle sweep: every uncovered
 	// vertex is forced (no eligibility screening), one at a time (wave
 	// width 1). Identical results, strictly more flows; benchmarks use it
@@ -167,12 +169,15 @@ type separator struct {
 	stack    []int32
 }
 
-func newSeparator(g *graph.Graph, edges []graph.Edge, tol float64, workers int) *separator {
+func newSeparator(g *graph.Graph, edges []graph.Edge, tol float64, workers, wave int) *separator {
+	if wave < 1 {
+		wave = sepWaveDefault
+	}
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > sepWave {
-		workers = sepWave
+	if workers > wave {
+		workers = wave
 	}
 	n := g.N()
 	incident := make([][]int32, n)
@@ -197,6 +202,7 @@ func newSeparator(g *graph.Graph, edges []graph.Edge, tol float64, workers int) 
 		incident: incident,
 		tol:      tol,
 		workers:  workers,
+		wave:     wave,
 		seen:     make(map[cutKey]bool),
 	}
 }
@@ -375,8 +381,8 @@ func (sp *separator) findViolated(x []float64, maxCuts int) ([]*cut, int) {
 		}
 		if !sp.exhaustive {
 			width *= 2
-			if width > sepWave {
-				width = sepWave
+			if width > sp.wave {
+				width = sp.wave
 			}
 		}
 		if len(wave) == 0 {
@@ -595,8 +601,8 @@ func (sp *separator) ensureScratch(n int) {
 		sp.covered = make([]bool, n)
 		sp.supDeg = make([]int32, n)
 		sp.partSeen = make([]bool, n)
-		sp.waveBuf = make([]int, 0, sepWave)
-		sp.results = make([]closureResult, sepWave)
+		sp.waveBuf = make([]int, 0, sp.wave)
+		sp.results = make([]closureResult, sp.wave)
 		for k := range sp.results {
 			sp.results[k].member = make([]bool, n)
 		}

@@ -1,0 +1,112 @@
+package httpapi
+
+// This file implements the daemon's hand-rolled Prometheus text exposition
+// (no external dependencies, per the repo's no-new-deps rule). Counters are
+// keyed by route pattern and status code — never by raw URL, whose
+// cardinality an adversarial client controls.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics aggregates request counters, latencies, and shed counts.
+type metrics struct {
+	mu sync.Mutex
+	// requests[route][code] counts completed requests.
+	requests map[string]map[int]int64
+	// latencySum/latencyCount per route, in seconds (Prometheus summary
+	// convention: _sum and _count suffixes).
+	latencySum   map[string]float64
+	latencyCount map[string]int64
+	// shed counts requests rejected by the inflight admission cap.
+	shed int64
+	// queriesServed counts private releases (single + batch items).
+	queriesServed int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:     make(map[string]map[int]int64),
+		latencySum:   make(map[string]float64),
+		latencyCount: make(map[string]int64),
+	}
+}
+
+func (m *metrics) observe(route string, code int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[route]
+	if byCode == nil {
+		byCode = make(map[int]int64)
+		m.requests[route] = byCode
+	}
+	byCode[code]++
+	m.latencySum[route] += elapsed.Seconds()
+	m.latencyCount[route]++
+}
+
+func (m *metrics) addShed() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
+func (m *metrics) addQueries(n int64) {
+	m.mu.Lock()
+	m.queriesServed += n
+	m.mu.Unlock()
+}
+
+// write renders the exposition text. The caller supplies the gauges owned
+// elsewhere (registry and plan cache state).
+func (m *metrics) write(w io.Writer, gauges map[string]float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP nodedp_http_requests_total Completed HTTP requests by route pattern and status code.\n")
+	fmt.Fprintf(w, "# TYPE nodedp_http_requests_total counter\n")
+	for _, route := range sortedKeys(m.requests) {
+		byCode := m.requests[route]
+		codes := make([]int, 0, len(byCode))
+		for c := range byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "nodedp_http_requests_total{route=%q,code=\"%d\"} %d\n", route, c, byCode[c])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP nodedp_http_request_seconds Request latency summary by route pattern.\n")
+	fmt.Fprintf(w, "# TYPE nodedp_http_request_seconds summary\n")
+	for _, route := range sortedKeys(m.latencySum) {
+		fmt.Fprintf(w, "nodedp_http_request_seconds_sum{route=%q} %g\n", route, m.latencySum[route])
+		fmt.Fprintf(w, "nodedp_http_request_seconds_count{route=%q} %d\n", route, m.latencyCount[route])
+	}
+
+	fmt.Fprintf(w, "# HELP nodedp_http_requests_shed_total Requests rejected by the inflight admission cap.\n")
+	fmt.Fprintf(w, "# TYPE nodedp_http_requests_shed_total counter\n")
+	fmt.Fprintf(w, "nodedp_http_requests_shed_total %d\n", m.shed)
+
+	fmt.Fprintf(w, "# HELP nodedp_queries_served_total Private releases served (single queries plus batch items).\n")
+	fmt.Fprintf(w, "# TYPE nodedp_queries_served_total counter\n")
+	fmt.Fprintf(w, "nodedp_queries_served_total %d\n", m.queriesServed)
+
+	for _, name := range sortedKeys(gauges) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(w, "%s %g\n", name, gauges[name])
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,265 @@
+package httpapi
+
+// This file implements the daemon's multi-tenant session registry: a
+// bounded map of live serving sessions with idle-TTL eviction and
+// per-tenant caps. The registry stores only handles — the expensive plan
+// state lives in the shared PlanCache and is reference-counted by Go's GC,
+// so evicting a session frees its budget ledger and identity, while a
+// re-upload of the same graph reuses the cached plan.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"nodedp/internal/serve"
+)
+
+// Registry defaults; chosen so a laptop demo and a small deployment both
+// work untuned.
+const (
+	DefaultMaxSessions  = 256
+	DefaultMaxPerTenant = 32
+	DefaultIdleTTL      = 30 * time.Minute
+)
+
+// RegistryConfig bounds the session registry. Zero fields take the
+// defaults above; a negative IdleTTL disables idle eviction.
+type RegistryConfig struct {
+	MaxSessions  int
+	MaxPerTenant int
+	IdleTTL      time.Duration
+}
+
+func (c RegistryConfig) withDefaults() RegistryConfig {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.MaxPerTenant <= 0 {
+		c.MaxPerTenant = DefaultMaxPerTenant
+	}
+	if c.IdleTTL == 0 {
+		c.IdleTTL = DefaultIdleTTL
+	}
+	return c
+}
+
+// session is one registered serving session.
+type session struct {
+	id      string
+	tenant  string
+	sess    *serve.Session
+	created time.Time
+
+	mu       sync.Mutex
+	lastUsed time.Time
+}
+
+func (s *session) touch(now time.Time) {
+	s.mu.Lock()
+	if now.After(s.lastUsed) {
+		s.lastUsed = now
+	}
+	s.mu.Unlock()
+}
+
+func (s *session) idleSince() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastUsed
+}
+
+// registry is the bounded, thread-safe session table.
+type registry struct {
+	cfg RegistryConfig
+	now func() time.Time
+	// onTenantGone, when set, is called (outside the registry lock) with
+	// each tenant whose last session — live or reserved — just left the
+	// table; the server uses it to drop the tenant's plan cache.
+	onTenantGone func(tenant string)
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	byTenant map[string]int // live + reserved sessions per tenant
+	pending  int            // reserved-but-uncommitted slots
+	evicted  int64          // idle-TTL evictions, for /metrics
+}
+
+func newRegistry(cfg RegistryConfig, now func() time.Time) *registry {
+	if now == nil {
+		now = time.Now
+	}
+	return &registry{
+		cfg:      cfg.withDefaults(),
+		now:      now,
+		sessions: make(map[string]*session),
+		byTenant: make(map[string]int),
+	}
+}
+
+// errCapacity distinguishes registry-full conditions (mapped to 429) from
+// validation failures.
+type errCapacity struct{ msg string }
+
+func (e errCapacity) Error() string { return e.msg }
+
+// reserve claims a session slot for tenant BEFORE the expensive plan build
+// runs, enforcing the global and per-tenant caps after sweeping idle
+// sessions — a full registry must shed an upload in O(1), not after paying
+// the whole Δ-grid evaluation. The returned commit registers the built
+// session under a fresh id; abort releases the slot. Exactly one of the
+// two must be called.
+func (r *registry) reserve(tenant string) (commit func(*serve.Session) (*session, error), abort func(), err error) {
+	now := r.now()
+	r.mu.Lock()
+	gone := r.sweepLocked(now)
+	var capErr error
+	switch {
+	case len(r.sessions)+r.pending >= r.cfg.MaxSessions:
+		capErr = errCapacity{fmt.Sprintf("session registry full (%d sessions); retry after idle sessions expire or DELETE one", len(r.sessions)+r.pending)}
+	case r.byTenant[tenant] >= r.cfg.MaxPerTenant:
+		capErr = errCapacity{fmt.Sprintf("tenant %q at its session cap (%d); retry later or DELETE a session", tenant, r.cfg.MaxPerTenant)}
+	default:
+		r.pending++
+		r.byTenant[tenant]++
+	}
+	r.mu.Unlock()
+	r.announceGone(gone)
+	if capErr != nil {
+		return nil, nil, capErr
+	}
+
+	release := func() []string {
+		// r.mu held. Returns tenants to announce gone.
+		r.pending--
+		if r.byTenant[tenant]--; r.byTenant[tenant] <= 0 {
+			delete(r.byTenant, tenant)
+			return []string{tenant}
+		}
+		return nil
+	}
+	commit = func(s *serve.Session) (*session, error) {
+		id, err := newSessionID()
+		if err != nil {
+			r.mu.Lock()
+			gone := release()
+			r.mu.Unlock()
+			r.announceGone(gone)
+			return nil, err
+		}
+		entry := &session{id: id, tenant: tenant, sess: s, created: r.now(), lastUsed: r.now()}
+		r.mu.Lock()
+		r.pending--
+		r.sessions[id] = entry
+		r.mu.Unlock()
+		return entry, nil
+	}
+	abort = func() {
+		r.mu.Lock()
+		gone := release()
+		r.mu.Unlock()
+		r.announceGone(gone)
+	}
+	return commit, abort, nil
+}
+
+// get returns the live session with the given id, touching its idle clock.
+// Only the looked-up entry is TTL-checked here — the full sweep runs on
+// reserve and on the daemon's timer, so a hot path never walks the whole
+// table.
+func (r *registry) get(id string) (*session, bool) {
+	now := r.now()
+	r.mu.Lock()
+	entry, ok := r.sessions[id]
+	var gone []string
+	if ok && r.cfg.IdleTTL >= 0 && now.Sub(entry.idleSince()) > r.cfg.IdleTTL {
+		gone = r.deleteLocked(entry)
+		r.evicted++
+		ok = false
+	}
+	r.mu.Unlock()
+	r.announceGone(gone)
+	if ok {
+		entry.touch(now)
+	}
+	return entry, ok
+}
+
+// remove deletes a session by id (DELETE /v1/sessions/{id}).
+func (r *registry) remove(id string) bool {
+	r.mu.Lock()
+	entry, ok := r.sessions[id]
+	var gone []string
+	if ok {
+		gone = r.deleteLocked(entry)
+	}
+	r.mu.Unlock()
+	r.announceGone(gone)
+	return ok
+}
+
+// sweepLocked evicts sessions idle past the TTL; called with r.mu held.
+// The caller is responsible for announcing the returned tenants.
+func (r *registry) sweepLocked(now time.Time) []string {
+	if r.cfg.IdleTTL < 0 {
+		return nil
+	}
+	var gone []string
+	for _, entry := range r.sessions {
+		if now.Sub(entry.idleSince()) > r.cfg.IdleTTL {
+			gone = append(gone, r.deleteLocked(entry)...)
+			r.evicted++
+		}
+	}
+	return gone
+}
+
+// deleteLocked removes an entry (r.mu held) and returns the tenant if this
+// was its last session.
+func (r *registry) deleteLocked(entry *session) []string {
+	delete(r.sessions, entry.id)
+	if r.byTenant[entry.tenant]--; r.byTenant[entry.tenant] <= 0 {
+		delete(r.byTenant, entry.tenant)
+		return []string{entry.tenant}
+	}
+	return nil
+}
+
+// announceGone invokes the tenant-gone hook outside the registry lock.
+func (r *registry) announceGone(tenants []string) {
+	if r.onTenantGone == nil {
+		return
+	}
+	for _, t := range tenants {
+		r.onTenantGone(t)
+	}
+}
+
+// sweep is the timer entry point.
+func (r *registry) sweep() {
+	now := r.now()
+	r.mu.Lock()
+	gone := r.sweepLocked(now)
+	r.mu.Unlock()
+	r.announceGone(gone)
+}
+
+// snapshot returns the live-session count and cumulative evictions.
+func (r *registry) snapshot() (live int, evicted int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions), r.evicted
+}
+
+// newSessionID returns a 128-bit random identifier ("s" + 32 hex digits).
+// Randomness here is operational, not privacy-relevant: ids only need to be
+// unguessable enough not to collide.
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("generating session id: %w", err)
+	}
+	return "s" + hex.EncodeToString(b[:]), nil
+}

@@ -1,0 +1,549 @@
+// Package httpapi exposes the session serving layer (internal/serve) over
+// HTTP/JSON: a multi-tenant network front end for the node-private
+// component-count estimator, so queries no longer require linking the Go
+// package. The API is
+//
+//	POST   /v1/graphs              upload a graph, open a budgeted session
+//	POST   /v1/sessions/{id}/query one private query
+//	POST   /v1/sessions/{id}/batch a Do-backed batch of queries
+//	GET    /v1/sessions/{id}       budget + plan-cache introspection
+//	DELETE /v1/sessions/{id}       close a session, freeing its slot
+//	GET    /healthz                liveness (503 while draining)
+//	GET    /metrics                Prometheus text exposition
+//
+// Determinism contract: a query with an explicit seed returns a release
+// bit-identical to the same seeded query on an in-process serve.Session —
+// the handler calls the identical code path and encoding/json round-trips
+// float64 exactly — which is what keeps the network layer honest with the
+// release path underneath it.
+//
+// Load shedding: at most Config.MaxInflight /v1 requests run concurrently;
+// excess requests are rejected immediately with 429, a Retry-After header,
+// and a typed "overloaded" JSON error, so an overloaded daemon degrades by
+// refusing work it cannot start instead of queueing unboundedly. Sessions
+// live in a bounded multi-tenant registry with idle-TTL eviction.
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nodedp/internal/core"
+	"nodedp/internal/graph"
+	"nodedp/internal/privacy"
+	"nodedp/internal/serve"
+)
+
+// Defaults for Config's zero fields.
+const (
+	DefaultMaxInflight = 64
+	DefaultReadLimit   = 8 << 20 // 8 MiB of JSON per request
+	// DefaultCacheWeight is the per-tenant plan-cache budget in
+	// GridEval.Cost units (≈ (n+m)·grid points per plan) — a few hundred
+	// mid-sized plans.
+	DefaultCacheWeight = 1 << 22
+)
+
+// Config tunes the server. The zero value is ready for production-shaped
+// defaults; tests inject Now for deterministic TTL behavior.
+type Config struct {
+	// MaxInflight caps concurrently executing /v1 requests; excess
+	// requests are shed with 429 + Retry-After.
+	MaxInflight int
+	// ReadLimit caps the request body size in bytes.
+	ReadLimit int64
+	// Registry bounds the session table.
+	Registry RegistryConfig
+	// Cache, when non-nil, is ONE plan cache shared by every tenant —
+	// only safe when all tenants are mutually trusting (a shared cache's
+	// hit/miss behavior is an equality oracle on other tenants' graphs).
+	// When nil (the default), each tenant gets its own cost-weighted
+	// cache, dropped when the tenant's last session leaves the registry:
+	// repeated uploads of the same graph by the SAME tenant skip
+	// planning, and no tenant can observe another's cache state.
+	Cache *core.PlanCache
+	// CacheWeight bounds each per-tenant cache (GridEval.Cost units);
+	// 0 means DefaultCacheWeight. Ignored when Cache is injected.
+	CacheWeight int64
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// Server is the HTTP front end. Create with New; it implements
+// http.Handler.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	registry *registry
+	metrics  *metrics
+	now      func() time.Time
+
+	// shared is the injected all-tenant cache (Config.Cache), nil in the
+	// default per-tenant mode.
+	shared *core.PlanCache
+	// caches maps tenant → its private plan cache (per-tenant mode). A
+	// tenant's cache lives exactly as long as it has a session in the
+	// registry, which bounds memory to live tenants × CacheWeight.
+	cachesMu sync.Mutex
+	caches   map[string]*core.PlanCache
+
+	inflight atomic.Int64
+	draining atomic.Bool
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.ReadLimit <= 0 {
+		cfg.ReadLimit = DefaultReadLimit
+	}
+	if cfg.CacheWeight <= 0 {
+		cfg.CacheWeight = DefaultCacheWeight
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	s := &Server{
+		cfg:      cfg,
+		registry: newRegistry(cfg.Registry, now),
+		metrics:  newMetrics(),
+		now:      now,
+		shared:   cfg.Cache,
+		caches:   make(map[string]*core.PlanCache),
+	}
+	if s.shared == nil {
+		s.registry.onTenantGone = s.dropTenantCache
+	}
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/graphs", s.handleCreateSession)
+	s.route("POST /v1/sessions/{id}/query", s.handleQuery)
+	s.route("POST /v1/sessions/{id}/batch", s.handleBatch)
+	s.route("GET /v1/sessions/{id}", s.handleSessionInfo)
+	s.route("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// StartDrain flips the server into draining mode: /healthz turns 503 so
+// load balancers stop routing here, while in-flight and follow-up requests
+// on existing connections still complete (http.Server.Shutdown handles the
+// connection lifecycle).
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Sweep evicts idle sessions once; the daemon calls it on a timer so slots
+// free even with zero traffic.
+func (s *Server) Sweep() { s.registry.sweep() }
+
+// TestingHoldSlot adjusts the inflight counter directly, as if delta
+// requests were executing. It exists for tests and experiments that need
+// to observe the load-shedding path deterministically instead of racing a
+// real slow request; production code must never call it.
+func (s *Server) TestingHoldSlot(delta int64) { s.inflight.Add(delta) }
+
+// tenantCache returns the plan cache serving a tenant: the injected
+// shared cache, or the tenant's private cache (created on demand).
+func (s *Server) tenantCache(tenant string) *core.PlanCache {
+	if s.shared != nil {
+		return s.shared
+	}
+	s.cachesMu.Lock()
+	defer s.cachesMu.Unlock()
+	c, ok := s.caches[tenant]
+	if !ok {
+		c = core.NewPlanCacheWeighted(s.cfg.CacheWeight)
+		s.caches[tenant] = c
+	}
+	return c
+}
+
+// dropTenantCache releases a tenant's cache once its last session leaves
+// the registry (registry.onTenantGone).
+func (s *Server) dropTenantCache(tenant string) {
+	s.cachesMu.Lock()
+	delete(s.caches, tenant)
+	s.cachesMu.Unlock()
+}
+
+// cacheTotals aggregates plan-cache counters across tenants for /metrics;
+// per-tenant detail is visible only to that tenant's session holders.
+func (s *Server) cacheTotals() core.CacheStats {
+	if s.shared != nil {
+		return s.shared.Stats()
+	}
+	var total core.CacheStats
+	s.cachesMu.Lock()
+	caches := make([]*core.PlanCache, 0, len(s.caches))
+	for _, c := range s.caches {
+		caches = append(caches, c)
+	}
+	s.cachesMu.Unlock()
+	for _, c := range caches {
+		st := c.Stats()
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Coalesced += st.Coalesced
+		total.Evictions += st.Evictions
+		total.Invalidations += st.Invalidations
+		total.Entries += st.Entries
+		total.Weight += st.Weight
+	}
+	return total
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// route registers a /v1 handler wrapped with admission control, body
+// limiting, and metrics. pattern must be "METHOD /path".
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		// Load shedding before any work: a request beyond the cap costs
+		// one atomic increment and an immediate 429.
+		if n := s.inflight.Add(1); n > int64(s.cfg.MaxInflight) {
+			s.inflight.Add(-1)
+			s.metrics.addShed()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+				fmt.Sprintf("at inflight capacity (%d); retry after the indicated delay", s.cfg.MaxInflight))
+			s.metrics.observe(pattern, http.StatusTooManyRequests, 0)
+			return
+		}
+		defer s.inflight.Add(-1)
+
+		start := s.now()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.ReadLimit)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.metrics.observe(pattern, rec.code, s.now().Sub(start))
+	})
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "decoding request: "+err.Error())
+		return
+	}
+	if err := sanitizeTenant(req.Tenant); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
+		return
+	}
+	g, err := buildGraph(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
+		return
+	}
+	comp, err := privacy.ParseComposition(req.Accountant)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
+		return
+	}
+	// Claim the registry slot BEFORE the plan build: a full registry must
+	// refuse the upload in O(1), not after paying the Δ-grid evaluation
+	// (and thrashing live tenants' cache entries with a plan nobody can
+	// use).
+	commit, abort, err := s.registry.reserve(req.Tenant)
+	if err != nil {
+		var full errCapacity
+		if errors.As(err, &full) {
+			w.Header().Set("Retry-After", "5")
+			writeError(w, http.StatusTooManyRequests, CodeOverloaded, full.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	opts := serve.SessionOptions{
+		TotalBudget:     req.Budget,
+		Composition:     comp,
+		Delta:           req.Delta,
+		DiscreteRelease: req.DiscreteRelease,
+		Cache:           s.tenantCache(req.Tenant),
+	}
+	opts.ForestLP.Workers = req.Workers
+	opts.ForestLP.SepWorkers = req.SepWorkers
+	opts.ForestLP.SepWaveWidth = req.SepWaveWidth
+	sess, err := serve.Open(r.Context(), g, opts)
+	if err != nil {
+		abort()
+		code, ec := http.StatusBadRequest, CodeInvalidRequest
+		if errIsCancel(err) {
+			code, ec = http.StatusInternalServerError, CodeInternal
+		}
+		writeError(w, code, ec, err.Error())
+		return
+	}
+	entry, err := commit(sess)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	st := sess.Stats()
+	writeJSON(w, http.StatusCreated, CreateSessionResponse{
+		SessionID:   entry.id,
+		Fingerprint: sess.Fingerprint().String(),
+		CacheHit:    st.CacheHit,
+		Accountant:  st.Accountant,
+		Budget:      st.TotalBudget,
+		Delta:       st.Delta,
+	})
+}
+
+// buildGraph materializes the uploaded graph from whichever encoding the
+// request used.
+func buildGraph(req *CreateSessionRequest) (*graph.Graph, error) {
+	switch {
+	case len(req.Edges) > 0 && req.EdgeList != "":
+		return nil, fmt.Errorf("edges and edge_list are mutually exclusive")
+	case req.EdgeList != "":
+		g, err := graph.ReadEdgeList(strings.NewReader(req.EdgeList))
+		if err != nil {
+			return nil, fmt.Errorf("parsing edge_list: %w", err)
+		}
+		return g, nil
+	case req.N <= 0:
+		return nil, fmt.Errorf("n must be positive (got %d)", req.N)
+	default:
+		edges := make([]graph.Edge, len(req.Edges))
+		for i, e := range req.Edges {
+			edges[i] = graph.NewEdge(e[0], e[1])
+		}
+		g, err := graph.FromEdges(req.N, edges)
+		if err != nil {
+			return nil, fmt.Errorf("building graph: %w", err)
+		}
+		return g, nil
+	}
+}
+
+// lookup resolves the {id} path segment to a live session or writes 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	id := r.PathValue("id")
+	entry, ok := s.registry.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("no session %q (expired, deleted, or never created)", id))
+		return nil, false
+	}
+	return entry, true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req QueryRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "decoding request: "+err.Error())
+		return
+	}
+	op, mode, err := parseOp(req.Op)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
+		return
+	}
+	q := serve.QueryOptions{Epsilon: req.Epsilon, Mode: mode, Seed: req.Seed}
+	var res core.Result
+	if op == serve.OpSpanningForestSize {
+		res, err = entry.sess.SpanningForestSize(r.Context(), q)
+	} else {
+		res, err = entry.sess.ComponentCount(r.Context(), q)
+	}
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	s.metrics.addQueries(1)
+	writeJSON(w, http.StatusOK, toQueryResponse(req, res))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req BatchRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "decoding request: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "batch has no queries")
+		return
+	}
+	reqs := make([]serve.Request, len(req.Queries))
+	for i, q := range req.Queries {
+		op, mode, err := parseOp(q.Op)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+				fmt.Sprintf("query %d: %v", i, err))
+			return
+		}
+		reqs[i] = serve.Request{Op: op, Epsilon: q.Epsilon, Mode: mode, Seed: q.Seed}
+	}
+	resps := entry.sess.Do(r.Context(), reqs)
+	out := BatchResponse{Responses: make([]BatchItem, len(resps))}
+	served := int64(0)
+	for i, resp := range resps {
+		if resp.Err != nil {
+			info := toErrorInfo(resp.Err)
+			out.Responses[i] = BatchItem{Error: &info}
+			continue
+		}
+		served++
+		qr := toQueryResponse(req.Queries[i], resp.Result)
+		out.Responses[i] = BatchItem{Result: &qr}
+	}
+	s.metrics.addQueries(served)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	st := entry.sess.Stats()
+	// The cache snapshot is the session's own tenant's cache: hit/miss
+	// counters and entry weights over someone else's uploads would be an
+	// equality oracle on their sensitive graphs.
+	cs := s.tenantCache(entry.tenant).Stats()
+	writeJSON(w, http.StatusOK, SessionInfo{
+		SessionID:   entry.id,
+		Tenant:      entry.tenant,
+		Fingerprint: entry.sess.Fingerprint().String(),
+		Budget: BudgetInfo{
+			Total:      st.TotalBudget,
+			Spent:      st.Spent,
+			Remaining:  st.Remaining,
+			Accountant: st.Accountant,
+			Delta:      st.Delta,
+		},
+		Queries:     st.Queries,
+		Admitted:    st.Admitted,
+		Rejected:    st.Rejected,
+		PlansBuilt:  st.PlansBuilt,
+		CacheHit:    st.CacheHit,
+		CreatedUnix: entry.created.Unix(),
+		IdleSeconds: s.now().Sub(entry.idleSince()).Seconds(),
+		Cache: CacheInfo{
+			Hits:           cs.Hits,
+			Misses:         cs.Misses,
+			Coalesced:      cs.Coalesced,
+			Evictions:      cs.Evictions,
+			Invalidations:  cs.Invalidations,
+			Entries:        cs.Entries,
+			Weight:         cs.Weight,
+			WeightCapacity: cs.WeightCapacity,
+			EntryWeights:   cs.EntryWeights,
+		},
+	})
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	if !s.registry.remove(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such session")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	live, evicted := s.registry.snapshot()
+	cs := s.cacheTotals()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, map[string]float64{
+		"nodedp_sessions_live":              float64(live),
+		"nodedp_sessions_evicted_total":     float64(evicted),
+		"nodedp_inflight_requests":          float64(s.inflight.Load()),
+		"nodedp_plan_cache_hits_total":      float64(cs.Hits),
+		"nodedp_plan_cache_misses_total":    float64(cs.Misses),
+		"nodedp_plan_cache_coalesced_total": float64(cs.Coalesced),
+		"nodedp_plan_cache_evictions_total": float64(cs.Evictions),
+		"nodedp_plan_cache_entries":         float64(cs.Entries),
+		"nodedp_plan_cache_weight":          float64(cs.Weight),
+	})
+}
+
+// toQueryResponse maps a core.Result to the wire, exposing only private
+// (or post-processed-private) fields.
+func toQueryResponse(req QueryRequest, res core.Result) QueryResponse {
+	return QueryResponse{
+		Value:      res.Value,
+		DeltaHat:   res.Delta,
+		NoiseScale: res.NoiseScale,
+		NHat:       res.NHat,
+		Epsilon:    req.Epsilon,
+		Op:         req.Op,
+	}
+}
+
+// toErrorInfo maps a serving-layer error to the wire taxonomy.
+func toErrorInfo(err error) ErrorInfo {
+	switch {
+	case errors.Is(err, serve.ErrBudgetExhausted):
+		return ErrorInfo{Code: CodeBudgetExhausted, Message: err.Error()}
+	case errIsCancel(err):
+		return ErrorInfo{Code: CodeInternal, Message: "query canceled: " + err.Error()}
+	default:
+		return ErrorInfo{Code: CodeInvalidRequest, Message: err.Error()}
+	}
+}
+
+// writeQueryError writes a single-query failure with its taxonomy status.
+func writeQueryError(w http.ResponseWriter, err error) {
+	info := toErrorInfo(err)
+	switch info.Code {
+	case CodeBudgetExhausted:
+		writeError(w, http.StatusForbidden, info.Code, info.Message)
+	case CodeInternal:
+		writeError(w, http.StatusInternalServerError, info.Code, info.Message)
+	default:
+		writeError(w, http.StatusBadRequest, info.Code, info.Message)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, ec ErrorCode, msg string) {
+	writeJSON(w, code, ErrorBody{Error: ErrorInfo{Code: ec, Message: msg}})
+}
+
+// errIsCancel reports whether err is a context cancelation or deadline.
+func errIsCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,229 @@
+package httpapi
+
+// This file defines the wire types of the HTTP/JSON front end: request and
+// response bodies for every /v1 route plus the typed error taxonomy. The
+// API releases only private values (the release, the GEM-selected Δ̂, and
+// the noise scale — all ε-node-private or post-processing thereof); the
+// non-private diagnostics that the in-process API exposes for testing
+// (FDelta, per-Δ evaluations, exact n) are deliberately absent from the
+// wire format, because a network endpoint cannot see who is asking.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"nodedp/internal/serve"
+)
+
+// ErrorCode is the machine-readable error taxonomy of the API.
+type ErrorCode string
+
+const (
+	// CodeInvalidRequest: malformed JSON, unknown fields, bad parameters.
+	CodeInvalidRequest ErrorCode = "invalid_request"
+	// CodeNotFound: no session with the given id (possibly evicted).
+	CodeNotFound ErrorCode = "not_found"
+	// CodeBudgetExhausted: the session accountant rejected the query; the
+	// query spent nothing.
+	CodeBudgetExhausted ErrorCode = "budget_exhausted"
+	// CodeOverloaded: load shedding (inflight cap) or session-registry
+	// capacity; retry after the indicated delay.
+	CodeOverloaded ErrorCode = "overloaded"
+	// CodeInternal: unexpected server-side failure.
+	CodeInternal ErrorCode = "internal"
+)
+
+// ErrorBody is the JSON envelope of every non-2xx response.
+type ErrorBody struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// ErrorInfo carries one typed error.
+type ErrorInfo struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// CreateSessionRequest is the body of POST /v1/graphs: upload a graph and
+// open a named serving session over it. Exactly one of Edges or EdgeList
+// must be provided (EdgeList is the package's text exchange format, for
+// clients that already store graphs that way).
+type CreateSessionRequest struct {
+	// Tenant scopes the session for the per-tenant registry cap; empty
+	// means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// N is the vertex count (vertices are 0..N-1). Required with Edges;
+	// ignored with EdgeList (the header carries it).
+	N int `json:"n,omitempty"`
+	// Edges lists the undirected edges as [u, v] pairs.
+	Edges [][2]int `json:"edges,omitempty"`
+	// EdgeList is the text exchange format ("n <count>" header plus one
+	// "u v" pair per line), mutually exclusive with Edges.
+	EdgeList string `json:"edge_list,omitempty"`
+	// Budget is ε_total for the session's accountant. Required.
+	Budget float64 `json:"budget"`
+	// Accountant selects the composition rule: "sequential" (default) or
+	// "advanced" (Delta then required).
+	Accountant string `json:"accountant,omitempty"`
+	// Delta is the advanced-composition failure probability δ.
+	Delta float64 `json:"delta,omitempty"`
+	// Workers / SepWorkers / SepWaveWidth tune the one-time plan build
+	// (0 = defaults); they never change the released values.
+	Workers      int `json:"workers,omitempty"`
+	SepWorkers   int `json:"sep_workers,omitempty"`
+	SepWaveWidth int `json:"sep_wave_width,omitempty"`
+	// DiscreteRelease selects the exact integer release mechanism.
+	DiscreteRelease bool `json:"discrete_release,omitempty"`
+}
+
+// CreateSessionResponse answers POST /v1/graphs.
+type CreateSessionResponse struct {
+	SessionID string `json:"session_id"`
+	// Fingerprint is the canonical 128-bit digest of the uploaded graph.
+	Fingerprint string `json:"fingerprint"`
+	// CacheHit reports whether the plan was served from the plan cache —
+	// scoped to the uploading tenant's own cache, so it can only reveal
+	// that THIS tenant uploaded an identical graph before (a cache shared
+	// across tenants would be an equality oracle on other tenants'
+	// sensitive graphs).
+	CacheHit bool `json:"cache_hit"`
+	// Accountant and Budget echo the session's composition configuration.
+	Accountant string  `json:"accountant"`
+	Budget     float64 `json:"budget"`
+	Delta      float64 `json:"delta,omitempty"`
+}
+
+// QueryRequest is the body of POST /v1/sessions/{id}/query and one element
+// of a batch. Op uses the CLI's mode names: "cc", "cc-known-n", "sf".
+type QueryRequest struct {
+	Op      string  `json:"op"`
+	Epsilon float64 `json:"epsilon"`
+	// Seed, when nonzero, makes the release reproducible (testing only —
+	// reproducible releases are not private) and bit-identical to the
+	// equivalent in-process Session query with the same seed.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// QueryResponse is one private release.
+type QueryResponse struct {
+	// Value is the ε-node-private estimate.
+	Value float64 `json:"value"`
+	// DeltaHat is the Lipschitz parameter selected by the Generalized
+	// Exponential Mechanism (itself a private release).
+	DeltaHat float64 `json:"delta_hat"`
+	// NoiseScale is the Laplace scale of the release step (post-processing
+	// of DeltaHat and the public ε).
+	NoiseScale float64 `json:"noise_scale"`
+	// NHat is the private vertex-count estimate (op "cc" only; for
+	// "cc-known-n" it echoes the public count).
+	NHat float64 `json:"n_hat,omitempty"`
+	// Epsilon echoes the query budget this release spent.
+	Epsilon float64 `json:"epsilon"`
+	Op      string  `json:"op"`
+}
+
+// BatchRequest is the body of POST /v1/sessions/{id}/batch.
+type BatchRequest struct {
+	Queries []QueryRequest `json:"queries"`
+}
+
+// BatchItem is one outcome of a batch: exactly one of Result or Error is
+// set, at the index of the corresponding query.
+type BatchItem struct {
+	Result *QueryResponse `json:"result,omitempty"`
+	Error  *ErrorInfo     `json:"error,omitempty"`
+}
+
+// BatchResponse answers POST /v1/sessions/{id}/batch.
+type BatchResponse struct {
+	Responses []BatchItem `json:"responses"`
+}
+
+// BudgetInfo describes a session accountant's state.
+type BudgetInfo struct {
+	Total      float64 `json:"total"`
+	Spent      float64 `json:"spent"`
+	Remaining  float64 `json:"remaining"`
+	Accountant string  `json:"accountant"`
+	Delta      float64 `json:"delta,omitempty"`
+}
+
+// SessionInfo answers GET /v1/sessions/{id}: budget and serving
+// introspection for one session.
+type SessionInfo struct {
+	SessionID   string     `json:"session_id"`
+	Tenant      string     `json:"tenant,omitempty"`
+	Fingerprint string     `json:"fingerprint"`
+	Budget      BudgetInfo `json:"budget"`
+	// Queries/Admitted/Rejected are the session's admission counters;
+	// PlansBuilt and CacheHit describe the one-time plan construction.
+	Queries    int64 `json:"queries"`
+	Admitted   int64 `json:"admitted"`
+	Rejected   int64 `json:"rejected"`
+	PlansBuilt int   `json:"plans_built"`
+	CacheHit   bool  `json:"cache_hit"`
+	// CreatedUnix and IdleSeconds support capacity planning against the
+	// registry's idle TTL.
+	CreatedUnix int64   `json:"created_unix"`
+	IdleSeconds float64 `json:"idle_seconds"`
+	// Cache is a snapshot of the session's tenant-scoped plan cache
+	// (hit/coalesce/weight counters), the introspection the ROADMAP's
+	// serving follow-on asks for. Other tenants' cache state is never
+	// visible here.
+	Cache CacheInfo `json:"cache"`
+}
+
+// CacheInfo mirrors core.CacheStats on the wire.
+type CacheInfo struct {
+	Hits           int64   `json:"hits"`
+	Misses         int64   `json:"misses"`
+	Coalesced      int64   `json:"coalesced"`
+	Evictions      int64   `json:"evictions"`
+	Invalidations  int64   `json:"invalidations"`
+	Entries        int     `json:"entries"`
+	Weight         int64   `json:"weight"`
+	WeightCapacity int64   `json:"weight_capacity,omitempty"`
+	EntryWeights   []int64 `json:"entry_weights,omitempty"`
+}
+
+// parseOp maps a wire op to the serving layer's (Op, Mode) pair.
+func parseOp(op string) (serve.Op, serve.Mode, error) {
+	switch op {
+	case "cc":
+		return serve.OpComponentCount, serve.PrivateN, nil
+	case "cc-known-n":
+		return serve.OpComponentCount, serve.KnownN, nil
+	case "sf":
+		return serve.OpSpanningForestSize, serve.PrivateN, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown op %q (want cc, cc-known-n or sf)", op)
+	}
+}
+
+// decodeStrict decodes one JSON body rejecting unknown fields and trailing
+// garbage — a query with a misspelled field must fail loudly, not silently
+// run with defaults (and silently spend budget).
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// sanitizeTenant rejects tenants that would break logs or metrics labels.
+func sanitizeTenant(t string) error {
+	if len(t) > 128 {
+		return fmt.Errorf("tenant name longer than 128 bytes")
+	}
+	if strings.ContainsAny(t, "\n\r\"\\") {
+		return fmt.Errorf("tenant name contains forbidden characters")
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+// Package privacy implements pluggable composition accountants for the
+// serving layer: thread-safe ledgers that decide whether one more query, at
+// its requested per-query ε, still fits a session's global privacy
+// guarantee.
+//
+// Two accountants are provided:
+//
+//   - Sequential composition (Lemma 2.4 of the paper): k queries of budgets
+//     ε_1…ε_k compose to Σε_i, and a query is admitted while
+//     Σε_i ≤ ε_total. Pure ε-DP, no δ. This is the accountant the session
+//     layer has always used.
+//
+//   - Advanced composition (Dwork–Rothblum–Vadhan, in the heterogeneous
+//     form): for any δ' > 0, queries of budgets ε_1…ε_k compose to
+//
+//     ε_global = √(2 ln(1/δ') · Σε_i²) + Σ ε_i·(e^{ε_i} − 1)
+//
+//     with failure probability δ'. A query is admitted while
+//     min(Σε_i, ε_global) ≤ ε_total — sequential composition remains valid
+//     simultaneously, so the accountant charges whichever bound is tighter
+//     and the guarantee is (ε_total, δ')-DP. For many small queries the
+//     quadratic term dominates and the admitted count grows roughly like
+//     (ε_total/ε_0)² instead of ε_total/ε_0, the reason a long-lived
+//     endpoint wants this accountant (cf. the repeated-release accounting
+//     in Sealfon–Ullman's node-private Erdős–Rényi estimation).
+//
+// Both accountants support Refund, used by the serving layer to return a
+// reservation whose query provably drew no noise (context cancelation
+// before any release). Comparisons are exact float64 arithmetic on
+// monotonically maintained sums: rounding error can only reject a marginal
+// query, never admit an over-budget one.
+package privacy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ErrBudgetExhausted is returned (wrapped, with the requested and remaining
+// budgets) by Reserve calls that would overdraw the global guarantee. The
+// failing reservation spends nothing; test with errors.Is.
+var ErrBudgetExhausted = errors.New("privacy budget exhausted")
+
+// Accountant is a thread-safe composition ledger. Reserve admits a query's
+// ε or rejects it with ErrBudgetExhausted, atomically; Refund returns a
+// reservation whose query released nothing. Spent/Remaining are reported in
+// global-ε terms: Spent is the privacy loss already guaranteed-against,
+// Remaining is EpsilonBudget() − Spent, and Snapshot reads both under one
+// lock so the pair is consistent.
+type Accountant interface {
+	Reserve(eps float64) error
+	Refund(eps float64)
+	Spent() float64
+	Remaining() float64
+	Snapshot() (spent, remaining float64)
+	// EpsilonBudget returns ε_total, the global cap Reserve enforces.
+	EpsilonBudget() float64
+	// Delta returns the accountant's failure probability δ (0 for pure ε
+	// accountants).
+	Delta() float64
+	// Name identifies the composition rule ("sequential" or "advanced");
+	// the HTTP API and CLI use it as the accountant selector.
+	Name() string
+}
+
+// CheckBudget validates an ε_total; both constructors and the serving layer
+// share it so error text stays consistent.
+func CheckBudget(total float64) error {
+	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return fmt.Errorf("privacy: total budget %v must be positive and finite", total)
+	}
+	return nil
+}
+
+// NewSequential returns the pure-ε sequential-composition accountant:
+// queries are admitted while Σε_i ≤ total.
+func NewSequential(total float64) (Accountant, error) {
+	if err := CheckBudget(total); err != nil {
+		return nil, err
+	}
+	return &sequential{total: total}, nil
+}
+
+// sequential is the Lemma 2.4 ledger.
+type sequential struct {
+	mu    sync.Mutex
+	total float64
+	spent float64
+}
+
+func (a *sequential) Reserve(eps float64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.spent+eps > a.total {
+		return fmt.Errorf("privacy: %w: requested ε=%g with %g of %g remaining (sequential composition)",
+			ErrBudgetExhausted, eps, a.total-a.spent, a.total)
+	}
+	a.spent += eps
+	return nil
+}
+
+func (a *sequential) Refund(eps float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spent -= eps
+	if a.spent < 0 {
+		a.spent = 0
+	}
+}
+
+func (a *sequential) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+func (a *sequential) Remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total - a.spent
+}
+
+func (a *sequential) Snapshot() (spent, remaining float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent, a.total - a.spent
+}
+
+func (a *sequential) EpsilonBudget() float64 { return a.total }
+func (a *sequential) Delta() float64         { return 0 }
+func (a *sequential) Name() string           { return "sequential" }
+
+// NewAdvanced returns the (ε_total, δ) advanced-composition accountant:
+// queries are admitted while the heterogeneous advanced-composition bound
+// (or the sequential sum, whichever is smaller) stays within total. delta
+// must lie in (0, 1); cryptographically small values (1e-9 and below) are
+// the intended range.
+func NewAdvanced(total, delta float64) (Accountant, error) {
+	if err := CheckBudget(total); err != nil {
+		return nil, err
+	}
+	if delta <= 0 || delta >= 1 || math.IsNaN(delta) {
+		return nil, fmt.Errorf("privacy: advanced composition delta %v must be in (0, 1)", delta)
+	}
+	return &advanced{total: total, delta: delta, ln1d: math.Log(1 / delta)}, nil
+}
+
+// advanced maintains the two sums the heterogeneous bound needs: Σε_i and
+// Σε_i², plus Σε_i(e^{ε_i}−1). Refund subtracts the same three terms, so
+// the ledger after a refund equals the ledger that never saw the query.
+type advanced struct {
+	mu    sync.Mutex
+	total float64
+	delta float64
+	ln1d  float64
+	sum   float64 // Σ ε_i
+	sumSq float64 // Σ ε_i²
+	sumEx float64 // Σ ε_i·(e^{ε_i} − 1)
+}
+
+// globalEps is the privacy loss guaranteed for the given sums: the tighter
+// of sequential and heterogeneous advanced composition (both are
+// simultaneously valid bounds on the same ledger).
+func (a *advanced) globalEps(sum, sumSq, sumEx float64) float64 {
+	adv := math.Sqrt(2*a.ln1d*sumSq) + sumEx
+	return math.Min(sum, adv)
+}
+
+func (a *advanced) Reserve(eps float64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	next := a.globalEps(a.sum+eps, a.sumSq+eps*eps, a.sumEx+eps*(math.Expm1(eps)))
+	if next > a.total {
+		cur := a.globalEps(a.sum, a.sumSq, a.sumEx)
+		return fmt.Errorf("privacy: %w: requested ε=%g would raise the advanced-composition loss to %g > ε_total=%g (currently %g, δ=%g)",
+			ErrBudgetExhausted, eps, next, a.total, cur, a.delta)
+	}
+	a.sum += eps
+	a.sumSq += eps * eps
+	a.sumEx += eps * math.Expm1(eps)
+	return nil
+}
+
+func (a *advanced) Refund(eps float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sum -= eps
+	a.sumSq -= eps * eps
+	a.sumEx -= eps * math.Expm1(eps)
+	if a.sum < 0 {
+		a.sum = 0
+	}
+	if a.sumSq < 0 {
+		a.sumSq = 0
+	}
+	if a.sumEx < 0 {
+		a.sumEx = 0
+	}
+}
+
+func (a *advanced) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.globalEps(a.sum, a.sumSq, a.sumEx)
+}
+
+func (a *advanced) Remaining() float64 {
+	_, remaining := a.Snapshot()
+	return remaining
+}
+
+func (a *advanced) Snapshot() (spent, remaining float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	spent = a.globalEps(a.sum, a.sumSq, a.sumEx)
+	return spent, a.total - spent
+}
+
+func (a *advanced) EpsilonBudget() float64 { return a.total }
+func (a *advanced) Delta() float64         { return a.delta }
+func (a *advanced) Name() string           { return "advanced" }
+
+// Composition selects an accountant implementation by name; the zero value
+// is sequential composition, so existing SessionOptions keep their meaning.
+type Composition int
+
+const (
+	// Sequential is pure-ε sequential composition (Lemma 2.4).
+	Sequential Composition = iota
+	// Advanced is (ε, δ) heterogeneous advanced composition.
+	Advanced
+)
+
+func (c Composition) String() string {
+	switch c {
+	case Sequential:
+		return "sequential"
+	case Advanced:
+		return "advanced"
+	default:
+		return fmt.Sprintf("Composition(%d)", int(c))
+	}
+}
+
+// ParseComposition maps an accountant name (as carried by the HTTP API and
+// CLI) to its Composition; the empty string selects Sequential.
+func ParseComposition(name string) (Composition, error) {
+	switch name {
+	case "", "sequential":
+		return Sequential, nil
+	case "advanced":
+		return Advanced, nil
+	default:
+		return Sequential, fmt.Errorf("privacy: unknown accountant %q (want sequential or advanced)", name)
+	}
+}
+
+// New builds the accountant for a Composition. delta is required (in (0,1))
+// for Advanced and must be zero for Sequential.
+func New(c Composition, total, delta float64) (Accountant, error) {
+	switch c {
+	case Sequential:
+		if delta != 0 {
+			return nil, fmt.Errorf("privacy: sequential composition takes no delta (got %v); use the advanced accountant", delta)
+		}
+		return NewSequential(total)
+	case Advanced:
+		return NewAdvanced(total, delta)
+	default:
+		return nil, fmt.Errorf("privacy: unknown composition %v", c)
+	}
+}

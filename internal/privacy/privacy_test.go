@@ -1,0 +1,216 @@
+package privacy
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestSequentialReserveRefund(t *testing.T) {
+	a, err := NewSequential(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := a.Reserve(0.25); err != nil {
+			t.Fatalf("reserve %d: %v", i, err)
+		}
+	}
+	if err := a.Reserve(0.01); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("over-budget reserve: err = %v, want ErrBudgetExhausted", err)
+	}
+	spent, remaining := a.Snapshot()
+	if spent != 1 || remaining != 0 {
+		t.Fatalf("snapshot = (%v, %v), want (1, 0)", spent, remaining)
+	}
+	a.Refund(0.25)
+	if a.Spent() != 0.75 {
+		t.Fatalf("spent after refund = %v, want 0.75", a.Spent())
+	}
+	if err := a.Reserve(0.25); err != nil {
+		t.Fatalf("reserve after refund: %v", err)
+	}
+	if a.Name() != "sequential" || a.Delta() != 0 || a.EpsilonBudget() != 1 {
+		t.Fatalf("identity = (%s, %v, %v)", a.Name(), a.Delta(), a.EpsilonBudget())
+	}
+}
+
+func TestSequentialRefundClampsAtZero(t *testing.T) {
+	a, _ := NewSequential(1)
+	a.Refund(5)
+	if a.Spent() != 0 {
+		t.Fatalf("spent = %v, want 0", a.Spent())
+	}
+}
+
+// TestAdvancedAdmitsMoreQueries is the point of the accountant: at equal
+// ε_total, advanced composition admits strictly more fixed-ε queries than
+// sequential composition once the query ε is small.
+func TestAdvancedAdmitsMoreQueries(t *testing.T) {
+	const total, eps, delta = 2.0, 0.01, 1e-9
+	count := func(a Accountant) int {
+		n := 0
+		for a.Reserve(eps) == nil {
+			n++
+			if n > 100000 {
+				t.Fatal("accountant admitted unboundedly many queries")
+			}
+		}
+		return n
+	}
+	seq, err := NewSequential(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := NewAdvanced(total, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSeq, nAdv := count(seq), count(adv)
+	// Rounding may reject the marginal last query (never admit an extra).
+	if want := int(total / eps); nSeq < want-1 || nSeq > want {
+		t.Fatalf("sequential admitted %d, want %d or %d", nSeq, want-1, want)
+	}
+	if nAdv <= nSeq {
+		t.Fatalf("advanced admitted %d, want > sequential's %d", nAdv, nSeq)
+	}
+}
+
+// TestAdvancedNeverWorseThanSequential: the accountant charges
+// min(sequential, advanced), so a single large query that fits ε_total is
+// always admitted, exactly as under sequential composition.
+func TestAdvancedNeverWorseThanSequential(t *testing.T) {
+	a, err := NewAdvanced(1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reserve(1); err != nil {
+		t.Fatalf("reserve ε=ε_total: %v", err)
+	}
+	if err := a.Reserve(1e-6); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("post-exhaustion reserve: err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestAdvancedRefundRestoresLedger: refund after reserve leaves the exact
+// ledger the query never touched, so the admission sequence that follows is
+// identical.
+func TestAdvancedRefundRestoresLedger(t *testing.T) {
+	a, err := NewAdvanced(1, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reserve(0.3); err != nil {
+		t.Fatal(err)
+	}
+	before := a.Spent()
+	if err := a.Reserve(0.2); err != nil {
+		t.Fatal(err)
+	}
+	a.Refund(0.2)
+	if got := a.Spent(); got != before {
+		t.Fatalf("spent after reserve+refund = %v, want %v", got, before)
+	}
+}
+
+func TestAdvancedSnapshotConsistent(t *testing.T) {
+	a, err := NewAdvanced(3, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Reserve(0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spent, remaining := a.Snapshot()
+	if math.Abs(spent+remaining-3) > 1e-12 {
+		t.Fatalf("spent %v + remaining %v != total 3", spent, remaining)
+	}
+	if spent <= 0 || spent > 1+1e-12 {
+		t.Fatalf("advanced spent = %v, want in (0, Σε]=(0,1]", spent)
+	}
+}
+
+// TestAccountantConcurrentNoOverspend hammers both accountants from many
+// goroutines and asserts the invariant the serving layer depends on: the
+// global privacy loss never exceeds ε_total, and the number of admissions
+// matches what the final ledger accounts for.
+func TestAccountantConcurrentNoOverspend(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() Accountant
+	}{
+		{"sequential", func() Accountant { a, _ := NewSequential(1); return a }},
+		{"advanced", func() Accountant { a, _ := NewAdvanced(1, 1e-9); return a }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.mk()
+			const workers, perWorker, eps = 8, 50, 0.01
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			admitted := 0
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						if a.Reserve(eps) == nil {
+							mu.Lock()
+							admitted++
+							mu.Unlock()
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if spent := a.Spent(); spent > a.EpsilonBudget()+1e-12 {
+				t.Fatalf("overspent: %v > %v", spent, a.EpsilonBudget())
+			}
+			if admitted == 0 {
+				t.Fatal("no queries admitted")
+			}
+		})
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, total := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewSequential(total); err == nil {
+			t.Errorf("NewSequential(%v) should fail", total)
+		}
+		if _, err := NewAdvanced(total, 1e-9); err == nil {
+			t.Errorf("NewAdvanced(%v, δ) should fail", total)
+		}
+	}
+	for _, delta := range []float64{0, -1, 1, 2, math.NaN()} {
+		if _, err := NewAdvanced(1, delta); err == nil {
+			t.Errorf("NewAdvanced(1, %v) should fail", delta)
+		}
+	}
+}
+
+func TestCompositionSelector(t *testing.T) {
+	if c, err := ParseComposition(""); err != nil || c != Sequential {
+		t.Fatalf("ParseComposition(\"\") = %v, %v", c, err)
+	}
+	if c, err := ParseComposition("advanced"); err != nil || c != Advanced {
+		t.Fatalf("ParseComposition(advanced) = %v, %v", c, err)
+	}
+	if _, err := ParseComposition("renyi"); err == nil {
+		t.Fatal("unknown composition name should fail")
+	}
+	if _, err := New(Sequential, 1, 0.5); err == nil {
+		t.Fatal("sequential with nonzero delta should fail")
+	}
+	if a, err := New(Advanced, 1, 1e-9); err != nil || a.Name() != "advanced" {
+		t.Fatalf("New(Advanced) = %v, %v", a, err)
+	}
+	if a, err := New(Sequential, 1, 0); err != nil || a.Name() != "sequential" {
+		t.Fatalf("New(Sequential) = %v, %v", a, err)
+	}
+	if Sequential.String() != "sequential" || Advanced.String() != "advanced" {
+		t.Fatal("Composition.String mismatch")
+	}
+}

@@ -60,7 +60,7 @@ func (s *Session) Do(ctx context.Context, reqs []Request) []Response {
 			resps[i].Err = err
 			continue
 		}
-		if err := s.acct.reserve(r.Epsilon); err != nil {
+		if err := s.acct.Reserve(r.Epsilon); err != nil {
 			s.rejected.Add(1)
 			resps[i].Err = err
 			continue
@@ -77,7 +77,7 @@ func (s *Session) Do(ctx context.Context, reqs []Request) []Response {
 		q := QueryOptions{Epsilon: r.Epsilon, Mode: r.Mode, Seed: r.Seed}
 		res, err := s.execute(ctx, r.Op, q)
 		if err != nil && errIsCancel(err) {
-			s.acct.refund(r.Epsilon) // no noise drawn; see Session.query
+			s.acct.Refund(r.Epsilon) // no noise drawn; see Session.query
 		}
 		resps[i] = Response{Result: res, Err: err}
 	}

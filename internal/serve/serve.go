@@ -8,9 +8,12 @@
 // The split mirrors the structure of the mechanism itself: the grid
 // evaluation is deterministic and data-dependent but not released, so it
 // may be computed once and shared; every query pays only GEM selection plus
-// Laplace noise (microseconds) and its own ε under sequential composition
-// (Lemma 2.4). A query that would overdraw the session budget fails with
-// ErrBudgetExhausted before any noise is drawn, spending nothing.
+// Laplace noise (microseconds) and its own ε against a pluggable
+// composition accountant (internal/privacy) — sequential composition
+// (Lemma 2.4) by default, or (ε, δ) advanced composition, which admits many
+// more small queries at equal ε_total. A query that would overdraw the
+// session budget fails with ErrBudgetExhausted before any noise is drawn,
+// spending nothing.
 //
 // Determinism contract: a query with an explicit Seed releases bit-for-bit
 // the value the equivalent one-shot nodedp.Estimate*Ctx call with
@@ -33,13 +36,14 @@ import (
 	"nodedp/internal/forestlp"
 	"nodedp/internal/generate"
 	"nodedp/internal/graph"
+	"nodedp/internal/privacy"
 )
 
 // ErrBudgetExhausted is returned (wrapped, with the requested and remaining
 // budgets) by queries that would overdraw the session's total privacy
 // budget. The failing query spends nothing; test with
 // errors.Is(err, ErrBudgetExhausted).
-var ErrBudgetExhausted = errors.New("privacy budget exhausted")
+var ErrBudgetExhausted = privacy.ErrBudgetExhausted
 
 // Mode selects how a component-count query treats the vertex count.
 type Mode int
@@ -89,9 +93,24 @@ func (o Op) String() string {
 // defaults exactly as the one-shot estimators do (crypto noise,
 // β = 1/ln ln n, Δmax = n, count share 0.2).
 type SessionOptions struct {
-	// TotalBudget is ε_total, the hard cap on the sum of query epsilons
-	// this session will serve under sequential composition. Required.
+	// TotalBudget is ε_total, the hard cap on the session's global privacy
+	// loss as measured by the selected composition accountant. Required
+	// unless Accountant is set.
 	TotalBudget float64
+	// Composition selects the budget accountant: privacy.Sequential (the
+	// zero value — pure-ε sequential composition, Lemma 2.4) or
+	// privacy.Advanced ((ε, δ) advanced composition, which admits many more
+	// small queries at the same ε_total; Delta is then required).
+	Composition privacy.Composition
+	// Delta is the failure probability δ of the advanced-composition
+	// accountant; required in (0, 1) when Composition is privacy.Advanced
+	// and must be zero otherwise.
+	Delta float64
+	// Accountant, when non-nil, is used directly and TotalBudget,
+	// Composition, and Delta must be zero: the caller owns the composition
+	// rule (and may share one ledger across several sessions over the same
+	// sensitive graph).
+	Accountant privacy.Accountant
 	// Beta, DeltaMax, CountBudgetFraction, DiscreteRelease, and ForestLP
 	// carry the same meaning (and defaults) as the corresponding
 	// core.Options fields and apply to every query of the session.
@@ -139,8 +158,14 @@ type Stats struct {
 	// that passed budget admission, and those refused (budget or
 	// validation).
 	Queries, Admitted, Rejected int64
-	// TotalBudget, Spent, and Remaining describe the accountant's state.
+	// TotalBudget, Spent, and Remaining describe the accountant's state;
+	// under advanced composition Spent is the global privacy loss
+	// guaranteed so far (not the raw Σε_i).
 	TotalBudget, Spent, Remaining float64
+	// Accountant names the composition rule in force ("sequential" or
+	// "advanced"); Delta is its failure probability (0 when pure ε).
+	Accountant string
+	Delta      float64
 	// Engine aggregates the extension evaluator's work for the plan this
 	// session serves (zero work was added if CacheHit).
 	Engine forestlp.Stats
@@ -162,7 +187,7 @@ type Session struct {
 	discrete  bool
 	forestLP  forestlp.Options
 
-	acct accountant
+	acct privacy.Accountant
 
 	// rand is the shared unseeded noise source (nil = fresh crypto source
 	// per query); randMu serializes draws from it.
@@ -184,8 +209,16 @@ type Session struct {
 // snapshot); it does change g's fingerprint, so a later Open sees the new
 // graph. Use Cache.Invalidate to reclaim stale cached plans.
 func Open(ctx context.Context, g *graph.Graph, opts SessionOptions) (*Session, error) {
-	if opts.TotalBudget <= 0 || math.IsNaN(opts.TotalBudget) || math.IsInf(opts.TotalBudget, 0) {
-		return nil, fmt.Errorf("serve: total budget %v must be positive and finite", opts.TotalBudget)
+	acct := opts.Accountant
+	if acct != nil {
+		if opts.TotalBudget != 0 || opts.Delta != 0 || opts.Composition != privacy.Sequential {
+			return nil, fmt.Errorf("serve: Accountant is exclusive with TotalBudget/Composition/Delta")
+		}
+	} else {
+		var err error
+		if acct, err = privacy.New(opts.Composition, opts.TotalBudget, opts.Delta); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
 	}
 	probe := core.Options{
 		Beta:                opts.Beta,
@@ -216,8 +249,8 @@ func Open(ctx context.Context, g *graph.Graph, opts SessionOptions) (*Session, e
 		discrete:  opts.DiscreteRelease,
 		forestLP:  opts.ForestLP,
 		rand:      opts.Rand,
+		acct:      acct,
 	}
-	s.acct.total = opts.TotalBudget
 	return s, nil
 }
 
@@ -245,7 +278,7 @@ func (s *Session) query(ctx context.Context, op Op, q QueryOptions) (core.Result
 		s.rejected.Add(1)
 		return core.Result{}, err
 	}
-	if err := s.acct.reserve(q.Epsilon); err != nil {
+	if err := s.acct.Reserve(q.Epsilon); err != nil {
 		s.rejected.Add(1)
 		return core.Result{}, err
 	}
@@ -255,7 +288,7 @@ func (s *Session) query(ctx context.Context, op Op, q QueryOptions) (core.Result
 		// The core release path checks ctx exactly once, before any noise
 		// is drawn, so a cancelation error means nothing was released and
 		// the reservation can be returned.
-		s.acct.refund(q.Epsilon)
+		s.acct.Refund(q.Epsilon)
 	}
 	// Any other error keeps the budget spent: noise may already have been
 	// drawn, and accounting must stay conservative.
@@ -310,14 +343,24 @@ func (s *Session) execute(ctx context.Context, op Op, q QueryOptions) (core.Resu
 	}
 }
 
-// TotalBudget returns ε_total.
-func (s *Session) TotalBudget() float64 { return s.acct.total }
+// TotalBudget returns ε_total, the global cap the accountant enforces.
+func (s *Session) TotalBudget() float64 { return s.acct.EpsilonBudget() }
 
-// Spent returns the budget consumed by admitted queries so far.
-func (s *Session) Spent() float64 { return s.acct.spentNow() }
+// Spent returns the global privacy loss guaranteed for the admitted queries
+// so far, as measured by the session's composition accountant (the raw
+// Σε_i under sequential composition; the advanced-composition bound — often
+// much smaller than Σε_i — under privacy.Advanced).
+func (s *Session) Spent() float64 { return s.acct.Spent() }
 
 // Remaining returns TotalBudget() − Spent().
-func (s *Session) Remaining() float64 { return s.acct.remaining() }
+func (s *Session) Remaining() float64 { return s.acct.Remaining() }
+
+// Delta returns the accountant's failure probability δ (0 for pure-ε
+// sequential composition).
+func (s *Session) Delta() float64 { return s.acct.Delta() }
+
+// AccountantName identifies the composition rule in force.
+func (s *Session) AccountantName() string { return s.acct.Name() }
 
 // Fingerprint returns the canonical fingerprint of the served graph.
 func (s *Session) Fingerprint() graph.Fingerprint { return s.ge.Fingerprint() }
@@ -339,7 +382,7 @@ func (s *Session) Stats() Stats {
 	} else {
 		engine = s.ge.Stats()
 	}
-	spent, remaining := s.acct.snapshot()
+	spent, remaining := s.acct.Snapshot()
 	admitted, rejected := s.admitted.Load(), s.rejected.Load()
 	return Stats{
 		PlansBuilt:  plans,
@@ -347,9 +390,11 @@ func (s *Session) Stats() Stats {
 		Queries:     s.queries.Load(),
 		Admitted:    admitted,
 		Rejected:    rejected,
-		TotalBudget: s.acct.total,
+		TotalBudget: s.acct.EpsilonBudget(),
 		Spent:       spent,
 		Remaining:   remaining,
+		Accountant:  s.acct.Name(),
+		Delta:       s.acct.Delta(),
 		Engine:      engine,
 	}
 }
@@ -357,57 +402,4 @@ func (s *Session) Stats() Stats {
 // errIsCancel reports whether err is a context cancelation or deadline.
 func errIsCancel(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
-}
-
-// accountant is the thread-safe sequential-composition ledger. Comparisons
-// are exact float64 arithmetic: rounding error can only reject a marginal
-// query, never admit an over-budget one.
-type accountant struct {
-	mu    sync.Mutex
-	total float64
-	spent float64
-}
-
-// reserve debits eps atomically, or returns ErrBudgetExhausted (wrapped
-// with the requested and remaining amounts) leaving the ledger untouched.
-func (a *accountant) reserve(eps float64) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.spent+eps > a.total {
-		return fmt.Errorf("serve: %w: requested ε=%g with %g of %g remaining",
-			ErrBudgetExhausted, eps, a.total-a.spent, a.total)
-	}
-	a.spent += eps
-	return nil
-}
-
-// refund returns a reservation whose query provably drew no noise.
-func (a *accountant) refund(eps float64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.spent -= eps
-	if a.spent < 0 {
-		a.spent = 0
-	}
-}
-
-func (a *accountant) spentNow() float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.spent
-}
-
-func (a *accountant) remaining() float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.total - a.spent
-}
-
-// snapshot returns spent and remaining under one lock acquisition, so the
-// pair is consistent (spent + remaining == total) even under concurrent
-// reservations.
-func (a *accountant) snapshot() (spent, remaining float64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.spent, a.total - a.spent
 }

@@ -10,6 +10,7 @@ import (
 	"nodedp/internal/core"
 	"nodedp/internal/generate"
 	"nodedp/internal/graph"
+	"nodedp/internal/privacy"
 )
 
 // testGraph is a small multi-component workload shared by the tests.
@@ -417,6 +418,100 @@ func TestConcurrentColdOpensPlanOnce(t *testing.T) {
 		}
 		if math.Float64bits(got.Value) != math.Float64bits(want.Value) {
 			t.Fatalf("session %d released %v, session 0 released %v", i, got.Value, want.Value)
+		}
+	}
+}
+
+// TestAdvancedAccountantAdmitsMore: the same graph and ε_total admit many
+// more small queries under the advanced-composition accountant than under
+// sequential composition, and seeded releases are identical between the
+// two — the accountant changes admission, never values.
+func TestAdvancedAccountantAdmitsMore(t *testing.T) {
+	g := testGraph(t)
+	ctx := context.Background()
+	cache := core.NewPlanCache(2)
+	const eps = 0.01
+
+	count := func(s *Session) int {
+		n := 0
+		for {
+			if _, err := s.ComponentCount(ctx, QueryOptions{Epsilon: eps, Seed: uint64(n + 1)}); err != nil {
+				if !errors.Is(err, ErrBudgetExhausted) {
+					t.Fatal(err)
+				}
+				return n
+			}
+			n++
+			if n > 100000 {
+				t.Fatal("session admitted unboundedly many queries")
+			}
+		}
+	}
+	seq := mustOpen(t, g, SessionOptions{TotalBudget: 2, Cache: cache})
+	adv := mustOpen(t, g, SessionOptions{TotalBudget: 2, Composition: privacy.Advanced, Delta: 1e-9, Cache: cache})
+
+	// Seeded releases agree before exhaustion: same plan, same noise path.
+	// (The probe stays at the small query ε: a single large query would
+	// dominate the advanced bound's Σε² term and mask the admission win.)
+	w, err := seq.SpanningForestSize(ctx, QueryOptions{Epsilon: eps, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := adv.SpanningForestSize(ctx, QueryOptions{Epsilon: eps, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(w.Value) != math.Float64bits(got.Value) {
+		t.Fatalf("accountants changed the release: %v vs %v", w.Value, got.Value)
+	}
+
+	nSeq, nAdv := count(seq), count(adv)
+	if nAdv <= nSeq {
+		t.Fatalf("advanced admitted %d queries, sequential %d; want strictly more", nAdv, nSeq)
+	}
+
+	st := adv.Stats()
+	if st.Accountant != "advanced" || st.Delta != 1e-9 {
+		t.Fatalf("stats identify accountant %q δ=%v, want advanced δ=1e-9", st.Accountant, st.Delta)
+	}
+	if st.Spent > st.TotalBudget {
+		t.Fatalf("advanced session overspent: %v > %v", st.Spent, st.TotalBudget)
+	}
+	if seqSt := seq.Stats(); seqSt.Accountant != "sequential" || seqSt.Delta != 0 {
+		t.Fatalf("stats identify accountant %q δ=%v, want sequential δ=0", seqSt.Accountant, seqSt.Delta)
+	}
+}
+
+// TestSessionOptionsAccountantInjection: a caller-provided ledger is used
+// directly (shared across sessions), and is exclusive with the built-in
+// selector fields.
+func TestSessionOptionsAccountantInjection(t *testing.T) {
+	g := testGraph(t)
+	cache := core.NewPlanCache(2)
+	acct, err := privacy.NewSequential(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustOpen(t, g, SessionOptions{Accountant: acct, Cache: cache})
+	b := mustOpen(t, g, SessionOptions{Accountant: acct, Cache: cache})
+	ctx := context.Background()
+	if _, err := a.ComponentCount(ctx, QueryOptions{Epsilon: 0.3, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The ledger is shared: b's query must see a's spend.
+	if _, err := b.ComponentCount(ctx, QueryOptions{Epsilon: 0.3, Seed: 2}); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("shared accountant not enforced across sessions: err = %v", err)
+	}
+
+	for _, bad := range []SessionOptions{
+		{Accountant: acct, TotalBudget: 1},
+		{Accountant: acct, Delta: 1e-9},
+		{Accountant: acct, Composition: privacy.Advanced},
+		{TotalBudget: 1, Delta: 1e-9},                   // delta without advanced
+		{TotalBudget: 1, Composition: privacy.Advanced}, // advanced without delta
+	} {
+		if _, err := Open(ctx, g, bad); err == nil {
+			t.Errorf("SessionOptions %+v accepted, want error", bad)
 		}
 	}
 }

@@ -31,7 +31,17 @@
 // To serve many queries against one graph, Open a Session: the expensive
 // Δ-grid of LP evaluations is paid once (or fetched from a fingerprint-
 // keyed PlanCache) and every query spends its own ε against a total budget
-// enforced by the session's composition accountant.
+// enforced by the session's composition accountant — sequential
+// composition by default, or (ε, δ) advanced composition
+// (CompositionAdvanced), which admits many more small queries at equal
+// ε_total.
+//
+// To serve queries over the network instead of in process, run the
+// bundled daemon (`ccdp daemon`): it exposes sessions over HTTP/JSON
+// (internal/httpapi) with a multi-tenant session registry, per-session
+// accountant selection, load-shedding admission control, and /metrics —
+// a seeded query over HTTP releases bit-for-bit the value of the
+// equivalent in-process Session query.
 //
 // Estimates returned by this package are node-private releases; all other
 // exported analysis helpers (MaxInducedStar, LipschitzExtensionValue, …)
@@ -48,6 +58,7 @@ import (
 	"nodedp/internal/downsens"
 	"nodedp/internal/forestlp"
 	"nodedp/internal/graph"
+	"nodedp/internal/privacy"
 	"nodedp/internal/serve"
 	"nodedp/internal/spanning"
 )
@@ -85,7 +96,9 @@ func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) 
 // Options.ForestLP.SepWorkers how many separation-oracle max-flow calls
 // run concurrently inside a single component (0 = inherit Workers) — the
 // lever for graphs dominated by one giant component; the released value
-// is identical for every setting of either. Grid sweeps warm-start
+// is identical for every setting of either. Useful SepWorkers is capped
+// at the oracle's maximum wave width, Options.ForestLP.SepWaveWidth
+// (default 16; raise it on many-core machines). Grid sweeps warm-start
 // adjacent Δ evaluations (cut pool + simplex bases) by default;
 // Options.ForestLP.DisableWarmStart turns that off for perf bisection.
 type Options = core.Options
@@ -174,8 +187,44 @@ func PrepareSpanningForestCtx(ctx context.Context, g *Graph, opts Options) (*Pre
 type Session = serve.Session
 
 // SessionOptions configures Open; TotalBudget is required, everything else
-// defaults as in Options.
+// defaults as in Options. Composition selects the budget accountant
+// (sequential composition by default; CompositionAdvanced with a Delta
+// admits many more small queries at equal ε_total), and Accountant injects
+// a caller-owned ledger outright — e.g. one shared by several sessions
+// over the same sensitive graph.
 type SessionOptions = serve.SessionOptions
+
+// Composition selects a session's budget accountant; see SessionOptions.
+type Composition = privacy.Composition
+
+const (
+	// CompositionSequential is pure-ε sequential composition (Lemma 2.4):
+	// queries are admitted while Σε_i ≤ TotalBudget. The default.
+	CompositionSequential = privacy.Sequential
+	// CompositionAdvanced is (ε, δ) advanced composition (heterogeneous
+	// Dwork–Rothblum–Vadhan): queries are admitted while the
+	// √(2 ln(1/δ)·Σε_i²) + Σε_i(e^{ε_i}−1) bound — or Σε_i, whichever is
+	// smaller — stays within TotalBudget, with failure probability
+	// SessionOptions.Delta. For many small queries the admitted count
+	// grows like (ε_total/ε₀)² instead of ε_total/ε₀.
+	CompositionAdvanced = privacy.Advanced
+)
+
+// Accountant is the pluggable composition ledger interface behind
+// sessions; NewSequentialAccountant and NewAdvancedAccountant construct
+// the built-in implementations for SessionOptions.Accountant injection.
+type Accountant = privacy.Accountant
+
+// NewSequentialAccountant returns a pure-ε sequential-composition ledger.
+func NewSequentialAccountant(total float64) (Accountant, error) {
+	return privacy.NewSequential(total)
+}
+
+// NewAdvancedAccountant returns an (ε_total, δ) advanced-composition
+// ledger.
+func NewAdvancedAccountant(total, delta float64) (Accountant, error) {
+	return privacy.NewAdvanced(total, delta)
+}
 
 // QueryOptions configures one Session query: its ε (required), the
 // component-count Mode, and an optional reproducibility Seed.

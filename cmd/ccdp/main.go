@@ -19,6 +19,7 @@
 //	ccdp daemon [-listen 127.0.0.1:8080] [-max-inflight 64]
 //	     [-read-limit 8388608] [-max-sessions 256] [-max-per-tenant 32]
 //	     [-idle-ttl 30m] [-cache-weight 4194304] [-drain-timeout 30s]
+//	     [-cache-file plans.snap] [-cache-save-interval 5m]
 //
 // The daemon serves POST /v1/graphs (upload a graph, open a budgeted
 // session), POST /v1/sessions/{id}/query and /batch (private releases),
@@ -27,6 +28,22 @@
 // text). Requests beyond -max-inflight are shed with 429 + Retry-After;
 // SIGTERM/SIGINT drain gracefully: /healthz flips to 503, in-flight
 // requests finish, then the listener closes (bounded by -drain-timeout).
+//
+// -cache-file enables warm restarts: the plan cache — the expensive Δ-grid
+// evaluations behind every session — is persisted to the named snapshot
+// file on SIGTERM drain, every -cache-save-interval (0 disables the
+// timer), and on demand via POST /v1/admin/cache/save; on the next boot
+// the snapshot is reloaded, so re-uploading a known graph skips planning
+// entirely, and a seeded query answered from the reloaded plan is
+// bit-identical to the same query before the restart. Persistence implies
+// ONE cache shared by every tenant (its hit/miss behavior is an equality
+// oracle on uploaded graphs — use it only among mutually trusting
+// tenants), and the snapshot file holds exact data-dependent values, so it
+// must be protected like the graphs themselves. A missing snapshot is a
+// normal cold start; a corrupt or unreadable one is logged and ignored
+// (cold cache), and individually damaged entries inside an otherwise
+// healthy snapshot are skipped while the rest load. An unwritable
+// -cache-file path fails at boot, not at shutdown.
 //
 // The input format is one "u v" pair per line with an optional "n <count>"
 // header for isolated vertices; '#' starts a comment. With -input omitted,
@@ -88,12 +105,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"nodedp"
+	"nodedp/internal/core"
 	"nodedp/internal/httpapi"
 )
 
@@ -197,19 +216,61 @@ func runDaemon(args []string, stdout io.Writer) error {
 	maxSessions := fs.Int("max-sessions", httpapi.DefaultMaxSessions, "maximum live sessions across all tenants")
 	maxPerTenant := fs.Int("max-per-tenant", httpapi.DefaultMaxPerTenant, "maximum live sessions per tenant")
 	idleTTL := fs.Duration("idle-ttl", httpapi.DefaultIdleTTL, "evict sessions idle longer than this")
-	cacheWeight := fs.Int64("cache-weight", httpapi.DefaultCacheWeight, "per-tenant plan-cache budget in grid-evaluation cost units (≈ (n+m)·grid points per plan)")
+	cacheWeight := fs.Int64("cache-weight", httpapi.DefaultCacheWeight, "plan-cache budget in grid-evaluation cost units (≈ (n+m)·grid points per plan); per tenant by default, but with -cache-file it sizes the ONE cache shared by all tenants")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "maximum time to wait for in-flight requests on shutdown")
+	cacheFile := fs.String("cache-file", "", "snapshot file for warm restarts: load the plan cache from it on boot, persist on drain/interval/admin request (implies ONE cache shared across tenants)")
+	cacheSaveInterval := fs.Duration("cache-save-interval", 5*time.Minute, "periodically persist the plan cache to -cache-file (0 disables the timer; drain and admin saves still run)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *maxInflight <= 0 || *readLimit <= 0 || *maxSessions <= 0 || *maxPerTenant <= 0 {
 		return usageError(fs, "-max-inflight, -read-limit, -max-sessions and -max-per-tenant must be positive")
 	}
+	if *cacheSaveInterval < 0 {
+		return usageError(fs, "-cache-save-interval must be ≥ 0, got %v", *cacheSaveInterval)
+	}
+	if *cacheFile == "" {
+		intervalSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "cache-save-interval" {
+				intervalSet = true
+			}
+		})
+		if intervalSet {
+			return usageError(fs, "-cache-save-interval requires -cache-file")
+		}
+	}
+
+	// Warm-restart persistence: one shared cache, loaded from the snapshot
+	// before the listener opens so the very first upload can hit.
+	var cache *core.PlanCache
+	if *cacheFile != "" {
+		// Fail fast on an unwritable path — discovering it at SIGTERM would
+		// silently lose every plan the process accumulated.
+		if err := probeWritable(*cacheFile); err != nil {
+			return fmt.Errorf("-cache-file %s is not writable: %w", *cacheFile, err)
+		}
+		cache = core.NewPlanCacheWeighted(*cacheWeight)
+		rep, err := cache.LoadFile(*cacheFile)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Fprintf(stdout, "ccdp daemon: no plan-cache snapshot at %s yet (cold start)\n", *cacheFile)
+		case err != nil:
+			fmt.Fprintf(stdout, "ccdp daemon: WARNING: ignoring unreadable plan-cache snapshot %s: %v (continuing with a cold cache)\n", *cacheFile, err)
+		default:
+			fmt.Fprintf(stdout, "ccdp daemon: loaded %d cached plans from %s\n", rep.Loaded, *cacheFile)
+			if rep.Skipped() > 0 {
+				fmt.Fprintf(stdout, "ccdp daemon: WARNING: skipped %d damaged snapshot entries (first: %v)\n", rep.Skipped(), rep.Errs[0])
+			}
+		}
+	}
 
 	api := httpapi.New(httpapi.Config{
 		MaxInflight: *maxInflight,
 		ReadLimit:   *readLimit,
 		CacheWeight: *cacheWeight,
+		Cache:       cache,
+		CacheFile:   *cacheFile,
 		Registry: httpapi.RegistryConfig{
 			MaxSessions:  *maxSessions,
 			MaxPerTenant: *maxPerTenant,
@@ -226,14 +287,39 @@ func runDaemon(args []string, stdout io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// Idle sessions must expire even when no request ever sweeps them.
+	// Idle sessions must expire even when no request ever sweeps them; the
+	// same goroutine runs the periodic plan-cache save so a crash between
+	// drains loses at most one interval of planning work. tickerDone is
+	// closed when the goroutine exits: the final drain save must wait for
+	// it, or an in-flight periodic save could rename a stale pre-drain
+	// snapshot over the complete post-drain one.
 	sweeper := time.NewTicker(time.Minute)
 	defer sweeper.Stop()
+	var saveC <-chan time.Time
+	if *cacheFile != "" && *cacheSaveInterval > 0 {
+		saver := time.NewTicker(*cacheSaveInterval)
+		defer saver.Stop()
+		saveC = saver.C
+	}
+	tickerDone := make(chan struct{})
 	go func() {
+		defer close(tickerDone)
 		for {
+			// Check for shutdown first: after the signal lands, a pending
+			// tick must not win the select race and start a save the drain
+			// path would then have to wait out.
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
 			select {
 			case <-sweeper.C:
 				api.Sweep()
+			case <-saveC:
+				if _, err := api.SaveCache(); err != nil {
+					fmt.Fprintf(stdout, "ccdp daemon: WARNING: periodic plan-cache save failed: %v\n", err)
+				}
 			case <-ctx.Done():
 				return
 			}
@@ -255,9 +341,32 @@ func runDaemon(args []string, stdout io.Writer) error {
 	if err := srv.Shutdown(sctx); err != nil {
 		return fmt.Errorf("drain incomplete: %w", err)
 	}
-	<-errc // Serve has returned http.ErrServerClosed
+	<-errc       // Serve has returned http.ErrServerClosed
+	<-tickerDone // no periodic save may still be racing the final one
+	if *cacheFile != "" {
+		// Persist after the drain: every in-flight upload has finished, so
+		// the snapshot carries the final cache state.
+		if n, err := api.SaveCache(); err != nil {
+			fmt.Fprintf(stdout, "ccdp daemon: WARNING: final plan-cache save failed: %v\n", err)
+		} else {
+			fmt.Fprintf(stdout, "ccdp daemon: saved %d cached plans to %s\n", n, *cacheFile)
+		}
+	}
 	fmt.Fprintln(stdout, "ccdp daemon stopped")
 	return nil
+}
+
+// probeWritable verifies that a snapshot could be created next to path by
+// creating and removing a temporary file in its directory — the same
+// operation the atomic save performs.
+func probeWritable(path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".ccdp-cache-probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
 }
 
 // runServe implements the serve subcommand: one session, many queries from

@@ -35,6 +35,14 @@ const DefaultPlanCacheCapacity = 16
 // same key instead of duplicating it (single-flight).
 type CacheStats struct {
 	Hits, Misses, Evictions, Invalidations, Coalesced int64
+	// SnapshotSaves and SnapshotLoads count Save/Load passes;
+	// SnapshotEntriesSaved, SnapshotEntriesLoaded, and
+	// SnapshotEntriesSkipped count the entries they wrote, merged in, and
+	// had to drop (corrupt, unknown version, or invariant-violating — see
+	// LoadReport). Together they make warm-restart behavior observable in
+	// /metrics without reading daemon logs.
+	SnapshotSaves, SnapshotLoads                                        int64
+	SnapshotEntriesSaved, SnapshotEntriesLoaded, SnapshotEntriesSkipped int64
 	// Entries is the current number of cached evaluations.
 	Entries int
 	// Weight is the summed grid-evaluation cost of the cached entries (see
@@ -228,7 +236,15 @@ func (c *PlanCache) insertLocked(key cacheKey, ge *GridEval) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	inserted := c.ll.PushFront(&cacheEntry{key: key, ge: ge, h: c.clock + float64(ge.Cost())})
+	c.admitLocked(key, ge, c.clock+float64(ge.Cost()))
+}
+
+// admitLocked pushes a new entry (key must be absent; c.mu held) with the
+// given GreedyDual-Size credit and runs the eviction loop. Snapshot loading
+// enters here directly so reloaded entries keep their saved credit instead
+// of being treated as freshly touched.
+func (c *PlanCache) admitLocked(key cacheKey, ge *GridEval, h float64) {
+	inserted := c.ll.PushFront(&cacheEntry{key: key, ge: ge, h: h})
 	c.entries[key] = inserted
 	c.weight += ge.Cost()
 	for c.ll.Len() > 1 && (c.ll.Len() > c.cap || (c.weightCap > 0 && c.weight > c.weightCap)) {

@@ -1,0 +1,416 @@
+package core
+
+// Conformance tests for plan-cache persistence: a snapshot-reloaded plan
+// must be indistinguishable — bit for bit, including seeded private
+// releases, plan digests, and admission weights — from the live plan that
+// was saved, across graph families and separation-worker configurations;
+// and damaged snapshots must degrade by skipping entries, never by loading
+// a wrong plan or panicking.
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"nodedp/internal/generate"
+	"nodedp/internal/graph"
+	"nodedp/internal/snapshot"
+)
+
+// persistFamilies spans the structurally distinct regimes: a sparse ER
+// graph (many components, fast paths), a grid (one structured component),
+// and a supercritical ER giant component (LP-heavy, the case warm starts
+// and cut pools exist for).
+func persistFamilies(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	return map[string]*graph.Graph{
+		"er-sparse": generate.ErdosRenyi(60, 0.02, generate.NewRand(11)),
+		"grid":      generate.Grid(7, 7),
+		"er-giant":  generate.ErdosRenyi(40, 0.12, generate.NewRand(12)),
+	}
+}
+
+// releaseTriple runs the three seeded release paths on one grid evaluation.
+func releaseTriple(t *testing.T, ge *GridEval, seed uint64) [3]Result {
+	t.Helper()
+	var out [3]Result
+	for i, run := range []func(context.Context, *GridEval, Options) (Result, error){
+		EstimateComponentCountFromGrid,
+		EstimateComponentCountKnownNFromGrid,
+		EstimateSpanningForestSizeFromGrid,
+	} {
+		res, err := run(context.Background(), ge, Options{Epsilon: 0.7, Rand: generate.NewRand(seed + uint64(i))})
+		if err != nil {
+			t.Fatalf("release %d: %v", i, err)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+func sameBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// TestPlanCacheSaveLoadBitIdentity is the core of the conformance suite:
+// for every graph family and SepWorkers ∈ {1, 8}, a cache saved and
+// reloaded into a fresh cache serves the lookup as a hit, with the same
+// plan digest and admission weight, and seeded releases from the reloaded
+// plan are bit-identical to releases from the live plan.
+func TestPlanCacheSaveLoadBitIdentity(t *testing.T) {
+	ctx := context.Background()
+	for name, g := range persistFamilies(t) {
+		for _, sepWorkers := range []int{1, 8} {
+			opts := Options{Epsilon: 1}
+			opts.ForestLP.SepWorkers = sepWorkers
+
+			live := NewPlanCacheWeighted(1 << 30)
+			geLive, hit, err := live.GridEval(ctx, g, opts)
+			if err != nil {
+				t.Fatalf("%s/sep=%d: %v", name, sepWorkers, err)
+			}
+			if hit {
+				t.Fatalf("%s/sep=%d: first lookup was a hit", name, sepWorkers)
+			}
+
+			var buf bytes.Buffer
+			n, err := live.Save(&buf)
+			if err != nil || n != 1 {
+				t.Fatalf("%s/sep=%d: Save = %d, %v", name, sepWorkers, n, err)
+			}
+
+			warm := NewPlanCacheWeighted(1 << 30)
+			rep, err := warm.Load(bytes.NewReader(buf.Bytes()))
+			if err != nil || rep.Loaded != 1 || rep.Skipped() != 0 {
+				t.Fatalf("%s/sep=%d: Load report %+v, err %v", name, sepWorkers, rep, err)
+			}
+
+			geWarm, hit, err := warm.GridEval(ctx, g, opts)
+			if err != nil {
+				t.Fatalf("%s/sep=%d: warm lookup: %v", name, sepWorkers, err)
+			}
+			if !hit {
+				t.Fatalf("%s/sep=%d: reloaded cache missed — the restart would replan", name, sepWorkers)
+			}
+
+			// The reloaded evaluation IS the saved one, field for field.
+			if geWarm.optsDigest != geLive.optsDigest {
+				t.Fatalf("%s/sep=%d: plan digest changed across reload:\nlive %s\nwarm %s",
+					name, sepWorkers, geLive.optsDigest, geWarm.optsDigest)
+			}
+			if geWarm.fingerprint != geLive.fingerprint || geWarm.n != geLive.n || geWarm.m != geLive.m {
+				t.Fatalf("%s/sep=%d: identity fields changed across reload", name, sepWorkers)
+			}
+			if !sameBits(geWarm.fsf, geLive.fsf) || !sameBits(geWarm.deltaMax, geLive.deltaMax) {
+				t.Fatalf("%s/sep=%d: fsf/deltaMax changed across reload", name, sepWorkers)
+			}
+			for i := range geLive.fdeltas {
+				if !sameBits(geWarm.fdeltas[i], geLive.fdeltas[i]) || !sameBits(geWarm.grid[i], geLive.grid[i]) {
+					t.Fatalf("%s/sep=%d: grid value %d changed across reload", name, sepWorkers, i)
+				}
+			}
+			geWarm.stats.Shards = nil // durations are deliberately not persisted
+			stripped := geLive.stats
+			stripped.Shards = nil
+			if !reflect.DeepEqual(geWarm.stats, stripped) {
+				t.Fatalf("%s/sep=%d: engine counters changed across reload:\nlive %+v\nwarm %+v",
+					name, sepWorkers, stripped, geWarm.stats)
+			}
+
+			// Seeded releases from the reloaded plan are bit-identical.
+			for _, seed := range []uint64{1, 42, 9999} {
+				want := releaseTriple(t, geLive, seed)
+				got := releaseTriple(t, geWarm, seed)
+				for i := range want {
+					if !sameBits(got[i].Value, want[i].Value) || !sameBits(got[i].Delta, want[i].Delta) ||
+						!sameBits(got[i].NoiseScale, want[i].NoiseScale) || !sameBits(got[i].NHat, want[i].NHat) ||
+						!sameBits(got[i].FDelta, want[i].FDelta) {
+						t.Fatalf("%s/sep=%d seed=%d release %d differs after reload:\nlive %+v\nwarm %+v",
+							name, sepWorkers, seed, i, want[i], got[i])
+					}
+				}
+			}
+
+			// CacheStats weights — the GreedyDual-Size admission state — carry
+			// across: same entry weights, same total.
+			ls, ws := live.Stats(), warm.Stats()
+			if ls.Weight != ws.Weight || !reflect.DeepEqual(ls.EntryWeights, ws.EntryWeights) {
+				t.Fatalf("%s/sep=%d: weights changed across reload: live %v/%v warm %v/%v",
+					name, sepWorkers, ls.Weight, ls.EntryWeights, ws.Weight, ws.EntryWeights)
+			}
+			if ws.SnapshotLoads != 1 || ws.SnapshotEntriesLoaded != 1 || ls.SnapshotSaves != 1 || ls.SnapshotEntriesSaved != 1 {
+				t.Fatalf("%s/sep=%d: snapshot counters wrong: live %+v warm %+v", name, sepWorkers, ls, ws)
+			}
+		}
+	}
+}
+
+// TestSaveLoadMultiEntryOrderAndCredit: a multi-entry cache round-trips its
+// recency order and eviction credits, so the reloaded cache evicts in the
+// same order the live one would have.
+func TestSaveLoadMultiEntryOrderAndCredit(t *testing.T) {
+	ctx := context.Background()
+	live := NewPlanCacheWeighted(1 << 30)
+	for name, g := range persistFamilies(t) {
+		if _, _, err := live.GridEval(ctx, g, Options{Epsilon: 1}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if _, err := live.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	warm := NewPlanCacheWeighted(1 << 30)
+	if rep, err := warm.Load(bytes.NewReader(buf.Bytes())); err != nil || rep.Loaded != 3 {
+		t.Fatalf("load: %+v, %v", rep, err)
+	}
+
+	if got, want := warm.Fingerprints(), live.Fingerprints(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recency order changed across reload:\nlive %v\nwarm %v", want, got)
+	}
+	// Per-entry GreedyDual-Size credits survive: compare the internal h
+	// values relative to each cache's clock.
+	liveCredits := entryCredits(live)
+	warmCredits := entryCredits(warm)
+	if !reflect.DeepEqual(liveCredits, warmCredits) {
+		t.Fatalf("eviction credits changed across reload:\nlive %v\nwarm %v", liveCredits, warmCredits)
+	}
+}
+
+// entryCredits returns each entry's credit above the cache clock in MRU
+// order (clamped the way Save clamps).
+func entryCredits(c *PlanCache) []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []float64
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		credit := e.h - c.clock
+		if credit < 0 {
+			credit = 0
+		}
+		if cost := float64(e.ge.Cost()); credit > cost {
+			credit = cost
+		}
+		out = append(out, credit)
+	}
+	return out
+}
+
+// TestLoadRespectsBounds: loading a big snapshot into a small cache evicts
+// exactly as live inserts would — the bound holds, nothing overflows.
+func TestLoadRespectsBounds(t *testing.T) {
+	ctx := context.Background()
+	live := NewPlanCacheWeighted(1 << 30)
+	for _, g := range persistFamilies(t) {
+		if _, _, err := live.GridEval(ctx, g, Options{Epsilon: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := live.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	small := NewPlanCache(2) // entry-bounded
+	rep, err := small.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil || rep.Loaded != 3 {
+		t.Fatalf("load: %+v, %v", rep, err)
+	}
+	if small.Len() != 2 {
+		t.Fatalf("entry bound violated after load: %d entries", small.Len())
+	}
+	if s := small.Stats(); s.Evictions != 1 {
+		t.Fatalf("expected 1 eviction during bounded load, got %+v", s)
+	}
+}
+
+// TestLoadSkipsDamagedEntries: a snapshot with one bit-flipped entry loads
+// the healthy entries and reports the damage with a typed error; nothing
+// wrong enters the cache and nothing panics.
+func TestLoadSkipsDamagedEntries(t *testing.T) {
+	ctx := context.Background()
+	live := NewPlanCacheWeighted(1 << 30)
+	for _, g := range persistFamilies(t) {
+		if _, _, err := live.GridEval(ctx, g, Options{Epsilon: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := live.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip a byte inside the first entry's payload (after 16-byte header +
+	// 4-byte length prefix + a few fields).
+	raw[16+4+20] ^= 0x10
+
+	warm := NewPlanCacheWeighted(1 << 30)
+	rep, err := warm.Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if rep.Loaded != 2 || rep.SkippedCorrupt != 1 {
+		t.Fatalf("report %+v, want 2 loaded + 1 corrupt", rep)
+	}
+	var cerr *snapshot.CorruptEntryError
+	if len(rep.Errs) == 0 || !errors.As(rep.Errs[0], &cerr) {
+		t.Fatalf("errs %v, want a typed CorruptEntryError", rep.Errs)
+	}
+	if s := warm.Stats(); s.SnapshotEntriesSkipped != 1 || s.SnapshotEntriesLoaded != 2 {
+		t.Fatalf("snapshot counters %+v", s)
+	}
+}
+
+// TestLoadRejectsInvariantViolations: an entry that passes its checksum but
+// violates a grid-evaluation invariant (here: a value above f_sf, and a
+// grid that disagrees with its DeltaMax) is skipped with a typed
+// *InvalidEntryError — the "never load a silently-wrong plan" half of the
+// contract that checksums alone cannot give.
+func TestLoadRejectsInvariantViolations(t *testing.T) {
+	mk := func(mutate func(*snapshot.Entry)) []byte {
+		e := snapshot.Entry{
+			Fingerprint: graph.Fingerprint{Hi: 3, Lo: 4},
+			OptsDigest:  "dmax=4 …",
+			N:           4, M: 3,
+			DeltaMax: 4,
+			FSF:      3,
+			Grid:     []float64{1, 2, 4},
+			FDeltas:  []float64{2, 3, 3},
+		}
+		mutate(&e)
+		var buf bytes.Buffer
+		if err := snapshot.Encode(&buf, &snapshot.Snapshot{Entries: []snapshot.Entry{e}}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	cases := map[string]func(*snapshot.Entry){
+		"value above fsf":     func(e *snapshot.Entry) { e.FDeltas[1] = 5 },
+		"negative value":      func(e *snapshot.Entry) { e.FDeltas[0] = -1 },
+		"grid/deltaMax clash": func(e *snapshot.Entry) { e.Grid = []float64{1, 3, 4} },
+		"fsf above n-1":       func(e *snapshot.Entry) { e.FSF = 9; e.FDeltas = []float64{2, 3, 3} },
+		"zero fingerprint":    func(e *snapshot.Entry) { e.Fingerprint = graph.Fingerprint{} },
+		"empty digest":        func(e *snapshot.Entry) { e.OptsDigest = "" },
+		"NaN value":           func(e *snapshot.Entry) { e.FDeltas[0] = math.NaN() },
+	}
+	for name, mutate := range cases {
+		c := NewPlanCache(4)
+		rep, err := c.Load(bytes.NewReader(mk(mutate)))
+		if err != nil {
+			t.Fatalf("%s: Load: %v", name, err)
+		}
+		if rep.Loaded != 0 || rep.SkippedInvalid != 1 {
+			t.Fatalf("%s: report %+v, want the entry skipped as invalid", name, rep)
+		}
+		var ierr *InvalidEntryError
+		if len(rep.Errs) != 1 || !errors.As(rep.Errs[0], &ierr) {
+			t.Fatalf("%s: errs %v, want InvalidEntryError", name, rep.Errs)
+		}
+		if c.Len() != 0 {
+			t.Fatalf("%s: invalid entry entered the cache", name)
+		}
+	}
+
+	// The control encodes cleanly.
+	c := NewPlanCache(4)
+	if rep, err := c.Load(bytes.NewReader(mk(func(*snapshot.Entry) {}))); err != nil || rep.Loaded != 1 {
+		t.Fatalf("control entry did not load: %+v, %v", rep, err)
+	}
+}
+
+// TestLoadDuplicateKeepsLiveEntry: loading a snapshot over a cache that
+// already holds the key keeps the live entry and reports a duplicate.
+func TestLoadDuplicateKeepsLiveEntry(t *testing.T) {
+	ctx := context.Background()
+	g := generate.Grid(5, 5)
+	c := NewPlanCacheWeighted(1 << 30)
+	geLive, _, err := c.GridEval(ctx, g, Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil || rep.Loaded != 0 || rep.Duplicates != 1 {
+		t.Fatalf("report %+v, err %v, want 1 duplicate", rep, err)
+	}
+	geAgain, hit, err := c.GridEval(ctx, g, Options{Epsilon: 1})
+	if err != nil || !hit || geAgain != geLive {
+		t.Fatalf("live entry was displaced by the loaded duplicate")
+	}
+}
+
+// TestLoadFileMissingAndCorruptHeader: the daemon's two cold-start cases —
+// no file yet (fs.ErrNotExist) and an unreadable file (typed error) — both
+// leave the cache empty and usable.
+func TestLoadFileMissingAndCorruptHeader(t *testing.T) {
+	dir := t.TempDir()
+	c := NewPlanCache(4)
+
+	if _, err := c.LoadFile(filepath.Join(dir, "absent.snap")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: err = %v, want ErrNotExist", err)
+	}
+
+	bad := filepath.Join(dir, "garbage.snap")
+	if err := os.WriteFile(bad, []byte("this is not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadFile(bad); !errors.Is(err, snapshot.ErrBadMagic) {
+		t.Fatalf("garbage file: err = %v, want ErrBadMagic", err)
+	}
+
+	future := filepath.Join(dir, "future.snap")
+	var buf bytes.Buffer
+	if err := snapshot.Encode(&buf, &snapshot.Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	binary.LittleEndian.PutUint32(raw[8:12], snapshot.FormatVersion+3)
+	if err := os.WriteFile(future, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var verr *snapshot.UnsupportedVersionError
+	if _, err := c.LoadFile(future); !errors.As(err, &verr) {
+		t.Fatalf("future file: err = %v, want UnsupportedVersionError", err)
+	}
+
+	if c.Len() != 0 {
+		t.Fatal("failed loads left entries behind")
+	}
+}
+
+// TestSaveFileAtomic: SaveFile writes a decodable file, and a failed save
+// (nonexistent directory) neither creates the file nor counts a save.
+func TestSaveFileAtomic(t *testing.T) {
+	ctx := context.Background()
+	c := NewPlanCacheWeighted(1 << 30)
+	if _, _, err := c.GridEval(ctx, generate.Grid(4, 4), Options{Epsilon: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	if n, err := c.SaveFile(path); err != nil || n != 1 {
+		t.Fatalf("SaveFile = %d, %v", n, err)
+	}
+	warm := NewPlanCacheWeighted(1 << 30)
+	if rep, err := warm.LoadFile(path); err != nil || rep.Loaded != 1 {
+		t.Fatalf("reload: %+v, %v", rep, err)
+	}
+
+	before := c.Stats().SnapshotSaves
+	if _, err := c.SaveFile(filepath.Join(t.TempDir(), "no-such", "cache.snap")); err == nil {
+		t.Fatal("save into nonexistent directory succeeded")
+	}
+	if after := c.Stats().SnapshotSaves; after != before {
+		t.Fatalf("failed save still counted: %d → %d", before, after)
+	}
+}

@@ -42,6 +42,7 @@ func Registry() []struct {
 		{"E17", E17SessionServing},
 		{"E18", E18SeparationWarmStarts},
 		{"E19", E19DaemonServing},
+		{"E20", E20WarmRestart},
 		{"F1", F1RepairTrace},
 		{"F2", F2Lemma52},
 		{"F3", F3WinDecomposition},

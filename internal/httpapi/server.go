@@ -72,6 +72,14 @@ type Config struct {
 	// CacheWeight bounds each per-tenant cache (GridEval.Cost units);
 	// 0 means DefaultCacheWeight. Ignored when Cache is injected.
 	CacheWeight int64
+	// CacheFile, when non-empty, names the snapshot file behind SaveCache
+	// and POST /v1/admin/cache/save: the daemon persists the shared plan
+	// cache there on drain and on its periodic timer, and reloads it on
+	// the next boot (warm restarts). Requires Cache — per-tenant caches
+	// are ephemeral by design, because their lifetime is tied to tenant
+	// presence. A snapshot holds exact data-dependent values; protect the
+	// file like the graphs themselves.
+	CacheFile string
 	// Now overrides the clock (tests).
 	Now func() time.Time
 }
@@ -126,6 +134,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/graphs", s.handleCreateSession)
+	s.route("POST /v1/admin/cache/save", s.handleCacheSave)
 	s.route("POST /v1/sessions/{id}/query", s.handleQuery)
 	s.route("POST /v1/sessions/{id}/batch", s.handleBatch)
 	s.route("GET /v1/sessions/{id}", s.handleSessionInfo)
@@ -152,6 +161,37 @@ func (s *Server) Sweep() { s.registry.sweep() }
 // to observe the load-shedding path deterministically instead of racing a
 // real slow request; production code must never call it.
 func (s *Server) TestingHoldSlot(delta int64) { s.inflight.Add(delta) }
+
+// ErrPersistenceNotConfigured is returned by SaveCache when the server has
+// no shared cache or no snapshot path to save it to.
+var ErrPersistenceNotConfigured = errors.New("httpapi: cache persistence not configured (a shared Cache and a CacheFile are both required)")
+
+// SaveCache persists the shared plan cache to Config.CacheFile (atomic
+// write-then-rename) and returns how many entries were written. The daemon
+// calls it on drain and on its periodic save timer; the admin endpoint
+// exposes it on demand.
+func (s *Server) SaveCache() (int, error) {
+	if s.shared == nil || s.cfg.CacheFile == "" {
+		return 0, ErrPersistenceNotConfigured
+	}
+	return s.shared.SaveFile(s.cfg.CacheFile)
+}
+
+// handleCacheSave implements POST /v1/admin/cache/save: an on-demand
+// snapshot of the shared plan cache, so operators can persist warm state
+// before a planned restart without waiting for the periodic timer.
+func (s *Server) handleCacheSave(w http.ResponseWriter, _ *http.Request) {
+	n, err := s.SaveCache()
+	switch {
+	case errors.Is(err, ErrPersistenceNotConfigured):
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+			"cache persistence not configured (start the daemon with -cache-file)")
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, CodeInternal, "saving plan-cache snapshot: "+err.Error())
+	default:
+		writeJSON(w, http.StatusOK, SaveCacheResponse{Entries: n})
+	}
+}
 
 // tenantCache returns the plan cache serving a tenant: the injected
 // shared cache, or the tenant's private cache (created on demand).
@@ -199,6 +239,11 @@ func (s *Server) cacheTotals() core.CacheStats {
 		total.Invalidations += st.Invalidations
 		total.Entries += st.Entries
 		total.Weight += st.Weight
+		total.SnapshotSaves += st.SnapshotSaves
+		total.SnapshotLoads += st.SnapshotLoads
+		total.SnapshotEntriesSaved += st.SnapshotEntriesSaved
+		total.SnapshotEntriesLoaded += st.SnapshotEntriesLoaded
+		total.SnapshotEntriesSkipped += st.SnapshotEntriesSkipped
 	}
 	return total
 }
@@ -449,15 +494,20 @@ func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 		CreatedUnix: entry.created.Unix(),
 		IdleSeconds: s.now().Sub(entry.idleSince()).Seconds(),
 		Cache: CacheInfo{
-			Hits:           cs.Hits,
-			Misses:         cs.Misses,
-			Coalesced:      cs.Coalesced,
-			Evictions:      cs.Evictions,
-			Invalidations:  cs.Invalidations,
-			Entries:        cs.Entries,
-			Weight:         cs.Weight,
-			WeightCapacity: cs.WeightCapacity,
-			EntryWeights:   cs.EntryWeights,
+			Hits:                   cs.Hits,
+			Misses:                 cs.Misses,
+			Coalesced:              cs.Coalesced,
+			Evictions:              cs.Evictions,
+			Invalidations:          cs.Invalidations,
+			Entries:                cs.Entries,
+			Weight:                 cs.Weight,
+			WeightCapacity:         cs.WeightCapacity,
+			EntryWeights:           cs.EntryWeights,
+			SnapshotSaves:          cs.SnapshotSaves,
+			SnapshotLoads:          cs.SnapshotLoads,
+			SnapshotEntriesSaved:   cs.SnapshotEntriesSaved,
+			SnapshotEntriesLoaded:  cs.SnapshotEntriesLoaded,
+			SnapshotEntriesSkipped: cs.SnapshotEntriesSkipped,
 		},
 	})
 }
@@ -483,15 +533,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	cs := s.cacheTotals()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.write(w, map[string]float64{
-		"nodedp_sessions_live":              float64(live),
-		"nodedp_sessions_evicted_total":     float64(evicted),
-		"nodedp_inflight_requests":          float64(s.inflight.Load()),
-		"nodedp_plan_cache_hits_total":      float64(cs.Hits),
-		"nodedp_plan_cache_misses_total":    float64(cs.Misses),
-		"nodedp_plan_cache_coalesced_total": float64(cs.Coalesced),
-		"nodedp_plan_cache_evictions_total": float64(cs.Evictions),
-		"nodedp_plan_cache_entries":         float64(cs.Entries),
-		"nodedp_plan_cache_weight":          float64(cs.Weight),
+		"nodedp_sessions_live":                             float64(live),
+		"nodedp_sessions_evicted_total":                    float64(evicted),
+		"nodedp_inflight_requests":                         float64(s.inflight.Load()),
+		"nodedp_plan_cache_hits_total":                     float64(cs.Hits),
+		"nodedp_plan_cache_misses_total":                   float64(cs.Misses),
+		"nodedp_plan_cache_coalesced_total":                float64(cs.Coalesced),
+		"nodedp_plan_cache_evictions_total":                float64(cs.Evictions),
+		"nodedp_plan_cache_entries":                        float64(cs.Entries),
+		"nodedp_plan_cache_weight":                         float64(cs.Weight),
+		"nodedp_plan_cache_snapshot_saves_total":           float64(cs.SnapshotSaves),
+		"nodedp_plan_cache_snapshot_loads_total":           float64(cs.SnapshotLoads),
+		"nodedp_plan_cache_snapshot_entries_saved_total":   float64(cs.SnapshotEntriesSaved),
+		"nodedp_plan_cache_snapshot_entries_loaded_total":  float64(cs.SnapshotEntriesLoaded),
+		"nodedp_plan_cache_snapshot_entries_skipped_total": float64(cs.SnapshotEntriesSkipped),
 	})
 }
 

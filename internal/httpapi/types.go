@@ -186,6 +186,23 @@ type CacheInfo struct {
 	Weight         int64   `json:"weight"`
 	WeightCapacity int64   `json:"weight_capacity,omitempty"`
 	EntryWeights   []int64 `json:"entry_weights,omitempty"`
+	// Snapshot* mirror the persistence counters: save/load passes and the
+	// entries they wrote, merged in, and skipped (corrupt, unknown
+	// version, or invariant-violating).
+	SnapshotSaves          int64 `json:"snapshot_saves,omitempty"`
+	SnapshotLoads          int64 `json:"snapshot_loads,omitempty"`
+	SnapshotEntriesSaved   int64 `json:"snapshot_entries_saved,omitempty"`
+	SnapshotEntriesLoaded  int64 `json:"snapshot_entries_loaded,omitempty"`
+	SnapshotEntriesSkipped int64 `json:"snapshot_entries_skipped,omitempty"`
+}
+
+// SaveCacheResponse answers POST /v1/admin/cache/save. The server-side
+// snapshot path is deliberately not echoed: until tenants are
+// authenticated, any client can reach the admin route, and filesystem
+// layout is nothing a network caller needs.
+type SaveCacheResponse struct {
+	// Entries is how many cached plans were written to the snapshot.
+	Entries int `json:"entries"`
 }
 
 // parseOp maps a wire op to the serving layer's (Op, Mode) pair.

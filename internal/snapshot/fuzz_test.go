@@ -1,0 +1,110 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// FuzzDecode hammers the codec with malformed inputs: truncations, bit
+// flips, version bumps, and arbitrary fuzzer mutations of a valid
+// encoding. The contract under test is the loader's safety half:
+//
+//   - Decode never panics (the fuzz harness fails on any panic), and its
+//     allocations stay bounded by the input size via the length caps;
+//   - every skipped entry and truncation is reported through the typed
+//     error set — nothing is dropped silently;
+//   - every entry that IS returned decodes to an internally consistent
+//     record (aligned grid/value slices), so a bit-flipped plan can only
+//     reach the cache by defeating a CRC-64 per entry.
+func FuzzDecode(f *testing.F) {
+	valid := &Snapshot{Entries: testEntries()}
+	var buf bytes.Buffer
+	if err := Encode(&buf, valid); err != nil {
+		f.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	f.Add(raw)
+	f.Add([]byte{})
+	f.Add(raw[:16])         // header only
+	f.Add(raw[:len(raw)/2]) // truncated mid-entry
+	f.Add(append([]byte("junk"), raw...))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	flipped := bytes.Clone(raw)
+	flipped[20] ^= 0x01
+	f.Add(flipped)
+	bumpedFile := bytes.Clone(raw)
+	binary.LittleEndian.PutUint32(bumpedFile[8:12], FormatVersion+1)
+	f.Add(bumpedFile)
+	bumpedEntry := bytes.Clone(raw)
+	binary.LittleEndian.PutUint32(bumpedEntry[20:24], EntryVersion+1)
+	f.Add(bumpedEntry)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, rep, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			// File-level failures must be typed.
+			var verr *UnsupportedVersionError
+			var terr *TruncatedError
+			if !errors.Is(err, ErrBadMagic) && !errors.As(err, &verr) && !errors.As(err, &terr) {
+				t.Fatalf("untyped file-level error %T: %v", err, err)
+			}
+			return
+		}
+		if rep.Decoded != len(snap.Entries) {
+			t.Fatalf("report says %d decoded, snapshot has %d", rep.Decoded, len(snap.Entries))
+		}
+		// Entry-level skips must each carry a typed error.
+		typed := 0
+		for _, e := range rep.Errs {
+			var verr *EntryVersionError
+			var cerr *CorruptEntryError
+			var terr *TruncatedError
+			if errors.As(e, &verr) || errors.As(e, &cerr) || errors.As(e, &terr) {
+				typed++
+			} else {
+				t.Fatalf("untyped entry-level error %T: %v", e, e)
+			}
+		}
+		if rep.Skipped() > typed {
+			t.Fatalf("%d skips but only %d typed errors", rep.Skipped(), typed)
+		}
+		// Whatever survived must be structurally sound.
+		for i, e := range snap.Entries {
+			if len(e.Grid) != len(e.FDeltas) {
+				t.Fatalf("entry %d: grid/value length mismatch escaped the decoder", i)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip: any snapshot the decoder accepts must re-encode and
+// re-decode to the same entries — the reload path cannot lose or mutate
+// plans it claimed to have salvaged.
+func FuzzRoundTrip(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, &Snapshot{Entries: testEntries()}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, _, err := Decode(bytes.NewReader(data))
+		if err != nil || snap == nil || len(snap.Entries) == 0 {
+			return
+		}
+		var out bytes.Buffer
+		if err := Encode(&out, snap); err != nil {
+			t.Fatalf("re-encoding accepted entries: %v", err)
+		}
+		again, rep, err := Decode(bytes.NewReader(out.Bytes()))
+		if err != nil || rep.Skipped() != 0 {
+			t.Fatalf("re-decode failed: %v (report %+v)", err, rep)
+		}
+		if len(again.Entries) != len(snap.Entries) {
+			t.Fatalf("round trip changed entry count %d → %d", len(snap.Entries), len(again.Entries))
+		}
+	})
+}

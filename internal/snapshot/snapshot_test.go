@@ -1,0 +1,275 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc64"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"nodedp/internal/forestlp"
+	"nodedp/internal/graph"
+)
+
+// testEntries builds a small, fully populated snapshot whose values exercise
+// every field of the format, including non-trivial engine counters.
+func testEntries() []Entry {
+	return []Entry{
+		{
+			Fingerprint: graph.Fingerprint{Hi: 0x1111222233334444, Lo: 0x5555666677778888},
+			OptsDigest:  "dmax=8 tol=1e-07 rounds=1000 cuts=48 drop=3 stall=80 nofast=false nopeel=false nowarm=false exh=false wave=16 lp={}",
+			N:           8, M: 12,
+			DeltaMax: 8,
+			FSF:      7,
+			Grid:     []float64{1, 2, 4, 8},
+			FDeltas:  []float64{3.25, 5.5, 7, 7},
+			Credit:   84,
+			Stats: forestlp.Stats{
+				Components: 1, FastPathHits: 2, LPSolves: 11, CutsAdded: 17,
+				MaxFlowCalls: 23, SimplexPivots: 145, CutsRevived: 3,
+				WarmCutsReused: 9, WarmBasisHits: 5, StalledPieces: 1,
+				StallGap: 0.125, Workers: 4,
+			},
+		},
+		{
+			Fingerprint: graph.Fingerprint{Hi: 1, Lo: 2},
+			OptsDigest:  "dmax=2 …",
+			N:           2, M: 1,
+			DeltaMax: 2,
+			FSF:      1,
+			Grid:     []float64{1, 2},
+			FDeltas:  []float64{1, 1},
+			Credit:   0,
+			Stats:    forestlp.Stats{Components: 1, FastPathHits: 2, Workers: 1},
+		},
+	}
+}
+
+func encodeToBytes(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := &Snapshot{Entries: testEntries()}
+	raw := encodeToBytes(t, want)
+	got, rep, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if rep.Decoded != len(want.Entries) || rep.Skipped() != 0 || rep.Truncated || len(rep.Errs) != 0 {
+		t.Fatalf("report %+v, want clean decode of %d entries", rep, len(want.Entries))
+	}
+	if !reflect.DeepEqual(got.Entries, want.Entries) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got.Entries, want.Entries)
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	raw := encodeToBytes(t, &Snapshot{})
+	got, rep, err := Decode(bytes.NewReader(raw))
+	if err != nil || rep.Decoded != 0 || len(got.Entries) != 0 {
+		t.Fatalf("empty snapshot: got %+v report %+v err %v", got, rep, err)
+	}
+}
+
+// TestEncodeDeterministic: identical snapshots must produce identical bytes
+// (the golden fixture and the restart bit-identity contract depend on it).
+func TestEncodeDeterministic(t *testing.T) {
+	s := &Snapshot{Entries: testEntries()}
+	if !bytes.Equal(encodeToBytes(t, s), encodeToBytes(t, s)) {
+		t.Fatal("two encodings of the same snapshot differ")
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	raw := encodeToBytes(t, &Snapshot{Entries: testEntries()})
+	raw[0] ^= 0xFF
+	_, _, err := Decode(bytes.NewReader(raw))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeUnsupportedFormatVersion(t *testing.T) {
+	raw := encodeToBytes(t, &Snapshot{Entries: testEntries()})
+	binary.LittleEndian.PutUint32(raw[8:12], FormatVersion+1)
+	_, _, err := Decode(bytes.NewReader(raw))
+	var verr *UnsupportedVersionError
+	if !errors.As(err, &verr) || verr.Version != FormatVersion+1 {
+		t.Fatalf("err = %v, want UnsupportedVersionError{%d}", err, FormatVersion+1)
+	}
+}
+
+// TestDecodeSkipsCorruptEntry: a bit flip inside one entry's payload fails
+// that entry's checksum; the other entries still decode.
+func TestDecodeSkipsCorruptEntry(t *testing.T) {
+	entries := testEntries()
+	raw := encodeToBytes(t, &Snapshot{Entries: entries})
+	// First entry's payload starts after header(16) + length prefix(4).
+	raw[16+4+12] ^= 0x40
+	got, rep, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if rep.Decoded != 1 || rep.SkippedCorrupt != 1 {
+		t.Fatalf("report %+v, want 1 decoded + 1 corrupt-skipped", rep)
+	}
+	var cerr *CorruptEntryError
+	if len(rep.Errs) == 0 || !errors.As(rep.Errs[0], &cerr) || cerr.Index != 0 {
+		t.Fatalf("errs %v, want CorruptEntryError for entry 0", rep.Errs)
+	}
+	if !reflect.DeepEqual(got.Entries, entries[1:]) {
+		t.Fatalf("surviving entries %+v, want %+v", got.Entries, entries[1:])
+	}
+}
+
+// TestDecodeSkipsUnknownEntryVersion: an entry stamped by a future codec is
+// skipped with a typed error (checksum recomputed so only the version
+// differs).
+func TestDecodeSkipsUnknownEntryVersion(t *testing.T) {
+	entries := testEntries()
+	raw := encodeToBytes(t, &Snapshot{Entries: entries})
+	payloadStart := 16 + 4
+	payloadLen := int(binary.LittleEndian.Uint32(raw[16:20]))
+	binary.LittleEndian.PutUint32(raw[payloadStart:payloadStart+4], EntryVersion+7)
+	sum := checksumOf(raw[payloadStart : payloadStart+payloadLen])
+	binary.LittleEndian.PutUint64(raw[payloadStart+payloadLen:payloadStart+payloadLen+8], sum)
+
+	got, rep, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if rep.Decoded != 1 || rep.SkippedVersion != 1 {
+		t.Fatalf("report %+v, want 1 decoded + 1 version-skipped", rep)
+	}
+	var verr *EntryVersionError
+	if len(rep.Errs) == 0 || !errors.As(rep.Errs[0], &verr) || verr.Version != EntryVersion+7 || verr.Index != 0 {
+		t.Fatalf("errs %v, want EntryVersionError{0, %d}", rep.Errs, EntryVersion+7)
+	}
+	if !reflect.DeepEqual(got.Entries, entries[1:]) {
+		t.Fatalf("surviving entries mismatch")
+	}
+}
+
+// TestDecodeTruncated: every proper prefix decodes without panicking, and a
+// cut inside the entry stream is reported as truncation while the complete
+// leading entries survive.
+func TestDecodeTruncated(t *testing.T) {
+	raw := encodeToBytes(t, &Snapshot{Entries: testEntries()})
+	for cut := 0; cut < len(raw); cut++ {
+		snap, rep, err := Decode(bytes.NewReader(raw[:cut]))
+		if cut < 16 {
+			if err == nil {
+				t.Fatalf("cut %d: header-level decode succeeded", cut)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: unexpected file-level error %v", cut, err)
+		}
+		if !rep.Truncated {
+			t.Fatalf("cut %d: truncation not reported (report %+v)", cut, rep)
+		}
+		if rep.Decoded != len(snap.Entries) {
+			t.Fatalf("cut %d: report/entries disagree", cut)
+		}
+	}
+}
+
+// TestDecodeHugeDeclaredLength: a corrupt length prefix must not trigger a
+// giant allocation; the decoder salvages the prefix and stops.
+func TestDecodeHugeDeclaredLength(t *testing.T) {
+	raw := encodeToBytes(t, &Snapshot{Entries: testEntries()[:1]})
+	var buf bytes.Buffer
+	buf.Write(raw[:12])
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], 2)
+	buf.Write(cnt[:])
+	buf.Write(raw[16:]) // entry 0 intact
+	var huge [4]byte
+	binary.LittleEndian.PutUint32(huge[:], math.MaxUint32)
+	buf.Write(huge[:])
+
+	snap, rep, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if rep.Decoded != 1 || rep.SkippedCorrupt != 1 || !rep.Truncated {
+		t.Fatalf("report %+v, want 1 decoded, 1 corrupt, truncated", rep)
+	}
+	if len(snap.Entries) != 1 {
+		t.Fatalf("got %d entries, want the intact prefix", len(snap.Entries))
+	}
+}
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.snap")
+	want := &Snapshot{Entries: testEntries()}
+	if err := WriteFileAtomic(path, want); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	got, rep, err := ReadFile(path)
+	if err != nil || rep.Skipped() != 0 {
+		t.Fatalf("ReadFile: %v (report %+v)", err, rep)
+	}
+	if !reflect.DeepEqual(got.Entries, want.Entries) {
+		t.Fatal("file round trip mismatch")
+	}
+	// No temporary files may survive a successful save.
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0].Name() != "cache.snap" {
+		t.Fatalf("directory not clean after save: %v", names)
+	}
+}
+
+// TestWriteFileAtomicPreservesOldOnFailure: writing into a nonexistent
+// directory fails without touching anything; an existing snapshot at the
+// destination survives a failed overwrite attempt.
+func TestWriteFileAtomicPreservesOldOnFailure(t *testing.T) {
+	if err := WriteFileAtomic(filepath.Join(t.TempDir(), "no-such-dir", "x.snap"), &Snapshot{}); err == nil {
+		t.Fatal("save into a nonexistent directory succeeded")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.snap")
+	old := &Snapshot{Entries: testEntries()[:1]}
+	if err := WriteFileAtomic(path, old); err != nil {
+		t.Fatal(err)
+	}
+	// An unencodable snapshot (oversized digest) must fail before the
+	// rename, leaving the old bytes in place.
+	bad := &Snapshot{Entries: []Entry{{OptsDigest: string(make([]byte, maxDigestBytes+1))}}}
+	if err := WriteFileAtomic(path, bad); err == nil {
+		t.Fatal("unencodable snapshot saved")
+	}
+	got, rep, err := ReadFile(path)
+	if err != nil || rep.Skipped() != 0 || len(got.Entries) != 1 {
+		t.Fatalf("old snapshot damaged by failed save: %v %+v", err, rep)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	_, _, err := ReadFile(filepath.Join(t.TempDir(), "absent.snap"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+// checksumOf recomputes the per-entry checksum the way the encoder does.
+func checksumOf(payload []byte) uint64 {
+	return crc64.Checksum(payload, crcTable)
+}

@@ -281,10 +281,23 @@ const (
 // identical graphs — even ones re-read from disk or built in a different
 // edge order — skip planning entirely; any one-edge difference misses.
 // Invalidate reclaims entries for a mutated graph.
+//
+// A cache can persist across process restarts: SaveFile snapshots every
+// entry to a versioned binary file (atomic write-then-rename), and
+// LoadFile merges a snapshot back, skipping corrupt or unknown-version
+// entries with typed errors instead of failing. A seeded query answered
+// from a reloaded plan is bit-identical to the same query from the cache
+// that was saved. Snapshot files hold exact data-dependent values —
+// protect them like the graphs themselves.
 type PlanCache = core.PlanCache
 
-// PlanCacheStats reports a PlanCache's hit/miss/eviction counters.
+// PlanCacheStats reports a PlanCache's hit/miss/eviction counters and the
+// snapshot save/load counters.
 type PlanCacheStats = core.CacheStats
+
+// PlanCacheLoadReport describes what a PlanCache.Load/LoadFile pass merged
+// in and what it had to skip.
+type PlanCacheLoadReport = core.LoadReport
 
 // NewPlanCache returns an empty plan cache bounded to capacity entries
 // (a small default if capacity <= 0).

@@ -5,21 +5,26 @@ package nodedp
 // workloads, where shard-level parallelism (BENCH_parallel.json) has
 // nothing to split and the oracle + simplex inner loop is everything.
 //
-// Three configurations bracket the engine:
+// Four configurations bracket the engine:
 //
-//	legacy — warm starts off, exhaustive oracle (the pre-engine work
-//	         profile: one fresh max-flow per uncovered forced vertex per
-//	         round, every LP solved from the all-slack basis);
-//	cold   — warm starts off, screened oracle (support 2-core screening,
-//	         ramped waves, gap-pinch termination);
-//	warm   — the default: everything on (parked-cut revival, round-to-round
-//	         and cross-Δ simplex warm starts).
+//	legacy     — warm starts off, exhaustive oracle (the pre-engine work
+//	             profile: one fresh max-flow per uncovered forced vertex
+//	             per round, every LP solved from the all-slack basis);
+//	cold       — warm starts off, screened oracle (support 2-core
+//	             screening, ramped waves, gap-pinch termination);
+//	warm       — warm starts on, parametric engine off (parked-cut
+//	             revival, round-to-round and cross-Δ simplex warm starts;
+//	             every LP still rebuilds its tableau from rows);
+//	parametric — the default: everything on, including the standing
+//	             incremental solvers that slide an optimal basis across
+//	             adjacent Δ grid points (see internal/forestlp/parametric).
 //
 // The JSON records max-flow calls and simplex pivots per Δ-grid evaluation
-// (both deterministic), ns/op, and the legacy→warm reduction ratios, so
-// the win is visible even on a single-core container. It also certifies
-// the determinism contract: seeded releases bit-identical across
-// SepWorkers ∈ {1,4,8} and warm-start on/off.
+// (both deterministic), ns/op, the legacy→config reduction ratios, and the
+// warm→parametric ratios (the tableau-reuse win in isolation), so the wins
+// are visible even on a single-core container. It also certifies the
+// determinism contract: seeded releases bit-identical across SepWorkers
+// ∈ {1,4,8}, warm-start on/off, and incremental on/off.
 
 import (
 	"context"
@@ -36,31 +41,68 @@ import (
 	"nodedp/internal/mechanism"
 )
 
+// sepBenchFamily is one benchmark workload. SweepOnly marks the
+// spider families measured under the warm and parametric configurations
+// only: their hub-forced degree structure keeps the cutting-plane LP
+// active across most of the Δ-grid — exactly the workload the parametric
+// sweep exists for — but without the cut pool the cold configurations hit
+// the stall bailout, whose path-dependent bound would make any comparison
+// against them apples-to-oranges.
+type sepBenchFamily struct {
+	Name      string
+	Graph     *graph.Graph
+	SweepOnly bool
+}
+
 // sepBenchFamilies are giant-component workloads: dense enough that the
 // cutting-plane LP runs at several grid points, connected enough that the
 // whole graph is (essentially) one shard.
-func sepBenchFamilies() []struct {
-	Name  string
-	Graph *graph.Graph
-} {
+func sepBenchFamilies() []sepBenchFamily {
 	// Each family draws from its own source: the instances are chosen to
-	// converge (no stalled pieces) so every configuration provably reaches
-	// the same optimum — the stall bailout returns a path-dependent bound
-	// and would make cross-configuration comparisons apples-to-oranges.
+	// converge (no stalled pieces) under every configuration they are
+	// benched on, so those configurations provably reach the same optimum.
 	erRng := generate.NewRand(40)
 	hubRng := generate.NewRand(41)
-	return []struct {
-		Name  string
-		Graph *graph.Graph
-	}{
-		{"planted-er-giant", generate.PlantedComponents([]int{120}, 6.0/120, erRng)},
-		{"hub-clusters-giant", generate.WithHubs(
+	return []sepBenchFamily{
+		{Name: "planted-er-giant", Graph: generate.PlantedComponents([]int{120}, 6.0/120, erRng)},
+		{Name: "hub-clusters-giant", Graph: generate.WithHubs(
 			generate.PlantedComponents([]int{60, 60}, 5.0/60, hubRng), 3, 0.25, hubRng)},
+		{Name: "spider-er-a", Graph: spiderGraph(40, 4, 5, 0.65, 54), SweepOnly: true},
+		{Name: "spider-er-b", Graph: spiderGraph(40, 4, 5, 0.65, 56), SweepOnly: true},
 	}
 }
 
-// sepBenchConfigs are the three engine configurations; order matters (the
-// emitter uses the first as the reduction baseline).
+// spiderGraph builds a hub-articulated giant component: k small ER
+// clusters, each tied to a central hub by exactly one bridge. The hub is
+// the only inter-cluster connection, so every spanning forest carries all
+// k bridges and the hub's degree is forced to k — f_Δ stays strictly below
+// f_sf (and the LP stays active) until Δ reaches k, across a Δ range where
+// the peel-stable piece recurs identically at every grid point. Mixed
+// cluster sizes and random bridge endpoints break the symmetry that would
+// otherwise make the LP degenerate.
+func spiderGraph(k, minSize, spread int, p float64, seed uint64) *graph.Graph {
+	rng := generate.NewRand(seed)
+	sizes := make([]int, k)
+	clusters := make([]*graph.Graph, k)
+	for i := range clusters {
+		sizes[i] = minSize + rng.IntN(spread)
+		clusters[i] = generate.ErdosRenyi(sizes[i], p, rng)
+	}
+	g := generate.DisjointUnion(clusters...)
+	hub := g.AddVertex()
+	off := 0
+	for i := 0; i < k; i++ {
+		if err := g.AddEdge(hub, off+rng.IntN(sizes[i])); err != nil {
+			panic(err)
+		}
+		off += sizes[i]
+	}
+	return g
+}
+
+// sepBenchConfigs are the four engine configurations; order matters (the
+// emitter uses the first as the legacy reduction baseline and "warm" as the
+// parametric comparison baseline).
 func sepBenchConfigs() []struct {
 	Name string
 	Opts forestlp.Options
@@ -71,7 +113,8 @@ func sepBenchConfigs() []struct {
 	}{
 		{"legacy", forestlp.Options{Workers: 1, DisableWarmStart: true, SepExhaustive: true}},
 		{"cold", forestlp.Options{Workers: 1, DisableWarmStart: true}},
-		{"warm", forestlp.Options{Workers: 1}},
+		{"warm", forestlp.Options{Workers: 1, DisableIncremental: true}},
+		{"parametric", forestlp.Options{Workers: 1}},
 	}
 }
 
@@ -92,16 +135,23 @@ func benchGridSweep(b *testing.B, g *graph.Graph, opts forestlp.Options) {
 	}
 }
 
-// BenchmarkSeparationLegacy / Screened / Warm sweep the Δ-grid on every
-// giant-component family under the three engine configurations.
+// BenchmarkSeparationLegacy / Screened / Warm / Parametric sweep the
+// Δ-grid on the giant-component families under the four engine
+// configurations (the cold configurations skip the sweep-only spiders).
 func BenchmarkSeparationLegacy(b *testing.B) {
 	for _, f := range sepBenchFamilies() {
+		if f.SweepOnly {
+			continue
+		}
 		b.Run(f.Name, func(b *testing.B) { benchGridSweep(b, f.Graph, sepBenchConfigs()[0].Opts) })
 	}
 }
 
 func BenchmarkSeparationScreened(b *testing.B) {
 	for _, f := range sepBenchFamilies() {
+		if f.SweepOnly {
+			continue
+		}
 		b.Run(f.Name, func(b *testing.B) { benchGridSweep(b, f.Graph, sepBenchConfigs()[1].Opts) })
 	}
 }
@@ -109,6 +159,12 @@ func BenchmarkSeparationScreened(b *testing.B) {
 func BenchmarkSeparationWarm(b *testing.B) {
 	for _, f := range sepBenchFamilies() {
 		b.Run(f.Name, func(b *testing.B) { benchGridSweep(b, f.Graph, sepBenchConfigs()[2].Opts) })
+	}
+}
+
+func BenchmarkSeparationParametric(b *testing.B) {
+	for _, f := range sepBenchFamilies() {
+		b.Run(f.Name, func(b *testing.B) { benchGridSweep(b, f.Graph, sepBenchConfigs()[3].Opts) })
 	}
 }
 
@@ -149,29 +205,55 @@ type sepBenchRecord struct {
 	CutsRevived   int     `json:"cuts_revived"`
 	WarmBasisHits int     `json:"warm_basis_hits"`
 	StalledPieces int     `json:"stalled_pieces"`
+	// Parametric-engine depth counters (nonzero only for the parametric
+	// configuration).
+	Refactorizations      int `json:"refactorizations,omitempty"`
+	ParametricSlides      int `json:"parametric_slides,omitempty"`
+	ParametricCheapSolves int `json:"parametric_cheap_solves,omitempty"`
+	IncrementalFallbacks  int `json:"incremental_fallbacks,omitempty"`
 	// Reductions vs. the legacy configuration of the same family.
 	FlowReduction  float64 `json:"flow_reduction_vs_legacy,omitempty"`
 	PivotReduction float64 `json:"pivot_reduction_vs_legacy,omitempty"`
 	NsPerOp        int64   `json:"ns_per_op"`
 	Speedup        float64 `json:"speedup_vs_legacy,omitempty"`
+	// The parametric configuration's wins over "warm" — the previous
+	// default — isolating what the standing tableaus buy on top of warm
+	// starts.
+	SpeedupVsWarm        float64 `json:"speedup_vs_warm,omitempty"`
+	PivotReductionVsWarm float64 `json:"pivot_reduction_vs_warm,omitempty"`
 	// ReleasesBitIdentical certifies that a seeded release is bit-for-bit
-	// equal across SepWorkers ∈ {1,4,8} and warm-start on/off.
+	// equal across SepWorkers ∈ {1,4,8}, warm-start on/off, and
+	// incremental on/off.
 	ReleasesBitIdentical bool `json:"releases_bit_identical"`
 	MaxProcs             int  `json:"gomaxprocs"`
 }
 
 // sepReleaseBitIdentical runs a seeded end-to-end release on g under every
-// (SepWorkers, warm) combination and reports whether all are bit-equal.
-func sepReleaseBitIdentical(t *testing.T, g *graph.Graph) bool {
+// (SepWorkers, warm, incremental) combination and reports whether all are
+// bit-equal. Warm-start off implies incremental off, so the matrix has
+// three engine variants per worker count. On sweep-only families the cold
+// variant is skipped — it stalls, and a stalled piece's bound is
+// explicitly solve-path-dependent — leaving the incremental on/off ×
+// SepWorkers matrix the parametric engine is contracted on.
+func sepReleaseBitIdentical(t *testing.T, g *graph.Graph, sweepOnly bool) bool {
 	t.Helper()
+	variants := []struct{ noWarm, noIncr bool }{
+		{false, false}, // parametric (the default)
+		{false, true},  // warm starts without standing tableaus
+		{true, true},   // fully cold
+	}
+	if sweepOnly {
+		variants = variants[:2]
+	}
 	var want float64
 	first := true
 	for _, sepWorkers := range []int{1, 4, 8} {
-		for _, warm := range []bool{true, false} {
+		for _, v := range variants {
 			opts := core.Options{Epsilon: 1, Rand: generate.NewRand(42)}
 			opts.ForestLP.Workers = 1
 			opts.ForestLP.SepWorkers = sepWorkers
-			opts.ForestLP.DisableWarmStart = !warm
+			opts.ForestLP.DisableWarmStart = v.noWarm
+			opts.ForestLP.DisableIncremental = v.noIncr
 			res, err := core.EstimateComponentCount(g, opts)
 			if err != nil {
 				t.Fatal(err)
@@ -201,9 +283,13 @@ func TestEmitSepBenchJSON(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bit := sepReleaseBitIdentical(t, f.Graph)
-		var legacy sepBenchRecord
-		for i, cfg := range sepBenchConfigs() {
+		bit := sepReleaseBitIdentical(t, f.Graph, f.SweepOnly)
+		var legacy, warm sepBenchRecord
+		haveLegacy := false
+		for _, cfg := range sepBenchConfigs() {
+			if f.SweepOnly && cfg.Name != "warm" && cfg.Name != "parametric" {
+				continue
+			}
 			_, stats, err := plan.GridValues(context.Background(), grid, cfg.Opts)
 			if err != nil {
 				t.Fatal(err)
@@ -214,26 +300,30 @@ func TestEmitSepBenchJSON(t *testing.T) {
 			}
 			r := testing.Benchmark(func(b *testing.B) { benchGridSweep(b, f.Graph, cfg.Opts) })
 			rec := sepBenchRecord{
-				Family:               f.Name,
-				N:                    f.Graph.N(),
-				M:                    f.Graph.M(),
-				Config:               cfg.Name,
-				MaxFlowCalls:         stats.MaxFlowCalls,
-				SimplexPivots:        stats.SimplexPivots,
-				LPSolves:             stats.LPSolves,
-				CutsRevived:          stats.CutsRevived,
-				WarmBasisHits:        stats.WarmBasisHits,
-				StalledPieces:        stats.StalledPieces,
-				NsPerOp:              r.NsPerOp(),
-				ReleasesBitIdentical: bit,
-				MaxProcs:             runtime.GOMAXPROCS(0),
+				Family:                f.Name,
+				N:                     f.Graph.N(),
+				M:                     f.Graph.M(),
+				Config:                cfg.Name,
+				MaxFlowCalls:          stats.MaxFlowCalls,
+				SimplexPivots:         stats.SimplexPivots,
+				LPSolves:              stats.LPSolves,
+				CutsRevived:           stats.CutsRevived,
+				WarmBasisHits:         stats.WarmBasisHits,
+				StalledPieces:         stats.StalledPieces,
+				Refactorizations:      stats.Refactorizations,
+				ParametricSlides:      stats.ParametricSlides,
+				ParametricCheapSolves: stats.ParametricCheapSolves,
+				IncrementalFallbacks:  stats.IncrementalFallbacks,
+				NsPerOp:               r.NsPerOp(),
+				ReleasesBitIdentical:  bit,
+				MaxProcs:              runtime.GOMAXPROCS(0),
 			}
 			if stats.LPSolves > 0 {
 				rec.FlowsPerSolve = float64(stats.MaxFlowCalls) / float64(stats.LPSolves)
 			}
-			if i == 0 {
-				legacy = rec
-			} else {
+			if cfg.Name == "legacy" {
+				legacy, haveLegacy = rec, true
+			} else if haveLegacy {
 				if rec.MaxFlowCalls > 0 {
 					rec.FlowReduction = float64(legacy.MaxFlowCalls) / float64(rec.MaxFlowCalls)
 				} else if legacy.MaxFlowCalls > 0 {
@@ -244,6 +334,17 @@ func TestEmitSepBenchJSON(t *testing.T) {
 				}
 				if rec.NsPerOp > 0 {
 					rec.Speedup = float64(legacy.NsPerOp) / float64(rec.NsPerOp)
+				}
+			}
+			if cfg.Name == "warm" {
+				warm = rec
+			}
+			if cfg.Name == "parametric" {
+				if rec.NsPerOp > 0 {
+					rec.SpeedupVsWarm = float64(warm.NsPerOp) / float64(rec.NsPerOp)
+				}
+				if warm.SimplexPivots > 0 {
+					rec.PivotReductionVsWarm = 1 - float64(rec.SimplexPivots)/float64(warm.SimplexPivots)
 				}
 			}
 			records = append(records, rec)
@@ -258,22 +359,55 @@ func TestEmitSepBenchJSON(t *testing.T) {
 	}
 	t.Logf("wrote BENCH_sep.json (%d records)", len(records))
 
-	// The acceptance bar for this engine: on every giant-component family
-	// the default configuration must at least halve the max-flow calls and
-	// cut simplex pivots by ≥30% relative to legacy, with bit-identical
-	// seeded releases throughout.
+	// Acceptance bars. Warm (the PR 3 engine, parametric off) must still at
+	// least halve the max-flow calls and cut simplex pivots by ≥30%
+	// relative to legacy on the full-matrix families. On the sweep-only
+	// spiders — the LP-across-the-grid workload the parametric engine
+	// targets — the parametric default must beat warm by ≥2× in wall time
+	// with ≥40% fewer simplex pivots while actually sliding bases; on every
+	// other family it must never pivot more than warm. Seeded releases must
+	// be bit-identical across the engine matrix throughout.
+	sweepOnly := make(map[string]bool)
+	for _, f := range sepBenchFamilies() {
+		sweepOnly[f.Name] = f.SweepOnly
+	}
 	for _, rec := range records {
-		if rec.Config != "warm" {
-			continue
-		}
-		if rec.FlowReduction < 2 {
-			t.Errorf("%s: flow reduction %.2f× < 2×", rec.Family, rec.FlowReduction)
-		}
-		if rec.PivotReduction < 0.30 {
-			t.Errorf("%s: pivot reduction %.0f%% < 30%%", rec.Family, 100*rec.PivotReduction)
+		switch {
+		case rec.Config == "warm" && !sweepOnly[rec.Family]:
+			if rec.FlowReduction < 2 {
+				t.Errorf("%s: flow reduction %.2f× < 2×", rec.Family, rec.FlowReduction)
+			}
+			if rec.PivotReduction < 0.30 {
+				t.Errorf("%s: pivot reduction %.0f%% < 30%%", rec.Family, 100*rec.PivotReduction)
+			}
+		case rec.Config == "parametric" && sweepOnly[rec.Family]:
+			if rec.SpeedupVsWarm < 2 {
+				t.Errorf("%s: parametric speedup %.2f× < 2× vs warm", rec.Family, rec.SpeedupVsWarm)
+			}
+			if rec.PivotReductionVsWarm < 0.40 {
+				t.Errorf("%s: parametric pivot reduction %.0f%% < 40%% vs warm", rec.Family, 100*rec.PivotReductionVsWarm)
+			}
+			if rec.ParametricSlides == 0 {
+				t.Errorf("%s: parametric engine never slid a basis", rec.Family)
+			}
+		case rec.Config == "parametric":
+			if rec.PivotReductionVsWarm < 0 {
+				t.Errorf("%s: parametric pivoted MORE than warm (%d vs %d)",
+					rec.Family, rec.SimplexPivots, warmPivotsOf(records, rec.Family))
+			}
 		}
 		if !rec.ReleasesBitIdentical {
-			t.Errorf("%s: seeded releases not bit-identical across SepWorkers × warm", rec.Family)
+			t.Errorf("%s: seeded releases not bit-identical across SepWorkers × warm × incremental", rec.Family)
 		}
 	}
+}
+
+// warmPivotsOf finds the warm configuration's pivot count for a family.
+func warmPivotsOf(records []sepBenchRecord, family string) int {
+	for _, rec := range records {
+		if rec.Family == family && rec.Config == "warm" {
+			return rec.SimplexPivots
+		}
+	}
+	return 0
 }

@@ -5,14 +5,15 @@
 // One-shot usage:
 //
 //	ccdp -epsilon 1.0 [-mode cc|cc-known-n|sf] [-input graph.txt] [-seed 0]
-//	     [-workers 0] [-sep-workers 0] [-no-warm-start] [-timeout 0] [-v]
+//	     [-workers 0] [-sep-workers 0] [-no-warm-start] [-no-incremental]
+//	     [-timeout 0] [-v]
 //
 // Serving usage (one plan, many budget-accounted queries):
 //
 //	ccdp serve -budget 4.0 -queries queries.txt [-input graph.txt]
 //	     [-accountant sequential|advanced] [-acct-delta 0]
 //	     [-seed 0] [-workers 0] [-sep-workers 0] [-no-warm-start]
-//	     [-timeout 0] [-v]
+//	     [-no-incremental] [-timeout 0] [-v]
 //
 // Daemon usage (multi-tenant HTTP/JSON front end over sessions):
 //
@@ -32,7 +33,8 @@
 // -cache-file enables warm restarts: the plan cache — the expensive Δ-grid
 // evaluations behind every session — is persisted to the named snapshot
 // file on SIGTERM drain, every -cache-save-interval (0 disables the
-// timer), and on demand via POST /v1/admin/cache/save; on the next boot
+// timer; an interval in which nothing changed skips the write), and on
+// demand via POST /v1/admin/cache/save; on the next boot
 // the snapshot is reloaded, so re-uploading a known graph skips planning
 // entirely, and a seeded query answered from the reloaded plan is
 // bit-identical to the same query before the restart. Persistence implies
@@ -69,6 +71,14 @@
 // that hits the evaluator's stall bailout returns an approximate bound
 // whose exact value is solve-path-dependent and may differ across this
 // flag (see forestlp.Options.DisableWarmStart).
+//
+// -no-incremental disables only the parametric layer on top of warm starts:
+// the standing incremental LP solvers that slide an optimal basis across
+// adjacent Δ grid points instead of rebuilding each tableau. Seeded
+// releases are bit-identical with the flag on or off — the parametric
+// engine moves pivots, never answers — so the flag exists purely for
+// benchmarks and performance bisection (see
+// forestlp.Options.DisableIncremental). -no-warm-start implies it.
 //
 // -timeout bounds the whole run. In one-shot mode an expired deadline
 // aborts the single estimation before any noise is drawn, spending no
@@ -139,6 +149,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "concurrent component LP solves (0 = all CPUs, ≥ 0; result is identical for any value)")
 	sepWorkers := fs.Int("sep-workers", 0, "concurrent separation oracle calls within one component (0 = inherit -workers, ≥ 0; result is identical for any value)")
 	noWarm := fs.Bool("no-warm-start", false, "evaluate every Δ grid point from scratch (perf bisection; release distribution unchanged)")
+	noIncr := fs.Bool("no-incremental", false, "rebuild each LP tableau instead of sliding standing incremental solvers across the Δ grid (perf bisection; releases bit-identical)")
 	timeout := fs.Duration("timeout", 0, "abort the estimation after this long, spending no budget (0 = no deadline)")
 	verbose := fs.Bool("v", false, "print selection diagnostics (NOT private; testing only)")
 	if err := fs.Parse(args); err != nil {
@@ -167,6 +178,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	opts.ForestLP.Workers = *workers
 	opts.ForestLP.SepWorkers = *sepWorkers
 	opts.ForestLP.DisableWarmStart = *noWarm
+	opts.ForestLP.DisableIncremental = *noIncr
 	opts.ForestLP.ShardTimings = *verbose
 
 	ctx, cancel := timeoutContext(*timeout)
@@ -198,6 +210,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "  engine: %d components, %d workers, %d fast-path hits, %d LP solves\n",
 			res.Stats.Components, res.Stats.Workers, res.Stats.FastPathHits, res.Stats.LPSolves)
+		fmt.Fprintf(stdout, "  solver: %d pivots, %d parametric slides (%d in ≤%d pivots), %d refactorizations, %d fallbacks\n",
+			res.Stats.SimplexPivots, res.Stats.ParametricSlides, res.Stats.ParametricCheapSolves,
+			nodedp.IncrementalCheapPivots, res.Stats.Refactorizations, res.Stats.IncrementalFallbacks)
 		printShardTimings(stdout, res.Stats.Shards)
 	}
 	return nil
@@ -317,7 +332,11 @@ func runDaemon(args []string, stdout io.Writer) error {
 			case <-sweeper.C:
 				api.Sweep()
 			case <-saveC:
-				if _, err := api.SaveCache(); err != nil {
+				// Dirty-bit gated: a quiet interval (no inserts, hits, or
+				// invalidations since the last save) skips the serialization
+				// and the rename entirely. Drain and admin saves stay
+				// unconditional.
+				if _, _, err := api.SaveCacheIfChanged(); err != nil {
 					fmt.Fprintf(stdout, "ccdp daemon: WARNING: periodic plan-cache save failed: %v\n", err)
 				}
 			case <-ctx.Done():
@@ -382,6 +401,7 @@ func runServe(args []string, stdin io.Reader, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "concurrent component LP solves for the one-time plan build (0 = all CPUs, ≥ 0)")
 	sepWorkers := fs.Int("sep-workers", 0, "concurrent separation oracle calls within one component (0 = inherit -workers, ≥ 0)")
 	noWarm := fs.Bool("no-warm-start", false, "evaluate every Δ grid point of the plan from scratch (perf bisection)")
+	noIncr := fs.Bool("no-incremental", false, "rebuild each LP tableau instead of sliding standing incremental solvers across the Δ grid (perf bisection; releases bit-identical)")
 	timeout := fs.Duration("timeout", 0, "deadline for plan build + all queries; an expired query fails without spending its ε (0 = no deadline)")
 	verbose := fs.Bool("v", false, "print per-query selection diagnostics (NOT private; testing only)")
 	if err := fs.Parse(args); err != nil {
@@ -425,6 +445,7 @@ func runServe(args []string, stdin io.Reader, stdout io.Writer) error {
 	sopts.ForestLP.Workers = *workers
 	sopts.ForestLP.SepWorkers = *sepWorkers
 	sopts.ForestLP.DisableWarmStart = *noWarm
+	sopts.ForestLP.DisableIncremental = *noIncr
 
 	ctx, cancel := timeoutContext(*timeout)
 	defer cancel()

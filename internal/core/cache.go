@@ -43,6 +43,18 @@ type CacheStats struct {
 	// /metrics without reading daemon logs.
 	SnapshotSaves, SnapshotLoads                                        int64
 	SnapshotEntriesSaved, SnapshotEntriesLoaded, SnapshotEntriesSkipped int64
+	// SnapshotSavesSkipped counts periodic saves elided by the dirty-bit
+	// check (SaveFileIfChanged): nothing touched the cache since the last
+	// successful save, so rewriting identical bytes — and the atomic
+	// rename — was skipped.
+	SnapshotSavesSkipped int64
+	// EngineRefactorizations, EngineParametricSlides,
+	// EngineParametricCheapSolves, and EngineIncrementalFallbacks sum the
+	// parametric LP engine's solver-depth counters (see forestlp.Stats)
+	// over the currently cached grid evaluations, making the new engine's
+	// behavior visible in /metrics without reading per-plan stats.
+	EngineRefactorizations, EngineParametricSlides          int64
+	EngineParametricCheapSolves, EngineIncrementalFallbacks int64
 	// Entries is the current number of cached evaluations.
 	Entries int
 	// Weight is the summed grid-evaluation cost of the cached entries (see
@@ -67,16 +79,17 @@ type cacheKey struct {
 // identically. Workers, SepWorkers, ShardTimings, and Trace change only
 // scheduling and diagnostics, never values, and are deliberately excluded
 // so sessions with different concurrency settings share entries.
-// DisableWarmStart, SepExhaustive, and SepWaveWidth are included
-// conservatively: they are value-neutral on converging instances, but they
-// change the oracle schedule, so a stalled piece can return a different
+// DisableWarmStart, DisableIncremental, SepExhaustive, and SepWaveWidth
+// are included conservatively: they are value-neutral on converging
+// instances, but they change the oracle schedule (or, for the incremental
+// knob, the solve trajectory), so a stalled piece can return a different
 // path-dependent relaxation bound, and they also change the work counters
 // stored with the cached evaluation.
 func planOptionsDigest(o Options) string {
 	f := o.ForestLP.Normalize()
-	return fmt.Sprintf("dmax=%g tol=%g rounds=%d cuts=%d drop=%d stall=%d nofast=%t nopeel=%t nowarm=%t exh=%t wave=%d lp=%+v",
+	return fmt.Sprintf("dmax=%g tol=%g rounds=%d cuts=%d drop=%d stall=%d nofast=%t nopeel=%t nowarm=%t noincr=%t exh=%t wave=%d lp=%+v",
 		o.DeltaMax, f.Tol, f.MaxRounds, f.MaxCutsPerRound, f.DropSlackAfter, f.StallRounds,
-		f.DisableFastPath, f.DisablePeel, f.DisableWarmStart, f.SepExhaustive, f.SepWaveWidth, f.LP)
+		f.DisableFastPath, f.DisablePeel, f.DisableWarmStart, f.DisableIncremental, f.SepExhaustive, f.SepWaveWidth, f.LP)
 }
 
 type cacheEntry struct {
@@ -112,6 +125,14 @@ type PlanCache struct {
 	entries   map[cacheKey]*list.Element
 	inflight  map[cacheKey]*flight
 	stats     CacheStats
+
+	// gen counts persisted-state changes — inserts, loads, evictions,
+	// invalidations, and hits (a hit refreshes the recency order and the
+	// GreedyDual-Size credit, both of which Save writes out) — and
+	// savedGen records gen at the last successful save. Equal values mean
+	// a snapshot taken now would be byte-identical to the one on disk, so
+	// SaveFileIfChanged skips it (the daemon's periodic-save dirty bit).
+	gen, savedGen uint64
 }
 
 // NewPlanCache returns an empty cache bounded to capacity entries
@@ -184,6 +205,7 @@ func (c *PlanCache) GridEval(ctx context.Context, g *graph.Graph, opts Options) 
 			c.ll.MoveToFront(el)
 			entry := el.Value.(*cacheEntry)
 			entry.h = c.clock + float64(entry.ge.Cost())
+			c.gen++ // recency and credit are persisted state
 			count(&c.stats.Hits)
 			c.mu.Unlock()
 			return entry.ge, true, nil
@@ -244,6 +266,7 @@ func (c *PlanCache) insertLocked(key cacheKey, ge *GridEval) {
 // enters here directly so reloaded entries keep their saved credit instead
 // of being treated as freshly touched.
 func (c *PlanCache) admitLocked(key cacheKey, ge *GridEval, h float64) {
+	c.gen++ // one bump covers the insert and any evictions it causes
 	inserted := c.ll.PushFront(&cacheEntry{key: key, ge: ge, h: h})
 	c.entries[key] = inserted
 	c.weight += ge.Cost()
@@ -297,6 +320,9 @@ func (c *PlanCache) Invalidate(fp graph.Fingerprint) int {
 		}
 		el = next
 	}
+	if removed > 0 {
+		c.gen++
+	}
 	return removed
 }
 
@@ -311,7 +337,13 @@ func (c *PlanCache) Stats() CacheStats {
 	s.WeightCapacity = c.weightCap
 	s.EntryWeights = make([]int64, 0, c.ll.Len())
 	for el := c.ll.Front(); el != nil; el = el.Next() {
-		s.EntryWeights = append(s.EntryWeights, el.Value.(*cacheEntry).ge.Cost())
+		entry := el.Value.(*cacheEntry)
+		s.EntryWeights = append(s.EntryWeights, entry.ge.Cost())
+		es := &entry.ge.stats
+		s.EngineRefactorizations += int64(es.Refactorizations)
+		s.EngineParametricSlides += int64(es.ParametricSlides)
+		s.EngineParametricCheapSolves += int64(es.ParametricCheapSolves)
+		s.EngineIncrementalFallbacks += int64(es.IncrementalFallbacks)
 	}
 	return s
 }

@@ -83,10 +83,32 @@ func (c *PlanCache) SaveFile(path string) (int, error) {
 	return c.save(func(snap *snapshot.Snapshot) error { return snapshot.WriteFileAtomic(path, snap) })
 }
 
+// SaveFileIfChanged is SaveFile gated by the cache's generation counter:
+// when nothing that a snapshot persists has changed since the last
+// successful save — no inserts, loads, hits, evictions, or invalidations —
+// the serialization and the atomic rename are skipped entirely and the
+// skip is counted in Stats().SnapshotSavesSkipped. saved reports whether a
+// file was written. This is the daemon's periodic-save path; explicit
+// saves (drain, admin endpoint) keep using SaveFile, which always writes.
+func (c *PlanCache) SaveFileIfChanged(path string) (entries int, saved bool, err error) {
+	c.mu.Lock()
+	dirty := c.gen != c.savedGen
+	if !dirty {
+		c.stats.SnapshotSavesSkipped++
+	}
+	c.mu.Unlock()
+	if !dirty {
+		return 0, false, nil
+	}
+	entries, err = c.SaveFile(path)
+	return entries, err == nil, err
+}
+
 // save snapshots the entry list under the lock, hands it to write, and
 // counts a successful pass.
 func (c *PlanCache) save(write func(*snapshot.Snapshot) error) (int, error) {
 	c.mu.Lock()
+	snapGen := c.gen
 	snap := &snapshot.Snapshot{Entries: make([]snapshot.Entry, 0, c.ll.Len())}
 	for el := c.ll.Front(); el != nil; el = el.Next() {
 		entry := el.Value.(*cacheEntry)
@@ -100,6 +122,10 @@ func (c *PlanCache) save(write func(*snapshot.Snapshot) error) (int, error) {
 	c.mu.Lock()
 	c.stats.SnapshotSaves++
 	c.stats.SnapshotEntriesSaved += int64(len(snap.Entries))
+	// The bytes on disk now reflect generation snapGen. Changes that raced
+	// the write keep the cache dirty (snapGen < gen), so the next periodic
+	// save still runs.
+	c.savedGen = snapGen
 	c.mu.Unlock()
 	return len(snap.Entries), nil
 }

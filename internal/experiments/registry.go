@@ -43,6 +43,7 @@ func Registry() []struct {
 		{"E18", E18SeparationWarmStarts},
 		{"E19", E19DaemonServing},
 		{"E20", E20WarmRestart},
+		{"E21", E21ParametricSweep},
 		{"F1", F1RepairTrace},
 		{"F2", F2Lemma52},
 		{"F3", F3WinDecomposition},

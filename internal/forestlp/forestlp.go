@@ -88,6 +88,20 @@ type Options struct {
 	// differ across this knob — the plan cache digests it for exactly
 	// that reason. The knob exists for benchmarks and bisection.
 	DisableWarmStart bool
+	// DisableIncremental turns off the parametric/incremental LP engine:
+	// pieces above the size gate then re-solve every cutting-plane round
+	// and grid point through the rebuild+restore warm-start path (append
+	// cuts by rebuilding the row set, restore the previous basis by
+	// elimination) instead of mutating one standing tableau per piece with
+	// rhs slides and row appends. On pieces whose cutting planes converge
+	// the values are identical either way — the parametric path is guarded
+	// by a residual certificate and falls back to the rebuild path on any
+	// numerical distress — but stall-bailout pieces return path-dependent
+	// bounds, so the plan cache digests this knob like the others. Implied
+	// by DisableWarmStart (the standing solver IS a warm-start structure).
+	// The knob exists for benchmarks, bisection, and belt-and-suspenders
+	// operation.
+	DisableIncremental bool
 	// SepExhaustive disables the separation oracle's eligible-vertex
 	// screening and its wave dispatch (reverting to the original
 	// one-forced-vertex-at-a-time sweep over every uncovered vertex).
@@ -185,6 +199,23 @@ type Stats struct {
 	// piece's at the neighboring grid point — instead of the all-slack
 	// start (restoration plus dual repair, see internal/lp).
 	WarmBasisHits int
+	// Refactorizations counts standing-tableau rebuilds performed by the
+	// incremental solver to shed accumulated floating-point damage (see
+	// internal/lp.Incremental; 0 when the parametric engine is off).
+	Refactorizations int
+	// ParametricSlides counts piece solves that reached a new Δ grid point
+	// by sliding a standing solver — a rhs update plus dual repair on the
+	// live tableau — instead of rebuilding rows and restoring a basis.
+	ParametricSlides int
+	// ParametricCheapSolves counts slid piece solves that settled within
+	// IncrementalCheapPivots total pivots — the "grid point in near-zero pivots"
+	// outcome the parametric sweep exists for.
+	ParametricCheapSolves int
+	// IncrementalFallbacks counts pieces that abandoned the parametric
+	// path mid-solve (numerical distress, row-cap overflow) and re-solved
+	// from scratch via the rebuild path. The fallback re-does the piece's
+	// LP work but never changes its value.
+	IncrementalFallbacks int
 	// StalledPieces counts LP pieces abandoned on a degenerate optimal
 	// face. For such pieces the returned value is the stalled relaxation
 	// bound: it never exceeds f_sf (the clamp guarantees underestimation
@@ -213,6 +244,10 @@ func (s *Stats) add(t Stats) {
 	s.CutsRevived += t.CutsRevived
 	s.WarmCutsReused += t.WarmCutsReused
 	s.WarmBasisHits += t.WarmBasisHits
+	s.Refactorizations += t.Refactorizations
+	s.ParametricSlides += t.ParametricSlides
+	s.ParametricCheapSolves += t.ParametricCheapSolves
+	s.IncrementalFallbacks += t.IncrementalFallbacks
 	s.StalledPieces += t.StalledPieces
 	if t.StallGap > s.StallGap {
 		s.StallGap = t.StallGap
@@ -359,6 +394,32 @@ func lpValue(ctx context.Context, sub *graph.Graph, caps []float64, opts Options
 	baseRows = append(baseRows, all)
 	baseRHS = append(baseRHS, fsf)
 
+	// primalLB is the value of a greedily built feasible 0/1 forest — a
+	// lower bound on the piece's optimum that the relaxation value (an
+	// upper bound) is compared against every round: once they meet, the
+	// piece is solved, skipping both further cutting-plane rounds and the
+	// final certification sweep of the oracle. The bound depends only on
+	// (sub, caps), so every configuration returns the identical float when
+	// the pinch fires, whatever route its relaxation took there.
+	primalLB := float64(primalCappedForestBound(sub, caps))
+
+	// Parametric fast path: pieces above the size gate mutate one standing
+	// solver (rhs slides across Δ, row appends for cuts) instead of
+	// rebuilding. Any trouble — numerical distress, row-cap overflow —
+	// falls through to the rebuild loop below, which re-solves the piece
+	// from the (deterministically grown) cut pool.
+	if sw != nil && !opts.DisableWarmStart && !opts.DisableIncremental &&
+		len(baseRows) >= incrMinRows {
+		v, ok, err := lpValueIncr(ctx, sub, edges, c, baseRows, baseRHS, primalLB, opts, stats, sw, orig)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return v, nil
+		}
+		stats.IncrementalFallbacks++
+	}
+
 	sep := newSeparator(sub, edges, opts.Tol, resolveSepWorkers(opts), resolveSepWave(opts))
 	sep.exhaustive = opts.SepExhaustive
 	sep.noRevive = opts.DisableWarmStart
@@ -382,15 +443,6 @@ func lpValue(ctx context.Context, sub *graph.Graph, caps []float64, opts Options
 		active, curBasis, seeded = sw.inject(sep, orig)
 		stats.WarmCutsReused += seeded
 	}
-
-	// primalLB is the value of a greedily built feasible 0/1 forest — a
-	// lower bound on the piece's optimum that the relaxation value (an
-	// upper bound) is compared against every round: once they meet, the
-	// piece is solved, skipping both further cutting-plane rounds and the
-	// final certification sweep of the oracle. The bound depends only on
-	// (sub, caps), so every configuration returns the identical float when
-	// the pinch fires, whatever route its relaxation took there.
-	primalLB := float64(primalCappedForestBound(sub, caps))
 
 	baseRowCount := len(baseRows)
 	prevValue := math.Inf(1)

@@ -23,9 +23,18 @@ package forestlp
 // and grid points run sequentially — so no locking is needed and the pool
 // contents are bit-for-bit independent of Workers and SepWorkers.
 
+import "nodedp/internal/lp"
+
 // warmPoolCap bounds the cut pool per shard; beyond it, new cuts are still
 // used by the solve that found them but are not pooled.
 const warmPoolCap = 4096
+
+// incrSolverCap bounds the LIVE standing solvers retained per shard. A
+// standing tableau is O(rows × (cols+rows)) floats — far heavier than a
+// basis memo — so only the most recently completed pieces keep theirs;
+// an evicted memo keeps its basis and cut layout and warm-restores the
+// rebuild way. Eviction is insertion-ordered, hence deterministic.
+const incrSolverCap = 4
 
 // gridWarm is the whole-plan warm-start state of one grid sweep.
 type gridWarm struct {
@@ -48,10 +57,13 @@ type warmCut struct {
 }
 
 // pieceMemo stores the simplex state of a piece's last solve: the final
-// basis and the active-cut row layout it indexes into.
+// basis and the active-cut row layout it indexes into, plus — for the
+// incrSolverCap most recent pieces — the standing incremental solver
+// itself, ready to slide to the next grid point.
 type pieceMemo struct {
 	basis   []int
 	cutKeys []cutKey
+	incr    *lp.Incremental
 }
 
 // shardWarm is one shard's warm-start state.
@@ -59,6 +71,10 @@ type shardWarm struct {
 	pool  []warmCut
 	index map[cutKey]int32
 	memos map[cutKey]*pieceMemo // keyed by piece signature
+
+	// incrSigs lists, in insertion order, the piece signatures whose memos
+	// currently hold a live solver (eviction pops the front).
+	incrSigs []cutKey
 
 	inv []int32 // shard-id → piece-id scratch, -1 outside the piece
 }
@@ -181,13 +197,15 @@ func (sw *shardWarm) inject(sp *separator, orig []int) (active []*cut, basis []i
 	return active, basis, seeded
 }
 
-// store memoizes a piece's final simplex state for the next grid point.
-// basis and the active row layout must describe the same solve (the last
-// lp.Maximize of the piece). Cut keys are recomputed in shard-id space —
-// the pool's key space — because the active cuts carry piece-local keys.
-func (sw *shardWarm) store(orig []int, active []*cut, basis []int) {
+// store memoizes a piece's final simplex state for the next grid point,
+// reporting whether a memo was recorded. basis and the active row layout
+// must describe the same solve (the last lp.Maximize of the piece). Cut
+// keys are recomputed in shard-id space — the pool's key space — because
+// the active cuts carry piece-local keys. Storing replaces any previous
+// memo, releasing its live solver (whose layout the new memo obsoletes).
+func (sw *shardWarm) store(orig []int, active []*cut, basis []int) bool {
 	if basis == nil {
-		return
+		return false
 	}
 	keys := make([]cutKey, len(active))
 	for i, ct := range active {
@@ -199,8 +217,71 @@ func (sw *shardWarm) store(orig []int, active []*cut, basis []int) {
 		// A basis is only replayable if its cuts are in the pool; cuts past
 		// the pool cap make the memo unusable, so skip storing it.
 		if _, ok := sw.index[keys[i]]; !ok {
+			return false
+		}
+	}
+	sig := pieceSig(orig)
+	sw.dropIncrSig(sig)
+	sw.memos[sig] = &pieceMemo{basis: basis, cutKeys: keys}
+	return true
+}
+
+// storeIncr memoizes a piece's final state like store and additionally
+// parks the standing solver on the memo so the next grid point can slide
+// it, evicting the oldest parked solver beyond incrSolverCap. When store
+// declines the memo (unpooled cut), the solver is discarded with it: a
+// solver whose layout cannot be re-derived next round is unusable.
+func (sw *shardWarm) storeIncr(orig []int, active []*cut, pi *lp.Incremental) {
+	if pi == nil {
+		return
+	}
+	if !sw.store(orig, active, pi.Basis()) {
+		return
+	}
+	sig := pieceSig(orig)
+	sw.memos[sig].incr = pi
+	sw.incrSigs = append(sw.incrSigs, sig)
+	if len(sw.incrSigs) > incrSolverCap {
+		old := sw.incrSigs[0]
+		sw.incrSigs = append(sw.incrSigs[:0], sw.incrSigs[1:]...)
+		if m := sw.memos[old]; m != nil {
+			m.incr = nil
+		}
+	}
+}
+
+// injectIncr is inject plus the standing solver: when the piece's memo was
+// fully restored AND holds a live solver, that solver is returned for a
+// parametric slide. A memo that failed to restore invalidates its solver
+// (same stale layout), which is dropped on the spot.
+func (sw *shardWarm) injectIncr(sp *separator, orig []int) (active []*cut, basis []int, seeded int, pi *lp.Incremental) {
+	sig := pieceSig(orig)
+	memo := sw.memos[sig]
+	active, basis, seeded = sw.inject(sp, orig)
+	if memo != nil && memo.incr != nil {
+		if basis != nil {
+			pi = memo.incr
+		} else {
+			sw.dropIncrSig(sig)
+		}
+	}
+	return active, basis, seeded, pi
+}
+
+// dropIncr releases a piece's standing solver (fallback, layout mismatch,
+// distress), keeping the basis/cut memo for a rebuild-style warm start.
+func (sw *shardWarm) dropIncr(orig []int) { sw.dropIncrSig(pieceSig(orig)) }
+
+func (sw *shardWarm) dropIncrSig(sig cutKey) {
+	m := sw.memos[sig]
+	if m == nil || m.incr == nil {
+		return
+	}
+	m.incr = nil
+	for i, s := range sw.incrSigs {
+		if s == sig {
+			sw.incrSigs = append(sw.incrSigs[:i], sw.incrSigs[i+1:]...)
 			return
 		}
 	}
-	sw.memos[pieceSig(orig)] = &pieceMemo{basis: basis, cutKeys: keys}
 }

@@ -177,6 +177,18 @@ func (s *Server) SaveCache() (int, error) {
 	return s.shared.SaveFile(s.cfg.CacheFile)
 }
 
+// SaveCacheIfChanged is SaveCache gated by the cache's dirty bit: when no
+// persisted state changed since the last successful save, the write is
+// skipped (and counted in the cache's SnapshotSavesSkipped). The daemon's
+// periodic save timer uses this; drain and the admin endpoint keep the
+// unconditional SaveCache.
+func (s *Server) SaveCacheIfChanged() (entries int, saved bool, err error) {
+	if s.shared == nil || s.cfg.CacheFile == "" {
+		return 0, false, ErrPersistenceNotConfigured
+	}
+	return s.shared.SaveFileIfChanged(s.cfg.CacheFile)
+}
+
 // handleCacheSave implements POST /v1/admin/cache/save: an on-demand
 // snapshot of the shared plan cache, so operators can persist warm state
 // before a planned restart without waiting for the periodic timer.
@@ -244,6 +256,11 @@ func (s *Server) cacheTotals() core.CacheStats {
 		total.SnapshotEntriesSaved += st.SnapshotEntriesSaved
 		total.SnapshotEntriesLoaded += st.SnapshotEntriesLoaded
 		total.SnapshotEntriesSkipped += st.SnapshotEntriesSkipped
+		total.SnapshotSavesSkipped += st.SnapshotSavesSkipped
+		total.EngineRefactorizations += st.EngineRefactorizations
+		total.EngineParametricSlides += st.EngineParametricSlides
+		total.EngineParametricCheapSolves += st.EngineParametricCheapSolves
+		total.EngineIncrementalFallbacks += st.EngineIncrementalFallbacks
 	}
 	return total
 }
@@ -547,6 +564,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"nodedp_plan_cache_snapshot_entries_saved_total":   float64(cs.SnapshotEntriesSaved),
 		"nodedp_plan_cache_snapshot_entries_loaded_total":  float64(cs.SnapshotEntriesLoaded),
 		"nodedp_plan_cache_snapshot_entries_skipped_total": float64(cs.SnapshotEntriesSkipped),
+		"nodedp_plan_cache_snapshot_saves_skipped_total":   float64(cs.SnapshotSavesSkipped),
+		"nodedp_engine_refactorizations":                   float64(cs.EngineRefactorizations),
+		"nodedp_engine_parametric_slides":                  float64(cs.EngineParametricSlides),
+		"nodedp_engine_parametric_cheap_solves":            float64(cs.EngineParametricCheapSolves),
+		"nodedp_engine_incremental_fallbacks":              float64(cs.EngineIncrementalFallbacks),
 	})
 }
 

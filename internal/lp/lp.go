@@ -73,6 +73,10 @@ type Solution struct {
 	// possibly different rhs — via Options.Basis to skip re-pivoting from
 	// the all-slack basis.
 	Basis []int
+	// Refactorizations counts rebuilds of the standing tableau performed
+	// during this solve. Always 0 for Maximize; the Incremental solver
+	// refactorizes when its live tableau accumulates numerical damage.
+	Refactorizations int
 }
 
 // Options tunes the solver. The zero value uses sensible defaults.
@@ -143,7 +147,7 @@ func Maximize(c []float64, a [][]float64, b []float64, opts Options) (Solution, 
 	// [0,n) structural, [n,n+m) slack, column n+m is the rhs.
 	// Row m is the objective row holding reduced costs (z_j - c_j) and the
 	// current objective value in the rhs cell.
-	build := func() ([][]float64, []float64, []int) {
+	build := func() ([][]float64, []int) {
 		width := n + m + 1
 		tab := make([][]float64, m+1)
 		for i := 0; i < m; i++ {
@@ -161,9 +165,9 @@ func Maximize(c []float64, a [][]float64, b []float64, opts Options) (Solution, 
 		for i := range basis {
 			basis[i] = n + i
 		}
-		return tab, obj, basis
+		return tab, basis
 	}
-	tab, obj, basis := build()
+	tab, basis := build()
 
 	sol := Solution{}
 	if opts.Basis != nil {
@@ -182,13 +186,39 @@ func Maximize(c []float64, a [][]float64, b []float64, opts Options) (Solution, 
 		if !ok {
 			// The attempted basis was malformed, singular, or beyond dual
 			// repair: fall back to a pristine all-slack tableau.
-			tab, obj, basis = build()
+			tab, basis = build()
 		}
 	}
+	sol.Status, sol.Pivots = primalIterate(tab, basis, n, m, opts)
+	if sol.Status == Unbounded {
+		sol.Value = math.Inf(1)
+		sol.X = extractX(tab, basis, n, m)
+		sol.Basis = append([]int(nil), basis...)
+		return sol, nil
+	}
+	sol.X = extractX(tab, basis, n, m)
+	sol.Value = 0
+	for j := 0; j < n; j++ {
+		sol.Value += c[j] * sol.X[j]
+	}
+	sol.Basis = append([]int(nil), basis...)
+	return sol, nil
+}
+
+// primalIterate runs the primal simplex loop — Dantzig pricing with a
+// Bland's-rule fallback after BlandAfter consecutive degenerate pivots —
+// on a primal-feasible tableau until optimality is proven, unboundedness
+// is detected, or the pivot budget runs out. It is shared by Maximize and
+// the Incremental solver so both walk bit-identical pivot trajectories:
+// the determinism contract upstream (seeded releases identical across
+// solver configurations) leans on the two paths performing the same float
+// operations in the same order.
+func primalIterate(tab [][]float64, basis []int, n, m int, opts Options) (Status, int) {
+	obj := tab[m]
 	degenerate := 0
 	lastValue := currentValue(obj, n, m)
-	proven := false
-	for sol.Pivots = 0; sol.Pivots < opts.MaxPivots; sol.Pivots++ {
+	pivots := 0
+	for ; pivots < opts.MaxPivots; pivots++ {
 		// Pricing: pick entering column.
 		enter := -1
 		if degenerate >= opts.BlandAfter {
@@ -210,9 +240,7 @@ func Maximize(c []float64, a [][]float64, b []float64, opts Options) (Solution, 
 			}
 		}
 		if enter == -1 {
-			sol.Status = Optimal
-			proven = true
-			break
+			return Optimal, pivots
 		}
 
 		// Ratio test: pick leaving row.
@@ -231,11 +259,7 @@ func Maximize(c []float64, a [][]float64, b []float64, opts Options) (Solution, 
 			}
 		}
 		if leave == -1 {
-			sol.Status = Unbounded
-			sol.Value = math.Inf(1)
-			sol.X = extractX(tab, basis, n, m)
-			sol.Basis = append([]int(nil), basis...)
-			return sol, nil
+			return Unbounded, pivots
 		}
 
 		pivot(tab, leave, enter)
@@ -249,16 +273,7 @@ func Maximize(c []float64, a [][]float64, b []float64, opts Options) (Solution, 
 		}
 		lastValue = cur
 	}
-	if !proven {
-		sol.Status = IterationLimit
-	}
-	sol.X = extractX(tab, basis, n, m)
-	sol.Value = 0
-	for j := 0; j < n; j++ {
-		sol.Value += c[j] * sol.X[j]
-	}
-	sol.Basis = append([]int(nil), basis...)
-	return sol, nil
+	return IterationLimit, pivots
 }
 
 // dualRepair runs dual simplex pivots until every rhs is nonnegative. It

@@ -12,12 +12,13 @@ import (
 )
 
 // goldenSnapshot is the canonical fixture content: hand-picked values that
-// exercise every field, frozen so the checked-in bytes pin format version 1.
+// exercise every field — including the version-2 parametric-engine
+// counters — frozen so the checked-in bytes pin the current format.
 func goldenSnapshot() *Snapshot {
 	return &Snapshot{Entries: []Entry{
 		{
 			Fingerprint: graph.Fingerprint{Hi: 0xdeadbeefcafef00d, Lo: 0x0123456789abcdef},
-			OptsDigest:  "dmax=16 tol=1e-07 rounds=1000 cuts=48 drop=3 stall=80 nofast=false nopeel=false nowarm=false exh=false wave=16 lp={Basis:[]}",
+			OptsDigest:  "dmax=16 tol=1e-07 rounds=1000 cuts=48 drop=3 stall=80 nofast=false nopeel=false nowarm=false noincr=false exh=false wave=16 lp={Basis:[]}",
 			N:           16, M: 24,
 			DeltaMax: 16,
 			FSF:      15,
@@ -27,13 +28,16 @@ func goldenSnapshot() *Snapshot {
 			Stats: forestlp.Stats{
 				Components: 2, FastPathHits: 6, LPSolves: 31, CutsAdded: 57,
 				MaxFlowCalls: 113, SimplexPivots: 421, CutsRevived: 12,
-				WarmCutsReused: 29, WarmBasisHits: 17, StalledPieces: 1,
-				StallGap: 0.0625, Workers: 8,
+				WarmCutsReused: 29, WarmBasisHits: 17,
+				Refactorizations: 3, ParametricSlides: 9,
+				ParametricCheapSolves: 7, IncrementalFallbacks: 1,
+				StalledPieces: 1,
+				StallGap:      0.0625, Workers: 8,
 			},
 		},
 		{
 			Fingerprint: graph.Fingerprint{Hi: 0x1000000000000001, Lo: 0x2000000000000002},
-			OptsDigest:  "dmax=4 tol=1e-07 rounds=1000 cuts=48 drop=3 stall=80 nofast=false nopeel=false nowarm=true exh=true wave=16 lp={Basis:[]}",
+			OptsDigest:  "dmax=4 tol=1e-07 rounds=1000 cuts=48 drop=3 stall=80 nofast=false nopeel=false nowarm=true noincr=true exh=true wave=16 lp={Basis:[]}",
 			N:           4, M: 3,
 			DeltaMax: 4,
 			FSF:      3,
@@ -45,15 +49,21 @@ func goldenSnapshot() *Snapshot {
 	}}
 }
 
-const goldenPath = "testdata/v1.snap"
+const goldenPath = "testdata/v2.snap"
 
-// TestGoldenFixture pins the version-1 wire format: the current encoder
-// must reproduce the checked-in fixture byte for byte, and the current
-// decoder must read it back exactly. If this test fails after a codec
-// change, the change altered the serialized format — bump EntryVersion (or
-// FormatVersion), write a new fixture alongside the old one, and keep this
-// one decodable or explicitly version-skipped. Regenerate the fixture ONLY
-// together with a version bump: NODEDP_UPDATE_GOLDEN=1 go test ./internal/snapshot
+// goldenPathV1 is the retained entry-version-1 fixture, written by the v1
+// encoder before the parametric-engine counters existed. It is never
+// regenerated — its whole purpose is to prove old snapshots keep loading.
+const goldenPathV1 = "testdata/v1.snap"
+
+// TestGoldenFixture pins the entry-version-2 wire format: the current
+// encoder must reproduce the checked-in fixture byte for byte, and the
+// current decoder must read it back exactly. If this test fails after a
+// codec change, the change altered the serialized format — bump
+// EntryVersion (or FormatVersion), write a new fixture alongside the old
+// one, and keep this one decodable or explicitly version-skipped.
+// Regenerate the fixture ONLY together with a version bump:
+// NODEDP_UPDATE_GOLDEN=1 go test ./internal/snapshot
 func TestGoldenFixture(t *testing.T) {
 	want := encodeToBytes(t, goldenSnapshot())
 
@@ -82,4 +92,40 @@ func TestGoldenFixture(t *testing.T) {
 	if !reflect.DeepEqual(snap.Entries, goldenSnapshot().Entries) {
 		t.Fatalf("golden fixture decoded to different entries:\ngot  %+v\nwant %+v", snap.Entries, goldenSnapshot().Entries)
 	}
+}
+
+// TestGoldenV1BackwardCompat proves entry-version-1 snapshots — written
+// before the parametric engine — still decode: every pre-existing field
+// round-trips and the four new counters read as zero. The fixture bytes
+// were produced by the v1 encoder and must never be regenerated.
+func TestGoldenV1BackwardCompat(t *testing.T) {
+	snap, rep, err := ReadFile(goldenPathV1)
+	if err != nil || rep.Truncated {
+		t.Fatalf("decoding v1 fixture: %v (report %+v)", err, rep)
+	}
+	if rep.Skipped() != 0 {
+		t.Fatalf("v1 entries were skipped: %+v", rep)
+	}
+	want := goldenSnapshot().Entries
+	for i := range want {
+		// The v1 fixture predates the parametric engine: its digests lack
+		// the noincr flag and its stats lack the solver-depth counters.
+		want[i].OptsDigest = v1Digest(want[i].OptsDigest)
+		want[i].Stats.Refactorizations = 0
+		want[i].Stats.ParametricSlides = 0
+		want[i].Stats.ParametricCheapSolves = 0
+		want[i].Stats.IncrementalFallbacks = 0
+	}
+	if !reflect.DeepEqual(snap.Entries, want) {
+		t.Fatalf("v1 fixture decoded to different entries:\ngot  %+v\nwant %+v", snap.Entries, want)
+	}
+}
+
+// v1Digest maps a current-format options digest back to its v1 spelling
+// (no noincr flag). Digests are opaque payload strings, so this only
+// matters for comparing against the frozen v1 fixture.
+func v1Digest(d string) string {
+	out := bytes.ReplaceAll([]byte(d), []byte(" noincr=false"), nil)
+	out = bytes.ReplaceAll(out, []byte(" noincr=true"), nil)
+	return string(out)
 }

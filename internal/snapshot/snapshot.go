@@ -16,7 +16,7 @@
 //	  []byte payload (see below)
 //	  u64   CRC-64/ECMA of the payload
 //
-// Entry payload (version 1):
+// Entry payload (version 2):
 //
 //	u32  entry version
 //	u64  fingerprint hi, u64 fingerprint lo
@@ -25,11 +25,17 @@
 //	f64  deltaMax, f64 fsf, f64 credit
 //	u32  grid length,    f64 × length
 //	u32  fdeltas length, f64 × length
-//	u64  × 10 engine counters (components, fast-path hits, LP solves,
+//	u64  × 14 engine counters (components, fast-path hits, LP solves,
 //	     cuts added, max-flow calls, simplex pivots, cuts revived,
-//	     warm cuts reused, warm basis hits, stalled pieces)
+//	     warm cuts reused, warm basis hits, refactorizations,
+//	     parametric slides, parametric cheap solves, incremental
+//	     fallbacks, stalled pieces)
 //	f64  stall gap
 //	u64  workers
+//
+// Version-1 entries (10 counters, stopping after stalled pieces) are still
+// decoded; the parametric-engine counters read as zero, which is exactly
+// what a pre-parametric evaluation did.
 //
 // Robustness contract: Decode never panics on malformed input and never
 // returns a silently corrupted entry. Every entry is length-prefixed and
@@ -68,8 +74,13 @@ import (
 const FormatVersion = 1
 
 // EntryVersion is the per-entry payload version this package writes. A
-// reader seeing any other value skips that entry and keeps going.
-const EntryVersion = 1
+// reader seeing any version it does not understand skips that entry and
+// keeps going; version 1 (the pre-parametric counter set) is still read.
+const EntryVersion = 2
+
+// entryVersionV1 is the previous payload version, retained read-only so
+// snapshots saved before the parametric engine still warm-start a daemon.
+const entryVersionV1 = 1
 
 // magic identifies a plan-cache snapshot file.
 var magic = [8]byte{'N', 'D', 'P', 'S', 'N', 'A', 'P', 0}
@@ -258,11 +269,15 @@ func encodeEntry(e *Entry) ([]byte, error) {
 	return b, nil
 }
 
-// statsCounters lists the persisted counter fields in payload order.
-func statsCounters(s *forestlp.Stats) [10]int {
-	return [10]int{
+// statsCounters lists the persisted counter fields in version-2 payload
+// order. The first nine and the last one are the version-1 set; the
+// parametric-engine counters sit between them, mirroring the Stats struct.
+func statsCounters(s *forestlp.Stats) [14]int {
+	return [14]int{
 		s.Components, s.FastPathHits, s.LPSolves, s.CutsAdded, s.MaxFlowCalls,
-		s.SimplexPivots, s.CutsRevived, s.WarmCutsReused, s.WarmBasisHits, s.StalledPieces,
+		s.SimplexPivots, s.CutsRevived, s.WarmCutsReused, s.WarmBasisHits,
+		s.Refactorizations, s.ParametricSlides, s.ParametricCheapSolves,
+		s.IncrementalFallbacks, s.StalledPieces,
 	}
 }
 
@@ -367,7 +382,7 @@ func decodeEntry(payload []byte) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != EntryVersion {
+	if version != EntryVersion && version != entryVersionV1 {
 		return nil, &EntryVersionError{Version: version}
 	}
 	e := &Entry{}
@@ -404,11 +419,24 @@ func decodeEntry(payload []byte) (*Entry, error) {
 	if len(e.Grid) != len(e.FDeltas) {
 		return nil, fmt.Errorf("grid has %d points but %d values", len(e.Grid), len(e.FDeltas))
 	}
-	counters := [10]*int{
+	// Version 1 persisted ten counters; version 2 adds the four
+	// parametric-engine counters before the final stalled-pieces slot. A
+	// v1 entry leaves them zero — the engine did not exist when it ran.
+	counters := []*int{
 		&e.Stats.Components, &e.Stats.FastPathHits, &e.Stats.LPSolves,
 		&e.Stats.CutsAdded, &e.Stats.MaxFlowCalls, &e.Stats.SimplexPivots,
 		&e.Stats.CutsRevived, &e.Stats.WarmCutsReused, &e.Stats.WarmBasisHits,
 		&e.Stats.StalledPieces,
+	}
+	if version == EntryVersion {
+		counters = []*int{
+			&e.Stats.Components, &e.Stats.FastPathHits, &e.Stats.LPSolves,
+			&e.Stats.CutsAdded, &e.Stats.MaxFlowCalls, &e.Stats.SimplexPivots,
+			&e.Stats.CutsRevived, &e.Stats.WarmCutsReused, &e.Stats.WarmBasisHits,
+			&e.Stats.Refactorizations, &e.Stats.ParametricSlides,
+			&e.Stats.ParametricCheapSolves, &e.Stats.IncrementalFallbacks,
+			&e.Stats.StalledPieces,
+		}
 	}
 	for i, dst := range counters {
 		if *dst, err = c.count(fmt.Sprintf("stats counter %d", i)); err != nil {

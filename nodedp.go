@@ -311,8 +311,16 @@ type Fingerprint = graph.Fingerprint
 // LipschitzOptions configures LipschitzExtensionValue.
 type LipschitzOptions = forestlp.Options
 
-// LipschitzStats reports the work done by one extension evaluation.
+// LipschitzStats reports the work done by one extension evaluation,
+// including the parametric-engine depth counters (Refactorizations,
+// ParametricSlides, ParametricCheapSolves, IncrementalFallbacks; see
+// LipschitzOptions.DisableIncremental for the switch that zeroes them).
 type LipschitzStats = forestlp.Stats
+
+// IncrementalCheapPivots is the pivot budget under which a parametric
+// grid-point solve counts as LipschitzStats.ParametricCheapSolves — the
+// near-zero-pivot outcome the basis-sliding Δ sweep exists for.
+const IncrementalCheapPivots = forestlp.IncrementalCheapPivots
 
 // LipschitzExtensionValue computes f_Δ(G), the paper's Lipschitz extension
 // of the spanning-forest size (Definition 3.1), exactly (up to LP

@@ -116,6 +116,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -203,6 +204,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "mode: %s  epsilon: %g\n", *mode, *epsilon)
 	fmt.Fprintf(stdout, "private estimate: %.2f\n", res.Value)
 	if *verbose {
+		fmt.Fprintf(stdout, "[config — effective flags]\n")
+		printConfigSummary(stdout, "  ", fs)
 		fmt.Fprintf(stdout, "[diagnostics — not private]\n")
 		fmt.Fprintf(stdout, "  selected Δ̂ = %g, noise scale %.3f\n", res.Delta, res.NoiseScale)
 		for _, ev := range res.Evaluations {
@@ -296,11 +299,16 @@ func runDaemon(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "ccdp daemon listening on %s\n", ln.Addr())
-
 	srv := &http.Server{Handler: api, ReadHeaderTimeout: 10 * time.Second}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The listening line is the supervision handshake (tests and wrappers
+	// wait for it before sending traffic or signals), so the drain handler
+	// must be registered before it prints.
+	fmt.Fprintf(stdout, "ccdp daemon config:\n")
+	printConfigSummary(stdout, "  ", fs)
+	fmt.Fprintf(stdout, "ccdp daemon listening on %s\n", ln.Addr())
 
 	// Idle sessions must expire even when no request ever sweeps them; the
 	// same goroutine runs the periodic plan-cache save so a crash between
@@ -620,6 +628,23 @@ func timeoutContext(d time.Duration) (context.Context, context.CancelFunc) {
 
 // usageError prints the flag set's usage and returns the formatted error,
 // so invalid invocations fail loudly instead of being passed through.
+// printConfigSummary renders the effective flag settings, one `-name=value`
+// per line. Startup logs get diffed across deployments and seeded runs, so
+// the rendering is collect-then-sort — the idiom detlint's maporder
+// analyzer enforces — never raw map iteration order.
+func printConfigSummary(w io.Writer, indent string, fs *flag.FlagSet) {
+	vals := make(map[string]string)
+	fs.VisitAll(func(f *flag.Flag) { vals[f.Name] = f.Value.String() })
+	names := make([]string, 0, len(vals))
+	for name := range vals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s-%s=%s\n", indent, name, vals[name])
+	}
+}
+
 func usageError(fs *flag.FlagSet, format string, args ...interface{}) error {
 	fs.Usage()
 	return fmt.Errorf(format, args...)

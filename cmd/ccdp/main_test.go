@@ -4,11 +4,15 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
+	"slices"
+	"sort"
 	"strings"
 	"syscall"
 	"testing"
@@ -79,8 +83,10 @@ func TestRunWorkersDeterminism(t *testing.T) {
 			t.Fatalf("workers %s: %v", workers, err)
 		}
 		// Compare everything up to the engine summary (shard timings are
-		// wall-clock measurements and legitimately vary).
+		// wall-clock measurements and legitimately vary). The config block
+		// echoes the -workers value itself, which differs by construction.
 		got, _, _ := strings.Cut(out.String(), "  engine:")
+		got = regexp.MustCompile(`(?m)^  -(workers|sep-workers)=\d+\n`).ReplaceAllString(got, "")
 		if want == "" {
 			want = got
 		} else if got != want {
@@ -401,20 +407,23 @@ func TestDaemonLifecycle(t *testing.T) {
 		done <- run([]string{"daemon", "-listen", "127.0.0.1:0", "-max-inflight", "8"}, strings.NewReader(""), pw)
 	}()
 
-	// The first output line carries the bound address.
+	// Boot output: the config summary, then the line carrying the bound
+	// address.
 	sc := bufio.NewScanner(pr)
-	if !sc.Scan() {
-		t.Fatalf("no daemon output; exit: %v", <-done)
+	var addr string
+	for sc.Scan() {
+		if a, ok := strings.CutPrefix(sc.Text(), "ccdp daemon listening on "); ok {
+			addr = a
+			break
+		}
 	}
-	first := sc.Text()
+	if addr == "" {
+		t.Fatalf("daemon never printed the listening line; exit: %v", <-done)
+	}
 	go func() { // drain remaining output so the daemon never blocks on the pipe
 		for sc.Scan() {
 		}
 	}()
-	addr, ok := strings.CutPrefix(first, "ccdp daemon listening on ")
-	if !ok {
-		t.Fatalf("unexpected first line %q", first)
-	}
 	base := "http://" + addr
 
 	post := func(path, body string) (int, string) {
@@ -486,6 +495,83 @@ func TestDaemonFlagValidation(t *testing.T) {
 	} {
 		if err := run(args, strings.NewReader(""), &bytes.Buffer{}); err == nil {
 			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+// TestPrintConfigSummarySorted: the summary must come out in sorted flag
+// order however the flags were declared — startup logs are diffed across
+// runs and deployments.
+func TestPrintConfigSummarySorted(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.String("zeta", "z", "")
+	fs.Int("alpha", 3, "")
+	fs.Bool("mike", true, "")
+	fs.Duration("echo", time.Minute, "")
+	var out bytes.Buffer
+	printConfigSummary(&out, "", fs)
+	want := "-alpha=3\n-echo=1m0s\n-mike=true\n-zeta=z\n"
+	if out.String() != want {
+		t.Fatalf("config summary not sorted:\n got %q\nwant %q", out.String(), want)
+	}
+}
+
+// TestRunVerboseConfigSummary: ccdp -v prints the effective flags, sorted.
+func TestRunVerboseConfigSummary(t *testing.T) {
+	in := strings.NewReader("0 1\n0 2\n")
+	var out bytes.Buffer
+	if err := run([]string{"-epsilon", "1", "-seed", "5", "-v"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "[config — effective flags]") {
+		t.Fatalf("verbose output missing config block:\n%s", got)
+	}
+	var flagLines []string
+	inBlock := false
+	for _, line := range strings.Split(got, "\n") {
+		switch {
+		case line == "[config — effective flags]":
+			inBlock = true
+		case inBlock && strings.HasPrefix(line, "  -"):
+			flagLines = append(flagLines, line)
+		case inBlock:
+			inBlock = false
+		}
+	}
+	if len(flagLines) < 5 {
+		t.Fatalf("config block too short (%d lines):\n%s", len(flagLines), got)
+	}
+	if !sort.StringsAreSorted(flagLines) {
+		t.Fatalf("config block not sorted:\n%s", strings.Join(flagLines, "\n"))
+	}
+	for _, want := range []string{"  -epsilon=1", "  -seed=5", "  -v=true"} {
+		if !slices.Contains(flagLines, want) {
+			t.Fatalf("config block missing %q:\n%s", want, strings.Join(flagLines, "\n"))
+		}
+	}
+}
+
+// TestDaemonBootConfigSummary: the daemon logs its effective configuration
+// in sorted flag order before the listening line.
+func TestDaemonBootConfigSummary(t *testing.T) {
+	d := startDaemon(t, "-max-inflight", "7")
+	defer d.stop(t)
+	if !strings.Contains(d.bootLog, "ccdp daemon config:") {
+		t.Fatalf("boot log missing config header:\n%s", d.bootLog)
+	}
+	var flagLines []string
+	for _, line := range strings.Split(d.bootLog, "\n") {
+		if strings.HasPrefix(line, "  -") {
+			flagLines = append(flagLines, line)
+		}
+	}
+	if !sort.StringsAreSorted(flagLines) {
+		t.Fatalf("daemon config block not sorted:\n%s", strings.Join(flagLines, "\n"))
+	}
+	for _, want := range []string{"  -max-inflight=7", "  -listen=127.0.0.1:0"} {
+		if !slices.Contains(flagLines, want) {
+			t.Fatalf("daemon config block missing %q:\n%s", want, d.bootLog)
 		}
 	}
 }

@@ -1,0 +1,88 @@
+// Command detlint is the repo's determinism-and-privacy multichecker: it
+// runs the internal/analysis suite (maporder, rngsource, floatorder,
+// wireleak) over the given packages and exits nonzero on any unsuppressed
+// finding. CI runs `go run ./cmd/detlint ./...`; the same invocation works
+// locally.
+//
+// Usage:
+//
+//	detlint [-list] [packages...]
+//
+// With no packages, ./... is checked. -list prints each analyzer's
+// contract and exits.
+//
+// Findings are one per line, file:line:col: analyzer: message. A site
+// that is intentionally nondeterministic (or an intentional secret flow)
+// is suppressed with a justified annotation on the line, the line above,
+// or the enclosing declaration's doc comment:
+//
+//	//detlint:allow <analyzer> — <why this site is safe>
+//
+// A suppression without a justification — or naming an unknown analyzer —
+// is itself a finding, so the annotations stay honest.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nodedp/internal/analysis"
+	"nodedp/internal/analysis/floatorder"
+	"nodedp/internal/analysis/maporder"
+	"nodedp/internal/analysis/rngsource"
+	"nodedp/internal/analysis/wireleak"
+)
+
+// Analyzers is the full detlint suite in the order findings are
+// attributed.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		rngsource.Analyzer,
+		floatorder.Analyzer,
+		wireleak.Analyzer,
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the analyzers and their contracts, then exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%s: %s\n\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "detlint:", err)
+		return 2
+	}
+	findings, err := analysis.Run(cwd, patterns, analyzers, analysis.DefaultScope)
+	if err != nil {
+		fmt.Fprintln(stderr, "detlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "detlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

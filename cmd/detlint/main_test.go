@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nodedp/internal/analysis"
+)
+
+// TestRepoLintsClean is the contract's meta-test: detlint over the whole
+// module must report zero unsuppressed findings. A failure here means
+// either a determinism/privacy regression landed, or a new intentional
+// site needs a justified //detlint:allow annotation.
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root := moduleRoot(t)
+	findings, err := analysis.Run(root, []string{"./..."}, Analyzers(), analysis.DefaultScope)
+	if err != nil {
+		t.Fatalf("detlint ./...: %v", err)
+	}
+	if len(findings) > 0 {
+		var b strings.Builder
+		for _, f := range findings {
+			b.WriteString("\n  ")
+			b.WriteString(f.String())
+		}
+		t.Fatalf("detlint ./... reported %d unsuppressed finding(s):%s", len(findings), b.String())
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,86 @@
+// Package analysis is a minimal static-analysis framework modeled on
+// golang.org/x/tools/go/analysis, built entirely on the standard library
+// (go/ast + go/types, with type information imported from compiler export
+// data via `go list -export`). The repo's no-new-deps rule keeps x/tools
+// out of go.mod; the API below deliberately mirrors the x/tools shapes
+// (Analyzer, Pass, Diagnostic) so the detlint suite could be ported onto
+// the real framework by changing imports, not analyzer logic.
+//
+// The suite enforces the two contracts everything else in this repo leans
+// on:
+//
+//   - Determinism: seeded releases are bit-identical across worker counts,
+//     warm starts, incremental solves, HTTP, and snapshot reloads. The
+//     maporder, rngsource, and floatorder analyzers turn the usual ways Go
+//     code silently breaks that (map iteration order, ambient randomness
+//     and wall clocks, non-associative float merges, float equality) into
+//     compile-time CI failures.
+//   - Privacy: only noised values may reach the wire. The wireleak
+//     analyzer tracks types and fields annotated `//privacy:secret` (exact
+//     f_Δ evaluations, raw edge lists) and flags any flow of them into
+//     JSON marshalling or an HTTP response struct.
+//
+// Intentional violations are suppressed per site with
+//
+//	//detlint:allow <analyzer> — <justification>
+//
+// on the flagged line, the line above it, or the doc comment of the
+// enclosing declaration. A suppression without a written justification is
+// itself a lint error: the annotation is a reviewed claim, not an off
+// switch.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. It is the x/tools
+// go/analysis.Analyzer shape reduced to what the detlint suite needs.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //detlint:allow suppressions. Lowercase, no spaces.
+	Name string
+	// Doc is the analyzer's one-paragraph contract, shown by detlint help.
+	Doc string
+	// Run executes the check on one package.
+	Run func(*Pass) error
+	// Collect, when non-nil, runs over every loaded package (dependencies
+	// included, before any Run) and contributes cross-package facts —
+	// e.g. wireleak's registry of //privacy:secret types. All collected
+	// facts are merged and visible to every Run via Pass.Facts. This is
+	// the stdlib stand-in for the x/tools facts mechanism.
+	Collect func(*Pass) map[string]bool
+}
+
+// Pass carries one package's syntax and type information to an analyzer,
+// mirroring go/analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the parsed non-test source files of the package.
+	// Test files are outside the determinism and privacy contracts (they
+	// are never on a release path) and are not analyzed.
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Facts is the union of every analyzer Collect result across all
+	// loaded packages. Keys are analyzer-defined strings (wireleak uses
+	// "pkgpath.Type" and "pkgpath.Type.Field").
+	Facts map[string]bool
+	// Report records a finding. The driver applies suppressions afterward.
+	Report func(Diagnostic)
+}
+
+// Reportf is a printf convenience over Report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

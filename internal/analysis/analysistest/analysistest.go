@@ -1,0 +1,143 @@
+// Package analysistest runs an analyzer over a testdata corpus and checks
+// its diagnostics against // want annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's stdlib-only
+// framework.
+//
+// A corpus is one directory of .go files (conventionally
+// <analyzer>/testdata/src/<pkg>). A line expecting a diagnostic carries a
+// trailing comment
+//
+//	// want "regexp"
+//
+// (several quoted regexps for several diagnostics on one line). Every
+// diagnostic must be wanted and every want matched, so the corpora pin
+// both the true positives and the allowed negatives of each analyzer.
+// //detlint:allow directives in a corpus are honored, which is how the
+// suppression workflow itself is tested.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nodedp/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// Run loads dir as a single package and checks analyzer against its
+// // want annotations. Scope is not applied: corpora exercise analyzer
+// logic directly.
+func Run(t *testing.T, analyzer *analysis.Analyzer, dir string) {
+	t.Helper()
+	moduleDir := moduleRoot(t)
+	pkg, err := analysis.LoadDir(moduleDir, filepath.Base(dir), dir)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", dir, err)
+	}
+
+	findings, err := analysis.RunPackages([]*analysis.Package{pkg}, []*analysis.Analyzer{analyzer}, nil)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", analyzer.Name, dir, err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" → expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := keyOf(pos.Filename, pos.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(text[len("want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						// Double-quoted patterns use Go string escaping, so
+						// \\( in the comment is \( in the regexp.
+						unq, err := strconv.Unquote(`"` + m[2] + `"`)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), m[2], err)
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		file, line := splitPos(t, f.Pos)
+		key := keyOf(file, line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+// keyOf normalizes a file position to its base name: the corpus is one
+// directory, and base names keep want keys stable across checkouts.
+func keyOf(file string, line int) string {
+	return filepath.Base(file) + ":" + strconv.Itoa(line)
+}
+
+func splitPos(t *testing.T, pos string) (file string, line int) {
+	t.Helper()
+	parts := strings.Split(pos, ":")
+	if len(parts) < 2 {
+		t.Fatalf("unparseable position %q", pos)
+	}
+	line, err := strconv.Atoi(parts[len(parts)-2])
+	if err != nil {
+		t.Fatalf("unparseable position %q: %v", pos, err)
+	}
+	return parts[0], line
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,137 @@
+// Package floatorder guards the determinism of float64 arithmetic in
+// concurrent and comparison-heavy code.
+//
+// Two rules:
+//
+//  1. In a function that spawns goroutines or receives from channels (a
+//     "concurrency-bearing" function: it plausibly merges worker-pool
+//     results), a compound float assignment inside a loop (x += v, and the
+//     -=, *=, /= forms) is flagged: float addition is non-associative, so
+//     accumulating in arrival order yields run-dependent bits. The repo's
+//     deterministic merge helpers accumulate in a fixed (vertex or shard
+//     index) order instead — those sites carry a declaration-level
+//     //detlint:allow floatorder — annotation naming the ordering
+//     argument.
+//
+//  2. == and != between non-constant float64 operands are flagged:
+//     exact float equality is only meaningful against a sentinel constant
+//     (which stays allowed) or inside the certified comparison helpers the
+//     LP fast path uses, which justify themselves with an annotation.
+package floatorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"nodedp/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floatorder",
+	Doc: "flag non-associative float64 accumulation in goroutine-bearing functions and " +
+		"==/!= between non-constant float64 values",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkEquality(pass, fd.Body)
+			if bearsConcurrency(fd.Body) {
+				checkAccumulation(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// bearsConcurrency reports whether the body spawns goroutines or receives
+// from channels — the shapes under which values arrive in scheduler order.
+func bearsConcurrency(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkAccumulation flags compound float assignments inside loops.
+func checkAccumulation(pass *analysis.Pass, body *ast.BlockStmt) {
+	var inLoop func(n ast.Node, depth int)
+	inLoop = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			switch m := m.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				inLoop(m, depth+1)
+				return false
+			case *ast.AssignStmt:
+				if depth == 0 {
+					return true
+				}
+				switch m.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					if len(m.Lhs) == 1 && isFloat(typeOf(pass, m.Lhs[0])) {
+						pass.Reportf(m.Pos(), "float64 accumulation in a loop of a concurrency-bearing function: "+
+							"addition is non-associative, so the result depends on arrival order; merge through a "+
+							"deterministic (index-ordered) helper or annotate why the order is fixed")
+					}
+				}
+			}
+			return true
+		})
+	}
+	inLoop(body, 0)
+}
+
+// checkEquality flags ==/!= between non-constant floats.
+func checkEquality(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		xt, yt := pass.TypesInfo.Types[be.X], pass.TypesInfo.Types[be.Y]
+		if !isFloat(xt.Type) || !isFloat(yt.Type) {
+			return true
+		}
+		if xt.Value != nil || yt.Value != nil {
+			return true // sentinel comparison against a constant is exact
+		}
+		pass.Reportf(be.OpPos, "%s between non-constant float64 values: use a certified comparison "+
+			"(exact rational check or explicit tolerance) or annotate why bit equality is intended", be.Op)
+		return true
+	})
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,12 @@
+package floatorder_test
+
+import (
+	"testing"
+
+	"nodedp/internal/analysis/analysistest"
+	"nodedp/internal/analysis/floatorder"
+)
+
+func TestFloatorder(t *testing.T) {
+	analysistest.Run(t, floatorder.Analyzer, "testdata/src/a")
+}

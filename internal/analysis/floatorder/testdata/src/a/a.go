@@ -1,0 +1,75 @@
+// Package a is the floatorder corpus. arrivalOrderSum is the bug class
+// the analyzer exists for: accumulating worker results in completion
+// order. indexOrderedMerge is the repo's deterministic-merge shape
+// (forestlp's grid merger), justified by annotation. The equality cases
+// pin the constant-sentinel exemption and the tie-break annotation shape
+// used by lp's pivot selection.
+package a
+
+// arrivalOrderSum folds worker results in the order they arrive — float
+// addition is non-associative, so the bits depend on scheduling.
+func arrivalOrderSum(work []float64) float64 {
+	ch := make(chan float64)
+	for _, w := range work {
+		go func(v float64) { ch <- v * v }(w)
+	}
+	total := 0.0
+	for range work {
+		v := <-ch
+		total += v // want "float64 accumulation in a loop of a concurrency-bearing function"
+	}
+	return total
+}
+
+// indexOrderedMerge collects first, then folds in index order — the
+// deterministic merge the engine uses. The collection into the slots
+// slice is order-safe (one writer per index); the fold is annotated
+// because the analyzer cannot see that the iteration order is fixed.
+func indexOrderedMerge(work []float64) float64 {
+	ch := make(chan int)
+	slots := make([]float64, len(work))
+	for i, w := range work {
+		go func(i int, v float64) { slots[i] = v * v; ch <- i }(i, w)
+	}
+	for range work {
+		<-ch
+	}
+	total := 0.0
+	for _, v := range slots {
+		//detlint:allow floatorder — deterministic merge: slots is folded in index order after all workers finish, so the summation order is fixed
+		total += v
+	}
+	return total
+}
+
+// serialSum has no goroutines or channels: plain sequential accumulation
+// is deterministic and not flagged.
+func serialSum(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// variableEquality compares two computed floats for bit equality.
+func variableEquality(a, b float64) bool {
+	return a == b // want "== between non-constant float64 values"
+}
+
+func variableInequality(a, b float64) bool {
+	return a != b // want "!= between non-constant float64 values"
+}
+
+// sentinelEquality against a constant is exact and allowed (the
+// Options-defaulting shape: if o.Beta == 0 { … }).
+func sentinelEquality(x float64) bool {
+	return x == 0
+}
+
+// tieBreak is the lp pivot-selection shape: bit-exact tie detection is
+// intended and annotated.
+func tieBreak(rhs, worst float64, i, leave int) bool {
+	//detlint:allow floatorder — bit-exact tie detection: ties must defer to the index rule for deterministic pivoting
+	return rhs < worst || (rhs == worst && i < leave)
+}

@@ -1,0 +1,199 @@
+package analysis
+
+// This file loads and type-checks packages without golang.org/x/tools:
+// `go list -export -deps -json` names every package's source files and its
+// compiled export data, the stdlib gc importer consumes that export data
+// for dependencies, and go/types checks the target packages' parsed
+// syntax against it. The result is full type information — the same
+// foundation go/packages provides — from the toolchain already on disk.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList invokes `go list -export -deps -json` in dir and decodes the
+// package stream. -export compiles (or reuses from the build cache) every
+// package's export data, which is what makes offline type-checking of
+// dependencies possible.
+func goList(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// exportLookup resolves import paths to export-data readers for the gc
+// importer, with a fallback `go list` for paths outside the initial set
+// (e.g. stdlib dependencies pulled in transitively by test corpora).
+type exportLookup struct {
+	dir     string
+	exports map[string]string // import path → export data file
+}
+
+func (l *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		pkgs, err := goList(l.dir, path)
+		if err != nil {
+			return nil, fmt.Errorf("resolving import %q: %v", path, err)
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				l.exports[p.ImportPath] = p.Export
+			}
+		}
+		if file, ok = l.exports[path]; !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// Load type-checks the packages matching patterns (resolved relative to
+// dir, a directory inside a Go module). Dependencies are imported from
+// export data; only the matched packages' non-test sources are parsed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	lk := &exportLookup{dir: dir, exports: make(map[string]string)}
+	var targets []*listedPackage
+	for _, lp := range listed {
+		if lp.Export != "" {
+			lk.exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lk.lookup)
+	var pkgs []*Package
+	for _, lp := range targets {
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := checkPackage(fset, lp.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = lp.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks every .go file directly inside dir as a
+// single package with the given import path, resolving imports through
+// `go list` run from moduleDir. This is the analysistest entry point: a
+// testdata corpus is one directory, not a listable module package.
+func LoadDir(moduleDir, pkgPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	lk := &exportLookup{dir: moduleDir, exports: make(map[string]string)}
+	imp := importer.ForCompiler(fset, "gc", lk.lookup)
+	return checkPackage(fset, pkgPath, files, imp)
+}
+
+// checkPackage parses files and type-checks them as one package.
+func checkPackage(fset *token.FileSet, pkgPath string, files []string, imp types.Importer) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(pkgPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Fset:      fset,
+		Files:     syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

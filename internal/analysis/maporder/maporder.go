@@ -1,0 +1,209 @@
+// Package maporder flags `for range` over a map whose body is
+// order-sensitive: Go randomizes map iteration order per run, so a body
+// that appends to a slice, accumulates a float64, writes ordered output,
+// or sends on a channel makes the result depend on that randomization —
+// exactly the class of bug the repo's determinism contract (bit-identical
+// seeded releases) forbids.
+//
+// The canonical safe idiom — collect keys, sort, iterate the sorted
+// slice — is recognized and not flagged: a range body that only appends is
+// allowed when the destination slice is passed to a sort call later in the
+// same function. Everything else needs either a real fix (sort first) or a
+// justified //detlint:allow maporder — e.g. when the accumulated result is
+// provably order-independent, like summing integers into a counter.
+package maporder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"nodedp/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag order-sensitive bodies of range-over-map loops (slice append without a " +
+		"subsequent sort, float accumulation, ordered output, channel send) in " +
+		"determinism-critical packages",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc inspects one function body. Sort calls are collected across
+// the whole body first so append-then-sort is recognized regardless of
+// nesting.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	sorts := sortedAfter(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkRange(pass, rs, sorts)
+		return true
+	})
+}
+
+// checkRange reports the first order-sensitive operation in one
+// range-over-map body.
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, sorts map[string]token.Pos) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.RangeStmt:
+			if stmt != rs {
+				// Nested ranges get their own reports; don't blame the
+				// outer loop for the inner body.
+				tv, ok := pass.TypesInfo.Types[stmt.X]
+				if ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						return false
+					}
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(rs.For, "map iteration order reaches a channel send (%s); receivers observe a random order", render(stmt.Chan))
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, stmt, sorts)
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok {
+				checkOutputCall(pass, rs, call)
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign flags slice appends with no later sort and float
+// accumulation inside the range body.
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt, sorts map[string]token.Pos) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+				continue
+			}
+			dst := render(as.Lhs[i])
+			if pos, sorted := sorts[dst]; sorted && pos > rs.End() {
+				continue // collect-then-sort idiom
+			}
+			pass.Reportf(rs.For, "append to %s inside range over map: element order is random per run (sort %s afterward, or sort the keys first)", dst, dst)
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Lhs) == 1 && isFloat(pass.TypesInfo.Types[as.Lhs[0]].Type) {
+			pass.Reportf(rs.For, "float64 accumulation into %s inside range over map: float addition is non-associative, so the sum depends on iteration order", render(as.Lhs[0]))
+		}
+	}
+}
+
+// checkOutputCall flags writes of ordered output from inside the range
+// body: fmt printing, io/buffer writes, and encoder calls.
+func checkOutputCall(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	switch {
+	case hasPrefix(name, "Fprint"), hasPrefix(name, "Print"),
+		hasPrefix(name, "Write"), name == "Encode":
+		pass.Reportf(rs.For, "%s called inside range over map writes output in random order; sort the keys first", render(call.Fun))
+	}
+}
+
+// sortedAfter maps rendered slice expressions to the position of a sort
+// call taking them as the first argument, anywhere in the body.
+func sortedAfter(pass *analysis.Pass, body *ast.BlockStmt) map[string]token.Pos {
+	sorts := make(map[string]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[pkg]
+		if !ok {
+			return true
+		}
+		pn, ok := obj.(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort", "slices":
+			sorts[render(call.Args[0])] = call.Pos()
+		}
+		return true
+	})
+	return sorts
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// render prints an expression compactly for diagnostics and for matching
+// append destinations against sort arguments.
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return render(e.X) + "[" + render(e.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + render(e.X)
+	case *ast.CallExpr:
+		return render(e.Fun) + "(…)"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

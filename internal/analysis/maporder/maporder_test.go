@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"nodedp/internal/analysis/analysistest"
+	"nodedp/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "testdata/src/a")
+}

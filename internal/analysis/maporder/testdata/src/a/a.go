@@ -1,0 +1,74 @@
+// Package a is the maporder corpus: each case mirrors a shape that exists
+// (or existed) in the repo. appendNoSort reproduces the pre-fix
+// httpapi.cacheTotals / registry.sweepLocked sites — collecting map values
+// into a slice with no subsequent sort.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// appendNoSort is the seed true positive: values collected in map order
+// and used as-is (httpapi.cacheTotals before the PR 7 fix).
+func appendNoSort(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "append to out inside range over map"
+		out = append(out, v)
+	}
+	return out
+}
+
+// collectThenSort is the canonical safe idiom and must not be flagged.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// floatAccumulate: non-associative sum in map order.
+func floatAccumulate(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "float64 accumulation into total"
+		total += v
+	}
+	return total
+}
+
+// intAccumulate: integer summation is associative and order-independent,
+// but the analyzer cannot prove that — the annotation records the review.
+func intAccumulate(m map[string]int) int {
+	total := 0
+	//detlint:allow maporder — integer summation is exactly associative, so the order of map iteration cannot change the result
+	for _, v := range m {
+		total = total + v
+	}
+	return total
+}
+
+// orderedOutput: writing inside the loop emits lines in random order.
+func orderedOutput(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "Fprintf called inside range over map"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// channelSend: receivers observe a random order.
+func channelSend(m map[string]int, ch chan int) {
+	for _, v := range m { // want "channel send"
+		ch <- v
+	}
+}
+
+// deleteOnly mutates the map itself; nothing order-sensitive happens.
+func deleteOnly(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}

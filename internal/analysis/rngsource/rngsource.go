@@ -1,0 +1,92 @@
+// Package rngsource forbids ambient nondeterminism — the process-global
+// random source and the wall clock — in release-path packages.
+//
+// The repo's determinism contract says a seeded release is bit-identical
+// across every execution; its privacy posture says unseeded noise comes
+// only from the crypto-backed sources constructed in internal/dpnoise and
+// consumed via internal/mechanism. Both are violated by reaching for
+// math/rand's package-level functions (seeded from the OS per process) or
+// by folding time.Now into anything a release depends on. The analyzer
+// flags:
+//
+//   - any import of math/rand (v1): its global source and Seed machinery
+//     have no place here; the repo standardizes on math/rand/v2 *values*
+//     constructed from explicit seeds.
+//   - calls to package-level functions of math/rand/v2 other than the
+//     New* constructors (rand.Int, rand.Float64, rand.Shuffle, … use the
+//     global ChaCha8 source seeded at process start).
+//   - calls to time.Now, time.Since, or time.Until. Operational clocks
+//     (idle TTLs, latency metrics, shard timings) are legitimate but must
+//     be annotated //detlint:allow rngsource — <why this never reaches a
+//     release>, so every wall-clock read on the release path is a
+//     reviewed decision.
+package rngsource
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"nodedp/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "rngsource",
+	Doc: "forbid the process-global random source (math/rand top-level functions, math/rand v1 " +
+		"imports) and wall-clock reads (time.Now/Since/Until) in release-path packages",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" {
+				pass.Reportf(imp.Pos(), "import of math/rand (v1): use explicit seeded sources via math/rand/v2 (rand.New(rand.NewPCG(seed, …))) or the constructors in internal/dpnoise")
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calledFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				return true // methods (e.g. (*rand.Rand).Float64 on a seeded value) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if !strings.HasPrefix(fn.Name(), "New") {
+					pass.Reportf(call.Pos(), "%s.%s draws from the process-global random source: all randomness must flow through an explicitly seeded *rand.Rand or the crypto source from internal/dpnoise", fn.Pkg().Name(), fn.Name())
+				}
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					pass.Reportf(call.Pos(), "time.%s on a release-path package: wall-clock values are nondeterministic; inject a clock, or annotate the site if the value is operational and never reaches a release", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calledFunc resolves the *types.Func a call invokes, if any.
+func calledFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package rngsource_test
+
+import (
+	"testing"
+
+	"nodedp/internal/analysis/analysistest"
+	"nodedp/internal/analysis/rngsource"
+)
+
+func TestRngsource(t *testing.T) {
+	analysistest.Run(t, rngsource.Analyzer, "testdata/src/a")
+}

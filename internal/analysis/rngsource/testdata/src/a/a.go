@@ -1,0 +1,58 @@
+// Package a is the rngsource corpus. globalRand and wallClock are the
+// hazards the release path must never contain; seededSource and
+// annotatedClock are the two sanctioned ways out (explicit seeds, or a
+// justified annotation for operational clocks — the shape of
+// forestlp.evalShard's timing diagnostics).
+package a
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// globalRand draws from the process-global source.
+func globalRand() float64 {
+	return rand.Float64() // want "rand.Float64 draws from the process-global random source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle draws from the process-global random source"
+}
+
+// seededSource is the sanctioned construction: explicit seed, methods on
+// the value.
+func seededSource(seed uint64) float64 {
+	r := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	return r.Float64()
+}
+
+// wallClock reads the wall clock on the release path.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now on a release-path package"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since on a release-path package"
+}
+
+// annotatedClock is an operational timing diagnostic, reviewed and
+// justified (the forestlp.evalShard shape).
+func annotatedClock() time.Duration {
+	//detlint:allow rngsource — operational timing diagnostic, never enters a released value
+	start := time.Now()
+	work()
+	//detlint:allow rngsource — operational timing diagnostic, never enters a released value
+	return time.Since(start)
+}
+
+// injectedClock takes the clock as a value — the httpapi Config.Now
+// pattern — so tests can pin it; referencing time.Now as a value (not
+// calling it) stays legal at the injection point.
+func injectedClock(now func() time.Time) time.Time {
+	if now == nil {
+		now = time.Now
+	}
+	return now()
+}
+
+func work() {}

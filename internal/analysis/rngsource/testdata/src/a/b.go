@@ -1,0 +1,11 @@
+package a
+
+import (
+	oldrand "math/rand" // want "import of math/rand \\(v1\\)"
+)
+
+// v1Rand: the v1 package's global-source machinery is banned outright,
+// even through a seeded source — the repo standardizes on math/rand/v2.
+func v1Rand() int {
+	return oldrand.New(oldrand.NewSource(1)).Int()
+}

@@ -1,0 +1,145 @@
+package analysis
+
+// Suppression handling. The contract analyzers are allowed to be wrong in
+// ways a human can see and a checker cannot — a map iteration whose
+// accumulated result is order-independent, a wall-clock read that feeds an
+// operational TTL rather than a release — so every analyzer supports
+// per-site suppression:
+//
+//	//detlint:allow <analyzer> — <justification>
+//
+// ("--" is accepted in place of the em dash). The comment suppresses
+// matching diagnostics on its own line and the line below it; placed in
+// the doc comment of a declaration it covers the whole declaration (the
+// shape used for deterministic merge helpers, whose every float
+// accumulation is intentional). A suppression with no justification, or
+// naming no known analyzer, is itself reported: the annotation documents a
+// reviewed decision, and an unexplained one is indistinguishable from a
+// silenced bug.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// allowRe matches the directive after "//": analyzer name, separator,
+// justification. The justification group may be empty — that case is
+// reported as an unexplained suppression.
+var allowRe = regexp.MustCompile(`^detlint:allow\s+([a-zA-Z0-9_-]*)\s*(?:—|--)?\s*(.*)$`)
+
+// suppression is one parsed //detlint:allow directive.
+type suppression struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+	// declEnd, when nonzero, extends the suppressed range to [line,
+	// declEnd] (directive found in a declaration's doc comment).
+	declEnd int
+}
+
+// covers reports whether s suppresses a diagnostic from the named analyzer
+// at the given line of the same file.
+func (s *suppression) covers(analyzer string, line int) bool {
+	if s.analyzer != analyzer {
+		return false
+	}
+	if s.declEnd > 0 {
+		return line >= s.line && line <= s.declEnd
+	}
+	return line == s.line || line == s.line+1
+}
+
+// suppressionIndex holds every parsed directive of a package, keyed by
+// file name.
+type suppressionIndex struct {
+	byFile map[string][]*suppression
+}
+
+// collectSuppressions parses all //detlint:allow directives in the
+// package's files. known maps analyzer names that exist; malformed
+// directives (unknown analyzer, missing justification) are returned as
+// findings so they fail the lint run.
+func collectSuppressions(pkg *Package, known map[string]bool) (*suppressionIndex, []Finding) {
+	idx := &suppressionIndex{byFile: make(map[string][]*suppression)}
+	var bad []Finding
+
+	// Doc-comment ranges: a directive inside a declaration's doc comment
+	// covers the whole declaration.
+	declEnd := make(map[*ast.CommentGroup]int)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				declEnd[doc] = pkg.Fset.Position(decl.End()).Line
+			}
+		}
+	}
+
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "detlint:allow") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := allowRe.FindStringSubmatch(text)
+				switch {
+				case m == nil || m[1] == "":
+					bad = append(bad, Finding{
+						Analyzer: "detlint",
+						Pos:      pos.String(),
+						Message:  "malformed suppression: want //detlint:allow <analyzer> — <justification>",
+					})
+					continue
+				case !known[m[1]]:
+					bad = append(bad, Finding{
+						Analyzer: "detlint",
+						Pos:      pos.String(),
+						Message:  fmt.Sprintf("suppression names unknown analyzer %q", m[1]),
+					})
+					continue
+				case strings.TrimSpace(m[2]) == "":
+					bad = append(bad, Finding{
+						Analyzer: "detlint",
+						Pos:      pos.String(),
+						Message: fmt.Sprintf("unexplained suppression of %q: a justification is required "+
+							"(//detlint:allow %s — <why this site is safe>)", m[1], m[1]),
+					})
+					continue
+				}
+				s := &suppression{
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+					file:     pos.Filename,
+					line:     pos.Line,
+					declEnd:  declEnd[cg],
+				}
+				idx.byFile[pos.Filename] = append(idx.byFile[pos.Filename], s)
+			}
+		}
+	}
+	return idx, bad
+}
+
+// suppressed reports whether a diagnostic at pos from the named analyzer
+// is covered by a directive.
+func (idx *suppressionIndex) suppressed(analyzer string, pos token.Position) bool {
+	for _, s := range idx.byFile[pos.Filename] {
+		if s.covers(analyzer, pos.Line) {
+			return true
+		}
+	}
+	return false
+}

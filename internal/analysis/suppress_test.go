@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc builds a single-file Package with just the fields the
+// suppression machinery reads (Fset, Files).
+func parseSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{Fset: fset, Files: []*ast.File{f}}
+}
+
+// position fabricates the token.Position a diagnostic at file:line would
+// render to.
+func position(pkg *Package, file string, line int) token.Position {
+	return token.Position{Filename: file, Line: line}
+}
+
+var known = map[string]bool{"maporder": true, "rngsource": true}
+
+func TestCollectSuppressions(t *testing.T) {
+	const src = `package p
+
+//detlint:allow maporder — integer sum is order-independent
+var a int
+
+//detlint:allow maporder
+var b int
+
+//detlint:allow nosuch — reason given
+var c int
+
+//detlint:allowmaporder broken
+var d int
+`
+	pkg := parseSrc(t, src)
+	idx, bad := collectSuppressions(pkg, known)
+
+	var msgs []string
+	for _, f := range bad {
+		msgs = append(msgs, f.Pos+" "+f.Message)
+	}
+	if len(bad) != 3 {
+		t.Fatalf("want 3 bad directives, got %d:\n%s", len(bad), strings.Join(msgs, "\n"))
+	}
+	wantSubstr := []string{
+		"unexplained suppression of \"maporder\"",
+		"unknown analyzer \"nosuch\"",
+		"malformed suppression",
+	}
+	for i, sub := range wantSubstr {
+		if !strings.Contains(msgs[i], sub) {
+			t.Errorf("bad[%d] = %q, want substring %q", i, msgs[i], sub)
+		}
+	}
+
+	// The one valid directive suppresses on its line and the next.
+	if !idx.suppressed("maporder", position(pkg, "src.go", 3)) {
+		t.Error("valid directive does not suppress its own line")
+	}
+	if !idx.suppressed("maporder", position(pkg, "src.go", 4)) {
+		t.Error("valid directive does not suppress the following line")
+	}
+	if idx.suppressed("maporder", position(pkg, "src.go", 5)) {
+		t.Error("directive leaks past the following line")
+	}
+	if idx.suppressed("rngsource", position(pkg, "src.go", 4)) {
+		t.Error("directive suppresses the wrong analyzer")
+	}
+}
+
+func TestSuppressionCoversWholeDecl(t *testing.T) {
+	const src = `package p
+
+// mergeShards folds per-shard results in index order.
+//
+//detlint:allow maporder — index-ordered fold, iteration order is fixed
+func mergeShards() {
+	_ = 1
+	_ = 2
+	_ = 3
+}
+
+func after() {}
+`
+	pkg := parseSrc(t, src)
+	idx, bad := collectSuppressions(pkg, known)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected bad directives: %v", bad)
+	}
+	for line := 5; line <= 10; line++ {
+		if !idx.suppressed("maporder", position(pkg, "src.go", line)) {
+			t.Errorf("doc-comment directive does not cover decl line %d", line)
+		}
+	}
+	if idx.suppressed("maporder", position(pkg, "src.go", 12)) {
+		t.Error("doc-comment directive leaks past the declaration")
+	}
+}
+
+func TestDoubleDashSeparator(t *testing.T) {
+	const src = `package p
+
+//detlint:allow rngsource -- operational clock, reporting only
+var a int
+`
+	pkg := parseSrc(t, src)
+	idx, bad := collectSuppressions(pkg, known)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected bad directives: %v", bad)
+	}
+	if !idx.suppressed("rngsource", position(pkg, "src.go", 4)) {
+		t.Error("-- separator form not honored")
+	}
+}

@@ -1,0 +1,88 @@
+// Package a is the wireleak corpus. GridEval/DeltaEval mirror the repo's
+// secret-annotated types; QueryResponse mirrors the clean wire shape;
+// LeakyResponse and the marshal sites are the regressions the analyzer
+// must catch (a constructed revert of the contract PR 4 established:
+// exact evaluations never reach the wire).
+package a
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// GridEval mirrors core.GridEval.
+//
+//privacy:secret — exact f_Δ evaluations.
+type GridEval struct {
+	Grid    []float64
+	FDeltas []float64
+}
+
+// DeltaEval mirrors core.DeltaEval.
+//
+//privacy:secret
+type DeltaEval struct {
+	Delta  float64
+	FDelta float64
+}
+
+// Result mirrors core.Result: released fields plus secret diagnostics.
+type Result struct {
+	Value float64
+	Delta float64
+	// FDelta is exact, pre-noise.
+	//privacy:secret
+	FDelta      float64
+	Evaluations []DeltaEval
+}
+
+// QueryResponse is a clean wire shape: only noised/released values.
+type QueryResponse struct {
+	Value    float64 `json:"value"`
+	DeltaHat float64 `json:"delta_hat"`
+}
+
+// LeakyResponse declares secret-holding fields on a wire shape — the
+// declaration itself is the leak.
+type LeakyResponse struct {
+	Value       float64     `json:"value"`
+	Evaluations []DeltaEval `json:"evaluations"` // want "wire struct LeakyResponse carries secret a.DeltaEval"
+}
+
+// RedactedResponse holds a secret field but excludes it from marshalling;
+// json:"-" stops the traversal.
+type RedactedResponse struct {
+	Value float64  `json:"value"`
+	Plan  GridEval `json:"-"`
+}
+
+func marshalSecretType(ge GridEval) ([]byte, error) {
+	return json.Marshal(ge) // want "Marshal marshals a value containing secret a.GridEval"
+}
+
+func marshalSecretField(r Result) ([]byte, error) {
+	return json.Marshal(r) // want "Marshal marshals a value containing secret a.Result.FDelta"
+}
+
+func encodeSecret(w io.Writer, evals []DeltaEval) error {
+	return json.NewEncoder(w).Encode(evals) // want "Encode marshals a value containing secret a.DeltaEval"
+}
+
+func marshalClean(q QueryResponse) ([]byte, error) {
+	return json.Marshal(q)
+}
+
+func marshalRedacted(r RedactedResponse) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// ingestionUpload is the annotated intentional flow: the client side of
+// the upload path ships the sensitive graph to the trusted daemon.
+func ingestionUpload(edges [][2]int) ([]byte, error) {
+	type CreateSessionRequest struct {
+		//privacy:secret
+		Edges [][2]int `json:"edges"`
+	}
+	//detlint:allow wireleak — ingestion path: uploading the sensitive graph to the trusted daemon is the input channel, not a release
+	return json.Marshal(CreateSessionRequest{Edges: edges})
+}

@@ -1,0 +1,268 @@
+// Package wireleak statically enforces the privacy contract's wire
+// boundary: values derived from the sensitive graph without noise — exact
+// f_Δ evaluations, grid values, raw edge lists — must never flow into JSON
+// marshalling or an HTTP response struct. Releases carry only noised
+// values.
+//
+// The boundary is declared in the source: a type or struct field holding
+// exact data-dependent values is annotated with a `//privacy:secret`
+// comment on its declaration. The analyzer collects those annotations
+// across every loaded package (run detlint over ./... so cross-package
+// annotations are visible) and flags:
+//
+//   - any argument of a JSON sink — json.Marshal, json.MarshalIndent,
+//     (*json.Encoder).Encode, plus repo-configured sinks like httpapi's
+//     writeJSON — whose static type transitively contains a secret type or
+//     field. Traversal follows struct fields (stopping at `json:"-"`),
+//     pointers, slices, arrays, and maps.
+//   - any field of a wire-shaped struct (name ending in Response, Info,
+//     Item, or Body) whose type contains a secret: the declaration is the
+//     leak, before any marshal call exists.
+//
+// An intentional flow — e.g. the ingestion path uploading the sensitive
+// graph itself to a trusted daemon — carries a justified
+// //detlint:allow wireleak annotation.
+package wireleak
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"nodedp/internal/analysis"
+)
+
+// defaultSinks maps a function's types.Func FullName to the index of the
+// argument that gets marshalled.
+var defaultSinks = map[string]int{
+	"encoding/json.Marshal":             0,
+	"encoding/json.MarshalIndent":       0,
+	"(*encoding/json.Encoder).Encode":   0,
+	"nodedp/internal/httpapi.writeJSON": 2,
+}
+
+// wireStructRe matches struct type names that are wire response shapes.
+var wireStructRe = regexp.MustCompile(`(Response|Info|Item|Body)$`)
+
+// Analyzer is the default wireleak instance.
+var Analyzer = New(nil)
+
+// New builds a wireleak analyzer with extra sinks merged over the
+// defaults (FullName → marshalled-argument index; a negative index
+// disables a default).
+func New(extraSinks map[string]int) *analysis.Analyzer {
+	sinks := make(map[string]int, len(defaultSinks)+len(extraSinks))
+	for k, v := range defaultSinks {
+		sinks[k] = v
+	}
+	for k, v := range extraSinks {
+		sinks[k] = v
+	}
+	return &analysis.Analyzer{
+		Name: "wireleak",
+		Doc: "flag flows of //privacy:secret types (exact f_Δ evaluations, raw edge lists) " +
+			"into JSON marshalling or wire response structs",
+		Collect: collect,
+		Run:     func(pass *analysis.Pass) error { return run(pass, sinks) },
+	}
+}
+
+// collect registers //privacy:secret annotations as facts: "pkg.Type" for
+// annotated types, "pkg.Type.Field" for annotated fields.
+func collect(pass *analysis.Pass) map[string]bool {
+	facts := make(map[string]bool)
+	pkgPath := pass.Pkg.Path()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			declSecret := isSecretComment(gd.Doc)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				typeKey := pkgPath + "." + ts.Name.Name
+				if declSecret || isSecretComment(ts.Doc) || isSecretComment(ts.Comment) {
+					facts[typeKey] = true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if !isSecretComment(field.Doc) && !isSecretComment(field.Comment) {
+						continue
+					}
+					for _, name := range field.Names {
+						facts[typeKey+"."+name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return facts
+}
+
+func isSecretComment(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, "privacy:secret") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass, sinks map[string]int) error {
+	w := &walker{facts: pass.Facts}
+	for _, file := range pass.Files {
+		// Wire-shaped struct declarations with secret-typed fields.
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !wireStructRe.MatchString(ts.Name.Name) {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if excludedByJSONTag(field) {
+						continue // json:"-" never reaches the wire
+					}
+					t := pass.TypesInfo.Types[field.Type].Type
+					if path := w.secretPath(t); path != "" {
+						pass.Reportf(field.Pos(), "wire struct %s carries secret %s: exact data-dependent values must not be declared on a response shape", ts.Name.Name, path)
+					}
+				}
+			}
+		}
+		// JSON sink calls with secret-containing arguments.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calledFunc(pass, call)
+			if fn == nil {
+				return true
+			}
+			idx, ok := sinks[fn.FullName()]
+			if !ok || idx < 0 || idx >= len(call.Args) {
+				return true
+			}
+			t := pass.TypesInfo.Types[call.Args[idx]].Type
+			if path := w.secretPath(t); path != "" {
+				pass.Reportf(call.Pos(), "%s marshals a value containing secret %s: only noised releases may reach the wire", fn.Name(), path)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// walker answers "does this type transitively contain a secret?" against
+// the collected facts, returning the dotted path of the first secret found
+// (empty when clean).
+type walker struct {
+	facts map[string]bool
+}
+
+func (w *walker) secretPath(t types.Type) string {
+	return w.walk(t, make(map[types.Type]bool))
+}
+
+func (w *walker) walk(t types.Type, visited map[types.Type]bool) string {
+	if t == nil || visited[t] {
+		return ""
+	}
+	visited[t] = true
+	t = types.Unalias(t)
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		key := ""
+		if obj.Pkg() != nil {
+			key = obj.Pkg().Path() + "." + obj.Name()
+			if w.facts[key] {
+				return key
+			}
+		}
+		if st, ok := t.Underlying().(*types.Struct); ok {
+			return w.walkStruct(st, key, visited)
+		}
+		return w.walk(t.Underlying(), visited)
+	case *types.Struct:
+		return w.walkStruct(t, "", visited)
+	case *types.Pointer:
+		return w.walk(t.Elem(), visited)
+	case *types.Slice:
+		return w.walk(t.Elem(), visited)
+	case *types.Array:
+		return w.walk(t.Elem(), visited)
+	case *types.Map:
+		if p := w.walk(t.Key(), visited); p != "" {
+			return p
+		}
+		return w.walk(t.Elem(), visited)
+	}
+	return ""
+}
+
+// walkStruct checks a struct's fields; ownerKey is "pkg.Type" when the
+// struct is the underlying type of a named type (annotated fields are
+// keyed through it).
+func (w *walker) walkStruct(st *types.Struct, ownerKey string, visited map[types.Type]bool) string {
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if jsonName, _, _ := strings.Cut(reflect.StructTag(st.Tag(i)).Get("json"), ","); jsonName == "-" {
+			continue // explicitly excluded from marshalling
+		}
+		if ownerKey != "" && w.facts[ownerKey+"."+field.Name()] {
+			return ownerKey + "." + field.Name()
+		}
+		if p := w.walk(field.Type(), visited); p != "" {
+			return p
+		}
+	}
+	return ""
+}
+
+// excludedByJSONTag reports whether an AST struct field carries json:"-".
+func excludedByJSONTag(field *ast.Field) bool {
+	if field.Tag == nil {
+		return false
+	}
+	tag, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return false
+	}
+	jsonName, _, _ := strings.Cut(reflect.StructTag(tag).Get("json"), ",")
+	return jsonName == "-"
+}
+
+// calledFunc resolves the *types.Func a call invokes, if any.
+func calledFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

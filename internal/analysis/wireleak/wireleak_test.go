@@ -1,0 +1,12 @@
+package wireleak_test
+
+import (
+	"testing"
+
+	"nodedp/internal/analysis/analysistest"
+	"nodedp/internal/analysis/wireleak"
+)
+
+func TestWireleak(t *testing.T) {
+	analysistest.Run(t, wireleak.Analyzer, "testdata/src/a")
+}

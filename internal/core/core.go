@@ -106,6 +106,8 @@ func (o Options) withDefaults(n int) (Options, error) {
 
 // DeltaEval records one extension evaluation, for experiment diagnostics.
 // These values are data-dependent and must not be released as-is.
+//
+//privacy:secret — FDelta and Q are exact data-dependent evaluations, pre-noise.
 type DeltaEval struct {
 	Delta  float64
 	FDelta float64
@@ -120,6 +122,7 @@ type Result struct {
 	// Delta is the Δ̂ chosen by GEM.
 	Delta float64
 	// FDelta is f_Δ̂(G) before noise (diagnostic; not private).
+	//privacy:secret — exact f_Δ̂(G), pre-noise.
 	FDelta float64
 	// NoiseScale is the Laplace scale used in the release step.
 	NoiseScale float64
@@ -177,6 +180,8 @@ func EstimateSpanningForestSizeCtx(ctx context.Context, g *graph.Graph, opts Opt
 // both computed per release), immutable, and safe to share between any
 // number of concurrent sessions — this is what the PlanCache stores and
 // what the serving layer in internal/serve fans queries onto.
+//
+//privacy:secret — holds the exact f_Δ evaluations and f_sf; snapshots of it must be protected like the graph itself, and none of it may reach the wire.
 type GridEval struct {
 	n           int
 	m           int
@@ -418,6 +423,7 @@ func estimateSFFromGrid(ctx context.Context, ge *GridEval, opts Options, eps flo
 // (defaulted) options ask for — silently releasing from a mismatched
 // evaluation would be an accuracy bug, not a privacy bug, but still a bug.
 func checkGrid(ge *GridEval, opts Options) error {
+	//detlint:allow floatorder — exact config-identity check: DeltaMax is copied from Options, never computed, so bit equality is the correct test
 	if ge.deltaMax != opts.DeltaMax {
 		return fmt.Errorf("core: grid evaluation has DeltaMax %v, options ask for %v", ge.deltaMax, opts.DeltaMax)
 	}

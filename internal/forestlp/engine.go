@@ -154,6 +154,7 @@ func (p *Plan) value(ctx context.Context, delta float64, opts Options, warm *gri
 			}
 			continue
 		}
+		//detlint:allow floatorder — deterministic merge: the loop visits results in shard-index order after every worker has finished, so the summation order is fixed regardless of completion order
 		total += r.value
 		stats.add(r.stats)
 		if opts.ShardTimings {
@@ -192,6 +193,8 @@ func (p *Plan) value(ctx context.Context, delta float64, opts Options, warm *gri
 
 // evalShard runs one shard and packages the outcome with its timing (the
 // timing record is discarded by the merger unless Options.ShardTimings).
+//
+//detlint:allow rngsource — operational timing diagnostic: ShardTiming.Duration is reporting-only (opt-in via Options.ShardTimings) and never enters grid values or releases
 func (p *Plan) evalShard(ctx context.Context, i int, ps *planShard, delta float64, opts Options, sw *shardWarm) shardResult {
 	if err := ctx.Err(); err != nil {
 		return shardResult{done: true, err: err}

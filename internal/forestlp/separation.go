@@ -549,6 +549,7 @@ func (sp *separator) emitParts(x []float64, member []bool, cuts []*cut) []*cut {
 // for free when still violated.
 func (sp *separator) capCuts(cuts []*cut, maxCuts int) []*cut {
 	sort.Slice(cuts, func(i, j int) bool {
+		//detlint:allow floatorder — bit-exact tie detection is the point: equal-violation cuts must fall through to the canonical hash key, or the ordering would inherit per-wave arrival order
 		if cuts[i].violation != cuts[j].violation {
 			return cuts[i].violation > cuts[j].violation
 		}

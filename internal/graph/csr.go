@@ -14,6 +14,8 @@ package graph
 // CSR is an immutable compressed-sparse-row view of an undirected simple
 // graph on vertices 0..N-1. The zero value is an empty graph on zero
 // vertices. A CSR is safe for concurrent use by multiple goroutines.
+//
+//privacy:secret — a CSR is the raw edge structure of the sensitive graph (see Graph).
 type CSR struct {
 	// offsets has length n+1; the neighbors of v are
 	// targets[offsets[v]:offsets[v+1]], sorted increasingly.

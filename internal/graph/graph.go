@@ -38,6 +38,8 @@ func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
 //
 // The zero value is an empty graph on zero vertices. Graph is not safe for
 // concurrent mutation; concurrent reads are safe.
+//
+//privacy:secret — the raw edge structure is the sensitive input; it must never flow into JSON marshalling or a wire response (detlint wireleak enforces this).
 type Graph struct {
 	adj []map[int]struct{}
 	m   int

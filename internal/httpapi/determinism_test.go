@@ -1,0 +1,153 @@
+package httpapi
+
+// Regression tests for the determinism contract on the daemon's ordered
+// outputs: the /metrics exposition must be byte-stable regardless of map
+// population order, tenant-gone callbacks must fire in sorted order, and
+// cross-tenant cache aggregation must not depend on map iteration. These
+// pin the PR 7 fixes that detlint's maporder analyzer now guards
+// statically.
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"nodedp/internal/core"
+)
+
+// TestMetricsExpositionGolden pins the exact exposition text for a small
+// fixed population: any reordering or format drift is a contract break for
+// scrape-diffing tooling.
+func TestMetricsExpositionGolden(t *testing.T) {
+	m := newMetrics()
+	// Observe deliberately out of sorted order.
+	m.observe("POST /v1/sessions/{id}/query", 200, 2*time.Millisecond)
+	m.observe("GET /healthz", 200, 1*time.Millisecond)
+	m.observe("POST /v1/graphs", 429, 1*time.Millisecond)
+	m.observe("POST /v1/graphs", 201, 4*time.Millisecond)
+	m.addShed()
+	m.addQueries(3)
+
+	var buf bytes.Buffer
+	m.write(&buf, map[string]float64{
+		"nodedp_sessions_live":     2,
+		"nodedp_inflight_requests": 1,
+	})
+
+	const golden = `# HELP nodedp_http_requests_total Completed HTTP requests by route pattern and status code.
+# TYPE nodedp_http_requests_total counter
+nodedp_http_requests_total{route="GET /healthz",code="200"} 1
+nodedp_http_requests_total{route="POST /v1/graphs",code="201"} 1
+nodedp_http_requests_total{route="POST /v1/graphs",code="429"} 1
+nodedp_http_requests_total{route="POST /v1/sessions/{id}/query",code="200"} 1
+# HELP nodedp_http_request_seconds Request latency summary by route pattern.
+# TYPE nodedp_http_request_seconds summary
+nodedp_http_request_seconds_sum{route="GET /healthz"} 0.001
+nodedp_http_request_seconds_count{route="GET /healthz"} 1
+nodedp_http_request_seconds_sum{route="POST /v1/graphs"} 0.005
+nodedp_http_request_seconds_count{route="POST /v1/graphs"} 2
+nodedp_http_request_seconds_sum{route="POST /v1/sessions/{id}/query"} 0.002
+nodedp_http_request_seconds_count{route="POST /v1/sessions/{id}/query"} 1
+# HELP nodedp_http_requests_shed_total Requests rejected by the inflight admission cap.
+# TYPE nodedp_http_requests_shed_total counter
+nodedp_http_requests_shed_total 1
+# HELP nodedp_queries_served_total Private releases served (single queries plus batch items).
+# TYPE nodedp_queries_served_total counter
+nodedp_queries_served_total 3
+# TYPE nodedp_inflight_requests gauge
+nodedp_inflight_requests 1
+# TYPE nodedp_sessions_live gauge
+nodedp_sessions_live 2
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+// TestMetricsExpositionByteStable renders the same logical state, populated
+// in two different orders, and requires bit-identical bytes — the property
+// a scrape differ relies on.
+func TestMetricsExpositionByteStable(t *testing.T) {
+	routes := make([]string, 40)
+	for i := range routes {
+		routes[i] = fmt.Sprintf("GET /v1/r%02d", i)
+	}
+	populate := func(order []string) *metrics {
+		m := newMetrics()
+		for _, r := range order {
+			m.observe(r, 200, time.Millisecond)
+			m.observe(r, 500, 2*time.Millisecond)
+		}
+		return m
+	}
+	reversed := make([]string, len(routes))
+	for i, r := range routes {
+		reversed[len(routes)-1-i] = r
+	}
+	gauges := map[string]float64{"nodedp_sessions_live": 1, "nodedp_inflight_requests": 0, "nodedp_plan_cache_entries": 7}
+
+	var a, b, c bytes.Buffer
+	populate(routes).write(&a, gauges)
+	populate(reversed).write(&b, gauges)
+	populate(routes).write(&c, gauges)
+	if a.String() != b.String() {
+		t.Error("exposition depends on observation order")
+	}
+	if a.String() != c.String() {
+		t.Error("exposition not stable across renders of identical state")
+	}
+}
+
+// TestSweepTenantGoneOrderSorted: idle eviction visits the session map in
+// random order, but the tenant-gone callbacks (which drop per-tenant plan
+// caches and may log) must fire in sorted tenant order.
+func TestSweepTenantGoneOrderSorted(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		clock := time.Unix(1700000000, 0)
+		r := newRegistry(RegistryConfig{IdleTTL: time.Minute, MaxSessions: 64, MaxPerTenant: 4}, func() time.Time { return clock })
+		var fired []string
+		r.onTenantGone = func(tenant string) { fired = append(fired, tenant) }
+
+		// Register tenants in scrambled order.
+		tenants := []string{"zeta", "alpha", "mike", "echo", "kilo", "bravo", "x-ray", "golf"}
+		for _, tenant := range tenants {
+			commit, _, err := r.reserve(tenant)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := commit(nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		clock = clock.Add(2 * time.Minute) // everyone idle past TTL
+		r.sweep()
+
+		want := []string{"alpha", "bravo", "echo", "golf", "kilo", "mike", "x-ray", "zeta"}
+		if got := strings.Join(fired, ","); got != strings.Join(want, ",") {
+			t.Fatalf("trial %d: tenant-gone order %q, want sorted %q", trial, got, strings.Join(want, ","))
+		}
+	}
+}
+
+// TestCacheTotalsStableAcrossTenantOrder aggregates per-tenant cache stats
+// and requires the result to be identical however the tenant map was
+// populated and however often it is read.
+func TestCacheTotalsStableAcrossTenantOrder(t *testing.T) {
+	s := New(Config{})
+	for i := 0; i < 16; i++ {
+		s.caches[fmt.Sprintf("tenant-%02d", 15-i)] = core.NewPlanCache(4)
+	}
+	first := s.cacheTotals()
+	for i := 0; i < 8; i++ {
+		if got := s.cacheTotals(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("cacheTotals not stable across calls: %+v vs %+v", got, first)
+		}
+	}
+	if first.Entries != 0 {
+		t.Fatalf("fresh caches report %d entries", first.Entries)
+	}
+}

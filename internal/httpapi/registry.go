@@ -11,6 +11,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -213,6 +214,9 @@ func (r *registry) sweepLocked(now time.Time) []string {
 			r.evicted++
 		}
 	}
+	// The sweep visits r.sessions in random map order; sort so tenant-gone
+	// callbacks (and anything they log) fire in a stable order.
+	sort.Strings(gone)
 	return gone
 }
 

@@ -238,8 +238,10 @@ func (s *Server) cacheTotals() core.CacheStats {
 	var total core.CacheStats
 	s.cachesMu.Lock()
 	caches := make([]*core.PlanCache, 0, len(s.caches))
-	for _, c := range s.caches {
-		caches = append(caches, c)
+	// Tenant order is sorted so the aggregation (and any future
+	// order-sensitive field) is byte-stable run to run, not map-ordered.
+	for _, tenant := range sortedKeys(s.caches) {
+		caches = append(caches, s.caches[tenant])
 	}
 	s.cachesMu.Unlock()
 	for _, c := range caches {

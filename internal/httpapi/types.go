@@ -58,9 +58,11 @@ type CreateSessionRequest struct {
 	// ignored with EdgeList (the header carries it).
 	N int `json:"n,omitempty"`
 	// Edges lists the undirected edges as [u, v] pairs.
+	//privacy:secret — the raw edge list of the uploaded graph; inbound only, must never be echoed on a response.
 	Edges [][2]int `json:"edges,omitempty"`
 	// EdgeList is the text exchange format ("n <count>" header plus one
 	// "u v" pair per line), mutually exclusive with Edges.
+	//privacy:secret — the raw edge list of the uploaded graph; inbound only, must never be echoed on a response.
 	EdgeList string `json:"edge_list,omitempty"`
 	// Budget is ε_total for the session's accountant. Required.
 	Budget float64 `json:"budget"`

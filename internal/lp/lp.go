@@ -305,6 +305,7 @@ func dualRepair(tab [][]float64, basis []int, n, m int, opts Options) (pivots in
 		worst := -opts.Tol
 		for i := 0; i < m; i++ {
 			rhs := tab[i][n+m]
+			//detlint:allow floatorder — bit-exact tie detection: rows whose rhs ties to the current worst must defer to the smallest-basic-variable rule for deterministic pivoting
 			if rhs < worst || (leave != -1 && rhs == worst && basis[i] < basis[leave]) {
 				worst = rhs
 				leave = i

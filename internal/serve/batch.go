@@ -23,6 +23,8 @@ type Request struct {
 }
 
 // Response is the outcome of one batch request, at the same index.
+//
+//detlint:allow wireleak — in-process API type, never marshalled: the network layer (internal/httpapi) maps it to BatchItem, which carries only the noised release fields, and the wire sinks remain guarded
 type Response struct {
 	Result core.Result
 	// Err is non-nil when the request was rejected (validation or

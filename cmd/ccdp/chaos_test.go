@@ -1,0 +1,67 @@
+package main
+
+// Daemon-level chaos drill: NODEDP_FAILPOINTS arms failpoints at boot (the
+// boot log announces them), injected failures surface as typed retryable
+// errors, and a malformed spec fails the boot loudly.
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"nodedp/internal/fault"
+)
+
+func TestDaemonArmsFailpointsFromEnv(t *testing.T) {
+	defer fault.Reset()
+	t.Setenv(fault.EnvVar, "privacy.reserve=nth:1")
+	d := startDaemon(t)
+	defer d.stop(t)
+
+	if !strings.Contains(d.bootLog, "CHAOS: 1 failpoint site(s) armed from "+fault.EnvVar) ||
+		!strings.Contains(d.bootLog, "privacy.reserve") {
+		t.Fatalf("boot log missing chaos announcement:\n%s", d.bootLog)
+	}
+
+	post := func(path, body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(d.base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+
+	code, body := post("/v1/graphs", `{"n":6,"edges":[[0,1],[2,3]],"budget":2}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	var id string
+	if _, after, ok := strings.Cut(body, `"session_id":"`); ok {
+		id, _, _ = strings.Cut(after, `"`)
+	}
+
+	// First query trips the armed ledger failpoint: a retryable 500 with
+	// the internal taxonomy code, charging nothing.
+	code, body = post("/v1/sessions/"+id+"/query", `{"op":"cc","epsilon":0.5,"seed":7}`)
+	if code != http.StatusInternalServerError || !strings.Contains(body, `"internal"`) {
+		t.Fatalf("query under armed failpoint: %d %s", code, body)
+	}
+	// The failpoint is spent (nth:1); the retry succeeds.
+	code, body = post("/v1/sessions/"+id+"/query", `{"op":"cc","epsilon":0.5,"seed":7}`)
+	if code != http.StatusOK || !strings.Contains(body, `"value"`) {
+		t.Fatalf("retry after spent failpoint: %d %s", code, body)
+	}
+}
+
+func TestDaemonRejectsMalformedFailpointSpec(t *testing.T) {
+	defer fault.Reset()
+	t.Setenv(fault.EnvVar, "privacy.reserve=bogus:policy")
+	err := run([]string{"daemon", "-listen", "127.0.0.1:0"}, strings.NewReader(""), io.Discard)
+	if err == nil || !strings.Contains(err.Error(), fault.EnvVar) {
+		t.Fatalf("malformed spec boot err = %v, want parse failure naming %s", err, fault.EnvVar)
+	}
+}

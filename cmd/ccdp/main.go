@@ -124,6 +124,7 @@ import (
 
 	"nodedp"
 	"nodedp/internal/core"
+	"nodedp/internal/fault"
 	"nodedp/internal/httpapi"
 )
 
@@ -257,6 +258,17 @@ func runDaemon(args []string, stdout io.Writer) error {
 		if intervalSet {
 			return usageError(fs, "-cache-save-interval requires -cache-file")
 		}
+	}
+
+	// Chaos drills: arm any failpoints listed in NODEDP_FAILPOINTS before
+	// the stack starts. An unset variable leaves every site disabled at
+	// zero overhead; a malformed spec fails the boot loudly rather than
+	// running a drill with no faults armed.
+	if n, err := fault.ArmFromEnv(); err != nil {
+		return fmt.Errorf("parsing %s: %w", fault.EnvVar, err)
+	} else if n > 0 {
+		fmt.Fprintf(stdout, "ccdp daemon: CHAOS: %d failpoint site(s) armed from %s: %s\n",
+			n, fault.EnvVar, strings.Join(fault.Sites(), ", "))
 	}
 
 	// Warm-restart persistence: one shared cache, loaded from the snapshot

@@ -1,0 +1,321 @@
+package chaos
+
+// The chaos conformance suite: drive a daemon workload under seeded
+// randomized fault schedules through the retrying client and assert the
+// stack's four robustness invariants:
+//
+//  1. No escaped panic — the daemon answers /healthz and /metrics after
+//     the storm, and every injected ledger panic was contained and
+//     counted in nodedp_panics_recovered_total.
+//  2. Exact ledger balance — after reconciliation, each session's spent
+//     budget is exactly ε × its distinct successful request IDs: no
+//     double-spend from retries, no stranded reservation from failures.
+//  3. No partial plan — the shared plan cache survives torn snapshot
+//     writes; a clean save then reloads into a fresh cache with zero
+//     skipped entries and serves the original lookups as hits.
+//  4. Bit-identical survivors — every release that succeeds under faults
+//     (in the storm or in reconciliation) is bit-identical to the same
+//     seeded query on a fault-free daemon.
+//
+// Schedules, retry backoff, and fault coins are all seeded: a run is
+// reproduced exactly by its seed.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"nodedp/internal/client"
+	"nodedp/internal/core"
+	"nodedp/internal/fault"
+	"nodedp/internal/generate"
+	"nodedp/internal/graph"
+	"nodedp/internal/httpapi"
+)
+
+const (
+	chaosEpsilon = 0.25 // power of two: spent sums are exact in float64
+	queriesPer   = 8
+)
+
+// chaosSeeds: three arbitrary seeds plus 412, picked because its schedule
+// arms the cache-admission site (core.cache.admit=nth:1) — the partial-plan
+// invariant then runs at least once against an injected admission failure.
+var chaosSeeds = []uint64{101, 202, 303, 412}
+
+type workloadGraph struct {
+	name  string
+	g     *graph.Graph
+	edges [][2]int
+}
+
+// chaosWorkload returns the two serving workloads: a small
+// multi-component graph (cheap, cache-light) and a supercritical ER graph
+// whose giant component makes the plan build LP-heavy.
+func chaosWorkload() []workloadGraph {
+	gs := []workloadGraph{
+		{name: "planted", g: generate.PlantedComponents([]int{6, 5}, 0.5, generate.NewRand(3))},
+		{name: "er120", g: generate.ErdosRenyi(120, 0.03, generate.NewRand(9))},
+	}
+	for i := range gs {
+		for _, e := range gs[i].g.Edges() {
+			gs[i].edges = append(gs[i].edges, [2]int{e.U, e.V})
+		}
+	}
+	return gs
+}
+
+type releaseBits struct{ value, nHat uint64 }
+
+// faultFreeBaseline serves every workload query on a clean daemon and
+// records the released bits: the reference each chaotic survivor must
+// match exactly.
+func faultFreeBaseline(t *testing.T, graphs []workloadGraph) map[string][]releaseBits {
+	t.Helper()
+	if fault.Enabled() {
+		t.Fatal("baseline must run with no failpoints armed")
+	}
+	srv := httpapi.New(httpapi.Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := client.New(ts.URL, client.Options{HTTPClient: ts.Client(), JitterSeed: 1})
+
+	ctx := context.Background()
+	base := make(map[string][]releaseBits)
+	for _, wg := range graphs {
+		created, err := cl.CreateSession(ctx, httpapi.CreateSessionRequest{
+			N: wg.g.N(), Edges: wg.edges, Budget: 64,
+		})
+		if err != nil {
+			t.Fatalf("baseline session for %s: %v", wg.name, err)
+		}
+		for i := 0; i < queriesPer; i++ {
+			res, err := cl.Query(ctx, created.SessionID, httpapi.QueryRequest{
+				Op: "cc", Epsilon: chaosEpsilon, Seed: uint64(i + 1),
+			})
+			if err != nil {
+				t.Fatalf("baseline query %s/%d: %v", wg.name, i, err)
+			}
+			base[wg.name] = append(base[wg.name], releaseBits{
+				value: math.Float64bits(res.Value), nHat: math.Float64bits(res.NHat),
+			})
+		}
+	}
+	return base
+}
+
+func TestChaosSchedules(t *testing.T) {
+	defer fault.Reset()
+	fault.Reset()
+	graphs := chaosWorkload()
+	base := faultFreeBaseline(t, graphs)
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runSchedule(t, seed, graphs, base)
+		})
+	}
+}
+
+func runSchedule(t *testing.T, seed uint64, graphs []workloadGraph, base map[string][]releaseBits) {
+	defer fault.Reset()
+	ctx := context.Background()
+
+	shared := core.NewPlanCacheWeighted(1 << 30)
+	cacheFile := t.TempDir() + "/cache.snap"
+	srv := httpapi.New(httpapi.Config{Cache: shared, CacheFile: cacheFile, RetryJitterSeed: seed})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := client.New(ts.URL, client.Options{
+		HTTPClient:  ts.Client(),
+		MaxAttempts: 6,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+		JitterSeed:  seed,
+	})
+
+	spec := RandomSchedule(seed)
+	t.Logf("schedule: %s", spec)
+	if err := fault.Arm(spec); err != nil {
+		t.Fatalf("arming schedule: %v", err)
+	}
+
+	// --- The storm: sessions and queries under the armed schedule. ---
+	type sessionRun struct {
+		wg     workloadGraph
+		id     string
+		phase1 map[int]releaseBits // query index → released bits, when the storm attempt succeeded
+	}
+	var runs []*sessionRun
+	for _, wg := range graphs {
+		var created *httpapi.CreateSessionResponse
+		var err error
+		// The client already retries transient failures; the outer loop
+		// absorbs schedules dense enough to exhaust its attempt budget.
+		for round := 0; round < 10; round++ {
+			created, err = cl.CreateSession(ctx, httpapi.CreateSessionRequest{
+				N: wg.g.N(), Edges: wg.edges, Budget: 64,
+			})
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			t.Fatalf("no session for %s under schedule %d: %v", wg.name, seed, err)
+		}
+		run := &sessionRun{wg: wg, id: created.SessionID, phase1: make(map[int]releaseBits)}
+		runs = append(runs, run)
+
+		for i := 0; i < queriesPer; i++ {
+			res, err := cl.Query(ctx, run.id, httpapi.QueryRequest{
+				Op: "cc", Epsilon: chaosEpsilon, Seed: uint64(i + 1),
+				RequestID: fmt.Sprintf("chaos-%d-%s-%d", seed, wg.name, i),
+			})
+			if err != nil {
+				continue // reconciliation below proves nothing leaked
+			}
+			run.phase1[i] = releaseBits{
+				value: math.Float64bits(res.Value), nHat: math.Float64bits(res.NHat),
+			}
+		}
+		// A snapshot save mid-storm: may tear on the armed snapshot sites;
+		// invariant 3 checks the cache survives it.
+		if _, err := srv.SaveCache(); err != nil {
+			t.Logf("mid-storm snapshot save torn (expected under schedule): %v", err)
+		}
+	}
+	reservePanics := fault.Fired("privacy.reserve")
+	fault.Reset()
+
+	// --- Invariant 1: the daemon survived, panics were contained. ---
+	if code := getStatus(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after storm → %d", code)
+	}
+	if recovered := metricValue(t, ts.URL, "nodedp_panics_recovered_total"); recovered != int64(reservePanics) {
+		t.Errorf("panics recovered = %d, want %d (every injected ledger panic contained, none escaped)",
+			recovered, reservePanics)
+	}
+
+	// --- Invariant 4 (and dedup coherence): reconciliation. Every logical
+	// query re-issued with its storm request ID must now succeed, match the
+	// fault-free baseline bit for bit, and match any storm-time success
+	// (a replayed release may not drift). ---
+	for _, run := range runs {
+		for i := 0; i < queriesPer; i++ {
+			res, err := cl.Query(ctx, run.id, httpapi.QueryRequest{
+				Op: "cc", Epsilon: chaosEpsilon, Seed: uint64(i + 1),
+				RequestID: fmt.Sprintf("chaos-%d-%s-%d", seed, run.wg.name, i),
+			})
+			if err != nil {
+				t.Fatalf("reconciling %s/%d: %v", run.wg.name, i, err)
+			}
+			got := releaseBits{value: math.Float64bits(res.Value), nHat: math.Float64bits(res.NHat)}
+			if want := base[run.wg.name][i]; got != want {
+				t.Errorf("%s/%d: release under faults %x/%x != fault-free %x/%x",
+					run.wg.name, i, got.value, got.nHat, want.value, want.nHat)
+			}
+			if p1, ok := run.phase1[i]; ok && p1 != got {
+				t.Errorf("%s/%d: storm success %x/%x but replay %x/%x — dedup replay drifted",
+					run.wg.name, i, p1.value, p1.nHat, got.value, got.nHat)
+			}
+		}
+	}
+
+	// --- Invariant 2: exact ledger balance. Whatever mix of injected
+	// errors, contained panics, aborted writes, and retries the storm
+	// produced, each session is charged exactly once per logical query. ---
+	for _, run := range runs {
+		info, err := cl.SessionInfo(ctx, run.id)
+		if err != nil {
+			t.Fatalf("session info %s: %v", run.wg.name, err)
+		}
+		if want := chaosEpsilon * queriesPer; info.Budget.Spent != want {
+			t.Errorf("%s: spent = %v, want exactly %v (ε × %d logical queries)",
+				run.wg.name, info.Budget.Spent, want, queriesPer)
+		}
+	}
+
+	// --- Invariant 3: no partial plan. A clean save commits, and a fresh
+	// cache loads it whole — zero skipped entries — and serves the
+	// workload's lookups as hits. ---
+	entries, err := srv.SaveCache()
+	if err != nil {
+		t.Fatalf("clean snapshot save after storm: %v", err)
+	}
+	warm := core.NewPlanCacheWeighted(1 << 30)
+	rep, err := warm.LoadFile(cacheFile)
+	if err != nil {
+		t.Fatalf("cold start on post-storm snapshot: %v", err)
+	}
+	if rep.Skipped() != 0 || rep.Loaded != entries {
+		t.Fatalf("snapshot degraded: loaded %d of %d, skipped %d (errs: %v)",
+			rep.Loaded, entries, rep.Skipped(), rep.Errs)
+	}
+	for _, wg := range graphs {
+		if _, hit, err := warm.GridEval(ctx, wg.g, core.Options{}); err != nil || !hit {
+			t.Errorf("reloaded cache misses %s: hit=%v, %v", wg.name, hit, err)
+		}
+	}
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// metricValue scrapes one counter from the exposition text.
+func metricValue(t *testing.T, baseURL, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("parsing %s value %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not in exposition", name)
+	return 0
+}
+
+// TestRandomScheduleDeterministic: one seed, one schedule — the replay
+// property everything above depends on.
+func TestRandomScheduleDeterministic(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		if a, b := RandomSchedule(seed), RandomSchedule(seed); a != b {
+			t.Fatalf("seed %d: schedule not deterministic:\n%s\n%s", seed, a, b)
+		}
+	}
+	if RandomSchedule(101) == RandomSchedule(202) {
+		t.Fatal("distinct seeds produced identical schedules — suspicious derivation")
+	}
+	for _, seed := range chaosSeeds {
+		if spec := RandomSchedule(seed); strings.Contains(spec, "privacy.refund") {
+			t.Fatalf("seed %d: schedule arms the deliberate invariant-breaker privacy.refund: %s", seed, spec)
+		} else if err := fault.Arm(spec); err != nil {
+			t.Fatalf("seed %d: schedule does not parse: %v", seed, err)
+		}
+		fault.Reset()
+	}
+}

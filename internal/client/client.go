@@ -1,0 +1,306 @@
+// Package client is a retrying Go client for the ccdp daemon's HTTP API
+// (internal/httpapi). It exists because the failure modes the chaos suite
+// injects — connections killed mid-response, load-shed 429s, transient
+// internal errors — are exactly what production clients see, and handling
+// them correctly around a *budgeted* API takes care:
+//
+//   - Transient failures (transport errors, 429, 500, 502, 503, 504) are
+//     retried with capped exponential backoff plus seeded jitter, honoring
+//     any Retry-After header the server sends.
+//   - Every query carries a request ID (auto-assigned when the caller
+//     doesn't set one) that is resent verbatim on each retry. The server's
+//     per-session dedup table replays a recorded release instead of
+//     re-executing it, so a retry after a connection lost mid-response
+//     never charges the session's ε twice — without the ID, a retrying
+//     client would silently double-spend.
+//   - Non-retryable API errors (4xx taxonomy codes) surface as *APIError
+//     with the parsed code and message.
+//
+// The jitter PRNG is seeded (Options.JitterSeed), never the global RNG or
+// the wall clock, so tests replay identical retry schedules.
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	mrand "math/rand/v2"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nodedp/internal/httpapi"
+)
+
+// Defaults for Options' zero fields.
+const (
+	DefaultMaxAttempts = 5
+	DefaultBaseBackoff = 10 * time.Millisecond
+	DefaultMaxBackoff  = 1 * time.Second
+)
+
+// Options tunes a Client. The zero value is production-shaped.
+type Options struct {
+	// HTTPClient overrides the transport (tests inject the httptest
+	// server's client); nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxAttempts caps total attempts per logical call (first try +
+	// retries). 0 means DefaultMaxAttempts; 1 disables retries.
+	MaxAttempts int
+	// BaseBackoff is the pre-jitter delay before the first retry; it
+	// doubles per attempt up to MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterSeed seeds the backoff jitter PRNG; 0 means a fixed default.
+	JitterSeed uint64
+	// IDPrefix namespaces auto-assigned query request IDs. Empty means a
+	// random per-client prefix, which keeps two clients sharing a session
+	// from colliding in the server's replay table.
+	IDPrefix string
+}
+
+// Client talks to one daemon. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+	opts Options
+
+	mu  sync.Mutex
+	rng *mrand.Rand
+
+	idPrefix  string
+	idCounter atomic.Uint64
+}
+
+// APIError is a non-2xx response with its parsed taxonomy payload.
+type APIError struct {
+	Status int
+	Info   httpapi.ErrorInfo
+}
+
+func (e *APIError) Error() string {
+	if e.Info.Code != "" {
+		return fmt.Sprintf("client: %d %s: %s", e.Status, e.Info.Code, e.Info.Message)
+	}
+	return fmt.Sprintf("client: unexpected status %d", e.Status)
+}
+
+// New builds a Client for the daemon at baseURL (e.g. "http://host:8080").
+func New(baseURL string, opts Options) *Client {
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = http.DefaultClient
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = DefaultMaxAttempts
+	}
+	if opts.BaseBackoff <= 0 {
+		opts.BaseBackoff = DefaultBaseBackoff
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = DefaultMaxBackoff
+	}
+	seed := opts.JitterSeed
+	if seed == 0 {
+		seed = 1
+	}
+	prefix := opts.IDPrefix
+	if prefix == "" {
+		var b [6]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			prefix = "q" + hex.EncodeToString(b[:])
+		} else {
+			prefix = "q"
+		}
+	}
+	return &Client{
+		base:     baseURL,
+		hc:       opts.HTTPClient,
+		opts:     opts,
+		rng:      mrand.New(mrand.NewPCG(seed, seed)),
+		idPrefix: prefix,
+	}
+}
+
+// CreateSession uploads a graph and opens a session, retrying transient
+// failures. A transport error after the server already committed the
+// session can create a spare session on retry; spares cost one registry
+// slot until idle-TTL eviction and are the price of at-least-once upload.
+func (c *Client) CreateSession(ctx context.Context, req httpapi.CreateSessionRequest) (*httpapi.CreateSessionResponse, error) {
+	var out httpapi.CreateSessionResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/graphs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Query issues one private query. When req.RequestID is empty an ID is
+// assigned, making the call idempotent across retries: the budget is
+// charged and the release drawn at most once, however many attempts the
+// connection failures force.
+func (c *Client) Query(ctx context.Context, sessionID string, req httpapi.QueryRequest) (*httpapi.QueryResponse, error) {
+	if req.RequestID == "" {
+		req.RequestID = fmt.Sprintf("%s-%d", c.idPrefix, c.idCounter.Add(1))
+	}
+	var out httpapi.QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Batch issues a batch of queries. Batch items carry no request IDs (the
+// server's dedup table covers only the single-query endpoint), so a retry
+// after a mid-response failure MAY re-execute items; use Query for
+// exactly-once semantics under faults.
+func (c *Client) Batch(ctx context.Context, sessionID string, req httpapi.BatchRequest) (*httpapi.BatchResponse, error) {
+	var out httpapi.BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SessionInfo fetches budget and cache introspection.
+func (c *Client) SessionInfo(ctx context.Context, sessionID string) (*httpapi.SessionInfo, error) {
+	var out httpapi.SessionInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+sessionID, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteSession closes a session. Deletion is idempotent from the
+// caller's view: a 404 (already gone, possibly deleted by an earlier
+// attempt whose response was lost) reports success.
+func (c *Client) DeleteSession(ctx context.Context, sessionID string) error {
+	err := c.do(ctx, http.MethodDelete, "/v1/sessions/"+sessionID, nil, nil)
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+		return nil
+	}
+	return err
+}
+
+// retryable reports whether a status is worth another attempt: shedding
+// (429, honoring Retry-After), transient internal failures (500 — for
+// queries, made safe by request-ID replay), bad gateways, and timeouts
+// whose budget the server refunded (504).
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do runs one logical call with retries. body and out are JSON values.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+	}
+
+	var lastErr error
+	hint := time.Duration(0) // Retry-After from the previous attempt
+	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if err := c.sleep(ctx, attempt-1, hint); err != nil {
+				return err
+			}
+			hint = 0
+		}
+		var req *http.Request
+		var err error
+		if payload != nil {
+			req, err = http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(payload))
+		} else {
+			req, err = http.NewRequestWithContext(ctx, method, c.base+path, nil)
+		}
+		if err != nil {
+			return fmt.Errorf("client: building request: %w", err)
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err // transport failure: connection refused, reset, aborted mid-response
+			continue
+		}
+		raw, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if readErr != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = fmt.Errorf("client: reading response: %w", readErr)
+			continue
+		}
+
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			if out != nil && len(raw) > 0 {
+				if err := json.Unmarshal(raw, out); err != nil {
+					// A connection killed mid-body can truncate the JSON
+					// without a transport error; treat it as transient.
+					lastErr = fmt.Errorf("client: decoding response: %w", err)
+					continue
+				}
+			}
+			return nil
+		}
+
+		apiErr := &APIError{Status: resp.StatusCode}
+		var envelope httpapi.ErrorBody
+		if json.Unmarshal(raw, &envelope) == nil {
+			apiErr.Info = envelope.Error
+		}
+		if !retryable(resp.StatusCode) {
+			return apiErr
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				hint = time.Duration(secs) * time.Second
+			}
+		}
+		lastErr = apiErr
+	}
+	return fmt.Errorf("client: %d attempts exhausted: %w", c.opts.MaxAttempts, lastErr)
+}
+
+// sleep blocks for the backoff before retry number `retry` (1-based):
+// capped exponential with jitter in [d/2, d], raised to the server's
+// Retry-After hint when that is larger, and cut short by ctx.
+func (c *Client) sleep(ctx context.Context, retry int, hint time.Duration) error {
+	d := c.opts.BaseBackoff << (retry - 1)
+	if d <= 0 || d > c.opts.MaxBackoff {
+		d = c.opts.MaxBackoff
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int64N(int64(d/2) + 1))
+	c.mu.Unlock()
+	d = d/2 + j
+	if hint > d {
+		d = hint
+	}
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,264 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nodedp/internal/fault"
+	"nodedp/internal/generate"
+	"nodedp/internal/httpapi"
+)
+
+// fastOpts keeps test retries snappy.
+func fastOpts(hc *http.Client) Options {
+	return Options{
+		HTTPClient:  hc,
+		MaxAttempts: 6,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		JitterSeed:  7,
+	}
+}
+
+func testGraphEdges(t *testing.T) (int, [][2]int) {
+	t.Helper()
+	g := generate.PlantedComponents([]int{6, 5}, 0.5, generate.NewRand(3))
+	var pairs [][2]int
+	for _, e := range g.Edges() {
+		pairs = append(pairs, [2]int{e.U, e.V})
+	}
+	return g.N(), pairs
+}
+
+func newDaemon(t *testing.T) (*httpapi.Server, *Client) {
+	t.Helper()
+	s := httpapi.New(httpapi.Config{})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, New(ts.URL, fastOpts(ts.Client()))
+}
+
+// TestRetryAfterConnectionAbortReplaysRelease is the core of the
+// idempotent-retry contract: the server computes a release and charges ε,
+// then the response write dies; the client's retry must receive the
+// recorded release (bit-identical) with the budget charged exactly once.
+func TestRetryAfterConnectionAbortReplaysRelease(t *testing.T) {
+	defer fault.Reset()
+	_, c := newDaemon(t)
+	n, edges := testGraphEdges(t)
+
+	ctx := context.Background()
+	created, err := c.CreateSession(ctx, httpapi.CreateSessionRequest{N: n, Edges: edges, Budget: 2})
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+
+	// Arm after creation so the very next response write — the first query
+	// attempt's — is the one that dies.
+	if err := fault.Arm("httpapi.write=nth:1"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(ctx, created.SessionID, httpapi.QueryRequest{Op: "cc", Epsilon: 0.5, Seed: 42})
+	if err != nil {
+		t.Fatalf("query under write abort: %v", err)
+	}
+	if fault.Fired("httpapi.write") != 1 {
+		t.Fatalf("write failpoint fired %d times, want 1", fault.Fired("httpapi.write"))
+	}
+	fault.Reset()
+
+	// The replay must be the same release the aborted attempt computed,
+	// and the budget must reflect exactly one charge.
+	res2, err := c.Query(ctx, created.SessionID, httpapi.QueryRequest{
+		Op: "cc", Epsilon: 0.5, Seed: 42, RequestID: "probe-direct",
+	})
+	if err != nil {
+		t.Fatalf("follow-up query: %v", err)
+	}
+	if math.Float64bits(res.Value) != math.Float64bits(res2.Value) {
+		t.Errorf("replayed release %v differs from fresh seeded release %v", res.Value, res2.Value)
+	}
+	info, err := c.SessionInfo(ctx, created.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Budget.Spent != 1.0 { // two distinct logical queries × ε=0.5
+		t.Errorf("spent = %v, want 1.0 (one charge per logical query)", info.Budget.Spent)
+	}
+}
+
+// TestSameRequestIDNeverDoubleCharges drives the same request ID twice
+// and requires one charge and bit-identical responses.
+func TestSameRequestIDNeverDoubleCharges(t *testing.T) {
+	_, c := newDaemon(t)
+	n, edges := testGraphEdges(t)
+	ctx := context.Background()
+	created, err := c.CreateSession(ctx, httpapi.CreateSessionRequest{N: n, Edges: edges, Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httpapi.QueryRequest{Op: "cc", Epsilon: 0.25, Seed: 9, RequestID: "once"}
+	a, err := c.Query(ctx, created.SessionID, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Query(ctx, created.SessionID, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(a.Value) != math.Float64bits(b.Value) ||
+		math.Float64bits(a.NHat) != math.Float64bits(b.NHat) {
+		t.Errorf("replay differs: %+v vs %+v", a, b)
+	}
+	info, err := c.SessionInfo(ctx, created.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Budget.Spent != 0.25 {
+		t.Errorf("spent = %v, want 0.25 (single charge)", info.Budget.Spent)
+	}
+}
+
+// TestTransientErrorsRetriedUntilSuccess uses a stub that fails with
+// retryable statuses before succeeding, and checks the attempt count.
+func TestTransientErrorsRetriedUntilSuccess(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch attempts.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"overloaded","message":"shed"}}`))
+		case 2:
+			w.WriteHeader(http.StatusInternalServerError)
+			w.Write([]byte(`{"error":{"code":"internal","message":"transient"}}`))
+		default:
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte(`{"value":1,"delta_hat":1,"noise_scale":1,"epsilon":0.5,"op":"cc"}`))
+		}
+	}))
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL, fastOpts(ts.Client()))
+	res, err := c.Query(context.Background(), "s", httpapi.QueryRequest{Op: "cc", Epsilon: 0.5})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if res.Value != 1 {
+		t.Errorf("value = %v", res.Value)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+}
+
+// TestNonRetryableErrorsFailFast: a 400 must surface immediately as a
+// typed APIError without burning retries.
+func TestNonRetryableErrorsFailFast(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":{"code":"invalid_request","message":"bad op"}}`))
+	}))
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL, fastOpts(ts.Client()))
+	_, err := c.Query(context.Background(), "s", httpapi.QueryRequest{Op: "nope", Epsilon: 0.5})
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("error %v (%T), want *APIError", err, err)
+	}
+	if apiErr.Status != http.StatusBadRequest || apiErr.Info.Code != httpapi.CodeInvalidRequest {
+		t.Errorf("unexpected APIError: %+v", apiErr)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry on 400)", got)
+	}
+}
+
+// TestDeleteSessionIdempotent: deleting twice reports success both times.
+func TestDeleteSessionIdempotent(t *testing.T) {
+	_, c := newDaemon(t)
+	n, edges := testGraphEdges(t)
+	ctx := context.Background()
+	created, err := c.CreateSession(ctx, httpapi.CreateSessionRequest{N: n, Edges: edges, Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteSession(ctx, created.SessionID); err != nil {
+		t.Fatalf("first delete: %v", err)
+	}
+	if err := c.DeleteSession(ctx, created.SessionID); err != nil {
+		t.Fatalf("second delete (must be idempotent): %v", err)
+	}
+}
+
+// TestContextCancellationStopsRetries: a canceled context aborts the
+// retry loop promptly with the context's error.
+func TestContextCancellationStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(ts.Close)
+
+	opts := fastOpts(ts.Client())
+	opts.MaxAttempts = 100
+	opts.BaseBackoff = 50 * time.Millisecond
+	opts.MaxBackoff = 50 * time.Millisecond
+	c := New(ts.URL, opts)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := c.Query(ctx, "s", httpapi.QueryRequest{Op: "cc", Epsilon: 0.5})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestAutoRequestIDsAreUnique: distinct logical queries draw distinct IDs
+// (collisions would replay the wrong release).
+func TestAutoRequestIDsAreUnique(t *testing.T) {
+	seen := make(chan string, 4)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req httpapi.QueryRequest
+		if err := jsonDecode(r, &req); err != nil {
+			t.Error(err)
+		}
+		seen <- req.RequestID
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"value":1,"delta_hat":1,"noise_scale":1,"epsilon":0.5,"op":"cc"}`))
+	}))
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL, fastOpts(ts.Client()))
+	for i := 0; i < 3; i++ {
+		if _, err := c.Query(context.Background(), "s", httpapi.QueryRequest{Op: "cc", Epsilon: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		id := <-seen
+		if id == "" {
+			t.Fatal("query went out without a request ID")
+		}
+		if ids[id] {
+			t.Fatalf("request ID %q reused across logical queries", id)
+		}
+		ids[id] = true
+	}
+}
+
+func jsonDecode(r *http.Request, v any) error {
+	defer r.Body.Close()
+	return json.NewDecoder(r.Body).Decode(v)
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sync"
 
+	"nodedp/internal/fault"
 	"nodedp/internal/graph"
 )
 
@@ -232,6 +233,14 @@ func (c *PlanCache) GridEval(ctx context.Context, g *graph.Graph, opts Options) 
 		c.mu.Unlock()
 
 		f.ge, f.err = evaluateGridCSR(ctx, csr, key.fp, opts)
+		// Failpoint between evaluation and admission: a firing site turns a
+		// finished evaluation into an error *before* the insert gate below,
+		// proving no partial or fault-tainted plan can enter the cache (the
+		// chaos suite's save→load round trip checks the same invariant from
+		// the outside).
+		if f.err == nil {
+			f.err = fault.Hit("core.cache.admit")
+		}
 
 		c.mu.Lock()
 		delete(c.inflight, key)

@@ -1,0 +1,101 @@
+package core
+
+// Fault-injection tests for the plan cache: a save torn between write and
+// rename must leave a cold start on the previous snapshot clean and
+// complete, and an injected admission failure must never install a
+// partial entry.
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"nodedp/internal/fault"
+	"nodedp/internal/generate"
+)
+
+// TestTornSnapshotColdStart is the satellite's crash-mid-save drill: a
+// snapshot exists, a later save dies between writing the temp file and the
+// rename, and the next daemon boot must load the intact previous snapshot
+// with zero skipped entries.
+func TestTornSnapshotColdStart(t *testing.T) {
+	defer fault.Reset()
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "cache.snap")
+
+	live := NewPlanCacheWeighted(1 << 30)
+	if _, _, err := live.GridEval(ctx, generate.Grid(4, 4), Options{Epsilon: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := live.SaveFile(path); err != nil || n != 1 {
+		t.Fatalf("first save = %d, %v", n, err)
+	}
+
+	// Grow the cache, then tear the second save at the rename.
+	if _, _, err := live.GridEval(ctx, generate.ErdosRenyi(30, 0.05, generate.NewRand(7)), Options{Epsilon: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm("snapshot.write.rename=always"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.SaveFile(path); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("torn save err = %v, want injected", err)
+	}
+	fault.Reset()
+
+	// Cold start: a fresh cache must load the first snapshot, whole.
+	warm := NewPlanCacheWeighted(1 << 30)
+	rep, err := warm.LoadFile(path)
+	if err != nil {
+		t.Fatalf("cold start after torn save: %v", err)
+	}
+	if rep.Loaded != 1 || rep.Skipped() != 0 {
+		t.Fatalf("cold start salvaged %d entries, skipped %d; want 1 loaded, 0 skipped", rep.Loaded, rep.Skipped())
+	}
+	// The reloaded plan serves the original lookup as a hit.
+	if _, hit, err := warm.GridEval(ctx, generate.Grid(4, 4), Options{Epsilon: 1}); err != nil || !hit {
+		t.Fatalf("reloaded lookup: hit=%v, %v", hit, err)
+	}
+}
+
+// TestAdmissionFaultInstallsNothing: an injected failure at the cache
+// admission site fails the GridEval call AND leaves the cache empty — no
+// partial or poisoned plan may be observable afterwards.
+func TestAdmissionFaultInstallsNothing(t *testing.T) {
+	defer fault.Reset()
+	ctx := context.Background()
+	g := generate.Grid(4, 4)
+
+	c := NewPlanCacheWeighted(1 << 30)
+	if err := fault.Arm("core.cache.admit=nth:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.GridEval(ctx, g, Options{Epsilon: 1}); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("GridEval err = %v, want injected", err)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Weight != 0 {
+		t.Fatalf("failed admission left state behind: %+v", st)
+	}
+
+	// The failure is not sticky: the next evaluation (failpoint spent)
+	// computes and admits normally, bit-identical to an uncontaminated
+	// cache's plan.
+	ge, hit, err := c.GridEval(ctx, g, Options{Epsilon: 1})
+	if err != nil || hit {
+		t.Fatalf("retry after injected admission failure: hit=%v, %v", hit, err)
+	}
+	fault.Reset()
+	clean := NewPlanCacheWeighted(1 << 30)
+	geClean, _, err := clean.GridEval(ctx, g, Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := releaseTriple(t, ge, 5)
+	b := releaseTriple(t, geClean, 5)
+	for i := range a {
+		if !sameBits(a[i].Value, b[i].Value) {
+			t.Fatalf("release %d after recovery differs: %v vs %v", i, a[i].Value, b[i].Value)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package fault is a deterministically-seeded failpoint registry for
+// chaos testing the serving stack. Production code declares named sites
+// with fault.Hit("site.name"); a site does nothing until armed, and the
+// disabled fast path is a single atomic load so sites are free to leave
+// in hot loops (see BenchmarkFaultHitDisabled and the CI overhead guard).
+//
+// Sites are armed with a spec string, either programmatically via Arm
+// (tests) or from the NODEDP_FAILPOINTS environment variable via
+// ArmFromEnv (the ccdp daemon calls it at boot). The grammar is
+//
+//	spec    := term (';' term)*
+//	term    := site '=' policy [':' action]
+//	policy  := 'always' | 'error' | 'panic' | 'off'
+//	         | 'nth:' N            (fire on exactly the N-th hit, 1-based)
+//	         | 'prob:' P ':' SEED  (fire each hit with probability P,
+//	                                drawn from a per-site PCG seeded SEED)
+//	action  := 'error' | 'panic'   (default 'error')
+//
+// e.g. NODEDP_FAILPOINTS='snapshot.write.rename=error;core.cache.admit=nth:3;privacy.reserve=prob:0.2:77:panic'
+//
+// A firing error-action site returns a *fault.Error wrapping ErrInjected;
+// a firing panic-action site panics with *fault.PanicError. Probability
+// draws come from a per-site seeded PRNG, never the global RNG or the
+// clock, so a (spec, workload) pair replays the identical fault schedule
+// every run — the property the chaos conformance suite is built on.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar names the environment variable ArmFromEnv reads.
+const EnvVar = "NODEDP_FAILPOINTS"
+
+// ErrInjected is the sentinel every injected error wraps; callers test
+// provenance with errors.Is(err, fault.ErrInjected).
+var ErrInjected = errors.New("fault: injected failure")
+
+// Error is the typed error returned by a firing error-action site.
+type Error struct {
+	Site string
+}
+
+func (e *Error) Error() string { return "fault: injected failure at " + e.Site }
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// PanicError is the value thrown by a firing panic-action site; recovery
+// code identifies injected panics by asserting to this type.
+type PanicError struct {
+	Site string
+}
+
+func (e *PanicError) Error() string { return "fault: injected panic at " + e.Site }
+
+const (
+	modeAlways = iota
+	modeNth
+	modeProb
+)
+
+// trigger is one armed site. hits/fired are atomics so Hit never blocks
+// on the registry; only the probability PRNG needs a mutex.
+type trigger struct {
+	site   string
+	mode   int
+	n      uint64
+	p      float64
+	panics bool
+
+	hits  atomic.Uint64
+	fired atomic.Uint64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// check records a hit and reports whether the site fires on it.
+func (t *trigger) check() bool {
+	k := t.hits.Add(1)
+	switch t.mode {
+	case modeAlways:
+		return true
+	case modeNth:
+		return k == t.n
+	case modeProb:
+		t.mu.Lock()
+		v := t.rng.Float64()
+		t.mu.Unlock()
+		return v < t.p
+	}
+	return false
+}
+
+var (
+	// enabled is the zero-overhead gate: Hit loads it once and returns
+	// when false, which is the permanent state in production.
+	enabled atomic.Bool
+	// registry holds an immutable site→trigger map, swapped whole under
+	// armMu (copy-on-write) so Hit reads it without locking.
+	registry atomic.Pointer[map[string]*trigger]
+	armMu    sync.Mutex
+)
+
+// Hit declares a failpoint site. It returns nil (after one atomic load)
+// unless the site is armed and its policy fires, in which case it
+// returns a *Error (action error) or panics with *PanicError (action
+// panic). Sites are plain strings; hitting an unarmed name is free, so
+// call sites don't register anything up front.
+func Hit(site string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	reg := registry.Load()
+	if reg == nil {
+		return nil
+	}
+	t := (*reg)[site]
+	if t == nil || !t.check() {
+		return nil
+	}
+	t.fired.Add(1)
+	if t.panics {
+		panic(&PanicError{Site: site})
+	}
+	return &Error{Site: site}
+}
+
+// Enabled reports whether any site is armed.
+func Enabled() bool { return enabled.Load() }
+
+// Arm parses spec and arms (or, with policy "off", disarms) each listed
+// site. Arming is additive across calls; counters of re-armed sites
+// reset. An empty spec is a no-op.
+func Arm(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	armMu.Lock()
+	defer armMu.Unlock()
+
+	next := make(map[string]*trigger)
+	if cur := registry.Load(); cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	for _, term := range strings.Split(spec, ";") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		name, policy, ok := strings.Cut(term, "=")
+		name, policy = strings.TrimSpace(name), strings.TrimSpace(policy)
+		if !ok || name == "" || policy == "" {
+			return fmt.Errorf("fault: malformed term %q (want site=policy)", term)
+		}
+		if policy == "off" {
+			delete(next, name)
+			continue
+		}
+		t, err := parseTrigger(name, policy)
+		if err != nil {
+			return err
+		}
+		next[name] = t
+	}
+	registry.Store(&next)
+	enabled.Store(len(next) > 0)
+	return nil
+}
+
+// parseTrigger parses one site's policy[:action] clause.
+func parseTrigger(name, policy string) (*trigger, error) {
+	t := &trigger{site: name}
+	parts := strings.Split(policy, ":")
+
+	// Trailing action, if present.
+	switch parts[len(parts)-1] {
+	case "error":
+		parts = parts[:len(parts)-1]
+	case "panic":
+		t.panics = true
+		parts = parts[:len(parts)-1]
+	}
+
+	switch {
+	case len(parts) == 0 || (len(parts) == 1 && (parts[0] == "" || parts[0] == "always")):
+		t.mode = modeAlways
+	case parts[0] == "nth" && len(parts) == 2:
+		n, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("fault: site %s: bad nth count %q", name, parts[1])
+		}
+		t.mode, t.n = modeNth, n
+	case parts[0] == "prob" && len(parts) == 3:
+		p, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("fault: site %s: bad probability %q", name, parts[1])
+		}
+		seed, err := strconv.ParseUint(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: site %s: bad seed %q", name, parts[2])
+		}
+		t.mode, t.p = modeProb, p
+		t.rng = rand.New(rand.NewPCG(seed, seed))
+	default:
+		return nil, fmt.Errorf("fault: site %s: unknown policy %q", name, policy)
+	}
+	return t, nil
+}
+
+// ArmFromEnv arms every site listed in NODEDP_FAILPOINTS and returns how
+// many sites are armed afterwards. With the variable unset or empty it
+// does nothing and returns 0.
+func ArmFromEnv() (int, error) {
+	spec := os.Getenv(EnvVar)
+	if strings.TrimSpace(spec) == "" {
+		return 0, nil
+	}
+	if err := Arm(spec); err != nil {
+		return 0, err
+	}
+	return len(Sites()), nil
+}
+
+// Reset disarms every site and restores the zero-overhead disabled state.
+// Tests that arm failpoints must defer fault.Reset().
+func Reset() {
+	armMu.Lock()
+	defer armMu.Unlock()
+	enabled.Store(false)
+	registry.Store(nil)
+}
+
+// Sites returns the sorted names of the armed sites.
+func Sites() []string {
+	reg := registry.Load()
+	if reg == nil {
+		return nil
+	}
+	names := make([]string, 0, len(*reg))
+	for name := range *reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Hits returns how many times an armed site has been evaluated (0 for
+// unarmed sites).
+func Hits(site string) uint64 {
+	if reg := registry.Load(); reg != nil {
+		if t := (*reg)[site]; t != nil {
+			return t.hits.Load()
+		}
+	}
+	return 0
+}
+
+// Fired returns how many times an armed site has actually injected a
+// failure.
+func Fired(site string) uint64 {
+	if reg := registry.Load(); reg != nil {
+		if t := (*reg)[site]; t != nil {
+			return t.fired.Load()
+		}
+	}
+	return 0
+}

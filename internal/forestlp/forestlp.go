@@ -40,6 +40,7 @@ import (
 	"math"
 	"runtime"
 
+	"nodedp/internal/fault"
 	"nodedp/internal/graph"
 	"nodedp/internal/lp"
 	"nodedp/internal/spanning"
@@ -420,6 +421,11 @@ func lpValue(ctx context.Context, sub *graph.Graph, caps []float64, opts Options
 		stats.IncrementalFallbacks++
 	}
 
+	// Same injected arena-allocation failure as the parametric path: on
+	// the calling goroutine, before any wave worker exists.
+	if err := fault.Hit("maxflow.arena"); err != nil {
+		return 0, err
+	}
 	sep := newSeparator(sub, edges, opts.Tol, resolveSepWorkers(opts), resolveSepWave(opts))
 	sep.exhaustive = opts.SepExhaustive
 	sep.noRevive = opts.DisableWarmStart
@@ -462,7 +468,7 @@ func lpValue(ctx context.Context, sub *graph.Graph, caps []float64, opts Options
 		if len(rows) >= warmBasisMinRows && warmFails < maxWarmFails {
 			lpOpts.Basis = curBasis
 		}
-		sol, err := lp.Maximize(c, rows, rhs, lpOpts)
+		sol, err := lp.MaximizeCtx(ctx, c, rows, rhs, lpOpts)
 		stats.LPSolves++
 		stats.SimplexPivots += sol.Pivots + sol.WarmPivots
 		if err != nil {

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"math"
 
+	"nodedp/internal/fault"
 	"nodedp/internal/graph"
 	"nodedp/internal/lp"
 )
@@ -69,6 +70,13 @@ func lpValueIncr(ctx context.Context, sub *graph.Graph, edges []graph.Edge, c []
 	opts Options, stats *Stats, sw *shardWarm, orig []int) (float64, bool, error) {
 
 	m := len(c)
+	// Injected max-flow arena-allocation failure. It fires here on the
+	// error-propagating shard path — never inside the oracle's wave
+	// workers, which have no recover and whose contract is to report
+	// failures through the shard result channel.
+	if err := fault.Hit("maxflow.arena"); err != nil {
+		return 0, false, err
+	}
 	sep := newSeparator(sub, edges, opts.Tol, resolveSepWorkers(opts), resolveSepWave(opts))
 	sep.exhaustive = opts.SepExhaustive
 	// The parametric path only runs with warm starts on, so the parked-cut
@@ -143,7 +151,7 @@ func lpValueIncr(ctx context.Context, sub *graph.Graph, edges []graph.Edge, c []
 		if err := ctx.Err(); err != nil {
 			return 0, false, err
 		}
-		sol, err := pi.Solve()
+		sol, err := pi.SolveCtx(ctx)
 		stats.LPSolves++
 		stats.SimplexPivots += sol.Pivots + sol.WarmPivots
 		stats.Refactorizations += sol.Refactorizations

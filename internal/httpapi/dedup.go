@@ -1,0 +1,90 @@
+package httpapi
+
+// This file implements per-session request-ID deduplication: the
+// server-side half of the idempotent-retry contract. A retrying client
+// cannot distinguish "connection died before the server executed my
+// query" from "connection died after the release was computed and the
+// budget charged" — so it resends the same request ID, and the table
+// guarantees the charged case replays the recorded release instead of
+// spending ε twice (a double-spend here would be a privacy bug, not just
+// a billing one).
+//
+// The table is single-flight: the first arrival of an ID is the leader
+// and executes the query; concurrent duplicates wait and replay the
+// leader's outcome. Only successful releases are recorded durably —
+// every failure path (budget rejection, validation, cancellation with
+// its refund) charges nothing, so forgetting the ID and letting a retry
+// re-execute is budget-safe and is what a retrying client wants.
+
+import (
+	"net/http"
+	"sync"
+)
+
+// dedupCap bounds each session's recorded-release table. Eviction is
+// FIFO: a client that retries a query more than dedupCap successful
+// releases later re-executes it, which costs budget but never
+// double-releases within the retry window any sane backoff policy uses.
+const dedupCap = 256
+
+// dedupEntry is the outcome of one logical query. resp/errInfo/status
+// are written by the leader before done is closed and are immutable
+// afterwards; waiters read them only after <-done.
+type dedupEntry struct {
+	done    chan struct{}
+	resp    QueryResponse
+	errInfo *ErrorInfo
+	status  int
+}
+
+// dedupTable is the per-session replay table. The zero value is ready.
+type dedupTable struct {
+	mu      sync.Mutex
+	entries map[string]*dedupEntry
+	order   []string // FIFO of recorded successes, for bounded eviction
+}
+
+// begin claims id. leader=true means the caller must execute the query
+// and finish the entry exactly once (finishSuccess or finishError);
+// leader=false means the entry belongs to an earlier arrival — wait on
+// done and replay.
+func (d *dedupTable) begin(id string) (e *dedupEntry, leader bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.entries == nil {
+		d.entries = make(map[string]*dedupEntry)
+	}
+	if e, ok := d.entries[id]; ok {
+		return e, false
+	}
+	e = &dedupEntry{done: make(chan struct{})}
+	d.entries[id] = e
+	return e, true
+}
+
+// finishSuccess records a completed release durably: every future retry
+// of id replays resp without executing or charging anything.
+func (d *dedupTable) finishSuccess(id string, e *dedupEntry, resp QueryResponse) {
+	e.resp = resp
+	e.status = http.StatusOK
+	d.mu.Lock()
+	d.order = append(d.order, id)
+	for len(d.order) > dedupCap {
+		delete(d.entries, d.order[0])
+		d.order = d.order[1:]
+	}
+	d.mu.Unlock()
+	close(e.done)
+}
+
+// finishError hands the failure to the waiters already parked on the
+// entry but forgets the ID: no failure path leaves budget spent, so a
+// later retry may safely re-execute.
+func (d *dedupTable) finishError(id string, e *dedupEntry, status int, info ErrorInfo) {
+	e.errInfo = &info
+	e.status = status
+	d.mu.Lock()
+	delete(d.entries, id)
+	d.mu.Unlock()
+	close(e.done)
+}

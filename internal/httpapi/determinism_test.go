@@ -30,6 +30,7 @@ func TestMetricsExpositionGolden(t *testing.T) {
 	m.observe("POST /v1/graphs", 201, 4*time.Millisecond)
 	m.addShed()
 	m.addQueries(3)
+	m.addPanic()
 
 	var buf bytes.Buffer
 	m.write(&buf, map[string]float64{
@@ -57,6 +58,9 @@ nodedp_http_requests_shed_total 1
 # HELP nodedp_queries_served_total Private releases served (single queries plus batch items).
 # TYPE nodedp_queries_served_total counter
 nodedp_queries_served_total 3
+# HELP nodedp_panics_recovered_total Handler panics contained by the per-request recovery wrapper.
+# TYPE nodedp_panics_recovered_total counter
+nodedp_panics_recovered_total 1
 # TYPE nodedp_inflight_requests gauge
 nodedp_inflight_requests 1
 # TYPE nodedp_sessions_live gauge

@@ -26,6 +26,9 @@ type metrics struct {
 	shed int64
 	// queriesServed counts private releases (single + batch items).
 	queriesServed int64
+	// panicsRecovered counts handler panics contained by route()'s
+	// recovery wrapper (the daemon answered 500 and kept serving).
+	panicsRecovered int64
 }
 
 func newMetrics() *metrics {
@@ -58,6 +61,12 @@ func (m *metrics) addShed() {
 func (m *metrics) addQueries(n int64) {
 	m.mu.Lock()
 	m.queriesServed += n
+	m.mu.Unlock()
+}
+
+func (m *metrics) addPanic() {
+	m.mu.Lock()
+	m.panicsRecovered++
 	m.mu.Unlock()
 }
 
@@ -95,6 +104,10 @@ func (m *metrics) write(w io.Writer, gauges map[string]float64) {
 	fmt.Fprintf(w, "# HELP nodedp_queries_served_total Private releases served (single queries plus batch items).\n")
 	fmt.Fprintf(w, "# TYPE nodedp_queries_served_total counter\n")
 	fmt.Fprintf(w, "nodedp_queries_served_total %d\n", m.queriesServed)
+
+	fmt.Fprintf(w, "# HELP nodedp_panics_recovered_total Handler panics contained by the per-request recovery wrapper.\n")
+	fmt.Fprintf(w, "# TYPE nodedp_panics_recovered_total counter\n")
+	fmt.Fprintf(w, "nodedp_panics_recovered_total %d\n", m.panicsRecovered)
 
 	for _, name := range sortedKeys(gauges) {
 		fmt.Fprintf(w, "# TYPE %s gauge\n", name)

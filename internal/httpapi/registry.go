@@ -54,6 +54,10 @@ type session struct {
 	sess    *serve.Session
 	created time.Time
 
+	// dedup is the session's request-ID replay table (idempotent query
+	// retries); the zero value is ready.
+	dedup dedupTable
+
 	mu       sync.Mutex
 	lastUsed time.Time
 }

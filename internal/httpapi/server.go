@@ -29,13 +29,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"nodedp/internal/core"
+	"nodedp/internal/fault"
 	"nodedp/internal/graph"
 	"nodedp/internal/privacy"
 	"nodedp/internal/serve"
@@ -80,6 +83,12 @@ type Config struct {
 	// presence. A snapshot holds exact data-dependent values; protect the
 	// file like the graphs themselves.
 	CacheFile string
+	// RetryJitterSeed seeds the deterministic jitter added to 429
+	// Retry-After values, so shed clients spread their retries instead of
+	// returning in lockstep. 0 means a fixed default seed; tests pin it
+	// for golden assertions. The jitter PRNG never touches the release
+	// path.
+	RetryJitterSeed uint64
 	// Now overrides the clock (tests).
 	Now func() time.Time
 }
@@ -104,6 +113,11 @@ type Server struct {
 
 	inflight atomic.Int64
 	draining atomic.Bool
+
+	// retryRng drives the Retry-After jitter (seeded, mutex-guarded; not
+	// on the release path).
+	retryMu  sync.Mutex
+	retryRng *rand.Rand
 }
 
 // New builds a Server.
@@ -121,6 +135,10 @@ func New(cfg Config) *Server {
 	if now == nil {
 		now = time.Now
 	}
+	jitterSeed := cfg.RetryJitterSeed
+	if jitterSeed == 0 {
+		jitterSeed = 1
+	}
 	s := &Server{
 		cfg:      cfg,
 		registry: newRegistry(cfg.Registry, now),
@@ -128,6 +146,7 @@ func New(cfg Config) *Server {
 		now:      now,
 		shared:   cfg.Cache,
 		caches:   make(map[string]*core.PlanCache),
+		retryRng: rand.New(rand.NewPCG(jitterSeed, jitterSeed)),
 	}
 	if s.shared == nil {
 		s.registry.onTenantGone = s.dropTenantCache
@@ -267,15 +286,33 @@ func (s *Server) cacheTotals() core.CacheStats {
 	return total
 }
 
-// statusRecorder captures the response code for metrics.
+// statusRecorder captures the response code for metrics and whether
+// anything was written yet (panic containment can only substitute a typed
+// 500 while the header is still open).
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (sr *statusRecorder) WriteHeader(code int) {
 	sr.code = code
+	sr.wrote = true
 	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	sr.wrote = true
+	return sr.ResponseWriter.Write(b)
+}
+
+// retryAfterSeconds renders base plus a seeded jitter in [0, spread] for
+// a 429's Retry-After header, de-synchronizing shed clients.
+func (s *Server) retryAfterSeconds(base, spread int) string {
+	s.retryMu.Lock()
+	j := s.retryRng.IntN(spread + 1)
+	s.retryMu.Unlock()
+	return strconv.Itoa(base + j)
 }
 
 // route registers a /v1 handler wrapped with admission control, body
@@ -287,7 +324,9 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 		if n := s.inflight.Add(1); n > int64(s.cfg.MaxInflight) {
 			s.inflight.Add(-1)
 			s.metrics.addShed()
-			w.Header().Set("Retry-After", "1")
+			// Jittered so a burst of shed clients spreads its retries
+			// instead of stampeding back on the same second.
+			w.Header().Set("Retry-After", s.retryAfterSeconds(1, 2))
 			writeError(w, http.StatusTooManyRequests, CodeOverloaded,
 				fmt.Sprintf("at inflight capacity (%d); retry after the indicated delay", s.cfg.MaxInflight))
 			s.metrics.observe(pattern, http.StatusTooManyRequests, 0)
@@ -298,7 +337,28 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 		start := s.now()
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.ReadLimit)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		h(rec, r)
+		// Panic containment: a panic below this frame answers with a typed
+		// `internal` error (when the header is still open), increments
+		// nodedp_panics_recovered_total, and lets the daemon keep serving.
+		// http.ErrAbortHandler is re-raised — it is the sanctioned
+		// "abort this connection" signal and net/http handles it quietly.
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					return
+				}
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				s.metrics.addPanic()
+				if !rec.wrote {
+					writeError(rec, http.StatusInternalServerError, CodeInternal,
+						fmt.Sprintf("internal error: request handler panicked: %v", p))
+				}
+			}()
+			h(rec, r)
+		}()
 		s.metrics.observe(pattern, rec.code, s.now().Sub(start))
 	})
 }
@@ -331,7 +391,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var full errCapacity
 		if errors.As(err, &full) {
-			w.Header().Set("Retry-After", "5")
+			w.Header().Set("Retry-After", s.retryAfterSeconds(5, 2))
 			writeError(w, http.StatusTooManyRequests, CodeOverloaded, full.Error())
 			return
 		}
@@ -352,8 +412,15 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		abort()
 		code, ec := http.StatusBadRequest, CodeInvalidRequest
-		if errIsCancel(err) {
+		switch {
+		case errors.Is(err, fault.ErrInjected):
+			// Injected internal failure during the plan build: transient,
+			// retryable, not the uploader's fault.
 			code, ec = http.StatusInternalServerError, CodeInternal
+		case errIsCancel(err):
+			// The uploader went away (or its deadline passed) mid-plan:
+			// that's the client's timeout, not a server fault.
+			code, ec = http.StatusGatewayTimeout, CodeDeadlineExceeded
 		}
 		writeError(w, code, ec, err.Error())
 		return
@@ -428,6 +495,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
 		return
 	}
+
+	// Idempotent replay: a request ID claims a slot in the session's
+	// dedup table. Duplicates of a recorded release replay it without
+	// re-charging; duplicates racing an in-flight leader wait for its
+	// outcome. The leader MUST finish its entry on every exit path —
+	// including a panic — or waiters and future retries would hang.
+	var de *dedupEntry
+	finished := false
+	if req.RequestID != "" {
+		var leader bool
+		de, leader = entry.dedup.begin(req.RequestID)
+		if !leader {
+			select {
+			case <-de.done:
+			case <-r.Context().Done():
+				writeError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+					"query canceled while waiting for the original attempt: "+r.Context().Err().Error())
+				return
+			}
+			if de.errInfo != nil {
+				writeError(w, de.status, de.errInfo.Code, de.errInfo.Message)
+				return
+			}
+			// A replayed release: the budget was charged and the query
+			// served exactly once, on the original attempt.
+			writeJSON(w, http.StatusOK, de.resp)
+			return
+		}
+		defer func() {
+			if !finished {
+				entry.dedup.finishError(req.RequestID, de, http.StatusInternalServerError,
+					ErrorInfo{Code: CodeInternal, Message: "internal error: query attempt aborted"})
+			}
+		}()
+	}
+
 	q := serve.QueryOptions{Epsilon: req.Epsilon, Mode: mode, Seed: req.Seed}
 	var res core.Result
 	if op == serve.OpSpanningForestSize {
@@ -436,11 +539,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		res, err = entry.sess.ComponentCount(r.Context(), q)
 	}
 	if err != nil {
+		if de != nil {
+			// Every error path charges nothing durable (rejections spend
+			// nothing; cancellations refund), so the ID is forgotten and a
+			// retry re-executes.
+			info := toErrorInfo(err)
+			entry.dedup.finishError(req.RequestID, de, queryErrorStatus(info.Code), info)
+			finished = true
+		}
 		writeQueryError(w, err)
 		return
 	}
+	qr := toQueryResponse(req, res)
+	if de != nil {
+		// Record before writing: if the response write dies (connection
+		// abort), the retry must replay this exact release rather than
+		// charge the budget a second time.
+		entry.dedup.finishSuccess(req.RequestID, de, qr)
+		finished = true
+	}
 	s.metrics.addQueries(1)
-	writeJSON(w, http.StatusOK, toQueryResponse(req, res))
+	writeJSON(w, http.StatusOK, qr)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -592,27 +711,47 @@ func toErrorInfo(err error) ErrorInfo {
 	switch {
 	case errors.Is(err, serve.ErrBudgetExhausted):
 		return ErrorInfo{Code: CodeBudgetExhausted, Message: err.Error()}
+	case errors.Is(err, fault.ErrInjected):
+		// An injected failure models an internal fault (I/O error, arena
+		// exhaustion, numerical distress), not a bad request: answer 500 so
+		// retrying clients treat it as transient.
+		return ErrorInfo{Code: CodeInternal, Message: err.Error()}
 	case errIsCancel(err):
-		return ErrorInfo{Code: CodeInternal, Message: "query canceled: " + err.Error()}
+		// The serving layer refunded the reserved ε (refund-on-cancel in
+		// serve.Session.query), so this failure is retry-safe.
+		return ErrorInfo{Code: CodeDeadlineExceeded, Message: "query canceled: " + err.Error()}
 	default:
 		return ErrorInfo{Code: CodeInvalidRequest, Message: err.Error()}
+	}
+}
+
+// queryErrorStatus maps a taxonomy code to its HTTP status.
+func queryErrorStatus(code ErrorCode) int {
+	switch code {
+	case CodeBudgetExhausted:
+		return http.StatusForbidden
+	case CodeInternal:
+		return http.StatusInternalServerError
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
 	}
 }
 
 // writeQueryError writes a single-query failure with its taxonomy status.
 func writeQueryError(w http.ResponseWriter, err error) {
 	info := toErrorInfo(err)
-	switch info.Code {
-	case CodeBudgetExhausted:
-		writeError(w, http.StatusForbidden, info.Code, info.Message)
-	case CodeInternal:
-		writeError(w, http.StatusInternalServerError, info.Code, info.Message)
-	default:
-		writeError(w, http.StatusBadRequest, info.Code, info.Message)
-	}
+	writeError(w, queryErrorStatus(info.Code), info.Code, info.Message)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Injected response-write failure: aborts the connection the way a
+	// mid-write TCP reset would, exercising the client retry + request-ID
+	// replay contract end to end.
+	if fault.Hit("httpapi.write") != nil {
+		panic(http.ErrAbortHandler)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)

@@ -33,6 +33,11 @@ const (
 	CodeOverloaded ErrorCode = "overloaded"
 	// CodeInternal: unexpected server-side failure.
 	CodeInternal ErrorCode = "internal"
+	// CodeDeadlineExceeded: the query's context was canceled or its
+	// deadline passed before the release completed (client disconnect or
+	// HTTP timeout). The reserved ε was refunded in full; retrying is
+	// budget-safe. HTTP 504.
+	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
 )
 
 // ErrorBody is the JSON envelope of every non-2xx response.
@@ -106,6 +111,14 @@ type QueryRequest struct {
 	// reproducible releases are not private) and bit-identical to the
 	// equivalent in-process Session query with the same seed.
 	Seed uint64 `json:"seed,omitempty"`
+	// RequestID, when non-empty, makes the query idempotent on the single
+	// query endpoint: the first attempt with a given ID executes and its
+	// release is recorded; any retry with the same ID replays the recorded
+	// response without charging the budget again. Retrying clients (see
+	// internal/client) rely on this to survive a connection lost after
+	// the budget was charged but before the response arrived. Ignored on
+	// the batch endpoint.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // QueryResponse is one private release.

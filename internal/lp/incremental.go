@@ -1,9 +1,12 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+
+	"nodedp/internal/fault"
 )
 
 // ErrNumericalDistress is returned by Incremental.Solve when the standing
@@ -411,31 +414,59 @@ func (inc *Incremental) residualOK(x []float64, tol float64) bool {
 // NewIncremental's warm start is folded into the first call's
 // WarmPivots/WarmStarted, mirroring Maximize's accounting.
 func (inc *Incremental) Solve() (Solution, error) {
+	return inc.SolveCtx(context.Background())
+}
+
+// SolveCtx is Solve with cooperative cancellation, mirroring MaximizeCtx:
+// the shared pivot loop polls ctx at checkpoints and aborts with ctx.Err().
+// An aborted solve leaves the tableau at the last completed pivot —
+// consistent and NOT poisoned, so a later SolveCtx may resume — but
+// callers on the release path treat a context error as fatal for the
+// whole evaluation anyway.
+func (inc *Incremental) SolveCtx(ctx context.Context) (Solution, error) {
 	sol := Solution{WarmPivots: inc.pendingWarmPivots, WarmStarted: inc.pendingWarmStart}
 	inc.pendingWarmPivots, inc.pendingWarmStart = 0, false
 	if inc.poisoned {
 		return sol, ErrNumericalDistress
 	}
+	// Injected numerical distress: poisons the solver and reports
+	// ErrNumericalDistress exactly like a failed residual check, driving
+	// the caller's certified fallback to the rebuild path (which the PR 6
+	// conformance suite proves bit-identical).
+	if fault.Hit("lp.incremental.distress") != nil {
+		inc.poisoned = true
+		return sol, ErrNumericalDistress
+	}
 	opts := inc.opts.withDefaults(inc.m, inc.n)
 	retried := false
-	refactorAndRetry := func() {
+	refactorAndRetry := func() bool {
+		// Injected refactorization failure: the retry is abandoned as if
+		// the rebuilt basis had failed again, so Solve poisons and returns
+		// ErrNumericalDistress below.
+		if fault.Hit("lp.incremental.refactor") != nil {
+			retried = true
+			return false
+		}
 		sol.WarmPivots += inc.refactorize(opts)
 		sol.Refactorizations++
 		retried = true
+		return true
 	}
 	for {
 		d, ok := dualRepair(inc.tab, inc.basis, inc.n, inc.m, opts)
 		sol.WarmPivots += d
 		if !ok {
-			if retried {
+			if retried || !refactorAndRetry() {
 				break
 			}
-			refactorAndRetry()
 			continue
 		}
 
-		status, pivots := primalIterate(inc.tab, inc.basis, inc.n, inc.m, opts)
+		status, pivots, err := primalIterate(ctx, inc.tab, inc.basis, inc.n, inc.m, opts)
 		sol.Pivots += pivots
+		if err != nil {
+			return sol, err
+		}
 		if status == Unbounded {
 			sol.Status = Unbounded
 			sol.Value = math.Inf(1)
@@ -444,10 +475,9 @@ func (inc *Incremental) Solve() (Solution, error) {
 			return sol, nil
 		}
 		if status != Optimal {
-			if retried {
+			if retried || !refactorAndRetry() {
 				break
 			}
-			refactorAndRetry()
 			continue
 		}
 
@@ -457,10 +487,9 @@ func (inc *Incremental) Solve() (Solution, error) {
 			certTol = t
 		}
 		if !inc.residualOK(x, certTol) {
-			if retried {
+			if retried || !refactorAndRetry() {
 				break
 			}
-			refactorAndRetry()
 			continue
 		}
 

@@ -16,10 +16,17 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 )
+
+// ctxCheckEvery is the cancellation-checkpoint stride of the pivot loops:
+// primalIterate polls ctx.Err() once per this many pivots. Small enough
+// that an aborted solve stops within microseconds, large enough that the
+// poll never shows up in pivot-bound profiles.
+const ctxCheckEvery = 64
 
 // Status describes the outcome of a solve.
 type Status int
@@ -119,6 +126,19 @@ var ErrBadInput = errors.New("lp: bad input")
 
 // Maximize solves max c·x s.t. Ax ≤ b, x ≥ 0. Every b[i] must be ≥ 0.
 func Maximize(c []float64, a [][]float64, b []float64, opts Options) (Solution, error) {
+	return MaximizeCtx(context.Background(), c, a, b, opts)
+}
+
+// MaximizeCtx is Maximize with cooperative cancellation: the pivot loop
+// checks ctx at checkpoints (every ctxCheckEvery pivots) and aborts with
+// ctx.Err() once the context is done. The checkpoints perform no float
+// arithmetic, so a solve that runs to completion walks a pivot trajectory
+// bit-identical to Maximize — cancellation support cannot perturb
+// released values. Cancellation deliberately arrives as a new function
+// rather than an Options field: Options is stringified into the plan
+// cache's key digest, and a new field would silently invalidate every
+// persisted plan.
+func MaximizeCtx(ctx context.Context, c []float64, a [][]float64, b []float64, opts Options) (Solution, error) {
 	m, n := len(a), len(c)
 	if len(b) != m {
 		return Solution{}, fmt.Errorf("%w: %d rows but %d rhs entries", ErrBadInput, m, len(b))
@@ -189,7 +209,11 @@ func Maximize(c []float64, a [][]float64, b []float64, opts Options) (Solution, 
 			tab, basis = build()
 		}
 	}
-	sol.Status, sol.Pivots = primalIterate(tab, basis, n, m, opts)
+	var err error
+	sol.Status, sol.Pivots, err = primalIterate(ctx, tab, basis, n, m, opts)
+	if err != nil {
+		return Solution{}, err
+	}
 	if sol.Status == Unbounded {
 		sol.Value = math.Inf(1)
 		sol.X = extractX(tab, basis, n, m)
@@ -213,12 +237,22 @@ func Maximize(c []float64, a [][]float64, b []float64, opts Options) (Solution, 
 // the determinism contract upstream (seeded releases identical across
 // solver configurations) leans on the two paths performing the same float
 // operations in the same order.
-func primalIterate(tab [][]float64, basis []int, n, m int, opts Options) (Status, int) {
+//
+// Cancellation: every ctxCheckEvery pivots the loop polls ctx.Err() and
+// returns it when the context is done. The poll touches no tableau state,
+// so completed solves are bit-identical whether or not a deadline was
+// attached.
+func primalIterate(ctx context.Context, tab [][]float64, basis []int, n, m int, opts Options) (Status, int, error) {
 	obj := tab[m]
 	degenerate := 0
 	lastValue := currentValue(obj, n, m)
 	pivots := 0
 	for ; pivots < opts.MaxPivots; pivots++ {
+		if pivots%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return IterationLimit, pivots, err
+			}
+		}
 		// Pricing: pick entering column.
 		enter := -1
 		if degenerate >= opts.BlandAfter {
@@ -240,7 +274,7 @@ func primalIterate(tab [][]float64, basis []int, n, m int, opts Options) (Status
 			}
 		}
 		if enter == -1 {
-			return Optimal, pivots
+			return Optimal, pivots, nil
 		}
 
 		// Ratio test: pick leaving row.
@@ -259,7 +293,7 @@ func primalIterate(tab [][]float64, basis []int, n, m int, opts Options) (Status
 			}
 		}
 		if leave == -1 {
-			return Unbounded, pivots
+			return Unbounded, pivots, nil
 		}
 
 		pivot(tab, leave, enter)
@@ -273,7 +307,7 @@ func primalIterate(tab [][]float64, basis []int, n, m int, opts Options) (Status
 		}
 		lastValue = cur
 	}
-	return IterationLimit, pivots
+	return IterationLimit, pivots, nil
 }
 
 // dualRepair runs dual simplex pivots until every rhs is nonnegative. It

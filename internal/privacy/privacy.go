@@ -36,6 +36,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"nodedp/internal/fault"
 )
 
 // ErrBudgetExhausted is returned (wrapped, with the requested and remaining
@@ -91,6 +93,12 @@ type sequential struct {
 }
 
 func (a *sequential) Reserve(eps float64) error {
+	// The failpoint sits before the ledger mutation: an injected reserve
+	// failure (or panic) charges nothing, mirroring every real admission
+	// failure.
+	if err := fault.Hit("privacy.reserve"); err != nil {
+		return err
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.spent+eps > a.total {
@@ -102,6 +110,13 @@ func (a *sequential) Reserve(eps float64) error {
 }
 
 func (a *sequential) Refund(eps float64) {
+	// A firing refund failpoint deliberately drops the refund — the one
+	// injected fault that violates the accounting invariant on purpose, so
+	// tests can prove the chaos suite's balance check would catch a real
+	// refund bug. Never armed in the conformance schedules.
+	if fault.Hit("privacy.refund") != nil {
+		return
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.spent -= eps
@@ -169,6 +184,9 @@ func (a *advanced) globalEps(sum, sumSq, sumEx float64) float64 {
 }
 
 func (a *advanced) Reserve(eps float64) error {
+	if err := fault.Hit("privacy.reserve"); err != nil {
+		return err
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	next := a.globalEps(a.sum+eps, a.sumSq+eps*eps, a.sumEx+eps*(math.Expm1(eps)))
@@ -184,6 +202,9 @@ func (a *advanced) Reserve(eps float64) error {
 }
 
 func (a *advanced) Refund(eps float64) {
+	if fault.Hit("privacy.refund") != nil {
+		return
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.sum -= eps

@@ -1,0 +1,134 @@
+package serve
+
+// Fault and cancellation tests for the budget ledger: a query canceled
+// after admission must refund exactly its reservation, and a concurrent
+// storm of queries, cancellations, and injected reservation failures must
+// leave the ledger balancing charges − refunds = ε × successful releases
+// exactly — no stranded spend, no double refund.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nodedp/internal/fault"
+	"nodedp/internal/privacy"
+)
+
+// cancelOnReserve admits the reservation and then cancels the query's
+// context, forcing the canceled-after-admission path deterministically:
+// the query is charged, the release path observes the dead context before
+// drawing noise, and the session must refund the full reservation.
+type cancelOnReserve struct {
+	privacy.Accountant
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+func (a *cancelOnReserve) Reserve(eps float64) error {
+	if err := a.Accountant.Reserve(eps); err != nil {
+		return err
+	}
+	a.once.Do(a.cancel)
+	return nil
+}
+
+func TestCancelAfterAdmissionRefundsExactly(t *testing.T) {
+	base, err := privacy.New(privacy.Sequential, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	acct := &cancelOnReserve{Accountant: base, cancel: cancel}
+
+	s := mustOpen(t, testGraph(t), SessionOptions{Accountant: acct})
+	if _, err := s.ComponentCount(ctx, QueryOptions{Epsilon: 0.5, Seed: 3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	st := s.Stats()
+	if st.Admitted != 1 {
+		t.Fatalf("admitted = %d, want 1 (the cancellation struck after admission)", st.Admitted)
+	}
+	if base.Spent() != 0 {
+		t.Fatalf("spent = %v after refund, want 0", base.Spent())
+	}
+	// The ledger is intact: a follow-up query on a live context succeeds
+	// and charges normally.
+	if _, err := s.ComponentCount(context.Background(), QueryOptions{Epsilon: 0.5, Seed: 3}); err != nil {
+		t.Fatalf("follow-up query: %v", err)
+	}
+	if base.Spent() != 0.5 {
+		t.Fatalf("spent = %v, want 0.5", base.Spent())
+	}
+}
+
+// TestQueryStormBalancesLedgerExactly races queries, mid-flight
+// cancellations, and injected reservation failures against one shared
+// ledger and requires exact balance: spent == ε × successful releases.
+// ε is a power of two so the sum is exact in float64. Run under -race
+// this doubles as the session-teardown race test: the ledger outlives the
+// sessions and must never strand a reservation.
+func TestQueryStormBalancesLedgerExactly(t *testing.T) {
+	defer fault.Reset()
+	base, err := privacy.New(privacy.Sequential, 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(t)
+	s := mustOpen(t, g, SessionOptions{Accountant: base})
+
+	// Injected reservation failures: those queries are rejected and must
+	// spend nothing. Seeded, so the schedule replays identically.
+	if err := fault.Arm("privacy.reserve=prob:0.3:99"); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		workers = 8
+		perWkr  = 10
+		eps     = 0.25
+	)
+	var successes atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWkr; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				if i%3 == 1 {
+					// Cancel mid-flight from a racing goroutine: the query
+					// either completes (charged) or observes the dead
+					// context (refunded); both must balance.
+					go cancel()
+				}
+				_, err := s.ComponentCount(ctx, QueryOptions{
+					Epsilon: eps, Seed: uint64(w*perWkr + i + 1),
+				})
+				if err == nil {
+					successes.Add(1)
+				} else if !errors.Is(err, context.Canceled) && !errors.Is(err, fault.ErrInjected) {
+					t.Errorf("worker %d query %d: unexpected error %v", w, i, err)
+				}
+				cancel()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("query storm wedged")
+	}
+
+	want := eps * float64(successes.Load())
+	if got := base.Spent(); got != want {
+		t.Fatalf("ledger spent %v, want exactly %v (%d successes × ε=%v)",
+			got, want, successes.Load(), eps)
+	}
+}

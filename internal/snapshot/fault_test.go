@@ -1,0 +1,108 @@
+package snapshot
+
+// Torn-write tests: WriteFileAtomic killed by a failpoint between writing
+// the temp file and the rename (or between encode and fsync) must leave
+// the previously-committed file byte-identical and leak no temp litter —
+// the property a daemon cold start relies on after a crash mid-save.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nodedp/internal/fault"
+)
+
+func TestTornWriteLeavesPreviousFileIntact(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.snap")
+
+	v1 := &Snapshot{Entries: testEntries()[:1]}
+	if err := WriteFileAtomic(path, v1); err != nil {
+		t.Fatalf("committing v1: %v", err)
+	}
+	committed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v2 := &Snapshot{Entries: testEntries()}
+	for _, site := range []string{"snapshot.write.sync", "snapshot.write.rename"} {
+		if err := fault.Arm(site + "=always"); err != nil {
+			t.Fatal(err)
+		}
+		err := WriteFileAtomic(path, v2)
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("site %s: WriteFileAtomic err = %v, want injected failure", site, err)
+		}
+		fault.Reset()
+
+		// The committed file must be byte-identical: the torn write never
+		// touched it, only its temp sibling.
+		after, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(committed, after) {
+			t.Fatalf("site %s: committed file changed under a torn write", site)
+		}
+		// And the temp file must be cleaned up, not leaked.
+		names, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) != 1 || names[0].Name() != "cache.snap" {
+			var left []string
+			for _, n := range names {
+				left = append(left, n.Name())
+			}
+			t.Fatalf("site %s: directory litter after torn write: %v", site, left)
+		}
+		// The survivor still decodes to v1, cleanly.
+		got, rep, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("site %s: reading survivor: %v", site, err)
+		}
+		if rep.Skipped() != 0 || len(got.Entries) != len(v1.Entries) {
+			t.Fatalf("site %s: survivor degraded: %d entries, %d skipped", site, len(got.Entries), rep.Skipped())
+		}
+	}
+
+	// With all sites disarmed the v2 write commits normally.
+	if err := WriteFileAtomic(path, v2); err != nil {
+		t.Fatalf("clean rewrite: %v", err)
+	}
+	got, rep, err := ReadFile(path)
+	if err != nil || rep.Skipped() != 0 || len(got.Entries) != len(v2.Entries) {
+		t.Fatalf("after disarm: %d entries, %+v, %v", len(got.Entries), rep, err)
+	}
+}
+
+// TestEncodeDecodeFailpoints: the codec-level sites return typed injected
+// errors (decode also records the failure in its report).
+func TestEncodeDecodeFailpoints(t *testing.T) {
+	defer fault.Reset()
+	s := &Snapshot{Entries: testEntries()}
+
+	if err := fault.Arm("snapshot.encode=always"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Encode err = %v, want injected", err)
+	}
+	fault.Reset()
+
+	if err := Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm("snapshot.decode=always"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decode(bytes.NewReader(buf.Bytes())); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Decode err = %v, want injected", err)
+	}
+}

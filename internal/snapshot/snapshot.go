@@ -64,6 +64,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"nodedp/internal/fault"
 	"nodedp/internal/forestlp"
 	"nodedp/internal/graph"
 )
@@ -208,6 +209,9 @@ func (r *Report) Skipped() int { return r.SkippedCorrupt + r.SkippedVersion }
 // deterministic: identical snapshots produce identical bytes (the golden
 // test depends on this).
 func Encode(w io.Writer, s *Snapshot) error {
+	if err := fault.Hit("snapshot.encode"); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
@@ -289,6 +293,10 @@ func statsCounters(s *forestlp.Stats) [14]int {
 // were damaged in flight.
 func Decode(r io.Reader) (*Snapshot, *Report, error) {
 	rep := &Report{}
+	if err := fault.Hit("snapshot.decode"); err != nil {
+		rep.Errs = append(rep.Errs, err)
+		return nil, rep, err
+	}
 	br := bufio.NewReader(r)
 
 	var head [16]byte // magic + version + count
@@ -561,10 +569,20 @@ func WriteFileAtomic(path string, s *Snapshot) (err error) {
 	if err = Encode(f, s); err != nil {
 		return err
 	}
+	// Failpoints for the two crash windows of the atomic-write protocol:
+	// before the fsync (bytes may not be durable) and between write and
+	// rename (the torn-write window — tmp is complete but path still names
+	// the previous snapshot). Both leave the previous file intact.
+	if err = fault.Hit("snapshot.write.sync"); err != nil {
+		return err
+	}
 	if err = f.Sync(); err != nil {
 		return err
 	}
 	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = fault.Hit("snapshot.write.rename"); err != nil {
 		return err
 	}
 	if err = os.Rename(tmp, path); err != nil {

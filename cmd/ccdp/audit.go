@@ -1,0 +1,173 @@
+package main
+
+// The audit subcommand: offline reconciliation of a daemon's privacy audit
+// log. It re-runs the recorded ledger history through fresh composition
+// accountants and checks every recorded balance bit-for-bit, so a budget
+// dispute can be settled from the durable artifact alone — no trust in the
+// process that wrote it beyond the CRC-guarded lines themselves.
+//
+// The log interleaves events from every session the daemon served. Each
+// session is scoped by (tenant, graph fingerprint) — deliberately not by a
+// crypto-random session ID, which would break the byte-determinism
+// contract — so reconciliation replays one ledger stream per such pair. An
+// "open" event starts (or, for a re-opened pair, restarts) the stream's
+// accountant with the recorded mode, budget, and δ; every subsequent
+// reserve/refund replays the same mutation and the observed Spent() must
+// equal the recorded one exactly. Charges and dedup replays move nothing
+// and must record the unchanged balance. Two concurrent sessions on the
+// same (tenant, fingerprint) pair would interleave one stream and fail
+// reconciliation; the daemon's per-tenant registry does not produce that.
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"nodedp/internal/obs"
+	"nodedp/internal/privacy"
+)
+
+// auditStream is the reconciliation state for one (tenant, scope) ledger.
+type auditStream struct {
+	tenant, scope string
+	acct          privacy.Accountant
+	events        int
+	reserves      int
+	rejected      int
+	refunds       int
+	charges       int
+	replays       int
+	lastSpent     float64
+}
+
+// runAudit implements `ccdp audit -log <path> [-v]`.
+func runAudit(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ccdp audit", flag.ContinueOnError)
+	logPath := fs.String("log", "", "privacy audit log to verify (required)")
+	verbose := fs.Bool("v", false, "print one reconciliation line per event")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" {
+		return usageError(fs, "-log is required")
+	}
+
+	// ReadAuditLog already enforces the CRC on every line and sequence
+	// contiguity across the file; what remains is the semantic replay.
+	events, err := obs.ReadAuditLog(*logPath)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("%s: no audit events", *logPath)
+	}
+
+	streams := make(map[string]*auditStream)
+	key := func(e obs.AuditEvent) string { return e.Tenant + "\x00" + e.Scope }
+	var failures []string
+	fail := func(e obs.AuditEvent, format string, args ...interface{}) {
+		failures = append(failures, fmt.Sprintf("seq %d (%s %s tenant=%q request=%q): %s",
+			e.Seq, e.Op, e.Outcome, e.Tenant, e.RequestID, fmt.Sprintf(format, args...)))
+	}
+
+	for _, e := range events {
+		st := streams[key(e)]
+		if e.Op == obs.AuditOpen {
+			comp, err := privacy.ParseComposition(e.Mode)
+			if err != nil {
+				fail(e, "%v", err)
+				continue
+			}
+			acct, err := privacy.New(comp, e.Budget, e.Delta)
+			if err != nil {
+				fail(e, "recorded configuration does not construct: %v", err)
+				continue
+			}
+			if e.Spent != 0 {
+				// A fresh accountant starts at zero; a nonzero opening
+				// balance means the session shared a ledger whose history
+				// predates this log, which a replay cannot reproduce.
+				fail(e, "opening spent %v is nonzero: ledger history predates this log", e.Spent)
+				continue
+			}
+			st = &auditStream{tenant: e.Tenant, scope: e.Scope, acct: acct}
+			streams[key(e)] = st
+			st.events++
+			continue
+		}
+		if st == nil {
+			fail(e, "no open event for this tenant/scope stream")
+			continue
+		}
+		st.events++
+		if e.Mode != st.acct.Name() {
+			fail(e, "mode %q does not match the stream's accountant %q", e.Mode, st.acct.Name())
+		}
+
+		switch e.Op {
+		case obs.AuditReserve:
+			st.reserves++
+			switch e.Outcome {
+			case obs.AuditOK:
+				if err := st.acct.Reserve(e.Epsilon); err != nil {
+					fail(e, "log admitted ε=%v but replay rejects it: %v", e.Epsilon, err)
+				}
+			case obs.AuditRejected:
+				st.rejected++
+				err := st.acct.Reserve(e.Epsilon)
+				if !errors.Is(err, privacy.ErrBudgetExhausted) {
+					fail(e, "log rejected ε=%v but replay admits it (spent now %v)", e.Epsilon, st.acct.Spent())
+				}
+			default:
+				// An injected reservation fault: the ledger was never
+				// touched, so the replay touches nothing either.
+			}
+		case obs.AuditRefund:
+			st.refunds++
+			st.acct.Refund(e.Epsilon)
+		case obs.AuditCharge:
+			st.charges++ // a reservation becoming permanent: no mutation
+		case obs.AuditReplay:
+			st.replays++ // answered from the recorded release: no mutation
+		default:
+			fail(e, "unknown op")
+			continue
+		}
+
+		// The bit-for-bit contract: Spent() after replaying the mutation
+		// must equal the recorded balance exactly — not approximately.
+		if got := st.acct.Spent(); got != e.Spent {
+			fail(e, "spent diverged: log says %s, replay says %s",
+				strconv.FormatFloat(e.Spent, 'g', -1, 64), strconv.FormatFloat(got, 'g', -1, 64))
+		}
+		st.lastSpent = st.acct.Spent()
+		if *verbose {
+			fmt.Fprintf(stdout, "seq %-5d %-8s %-8s tenant=%q request=%q eps=%g spent=%g\n",
+				e.Seq, e.Op, e.Outcome, e.Tenant, e.RequestID, e.Epsilon, e.Spent)
+		}
+	}
+
+	keys := make([]string, 0, len(streams))
+	for k := range streams {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(stdout, "audit: %s: %d events across %d session stream(s)\n", *logPath, len(events), len(keys))
+	for _, k := range keys {
+		st := streams[k]
+		fmt.Fprintf(stdout, "  tenant=%q scope=%s mode=%s: %d events, %d reserves (%d rejected), %d refunds, %d charges, %d replays; spent ε=%g of %g\n",
+			st.tenant, st.scope, st.acct.Name(), st.events, st.reserves, st.rejected,
+			st.refunds, st.charges, st.replays, st.lastSpent, st.acct.EpsilonBudget())
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(stdout, "  MISMATCH: %s\n", f)
+		}
+		return fmt.Errorf("%s: %d reconciliation failure(s)", *logPath, len(failures))
+	}
+	fmt.Fprintf(stdout, "audit: OK — every recorded balance reproduced bit-for-bit\n")
+	return nil
+}

@@ -21,6 +21,12 @@
 //	     [-read-limit 8388608] [-max-sessions 256] [-max-per-tenant 32]
 //	     [-idle-ttl 30m] [-cache-weight 4194304] [-drain-timeout 30s]
 //	     [-cache-file plans.snap] [-cache-save-interval 5m]
+//	     [-audit-log audit.log] [-trace-ring 128] [-trace-seed 0]
+//	     [-slow-query 0] [-pprof] [-profile-dir profiles]
+//
+// Audit reconciliation (offline verification of an -audit-log file):
+//
+//	ccdp audit -log audit.log [-v]
 //
 // The daemon serves POST /v1/graphs (upload a graph, open a budgeted
 // session), POST /v1/sessions/{id}/query and /batch (private releases),
@@ -101,6 +107,18 @@
 // default, pure-ε Lemma 2.4) or advanced ((ε, δ) advanced composition,
 // which admits many more small queries at equal ε_total; -acct-delta is
 // then required in (0, 1)).
+//
+// Observability (daemon and serve): -audit-log appends every privacy-ledger
+// operation — opens, reservations, refunds, charges, dedup replays, each
+// stamped with the accountant's exact post-operation balance — to a
+// CRC-guarded file that `ccdp audit` later replays through a fresh
+// accountant, verifying every balance bit-for-bit. The daemon additionally
+// retains the last -trace-ring request traces for GET /v1/admin/traces,
+// logs requests slower than -slow-query to stderr, mounts net/http/pprof
+// when -pprof is set (on its own mux; enable only on trusted listeners),
+// and with -profile-dir writes a whole-run CPU profile plus an exit heap
+// profile. None of it feeds a release: seeded releases are bit-identical
+// with every one of these flags on or off.
 package main
 
 import (
@@ -116,6 +134,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -126,6 +145,7 @@ import (
 	"nodedp/internal/core"
 	"nodedp/internal/fault"
 	"nodedp/internal/httpapi"
+	"nodedp/internal/obs"
 )
 
 func main() {
@@ -141,6 +161,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "daemon" {
 		return runDaemon(args[1:], stdout)
+	}
+	if len(args) > 0 && args[0] == "audit" {
+		return runAudit(args[1:], stdout)
 	}
 
 	fs := flag.NewFlagSet("ccdp", flag.ContinueOnError)
@@ -239,6 +262,12 @@ func runDaemon(args []string, stdout io.Writer) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "maximum time to wait for in-flight requests on shutdown")
 	cacheFile := fs.String("cache-file", "", "snapshot file for warm restarts: load the plan cache from it on boot, persist on drain/interval/admin request (implies ONE cache shared across tenants)")
 	cacheSaveInterval := fs.Duration("cache-save-interval", 5*time.Minute, "periodically persist the plan cache to -cache-file (0 disables the timer; drain and admin saves still run)")
+	auditLog := fs.String("audit-log", "", "append every privacy-ledger operation to this CRC-guarded file (verify offline with `ccdp audit -log <file>`)")
+	traceRing := fs.Int("trace-ring", httpapi.DefaultTraceRing, "retain the most recent N request traces for GET /v1/admin/traces (0 disables the endpoint)")
+	traceSeed := fs.Uint64("trace-seed", 0, "base seed for span identity of requests without a request ID (0 = default; request IDs derive their own)")
+	slowQuery := fs.Duration("slow-query", 0, "log requests slower than this to stderr (0 disables the slow-query log)")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the API listener (operational data only; never expose publicly)")
+	profileDir := fs.String("profile-dir", "", "write a whole-run CPU profile and an exit heap profile into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -258,6 +287,47 @@ func runDaemon(args []string, stdout io.Writer) error {
 		if intervalSet {
 			return usageError(fs, "-cache-save-interval requires -cache-file")
 		}
+	}
+
+	if *traceRing < 0 {
+		return usageError(fs, "-trace-ring must be ≥ 0, got %d", *traceRing)
+	}
+	if *slowQuery < 0 {
+		return usageError(fs, "-slow-query must be ≥ 0, got %v", *slowQuery)
+	}
+
+	// The privacy audit log opens before the listener: a daemon that served
+	// even one query without its ledger on disk has already failed the
+	// audit contract. OpenAuditLog verifies an existing file end to end and
+	// continues its sequence numbers, so restarts append rather than fork.
+	var audit *obs.AuditLog
+	if *auditLog != "" {
+		var err error
+		if audit, err = obs.OpenAuditLog(*auditLog); err != nil {
+			return fmt.Errorf("-audit-log: %w", err)
+		}
+		defer func() {
+			if err := audit.Close(); err != nil {
+				fmt.Fprintf(stdout, "ccdp daemon: WARNING: audit log: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(stdout, "ccdp daemon: privacy audit log at %s\n", *auditLog)
+	}
+
+	// Whole-run profiling: a CPU profile spanning boot to drain plus a heap
+	// profile at exit. Profiles carry operational data (stacks, allocation
+	// sites), never released values, so writing them does not touch the
+	// privacy contract.
+	if *profileDir != "" {
+		stopProfiles, err := startProfiles(*profileDir)
+		if err != nil {
+			return fmt.Errorf("-profile-dir: %w", err)
+		}
+		defer func() {
+			if err := stopProfiles(); err != nil {
+				fmt.Fprintf(stdout, "ccdp daemon: WARNING: writing profiles: %v\n", err)
+			}
+		}()
 	}
 
 	// Chaos drills: arm any failpoints listed in NODEDP_FAILPOINTS before
@@ -295,18 +365,29 @@ func runDaemon(args []string, stdout io.Writer) error {
 		}
 	}
 
-	api := httpapi.New(httpapi.Config{
-		MaxInflight: *maxInflight,
-		ReadLimit:   *readLimit,
-		CacheWeight: *cacheWeight,
-		Cache:       cache,
-		CacheFile:   *cacheFile,
+	cfg := httpapi.Config{
+		MaxInflight:        *maxInflight,
+		ReadLimit:          *readLimit,
+		CacheWeight:        *cacheWeight,
+		Cache:              cache,
+		CacheFile:          *cacheFile,
+		TraceSeed:          *traceSeed,
+		TraceRing:          *traceRing,
+		SlowQueryThreshold: *slowQuery,
+		EnablePprof:        *enablePprof,
 		Registry: httpapi.RegistryConfig{
 			MaxSessions:  *maxSessions,
 			MaxPerTenant: *maxPerTenant,
 			IdleTTL:      *idleTTL,
 		},
-	})
+	}
+	if *traceRing == 0 {
+		cfg.TraceRing = -1 // flag 0 = off; Config zero value means "default"
+	}
+	if audit != nil {
+		cfg.Audit = audit
+	}
+	api := httpapi.New(cfg)
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -395,6 +476,32 @@ func runDaemon(args []string, stdout io.Writer) error {
 	return nil
 }
 
+// startProfiles begins a CPU profile at dir/cpu.pprof and returns a stop
+// function that ends it and writes a final heap profile to dir/heap.pprof.
+func startProfiles(dir string) (func() error, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, err
+	}
+	cpuF, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		cpuF.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		cerr := cpuF.Close()
+		heapF, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			return errors.Join(cerr, err)
+		}
+		werr := pprof.Lookup("heap").WriteTo(heapF, 0)
+		return errors.Join(cerr, werr, heapF.Close())
+	}, nil
+}
+
 // probeWritable verifies that a snapshot could be created next to path by
 // creating and removing a temporary file in its directory — the same
 // operation the atomic save performs.
@@ -423,6 +530,7 @@ func runServe(args []string, stdin io.Reader, stdout io.Writer) error {
 	noWarm := fs.Bool("no-warm-start", false, "evaluate every Δ grid point of the plan from scratch (perf bisection)")
 	noIncr := fs.Bool("no-incremental", false, "rebuild each LP tableau instead of sliding standing incremental solvers across the Δ grid (perf bisection; releases bit-identical)")
 	timeout := fs.Duration("timeout", 0, "deadline for plan build + all queries; an expired query fails without spending its ε (0 = no deadline)")
+	auditLog := fs.String("audit-log", "", "append every privacy-ledger operation to this CRC-guarded file (verify offline with `ccdp audit -log <file>`)")
 	verbose := fs.Bool("v", false, "print per-query selection diagnostics (NOT private; testing only)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -452,6 +560,18 @@ func runServe(args []string, stdin io.Reader, stdout io.Writer) error {
 	defer closeInput()
 
 	sopts := nodedp.SessionOptions{TotalBudget: *budget, Delta: *acctDelta}
+	if *auditLog != "" {
+		audit, err := obs.OpenAuditLog(*auditLog)
+		if err != nil {
+			return fmt.Errorf("-audit-log: %w", err)
+		}
+		defer func() {
+			if err := audit.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ccdp serve: WARNING: audit log: %v\n", err)
+			}
+		}()
+		sopts.Audit = audit
+	}
 	switch *accountant {
 	case "sequential":
 	case "advanced":

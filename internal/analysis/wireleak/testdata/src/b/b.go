@@ -1,0 +1,27 @@
+// Package b is the extra-sink corpus: a stand-in for internal/obs.Span
+// whose SetAny is registered as a caller-provided sink (span attributes
+// reach the wire via the admin traces endpoint, so a secret flowing into
+// one is a leak exactly like a marshalled response field).
+package b
+
+// DeltaEval mirrors core.DeltaEval.
+//
+//privacy:secret
+type DeltaEval struct {
+	Delta  float64
+	FDelta float64
+}
+
+// Span mirrors obs.Span.
+type Span struct{}
+
+// SetAny mirrors (*obs.Span).SetAny: the value lands in a span attribute.
+func (s *Span) SetAny(key string, v any) {}
+
+func leakIntoSpan(sp *Span, ev DeltaEval) {
+	sp.SetAny("eval", ev) // want "SetAny marshals a value containing secret b.DeltaEval"
+}
+
+func cleanIntoSpan(sp *Span, value float64) {
+	sp.SetAny("value", value) // released scalars are fine
+}

@@ -10,3 +10,10 @@ import (
 func TestWireleak(t *testing.T) {
 	analysistest.Run(t, wireleak.Analyzer, "testdata/src/a")
 }
+
+// TestWireleakExtraSinks covers New's caller-provided sinks — the hook
+// cmd/detlint uses to treat (*obs.Span).SetAny as a wire sink, since span
+// attributes leave the process via GET /v1/admin/traces.
+func TestWireleakExtraSinks(t *testing.T) {
+	analysistest.Run(t, wireleak.New(map[string]int{"(*b.Span).SetAny": 1}), "testdata/src/b")
+}

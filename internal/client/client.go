@@ -66,6 +66,38 @@ type Options struct {
 	IDPrefix string
 }
 
+// Telemetry describes what one logical call actually cost: how many
+// attempts it took, how long the client sat in backoff versus honoring the
+// server's Retry-After hints, and whether the response was a dedup replay
+// (the server's idempotency table answered from a recorded release instead
+// of executing again). Operational data only — it never feeds a release.
+type Telemetry struct {
+	// Attempts is the number of HTTP attempts made (1 = no retries).
+	Attempts int
+	// BackoffWait is the total time slept where the client's own
+	// exponential backoff set the delay.
+	BackoffWait time.Duration
+	// RetryAfterWait is the total time slept where a server Retry-After
+	// hint exceeded (and therefore replaced) the backoff delay.
+	RetryAfterWait time.Duration
+	// DedupReplayed reports that the final response carried the server's
+	// replay marker: the budget was charged on an earlier attempt and this
+	// response replayed the recorded release.
+	DedupReplayed bool
+}
+
+// Stats are a client's cumulative telemetry counters across all calls,
+// read with Client.Stats.
+type Stats struct {
+	// Calls counts logical calls; Attempts counts HTTP attempts (Attempts
+	// − Calls = total retries).
+	Calls, Attempts int64
+	// BackoffWait / RetryAfterWait aggregate the per-call telemetry.
+	BackoffWait, RetryAfterWait time.Duration
+	// DedupReplays counts responses served from the server's replay table.
+	DedupReplays int64
+}
+
 // Client talks to one daemon. Safe for concurrent use.
 type Client struct {
 	base string
@@ -77,6 +109,23 @@ type Client struct {
 
 	idPrefix  string
 	idCounter atomic.Uint64
+
+	calls          atomic.Int64
+	attempts       atomic.Int64
+	backoffNanos   atomic.Int64
+	retryWaitNanos atomic.Int64
+	dedupReplays   atomic.Int64
+}
+
+// Stats returns the client's cumulative retry/backoff telemetry.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Calls:          c.calls.Load(),
+		Attempts:       c.attempts.Load(),
+		BackoffWait:    time.Duration(c.backoffNanos.Load()),
+		RetryAfterWait: time.Duration(c.retryWaitNanos.Load()),
+		DedupReplays:   c.dedupReplays.Load(),
+	}
 }
 
 // APIError is a non-2xx response with its parsed taxonomy payload.
@@ -145,14 +194,23 @@ func (c *Client) CreateSession(ctx context.Context, req httpapi.CreateSessionReq
 // charged and the release drawn at most once, however many attempts the
 // connection failures force.
 func (c *Client) Query(ctx context.Context, sessionID string, req httpapi.QueryRequest) (*httpapi.QueryResponse, error) {
+	out, _, err := c.QueryT(ctx, sessionID, req)
+	return out, err
+}
+
+// QueryT is Query surfacing the call's retry/backoff telemetry. The
+// telemetry is meaningful even on error (how much was attempted and
+// waited before giving up).
+func (c *Client) QueryT(ctx context.Context, sessionID string, req httpapi.QueryRequest) (*httpapi.QueryResponse, Telemetry, error) {
 	if req.RequestID == "" {
 		req.RequestID = fmt.Sprintf("%s-%d", c.idPrefix, c.idCounter.Add(1))
 	}
 	var out httpapi.QueryResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/query", req, &out); err != nil {
-		return nil, err
+	tel, err := c.doT(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/query", req, &out)
+	if err != nil {
+		return nil, tel, err
 	}
-	return &out, nil
+	return &out, tel, nil
 }
 
 // Batch issues a batch of queries. Batch items carry no request IDs (the
@@ -160,11 +218,18 @@ func (c *Client) Query(ctx context.Context, sessionID string, req httpapi.QueryR
 // after a mid-response failure MAY re-execute items; use Query for
 // exactly-once semantics under faults.
 func (c *Client) Batch(ctx context.Context, sessionID string, req httpapi.BatchRequest) (*httpapi.BatchResponse, error) {
+	out, _, err := c.BatchT(ctx, sessionID, req)
+	return out, err
+}
+
+// BatchT is Batch surfacing the call's retry/backoff telemetry.
+func (c *Client) BatchT(ctx context.Context, sessionID string, req httpapi.BatchRequest) (*httpapi.BatchResponse, Telemetry, error) {
 	var out httpapi.BatchResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/batch", req, &out); err != nil {
-		return nil, err
+	tel, err := c.doT(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/batch", req, &out)
+	if err != nil {
+		return nil, tel, err
 	}
-	return &out, nil
+	return &out, tel, nil
 }
 
 // SessionInfo fetches budget and cache introspection.
@@ -203,11 +268,27 @@ func retryable(status int) bool {
 
 // do runs one logical call with retries. body and out are JSON values.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	_, err := c.doT(ctx, method, path, body, out)
+	return err
+}
+
+// doT is do returning the call's telemetry, which is also folded into the
+// client's cumulative Stats (on every exit path, success or not).
+func (c *Client) doT(ctx context.Context, method, path string, body, out any) (tel Telemetry, err error) {
+	c.calls.Add(1)
+	defer func() {
+		c.attempts.Add(int64(tel.Attempts))
+		c.backoffNanos.Add(int64(tel.BackoffWait))
+		c.retryWaitNanos.Add(int64(tel.RetryAfterWait))
+		if tel.DedupReplayed {
+			c.dedupReplays.Add(1)
+		}
+	}()
+
 	var payload []byte
 	if body != nil {
-		var err error
 		if payload, err = json.Marshal(body); err != nil {
-			return fmt.Errorf("client: encoding request: %w", err)
+			return tel, fmt.Errorf("client: encoding request: %w", err)
 		}
 	}
 
@@ -215,11 +296,12 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	hint := time.Duration(0) // Retry-After from the previous attempt
 	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
 		if attempt > 1 {
-			if err := c.sleep(ctx, attempt-1, hint); err != nil {
-				return err
+			if err := c.sleep(ctx, attempt-1, hint, &tel); err != nil {
+				return tel, err
 			}
 			hint = 0
 		}
+		tel.Attempts = attempt
 		var req *http.Request
 		var err error
 		if payload != nil {
@@ -228,7 +310,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			req, err = http.NewRequestWithContext(ctx, method, c.base+path, nil)
 		}
 		if err != nil {
-			return fmt.Errorf("client: building request: %w", err)
+			return tel, fmt.Errorf("client: building request: %w", err)
 		}
 		if payload != nil {
 			req.Header.Set("Content-Type", "application/json")
@@ -237,7 +319,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			if ctx.Err() != nil {
-				return ctx.Err()
+				return tel, ctx.Err()
 			}
 			lastErr = err // transport failure: connection refused, reset, aborted mid-response
 			continue
@@ -246,7 +328,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		resp.Body.Close()
 		if readErr != nil {
 			if ctx.Err() != nil {
-				return ctx.Err()
+				return tel, ctx.Err()
 			}
 			lastErr = fmt.Errorf("client: reading response: %w", readErr)
 			continue
@@ -261,7 +343,8 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 					continue
 				}
 			}
-			return nil
+			tel.DedupReplayed = resp.Header.Get(httpapi.ReplayedHeader) == "1"
+			return tel, nil
 		}
 
 		apiErr := &APIError{Status: resp.StatusCode}
@@ -270,7 +353,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			apiErr.Info = envelope.Error
 		}
 		if !retryable(resp.StatusCode) {
-			return apiErr
+			return tel, apiErr
 		}
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
 			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
@@ -279,13 +362,15 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		lastErr = apiErr
 	}
-	return fmt.Errorf("client: %d attempts exhausted: %w", c.opts.MaxAttempts, lastErr)
+	return tel, fmt.Errorf("client: %d attempts exhausted: %w", c.opts.MaxAttempts, lastErr)
 }
 
 // sleep blocks for the backoff before retry number `retry` (1-based):
 // capped exponential with jitter in [d/2, d], raised to the server's
-// Retry-After hint when that is larger, and cut short by ctx.
-func (c *Client) sleep(ctx context.Context, retry int, hint time.Duration) error {
+// Retry-After hint when that is larger, and cut short by ctx. The wait is
+// attributed in tel to whichever source set it — the client's own backoff,
+// or a dominating server Retry-After hint.
+func (c *Client) sleep(ctx context.Context, retry int, hint time.Duration, tel *Telemetry) error {
 	d := c.opts.BaseBackoff << (retry - 1)
 	if d <= 0 || d > c.opts.MaxBackoff {
 		d = c.opts.MaxBackoff
@@ -296,6 +381,9 @@ func (c *Client) sleep(ctx context.Context, retry int, hint time.Duration) error
 	d = d/2 + j
 	if hint > d {
 		d = hint
+		tel.RetryAfterWait += d
+	} else {
+		tel.BackoffWait += d
 	}
 	select {
 	case <-time.After(d):

@@ -1,0 +1,111 @@
+package client
+
+// Tests for the retry/backoff telemetry surfaced on responses (QueryT /
+// BatchT) and aggregated in Client.Stats.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"nodedp/internal/fault"
+	"nodedp/internal/httpapi"
+)
+
+// TestTelemetrySingleAttempt: a clean call reports one attempt, no waits,
+// no replay.
+func TestTelemetrySingleAttempt(t *testing.T) {
+	_, c := newDaemon(t)
+	n, edges := testGraphEdges(t)
+	ctx := context.Background()
+	created, err := c.CreateSession(ctx, httpapi.CreateSessionRequest{N: n, Edges: edges, Budget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tel, err := c.QueryT(ctx, created.SessionID, httpapi.QueryRequest{Op: "cc", Epsilon: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.Attempts != 1 || tel.BackoffWait != 0 || tel.RetryAfterWait != 0 || tel.DedupReplayed {
+		t.Fatalf("clean call telemetry = %+v, want 1 attempt and zeros", tel)
+	}
+	st := c.Stats()
+	if st.Calls != 2 || st.Attempts != 2 || st.DedupReplays != 0 {
+		t.Fatalf("stats after two clean calls = %+v", st)
+	}
+}
+
+// TestTelemetryRetryAndReplay: kill the first response write so the retry
+// replays the recorded release; the telemetry must show the extra attempt,
+// nonzero backoff, and the replay marker, and Stats must aggregate it.
+func TestTelemetryRetryAndReplay(t *testing.T) {
+	defer fault.Reset()
+	_, c := newDaemon(t)
+	n, edges := testGraphEdges(t)
+	ctx := context.Background()
+	created, err := c.CreateSession(ctx, httpapi.CreateSessionRequest{N: n, Edges: edges, Budget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm("httpapi.write=nth:1"); err != nil {
+		t.Fatal(err)
+	}
+	_, tel, err := c.QueryT(ctx, created.SessionID, httpapi.QueryRequest{Op: "cc", Epsilon: 0.5, Seed: 42})
+	if err != nil {
+		t.Fatalf("query under write abort: %v", err)
+	}
+	if tel.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (abort + replay)", tel.Attempts)
+	}
+	if tel.BackoffWait <= 0 {
+		t.Fatalf("backoff wait = %v, want > 0", tel.BackoffWait)
+	}
+	if !tel.DedupReplayed {
+		t.Fatal("replayed response not marked in telemetry")
+	}
+	st := c.Stats()
+	if st.DedupReplays != 1 || st.Attempts-st.Calls != 1 {
+		t.Fatalf("stats = %+v, want 1 replay and 1 retry total", st)
+	}
+}
+
+// TestTelemetryRetryAfterDominates: a stub that sheds with a large
+// Retry-After must have the wait attributed to RetryAfterWait, not
+// BackoffWait.
+func TestTelemetryRetryAfterDominates(t *testing.T) {
+	hits := 0
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"overloaded","message":"full"}}`))
+			return
+		}
+		w.Write([]byte(`{"value":1,"delta_hat":1,"noise_scale":1,"epsilon":0.5,"op":"cc"}`))
+	}))
+	defer stub.Close()
+
+	c := New(stub.URL, Options{
+		HTTPClient:  stub.Client(),
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		JitterSeed:  5,
+	})
+	_, tel, err := c.QueryT(context.Background(), "s", httpapi.QueryRequest{Op: "cc", Epsilon: 0.5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", tel.Attempts)
+	}
+	if tel.RetryAfterWait < time.Second || tel.BackoffWait != 0 {
+		t.Fatalf("telemetry = %+v, want the full wait attributed to Retry-After", tel)
+	}
+	if st := c.Stats(); st.RetryAfterWait != tel.RetryAfterWait {
+		t.Fatalf("stats %+v disagree with call telemetry %+v", st, tel)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"nodedp/internal/fault"
 	"nodedp/internal/graph"
+	"nodedp/internal/obs"
 )
 
 // DefaultPlanCacheCapacity is the entry bound used when NewPlanCache is
@@ -181,6 +182,20 @@ func NewPlanCacheWeighted(maxWeight int64) *PlanCache {
 // the evaluating caller is canceled, a surviving waiter takes over the
 // evaluation rather than inheriting the cancelation.
 func (c *PlanCache) GridEval(ctx context.Context, g *graph.Graph, opts Options) (ge *GridEval, hit bool, err error) {
+	// Tracing (internal/obs): a "core.plan" span brackets the lookup; on a
+	// miss the forestlp sweep span nests under it. cache_hit mirrors the
+	// returned hit flag so a trace alone answers "did this query plan?".
+	sp, ctx := obs.StartSpan(ctx, "core.plan")
+	defer func() {
+		if sp != nil {
+			if hit {
+				sp.SetCounter("cache_hit", 1)
+			} else {
+				sp.SetCounter("cache_hit", 0)
+			}
+			sp.End()
+		}
+	}()
 	if opts.Epsilon == 0 {
 		opts.Epsilon = 1 // as in EvaluateGrid: ε does not enter grid values
 	}

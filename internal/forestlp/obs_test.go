@@ -1,0 +1,82 @@
+package forestlp
+
+// Conformance between the tracing attribution and the Stats the engine
+// reports: the counters a sweep span exports must equal the Stats returned
+// to the caller — same source of truth, two views — and instrumentation
+// must not perturb the computed values.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"nodedp/internal/generate"
+	"nodedp/internal/obs"
+)
+
+func TestGridSpanCountersEqualStats(t *testing.T) {
+	g := generate.PlantedComponents([]int{40, 25}, 4.0/40, generate.NewRand(11))
+	p := NewPlan(g)
+	grid := warmTestGrid(t, g)
+
+	tr := obs.NewTrace("test", 1)
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+	clean, _, err := p.GridValues(context.Background(), grid, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, st, err := NewPlan(g).GridValues(ctx, grid, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Root().End()
+
+	// Instrumentation must be invisible to the release path.
+	for i := range grid {
+		if math.Float64bits(traced[i]) != math.Float64bits(clean[i]) {
+			t.Fatalf("grid[%d]: traced sweep %v != untraced %v", i, traced[i], clean[i])
+		}
+	}
+
+	snap := tr.Snapshot()
+	sweep, ok := snap.Find("forestlp.grid")
+	if !ok {
+		t.Fatalf("no forestlp.grid span in\n%s", snap.Tree())
+	}
+	want := map[string]int64{
+		"grid_points":           int64(len(grid)),
+		"components":            int64(st.Components),
+		"fast_path_hits":        int64(st.FastPathHits),
+		"lp_solves_total":       int64(st.LPSolves),
+		"cuts_added":            int64(st.CutsAdded),
+		"max_flow_calls":        int64(st.MaxFlowCalls),
+		"simplex_pivots":        int64(st.SimplexPivots),
+		"warm_cuts_reused":      int64(st.WarmCutsReused),
+		"warm_basis_hits":       int64(st.WarmBasisHits),
+		"parametric_slides":     int64(st.ParametricSlides),
+		"incremental_fallbacks": int64(st.IncrementalFallbacks),
+	}
+	got := map[string]int64{}
+	for _, a := range sweep.Counters {
+		got[a.Key] = a.Value
+	}
+	for key, w := range want {
+		if got[key] != w {
+			t.Errorf("sweep counter %s = %d, Stats say %d", key, got[key], w)
+		}
+	}
+	if st.LPSolves == 0 && st.FastPathHits == 0 {
+		t.Fatal("workload did no attributable work — the comparison tested nothing")
+	}
+
+	// Per-point child spans: one per grid Δ, each labeled with its Δ.
+	points := 0
+	for _, sp := range snap.Spans {
+		if sp.Name == "forestlp.point" {
+			points++
+		}
+	}
+	if points != len(grid) {
+		t.Fatalf("%d forestlp.point spans for a %d-point grid", points, len(grid))
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 
 	"nodedp/internal/graph"
+	"nodedp/internal/obs"
 	"nodedp/internal/spanning"
 )
 
@@ -108,6 +110,14 @@ func (p *Plan) Shards() int { return len(p.shards) }
 // owned by this call, so concurrent GridValues on one Plan stay
 // independent.
 func (p *Plan) GridValues(ctx context.Context, grid []float64, opts Options) ([]float64, Stats, error) {
+	// Tracing (internal/obs): one "forestlp.grid" span for the sweep with
+	// the grid-aggregated Stats counters as attributes, plus one
+	// "forestlp.point" child per Δ carrying that point's deltas. Grid
+	// points run sequentially, so span creation order — and therefore the
+	// span tree — is deterministic; the per-point child context also
+	// collects the lp pivot-loop counters its shard workers accumulate.
+	sweep, ctx := obs.StartSpan(ctx, "forestlp.grid")
+	defer sweep.End()
 	values := make([]float64, len(grid))
 	var warm *gridWarm
 	if !opts.DisableWarmStart {
@@ -115,14 +125,40 @@ func (p *Plan) GridValues(ctx context.Context, grid []float64, opts Options) ([]
 	}
 	var stats Stats
 	for i, d := range grid {
-		v, st, err := p.value(ctx, d, opts, warm)
+		point, pctx := obs.StartSpan(ctx, "forestlp.point")
+		v, st, err := p.value(pctx, d, opts, warm)
+		setStatAttrs(point, st)
+		point.SetLabel("delta", strconv.FormatFloat(d, 'g', -1, 64))
+		point.End()
 		if err != nil {
+			setStatAttrs(sweep, stats)
 			return nil, stats, fmt.Errorf("evaluating f_%v: %w", d, err)
 		}
 		stats.MergeGridRound(st)
 		values[i] = v
 	}
+	sweep.SetCounter("grid_points", int64(len(grid)))
+	setStatAttrs(sweep, stats)
 	return values, stats, nil
+}
+
+// setStatAttrs exports the deterministic work counters of a Stats onto a
+// span — the attribution the conformance suite checks equals the Stats the
+// serving layer reports.
+func setStatAttrs(sp *obs.Span, st Stats) {
+	if sp == nil {
+		return
+	}
+	sp.SetCounter("components", int64(st.Components))
+	sp.SetCounter("fast_path_hits", int64(st.FastPathHits))
+	sp.SetCounter("lp_solves_total", int64(st.LPSolves))
+	sp.SetCounter("cuts_added", int64(st.CutsAdded))
+	sp.SetCounter("max_flow_calls", int64(st.MaxFlowCalls))
+	sp.SetCounter("simplex_pivots", int64(st.SimplexPivots))
+	sp.SetCounter("warm_cuts_reused", int64(st.WarmCutsReused))
+	sp.SetCounter("warm_basis_hits", int64(st.WarmBasisHits))
+	sp.SetCounter("parametric_slides", int64(st.ParametricSlides))
+	sp.SetCounter("incremental_fallbacks", int64(st.IncrementalFallbacks))
 }
 
 // lowDegree returns the cached low-degree spanning-forest bound, computing

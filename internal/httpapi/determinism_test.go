@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"nodedp/internal/core"
+	"nodedp/internal/obs"
 )
 
 // TestMetricsExpositionGolden pins the exact exposition text for a small
@@ -23,11 +24,16 @@ import (
 // scrape-diffing tooling.
 func TestMetricsExpositionGolden(t *testing.T) {
 	m := newMetrics()
+	// The build-info label set embeds the host's GOMAXPROCS; pin it so the
+	// golden is machine-independent.
+	m.buildInfo = `version="test",gomaxprocs="8"`
 	// Observe deliberately out of sorted order.
 	m.observe("POST /v1/sessions/{id}/query", 200, 2*time.Millisecond)
 	m.observe("GET /healthz", 200, 1*time.Millisecond)
 	m.observe("POST /v1/graphs", 429, 1*time.Millisecond)
 	m.observe("POST /v1/graphs", 201, 4*time.Millisecond)
+	m.routeInflight("POST /v1/graphs", 1)
+	m.observeStages(stageSnap("serve.admit", 1500*time.Microsecond))
 	m.addShed()
 	m.addQueries(3)
 	m.addPanic()
@@ -52,6 +58,106 @@ nodedp_http_request_seconds_sum{route="POST /v1/graphs"} 0.005
 nodedp_http_request_seconds_count{route="POST /v1/graphs"} 2
 nodedp_http_request_seconds_sum{route="POST /v1/sessions/{id}/query"} 0.002
 nodedp_http_request_seconds_count{route="POST /v1/sessions/{id}/query"} 1
+# HELP nodedp_http_request_max_seconds Worst-observed request latency per route since boot.
+# TYPE nodedp_http_request_max_seconds gauge
+nodedp_http_request_max_seconds{route="GET /healthz"} 0.001
+nodedp_http_request_max_seconds{route="POST /v1/graphs"} 0.004
+nodedp_http_request_max_seconds{route="POST /v1/sessions/{id}/query"} 0.002
+# HELP nodedp_http_inflight Requests currently executing, by route pattern.
+# TYPE nodedp_http_inflight gauge
+nodedp_http_inflight{route="POST /v1/graphs"} 1
+# HELP nodedp_request_duration_seconds Request latency histogram by route pattern.
+# TYPE nodedp_request_duration_seconds histogram
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="1e-05"} 0
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="2.5e-05"} 0
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="5e-05"} 0
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="0.0001"} 0
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="0.00025"} 0
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="0.0005"} 0
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="0.001"} 1
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="0.0025"} 1
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="0.005"} 1
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="0.01"} 1
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="0.025"} 1
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="0.05"} 1
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="0.1"} 1
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="0.25"} 1
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="0.5"} 1
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="1"} 1
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="2.5"} 1
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="5"} 1
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="10"} 1
+nodedp_request_duration_seconds_bucket{route="GET /healthz",le="+Inf"} 1
+nodedp_request_duration_seconds_sum{route="GET /healthz"} 0.001
+nodedp_request_duration_seconds_count{route="GET /healthz"} 1
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="1e-05"} 0
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="2.5e-05"} 0
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="5e-05"} 0
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="0.0001"} 0
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="0.00025"} 0
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="0.0005"} 0
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="0.001"} 1
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="0.0025"} 1
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="0.005"} 2
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="0.01"} 2
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="0.025"} 2
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="0.05"} 2
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="0.1"} 2
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="0.25"} 2
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="0.5"} 2
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="1"} 2
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="2.5"} 2
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="5"} 2
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="10"} 2
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="+Inf"} 2
+nodedp_request_duration_seconds_sum{route="POST /v1/graphs"} 0.005
+nodedp_request_duration_seconds_count{route="POST /v1/graphs"} 2
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="1e-05"} 0
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="2.5e-05"} 0
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="5e-05"} 0
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="0.0001"} 0
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="0.00025"} 0
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="0.0005"} 0
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="0.001"} 0
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="0.0025"} 1
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="0.005"} 1
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="0.01"} 1
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="0.025"} 1
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="0.05"} 1
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="0.1"} 1
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="0.25"} 1
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="0.5"} 1
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="1"} 1
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="2.5"} 1
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="5"} 1
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="10"} 1
+nodedp_request_duration_seconds_bucket{route="POST /v1/sessions/{id}/query",le="+Inf"} 1
+nodedp_request_duration_seconds_sum{route="POST /v1/sessions/{id}/query"} 0.002
+nodedp_request_duration_seconds_count{route="POST /v1/sessions/{id}/query"} 1
+# HELP nodedp_stage_duration_seconds Span latency histogram by pipeline stage (span name).
+# TYPE nodedp_stage_duration_seconds histogram
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="1e-05"} 0
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="2.5e-05"} 0
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="5e-05"} 0
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="0.0001"} 0
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="0.00025"} 0
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="0.0005"} 0
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="0.001"} 0
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="0.0025"} 1
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="0.005"} 1
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="0.01"} 1
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="0.025"} 1
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="0.05"} 1
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="0.1"} 1
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="0.25"} 1
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="0.5"} 1
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="1"} 1
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="2.5"} 1
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="5"} 1
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="10"} 1
+nodedp_stage_duration_seconds_bucket{stage="serve.admit",le="+Inf"} 1
+nodedp_stage_duration_seconds_sum{stage="serve.admit"} 0.0015
+nodedp_stage_duration_seconds_count{stage="serve.admit"} 1
 # HELP nodedp_http_requests_shed_total Requests rejected by the inflight admission cap.
 # TYPE nodedp_http_requests_shed_total counter
 nodedp_http_requests_shed_total 1
@@ -61,6 +167,9 @@ nodedp_queries_served_total 3
 # HELP nodedp_panics_recovered_total Handler panics contained by the per-request recovery wrapper.
 # TYPE nodedp_panics_recovered_total counter
 nodedp_panics_recovered_total 1
+# HELP nodedp_build_info Build metadata (constant 1).
+# TYPE nodedp_build_info gauge
+nodedp_build_info{version="test",gomaxprocs="8"} 1
 # TYPE nodedp_inflight_requests gauge
 nodedp_inflight_requests 1
 # TYPE nodedp_sessions_live gauge
@@ -69,6 +178,12 @@ nodedp_sessions_live 2
 	if got := buf.String(); got != golden {
 		t.Errorf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, golden)
 	}
+}
+
+// stageSnap builds a one-span trace snapshot with the given duration, for
+// feeding observeStages deterministically.
+func stageSnap(stage string, d time.Duration) obs.TraceSnapshot {
+	return obs.TraceSnapshot{Spans: []obs.SpanSnapshot{{Name: stage, Duration: d}}}
 }
 
 // TestMetricsExpositionByteStable renders the same logical state, populated

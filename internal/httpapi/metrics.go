@@ -3,15 +3,26 @@ package httpapi
 // This file implements the daemon's hand-rolled Prometheus text exposition
 // (no external dependencies, per the repo's no-new-deps rule). Counters are
 // keyed by route pattern and status code — never by raw URL, whose
-// cardinality an adversarial client controls.
+// cardinality an adversarial client controls. Latency histograms use the
+// fixed bucket layout of obs.DefaultLatencyBuckets so expositions from any
+// two daemons are merge- and diff-compatible; stage histograms are keyed by
+// span name ("serve.admit", "forestlp.grid", ...), the cross-layer stage
+// vocabulary the tracer establishes.
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
+
+	"nodedp/internal/obs"
 )
+
+// Version labels nodedp_build_info. Overridable at link time
+// (-ldflags "-X nodedp/internal/httpapi.Version=v1.2.3").
+var Version = "dev"
 
 // metrics aggregates request counters, latencies, and shed counts.
 type metrics struct {
@@ -22,6 +33,19 @@ type metrics struct {
 	// convention: _sum and _count suffixes).
 	latencySum   map[string]float64
 	latencyCount map[string]int64
+	// latencyMax tracks the worst-observed latency per route since boot —
+	// the number an operator wants next to the average the summary gives.
+	latencyMax map[string]float64
+	// inflightByRoute gauges requests currently executing per route (the
+	// global inflight gauge cannot say WHICH route is slow).
+	inflightByRoute map[string]int64
+	// requestHist is the per-route latency histogram
+	// (nodedp_request_duration_seconds), fixed obs.DefaultLatencyBuckets.
+	requestHist map[string]*obs.Histogram
+	// stageHist is the per-stage latency histogram
+	// (nodedp_stage_duration_seconds), keyed by span name and fed from
+	// finished trace snapshots.
+	stageHist map[string]*obs.Histogram
 	// shed counts requests rejected by the inflight admission cap.
 	shed int64
 	// queriesServed counts private releases (single + batch items).
@@ -29,17 +53,26 @@ type metrics struct {
 	// panicsRecovered counts handler panics contained by route()'s
 	// recovery wrapper (the daemon answered 500 and kept serving).
 	panicsRecovered int64
+	// buildInfo is the label set of nodedp_build_info, fixed at boot
+	// (tests overwrite it to pin expositions).
+	buildInfo string
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests:     make(map[string]map[int]int64),
-		latencySum:   make(map[string]float64),
-		latencyCount: make(map[string]int64),
+		requests:        make(map[string]map[int]int64),
+		latencySum:      make(map[string]float64),
+		latencyCount:    make(map[string]int64),
+		latencyMax:      make(map[string]float64),
+		inflightByRoute: make(map[string]int64),
+		requestHist:     make(map[string]*obs.Histogram),
+		stageHist:       make(map[string]*obs.Histogram),
+		buildInfo:       fmt.Sprintf("version=%q,gomaxprocs=\"%d\"", Version, runtime.GOMAXPROCS(0)),
 	}
 }
 
 func (m *metrics) observe(route string, code int, elapsed time.Duration) {
+	sec := elapsed.Seconds()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	byCode := m.requests[route]
@@ -48,8 +81,42 @@ func (m *metrics) observe(route string, code int, elapsed time.Duration) {
 		m.requests[route] = byCode
 	}
 	byCode[code]++
-	m.latencySum[route] += elapsed.Seconds()
+	m.latencySum[route] += sec
 	m.latencyCount[route]++
+	if sec > m.latencyMax[route] {
+		m.latencyMax[route] = sec
+	}
+	h := m.requestHist[route]
+	if h == nil {
+		h = obs.NewHistogram(nil)
+		m.requestHist[route] = h
+	}
+	h.Observe(sec)
+}
+
+// routeInflight adjusts the per-route in-flight gauge; route() pairs the
+// +1 at admission with a deferred −1 (shed requests never count — they are
+// refused, not in flight).
+func (m *metrics) routeInflight(route string, delta int64) {
+	m.mu.Lock()
+	m.inflightByRoute[route] += delta
+	m.mu.Unlock()
+}
+
+// observeStages folds a finished trace's span durations into the per-stage
+// histograms. Durations here are operational wall-clock only — they feed
+// monitoring, never a released value.
+func (m *metrics) observeStages(snap obs.TraceSnapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, sp := range snap.Spans {
+		h := m.stageHist[sp.Name]
+		if h == nil {
+			h = obs.NewHistogram(nil)
+			m.stageHist[sp.Name] = h
+		}
+		h.Observe(sp.Duration.Seconds())
+	}
 }
 
 func (m *metrics) addShed() {
@@ -97,6 +164,30 @@ func (m *metrics) write(w io.Writer, gauges map[string]float64) {
 		fmt.Fprintf(w, "nodedp_http_request_seconds_count{route=%q} %d\n", route, m.latencyCount[route])
 	}
 
+	fmt.Fprintf(w, "# HELP nodedp_http_request_max_seconds Worst-observed request latency per route since boot.\n")
+	fmt.Fprintf(w, "# TYPE nodedp_http_request_max_seconds gauge\n")
+	for _, route := range sortedKeys(m.latencyMax) {
+		fmt.Fprintf(w, "nodedp_http_request_max_seconds{route=%q} %g\n", route, m.latencyMax[route])
+	}
+
+	fmt.Fprintf(w, "# HELP nodedp_http_inflight Requests currently executing, by route pattern.\n")
+	fmt.Fprintf(w, "# TYPE nodedp_http_inflight gauge\n")
+	for _, route := range sortedKeys(m.inflightByRoute) {
+		fmt.Fprintf(w, "nodedp_http_inflight{route=%q} %d\n", route, m.inflightByRoute[route])
+	}
+
+	fmt.Fprintf(w, "# HELP nodedp_request_duration_seconds Request latency histogram by route pattern.\n")
+	fmt.Fprintf(w, "# TYPE nodedp_request_duration_seconds histogram\n")
+	for _, route := range sortedKeys(m.requestHist) {
+		m.requestHist[route].Snapshot().WriteProm(w, "nodedp_request_duration_seconds", fmt.Sprintf("route=%q", route))
+	}
+
+	fmt.Fprintf(w, "# HELP nodedp_stage_duration_seconds Span latency histogram by pipeline stage (span name).\n")
+	fmt.Fprintf(w, "# TYPE nodedp_stage_duration_seconds histogram\n")
+	for _, stage := range sortedKeys(m.stageHist) {
+		m.stageHist[stage].Snapshot().WriteProm(w, "nodedp_stage_duration_seconds", fmt.Sprintf("stage=%q", stage))
+	}
+
 	fmt.Fprintf(w, "# HELP nodedp_http_requests_shed_total Requests rejected by the inflight admission cap.\n")
 	fmt.Fprintf(w, "# TYPE nodedp_http_requests_shed_total counter\n")
 	fmt.Fprintf(w, "nodedp_http_requests_shed_total %d\n", m.shed)
@@ -108,6 +199,10 @@ func (m *metrics) write(w io.Writer, gauges map[string]float64) {
 	fmt.Fprintf(w, "# HELP nodedp_panics_recovered_total Handler panics contained by the per-request recovery wrapper.\n")
 	fmt.Fprintf(w, "# TYPE nodedp_panics_recovered_total counter\n")
 	fmt.Fprintf(w, "nodedp_panics_recovered_total %d\n", m.panicsRecovered)
+
+	fmt.Fprintf(w, "# HELP nodedp_build_info Build metadata (constant 1).\n")
+	fmt.Fprintf(w, "# TYPE nodedp_build_info gauge\n")
+	fmt.Fprintf(w, "nodedp_build_info{%s} 1\n", m.buildInfo)
 
 	for _, name := range sortedKeys(gauges) {
 		fmt.Fprintf(w, "# TYPE %s gauge\n", name)

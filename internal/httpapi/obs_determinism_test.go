@@ -1,0 +1,221 @@
+package httpapi
+
+// The observability determinism contract, end to end: two identically-
+// seeded daemons serving the same workload must write byte-identical
+// privacy audit logs and expose identical span trees (durations excluded —
+// wall-clock is operational, never part of the contract), and turning the
+// whole observability stack off must not move a single bit of any seeded
+// release.
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"nodedp/internal/fault"
+	"nodedp/internal/obs"
+)
+
+// obsWorkload drives one daemon through the canonical serial workload:
+// upload, two seeded queries, a dedup replay, a rejected over-budget query,
+// and a batch. Serial execution makes ring order and audit sequence
+// deterministic. Returns every released value in order.
+func obsWorkload(t *testing.T, url string) []float64 {
+	t.Helper()
+	g := testGraph(t)
+	sess := openSession(t, url, CreateSessionRequest{
+		Tenant: "acme", N: g.N(), Edges: edgePairs(g), Budget: 2, RequestID: "upload-1",
+	})
+	base := url + "/v1/sessions/" + sess.SessionID
+
+	var vals []float64
+	query := func(id string, eps float64, seed uint64) {
+		var qr QueryResponse
+		if code := doJSON(t, "POST", base+"/query", QueryRequest{Op: "cc", Epsilon: eps, Seed: seed, RequestID: id}, &qr); code != http.StatusOK {
+			t.Fatalf("query %s: status %d", id, code)
+		}
+		vals = append(vals, qr.Value)
+	}
+	query("q-1", 0.5, 41)
+	query("q-2", 0.25, 42)
+	query("q-1", 0.5, 41) // dedup replay: recorded release, no new charge
+
+	var eb ErrorBody
+	if code := doJSON(t, "POST", base+"/query", QueryRequest{Op: "cc", Epsilon: 10, Seed: 43, RequestID: "q-big"}, &eb); code == http.StatusOK {
+		t.Fatal("over-budget query admitted")
+	}
+
+	var br BatchResponse
+	breq := BatchRequest{RequestID: "b-1", Queries: []QueryRequest{
+		{Op: "sf", Epsilon: 0.25, Seed: 44},
+		{Op: "cc", Epsilon: 0.25, Seed: 45},
+	}}
+	if code := doJSON(t, "POST", base+"/batch", breq, &br); code != http.StatusOK {
+		t.Fatalf("batch: status %d", code)
+	}
+	for i, item := range br.Responses {
+		if item.Result == nil {
+			t.Fatalf("batch item %d failed: %+v", i, item.Error)
+		}
+		vals = append(vals, item.Result.Value)
+	}
+	return vals
+}
+
+// tenantTraces fetches and normalizes a tenant's traces: durations are
+// operational (wall-clock) and excluded from every determinism comparison.
+func tenantTraces(t *testing.T, url, tenant string) TracesResponse {
+	t.Helper()
+	var out TracesResponse
+	if code := doJSON(t, "GET", url+"/v1/admin/traces?tenant="+tenant+"&limit=100", nil, &out); code != http.StatusOK {
+		t.Fatalf("traces: status %d", code)
+	}
+	for ti := range out.Traces {
+		for si := range out.Traces[ti].Spans {
+			out.Traces[ti].Spans[si].DurationSeconds = 0
+		}
+	}
+	return out
+}
+
+func TestSeededDaemonsByteIdenticalObservability(t *testing.T) {
+	dir := t.TempDir()
+	run := func(name string) ([]float64, TracesResponse, []byte) {
+		logPath := filepath.Join(dir, name+".audit")
+		audit, err := obs.OpenAuditLog(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer audit.Close()
+		_, ts := testServer(t, Config{TraceSeed: 1, Audit: audit})
+		vals := obsWorkload(t, ts.URL)
+		traces := tenantTraces(t, ts.URL, "acme")
+		raw, err := os.ReadFile(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vals, traces, raw
+	}
+
+	valsA, tracesA, auditA := run("a")
+	valsB, tracesB, auditB := run("b")
+
+	if len(valsA) == 0 || len(valsA) != len(valsB) {
+		t.Fatalf("release counts diverge: %d vs %d", len(valsA), len(valsB))
+	}
+	for i := range valsA {
+		if math.Float64bits(valsA[i]) != math.Float64bits(valsB[i]) {
+			t.Fatalf("release %d diverges: %v vs %v", i, valsA[i], valsB[i])
+		}
+	}
+	if !bytes.Equal(auditA, auditB) {
+		t.Fatalf("audit logs diverge:\n--- a ---\n%s\n--- b ---\n%s", auditA, auditB)
+	}
+	if len(auditA) == 0 {
+		t.Fatal("empty audit logs — the comparison tested nothing")
+	}
+	if !reflect.DeepEqual(tracesA, tracesB) {
+		t.Fatalf("span trees diverge:\n--- a ---\n%+v\n--- b ---\n%+v", tracesA, tracesB)
+	}
+	if len(tracesA.Traces) == 0 {
+		t.Fatal("empty trace rings — the comparison tested nothing")
+	}
+}
+
+// TestChaosScheduleObservabilityDeterminism re-runs the byte-identity check
+// under an injected connection abort: the first query's response write is
+// killed, the manual retry replays the recorded release, and both daemons
+// must still produce identical audit logs and span trees.
+func TestChaosScheduleObservabilityDeterminism(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	g := testGraph(t)
+
+	run := func(name string) (TracesResponse, []byte) {
+		fault.Reset()
+		logPath := filepath.Join(dir, name+".audit")
+		audit, err := obs.OpenAuditLog(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer audit.Close()
+		_, ts := testServer(t, Config{TraceSeed: 1, Audit: audit})
+		sess := openSession(t, ts.URL, CreateSessionRequest{
+			Tenant: "acme", N: g.N(), Edges: edgePairs(g), Budget: 2, RequestID: "upload-1",
+		})
+		qURL := ts.URL + "/v1/sessions/" + sess.SessionID + "/query"
+
+		// Abort the next response write: the release is recorded and
+		// charged server-side, but the client never sees it.
+		if err := fault.Arm("httpapi.write=nth:1"); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(qURL, "application/json",
+			bytes.NewReader([]byte(`{"op":"cc","epsilon":0.5,"seed":41,"request_id":"q-1"}`)))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				t.Fatal("aborted write still delivered a response")
+			}
+		}
+		if fault.Fired("httpapi.write") == 0 {
+			t.Fatal("write failpoint never fired — the schedule tested nothing")
+		}
+
+		// The retry must replay the recorded release without re-charging.
+		retry := postJSON(t, qURL, QueryRequest{Op: "cc", Epsilon: 0.5, Seed: 41, RequestID: "q-1"})
+		defer retry.Body.Close()
+		if retry.StatusCode != http.StatusOK || retry.Header.Get(ReplayedHeader) != "1" {
+			t.Fatalf("retry: status %d, replayed=%q", retry.StatusCode, retry.Header.Get(ReplayedHeader))
+		}
+
+		traces := tenantTraces(t, ts.URL, "acme")
+		raw, err := os.ReadFile(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return traces, raw
+	}
+
+	tracesA, auditA := run("a")
+	tracesB, auditB := run("b")
+	if !bytes.Equal(auditA, auditB) {
+		t.Fatalf("audit logs diverge under chaos:\n--- a ---\n%s\n--- b ---\n%s", auditA, auditB)
+	}
+	if !bytes.Contains(auditA, []byte("op=replay")) {
+		t.Fatalf("no replay event in audit log:\n%s", auditA)
+	}
+	if !reflect.DeepEqual(tracesA, tracesB) {
+		t.Fatalf("span trees diverge under chaos:\n--- a ---\n%+v\n--- b ---\n%+v", tracesA, tracesB)
+	}
+}
+
+// TestObservabilityOffBitIdenticalReleases: the full observability stack —
+// tracing ring, audit log, slow-query log — must be pure observation. The
+// same seeded workload with everything disabled returns bit-identical
+// releases.
+func TestObservabilityOffBitIdenticalReleases(t *testing.T) {
+	audit, err := obs.OpenAuditLog(filepath.Join(t.TempDir(), "on.audit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer audit.Close()
+	_, on := testServer(t, Config{TraceSeed: 1, Audit: audit, SlowQueryThreshold: 1, SlowQueryLog: io.Discard})
+	_, off := testServer(t, Config{TraceRing: -1})
+
+	valsOn := obsWorkload(t, on.URL)
+	valsOff := obsWorkload(t, off.URL)
+	if len(valsOn) != len(valsOff) {
+		t.Fatalf("release counts diverge: %d vs %d", len(valsOn), len(valsOff))
+	}
+	for i := range valsOn {
+		if math.Float64bits(valsOn[i]) != math.Float64bits(valsOff[i]) {
+			t.Fatalf("release %d: observability moved a release: %v vs %v", i, valsOn[i], valsOff[i])
+		}
+	}
+}

@@ -29,8 +29,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -40,6 +43,7 @@ import (
 	"nodedp/internal/core"
 	"nodedp/internal/fault"
 	"nodedp/internal/graph"
+	"nodedp/internal/obs"
 	"nodedp/internal/privacy"
 	"nodedp/internal/serve"
 )
@@ -89,9 +93,38 @@ type Config struct {
 	// for golden assertions. The jitter PRNG never touches the release
 	// path.
 	RetryJitterSeed uint64
-	// Now overrides the clock (tests).
+	// TraceSeed seeds the identities of traces whose requests carry no
+	// request ID (a request ID always wins — its trace identity is derived
+	// from the ID itself, so identically-seeded daemons serving the same
+	// query file agree on every trace). 0 means a fixed default seed.
+	// Trace identity is bookkeeping, never noise: it cannot influence a
+	// release.
+	TraceSeed uint64
+	// TraceRing bounds the in-memory ring of recent traces behind
+	// GET /v1/admin/traces: 0 means DefaultTraceRing, negative disables
+	// retention (requests are still traced for stage metrics).
+	TraceRing int
+	// SlowQueryThreshold, when positive, logs any /v1 request slower than
+	// this to SlowQueryLog (one line per offense, with route, status,
+	// duration, and trace ID for cross-referencing the trace ring).
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query lines; nil means os.Stderr.
+	SlowQueryLog io.Writer
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/ on this
+	// server's mux (never the global DefaultServeMux). Profiles expose
+	// operational timing only; gate the port accordingly.
+	EnablePprof bool
+	// Audit, when non-nil, receives every privacy-accountant event of
+	// every session opened by this server (see serve.SessionOptions.Audit
+	// and internal/obs.AuditLog).
+	Audit obs.AuditSink
+	// Now overrides the clock (tests). It also drives span timing, so a
+	// test-injected deterministic clock pins stage histograms exactly.
 	Now func() time.Time
 }
+
+// DefaultTraceRing is the trace-ring capacity when Config.TraceRing is 0.
+const DefaultTraceRing = 128
 
 // Server is the HTTP front end. Create with New; it implements
 // http.Handler.
@@ -118,6 +151,14 @@ type Server struct {
 	// on the release path).
 	retryMu  sync.Mutex
 	retryRng *rand.Rand
+
+	// traces retains recent finished traces for GET /v1/admin/traces (nil
+	// when retention is disabled); traceSeq disambiguates traces of
+	// requests that carry no request ID.
+	traces   *obs.Ring
+	traceSeq atomic.Uint64
+	// slowMu serializes slow-query log lines (the writer is shared).
+	slowMu sync.Mutex
 }
 
 // New builds a Server.
@@ -139,6 +180,12 @@ func New(cfg Config) *Server {
 	if jitterSeed == 0 {
 		jitterSeed = 1
 	}
+	if cfg.TraceSeed == 0 {
+		cfg.TraceSeed = 1
+	}
+	if cfg.SlowQueryLog == nil {
+		cfg.SlowQueryLog = os.Stderr
+	}
 	s := &Server{
 		cfg:      cfg,
 		registry: newRegistry(cfg.Registry, now),
@@ -148,18 +195,35 @@ func New(cfg Config) *Server {
 		caches:   make(map[string]*core.PlanCache),
 		retryRng: rand.New(rand.NewPCG(jitterSeed, jitterSeed)),
 	}
+	switch {
+	case cfg.TraceRing == 0:
+		s.traces = obs.NewRing(DefaultTraceRing)
+	case cfg.TraceRing > 0:
+		s.traces = obs.NewRing(cfg.TraceRing)
+	}
 	if s.shared == nil {
 		s.registry.onTenantGone = s.dropTenantCache
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/graphs", s.handleCreateSession)
 	s.route("POST /v1/admin/cache/save", s.handleCacheSave)
+	s.route("GET /v1/admin/traces", s.handleTraces)
 	s.route("POST /v1/sessions/{id}/query", s.handleQuery)
 	s.route("POST /v1/sessions/{id}/batch", s.handleBatch)
 	s.route("GET /v1/sessions/{id}", s.handleSessionInfo)
 	s.route("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		// Mounted on this mux only — importing net/http/pprof also
+		// registers on http.DefaultServeMux, which this server never
+		// serves.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -222,6 +286,74 @@ func (s *Server) handleCacheSave(w http.ResponseWriter, _ *http.Request) {
 	default:
 		writeJSON(w, http.StatusOK, SaveCacheResponse{Entries: n})
 	}
+}
+
+// handleTraces implements GET /v1/admin/traces?tenant=&limit=: the most
+// recent finished traces of exactly the named tenant, newest first. Scoping
+// matches the rest of the unauthenticated admin surface (a tenant name
+// reveals only that tenant's own operational telemetry); span attributes
+// carry work counters and stage labels, never graph data or releases.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "trace retention is disabled on this daemon")
+		return
+	}
+	tenant := r.URL.Query().Get("tenant")
+	if err := sanitizeTenant(tenant); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
+		return
+	}
+	limit := 32
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	snaps := s.traces.Recent(tenant, limit)
+	out := TracesResponse{Traces: make([]TraceItem, len(snaps))}
+	for i, sn := range snaps {
+		out.Traces[i] = toTraceItem(sn)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// toTraceItem maps a trace snapshot to the wire (span IDs as fixed-width
+// hex; maps are fine — encoding/json emits sorted keys).
+func toTraceItem(sn obs.TraceSnapshot) TraceItem {
+	item := TraceItem{
+		TraceID:   fmt.Sprintf("%016x", sn.TraceID),
+		Name:      sn.Name,
+		Tenant:    sn.Tenant,
+		RequestID: sn.RequestID,
+		Spans:     make([]SpanItem, len(sn.Spans)),
+	}
+	for i, sp := range sn.Spans {
+		si := SpanItem{
+			ID:              fmt.Sprintf("%016x", sp.ID),
+			Name:            sp.Name,
+			DurationSeconds: sp.Duration.Seconds(),
+		}
+		if sp.ParentID != 0 {
+			si.ParentID = fmt.Sprintf("%016x", sp.ParentID)
+		}
+		if len(sp.Counters) > 0 {
+			si.Counters = make(map[string]int64, len(sp.Counters))
+			for _, a := range sp.Counters {
+				si.Counters[a.Key] = a.Value
+			}
+		}
+		if len(sp.Labels) > 0 {
+			si.Labels = make(map[string]string, len(sp.Labels))
+			for _, l := range sp.Labels {
+				si.Labels[l.Key] = l.Value
+			}
+		}
+		item.Spans[i] = si
+	}
+	return item
 }
 
 // tenantCache returns the plan cache serving a tenant: the injected
@@ -333,8 +465,39 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 			return
 		}
 		defer s.inflight.Add(-1)
+		s.metrics.routeInflight(pattern, 1)
+		defer s.metrics.routeInflight(pattern, -1)
 
 		start := s.now()
+		// Every admitted /v1 request gets a trace. The provisional identity
+		// comes from the configured seed plus a boot-local sequence; a
+		// handler that learns its request ID rekeys the trace so identity
+		// derives from the ID alone (deterministic across daemons). Span
+		// timing runs on s.now — the same injectable clock as the latency
+		// metrics — and is operational telemetry only: no released value
+		// ever reads it.
+		tr := obs.NewTraceWithClock(pattern, s.cfg.TraceSeed+s.traceSeq.Add(1), s.now)
+		r = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
+		// Finalization must run even when the handler aborts the connection
+		// (http.ErrAbortHandler): the trace and its stage durations are how
+		// an operator sees the aborted request at all.
+		finalize := func(code int) {
+			tr.Root().SetCounter("http_status", int64(code))
+			tr.Root().End()
+			snap := tr.Snapshot()
+			if s.traces != nil {
+				s.traces.Add(snap)
+			}
+			s.metrics.observeStages(snap)
+			elapsed := s.now().Sub(start)
+			s.metrics.observe(pattern, code, elapsed)
+			if t := s.cfg.SlowQueryThreshold; t > 0 && elapsed >= t {
+				s.slowMu.Lock()
+				fmt.Fprintf(s.cfg.SlowQueryLog, "slow-query route=%q code=%d elapsed=%s trace=%016x request=%q\n",
+					pattern, code, elapsed, snap.TraceID, snap.RequestID)
+				s.slowMu.Unlock()
+			}
+		}
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.ReadLimit)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		// Panic containment: a panic below this frame answers with a typed
@@ -349,6 +512,7 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 					return
 				}
 				if p == http.ErrAbortHandler {
+					finalize(rec.code)
 					panic(p)
 				}
 				s.metrics.addPanic()
@@ -359,7 +523,7 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 			}()
 			h(rec, r)
 		}()
-		s.metrics.observe(pattern, rec.code, s.now().Sub(start))
+		finalize(rec.code)
 	})
 }
 
@@ -373,6 +537,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
 		return
 	}
+	r = s.identifyRequest(r, req.Tenant, req.RequestID)
 	g, err := buildGraph(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
@@ -404,6 +569,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		Delta:           req.Delta,
 		DiscreteRelease: req.DiscreteRelease,
 		Cache:           s.tenantCache(req.Tenant),
+		Audit:           s.cfg.Audit,
 	}
 	opts.ForestLP.Workers = req.Workers
 	opts.ForestLP.SepWorkers = req.SepWorkers
@@ -468,6 +634,23 @@ func buildGraph(req *CreateSessionRequest) (*graph.Graph, error) {
 	}
 }
 
+// identifyRequest attaches the request's serving identity once the handler
+// has parsed its body: the trace is rekeyed onto the request ID (when one
+// was sent — identity then derives from the ID alone, so identically-seeded
+// daemons serving the same query file agree on every trace and audit line),
+// tagged with the tenant, and the (tenant, request ID) pair is placed in
+// the context for the serve layer's audit records.
+func (s *Server) identifyRequest(r *http.Request, tenant, requestID string) *http.Request {
+	if tr := obs.TraceFrom(r.Context()); tr != nil {
+		if requestID != "" {
+			tr.Rekey(requestID)
+		}
+		tr.SetTenant(tenant)
+	}
+	ctx := obs.ContextWithRequestInfo(r.Context(), obs.RequestInfo{Tenant: tenant, RequestID: requestID})
+	return r.WithContext(ctx)
+}
+
 // lookup resolves the {id} path segment to a live session or writes 404.
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
 	id := r.PathValue("id")
@@ -495,6 +678,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
 		return
 	}
+	r = s.identifyRequest(r, entry.tenant, req.RequestID)
 
 	// Idempotent replay: a request ID claims a slot in the session's
 	// dedup table. Duplicates of a recorded release replay it without
@@ -519,7 +703,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			// A replayed release: the budget was charged and the query
-			// served exactly once, on the original attempt.
+			// served exactly once, on the original attempt. The header lets
+			// retrying clients count replays (client.Telemetry) and
+			// operators distinguish replays from fresh charges.
+			w.Header().Set(ReplayedHeader, "1")
+			if tr := obs.TraceFrom(r.Context()); tr != nil {
+				tr.Root().SetCounter("dedup_replayed", 1)
+			}
+			entry.sess.RecordReplay(obs.RequestInfoFrom(r.Context()), req.RequestID)
 			writeJSON(w, http.StatusOK, de.resp)
 			return
 		}
@@ -576,6 +767,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "batch has no queries")
 		return
 	}
+	r = s.identifyRequest(r, entry.tenant, req.RequestID)
 	reqs := make([]serve.Request, len(req.Queries))
 	for i, q := range req.Queries {
 		op, mode, err := parseOp(q.Op)

@@ -83,6 +83,11 @@ type CreateSessionRequest struct {
 	SepWaveWidth int `json:"sep_wave_width,omitempty"`
 	// DiscreteRelease selects the exact integer release mechanism.
 	DiscreteRelease bool `json:"discrete_release,omitempty"`
+	// RequestID, when non-empty, names the upload for tracing and privacy
+	// auditing (the session-open audit record and the upload's trace are
+	// keyed by it). Uploads are not idempotent: retrying with the same ID
+	// opens a second session.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // CreateSessionResponse answers POST /v1/graphs.
@@ -142,6 +147,11 @@ type QueryResponse struct {
 // BatchRequest is the body of POST /v1/sessions/{id}/batch.
 type BatchRequest struct {
 	Queries []QueryRequest `json:"queries"`
+	// RequestID, when non-empty, names the batch for tracing and privacy
+	// auditing: the trace's identity derives from it, and audit records
+	// attribute item i as "<RequestID>#<i>". It does NOT make the batch
+	// idempotent (only the single-query endpoint replays).
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // BatchItem is one outcome of a batch: exactly one of Result or Error is
@@ -209,6 +219,40 @@ type CacheInfo struct {
 	SnapshotEntriesSaved   int64 `json:"snapshot_entries_saved,omitempty"`
 	SnapshotEntriesLoaded  int64 `json:"snapshot_entries_loaded,omitempty"`
 	SnapshotEntriesSkipped int64 `json:"snapshot_entries_skipped,omitempty"`
+}
+
+// ReplayedHeader marks a single-query response served from the idempotency
+// table: the budget was charged exactly once, on the original attempt.
+const ReplayedHeader = "Nodedp-Replayed"
+
+// SpanItem is one span of a trace on the wire. Counters and labels carry
+// only work attribution (pivot counts, cache hits, stage names) — span
+// attributes never hold graph data or raw releases, a contract detlint's
+// wireleak analyzer enforces at the Span.SetAny sink.
+type SpanItem struct {
+	ID       string `json:"id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	// DurationSeconds is operational wall-clock timing; it never feeds a
+	// released value and is excluded from determinism comparisons.
+	DurationSeconds float64           `json:"duration_seconds"`
+	Counters        map[string]int64  `json:"counters,omitempty"`
+	Labels          map[string]string `json:"labels,omitempty"`
+}
+
+// TraceItem is one finished request trace on the wire.
+type TraceItem struct {
+	TraceID   string     `json:"trace_id"`
+	Name      string     `json:"name"`
+	Tenant    string     `json:"tenant,omitempty"`
+	RequestID string     `json:"request_id,omitempty"`
+	Spans     []SpanItem `json:"spans"`
+}
+
+// TracesResponse answers GET /v1/admin/traces: the most recent finished
+// traces of the requesting tenant, newest first.
+type TracesResponse struct {
+	Traces []TraceItem `json:"traces"`
 }
 
 // SaveCacheResponse answers POST /v1/admin/cache/save. The server-side

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"nodedp/internal/fault"
+	"nodedp/internal/obs"
 )
 
 // ErrNumericalDistress is returned by Incremental.Solve when the standing
@@ -423,7 +424,20 @@ func (inc *Incremental) Solve() (Solution, error) {
 // consistent and NOT poisoned, so a later SolveCtx may resume — but
 // callers on the release path treat a context error as fatal for the
 // whole evaluation anyway.
+//
+// Like MaximizeCtx, a trace span on the context accumulates the solve's
+// lp_solves/lp_pivots/lp_warm_pivots counter attributes.
 func (inc *Incremental) SolveCtx(ctx context.Context) (Solution, error) {
+	sol, err := inc.solveCtx(ctx)
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		sp.AddCounter("lp_solves", 1)
+		sp.AddCounter("lp_pivots", int64(sol.Pivots))
+		sp.AddCounter("lp_warm_pivots", int64(sol.WarmPivots))
+	}
+	return sol, err
+}
+
+func (inc *Incremental) solveCtx(ctx context.Context) (Solution, error) {
 	sol := Solution{WarmPivots: inc.pendingWarmPivots, WarmStarted: inc.pendingWarmStart}
 	inc.pendingWarmPivots, inc.pendingWarmStart = 0, false
 	if inc.poisoned {

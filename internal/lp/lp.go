@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"nodedp/internal/obs"
 )
 
 // ctxCheckEvery is the cancellation-checkpoint stride of the pivot loops:
@@ -138,7 +140,23 @@ func Maximize(c []float64, a [][]float64, b []float64, opts Options) (Solution, 
 // rather than an Options field: Options is stringified into the plan
 // cache's key digest, and a new field would silently invalidate every
 // persisted plan.
+//
+// When the context carries a trace span (internal/obs), the solve
+// accumulates lp_solves/lp_pivots/lp_warm_pivots counter attributes onto
+// it — the pivot-loop boundary telemetry behind per-request solver
+// attribution. Counters are deterministic sums; an un-instrumented
+// context pays one value lookup.
 func MaximizeCtx(ctx context.Context, c []float64, a [][]float64, b []float64, opts Options) (Solution, error) {
+	sol, err := maximizeCtx(ctx, c, a, b, opts)
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		sp.AddCounter("lp_solves", 1)
+		sp.AddCounter("lp_pivots", int64(sol.Pivots))
+		sp.AddCounter("lp_warm_pivots", int64(sol.WarmPivots))
+	}
+	return sol, err
+}
+
+func maximizeCtx(ctx context.Context, c []float64, a [][]float64, b []float64, opts Options) (Solution, error) {
 	m, n := len(a), len(c)
 	if len(b) != m {
 		return Solution{}, fmt.Errorf("%w: %d rows but %d rhs entries", ErrBadInput, m, len(b))

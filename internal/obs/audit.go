@@ -1,0 +1,308 @@
+package obs
+
+// The privacy audit log: an append-only, CRC-guarded record of every
+// ledger operation a serving session performs — reservations, refunds,
+// charges, dedup replays — so a budget dispute can be settled from a
+// durable artifact instead of in-memory counters.
+//
+// Design constraints, in order:
+//
+//   - Byte-determinism: two identically-seeded daemons serving the same
+//     workload must write byte-identical logs. Events therefore carry NO
+//     wall-clock timestamps and NO crypto-random session IDs; they are
+//     scoped by (tenant, graph fingerprint, request ID) and ordered by a
+//     logical sequence number. Floats are rendered with strconv's
+//     shortest-round-trip formatting, so the recorded spent values
+//     reproduce the accountant's float64 state exactly.
+//   - Tamper evidence: every line ends in a CRC-64/ECMA of its content
+//     (the same checksum discipline as the PR 5 snapshot codec); readers
+//     verify the CRC and the sequence contiguity, so truncation, bit rot,
+//     and splices are detected, and a torn final line (crash mid-append)
+//     is reported rather than silently dropped.
+//   - Durability: each record is flushed and fsynced before Record
+//     returns — an audit log that loses the events before a crash would
+//     be the wrong artifact to settle disputes with.
+//
+// The `ccdp audit` subcommand replays a log through a fresh composition
+// accountant and checks every recorded spent-after value bit-for-bit.
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Audit ops.
+const (
+	// AuditOpen records a session opening: Budget, Mode, and Delta carry
+	// the accountant's configuration; Spent its (possibly nonzero, for a
+	// shared accountant) starting state.
+	AuditOpen = "open"
+	// AuditReserve records a budget reservation attempt; Outcome "ok"
+	// charged Epsilon, "rejected" spent nothing.
+	AuditReserve = "reserve"
+	// AuditRefund records a refund of a reservation whose query was
+	// canceled before any noise was drawn.
+	AuditRefund = "refund"
+	// AuditCharge records a reservation becoming permanent: the query
+	// completed (Outcome "ok") or failed past the point of refund
+	// (Outcome "error"); the ledger does not move.
+	AuditCharge = "charge"
+	// AuditReplay records a dedup replay: a retried request ID answered
+	// from the recorded release without touching the ledger.
+	AuditReplay = "replay"
+)
+
+// Audit outcomes.
+const (
+	AuditOK       = "ok"
+	AuditRejected = "rejected"
+	AuditError    = "error"
+)
+
+// AuditEvent is one ledger operation.
+type AuditEvent struct {
+	// Seq is the log-assigned logical sequence number (1-based,
+	// contiguous).
+	Seq uint64
+	// Tenant, RequestID, and Scope identify the actor: Scope is the
+	// graph fingerprint (deterministic), never the crypto-random session
+	// ID.
+	Tenant    string
+	RequestID string
+	Scope     string
+	// Op and Outcome classify the operation (Audit* constants).
+	Op      string
+	Outcome string
+	// Epsilon is the query budget the operation moved (0 for open/replay).
+	Epsilon float64
+	// Mode names the composition rule ("sequential" or "advanced");
+	// Budget and Delta carry the accountant configuration on open events.
+	Mode   string
+	Budget float64
+	Delta  float64
+	// Spent is the accountant's global privacy loss AFTER this event —
+	// the value reconciliation replays and compares bit-for-bit.
+	Spent float64
+}
+
+// AuditSink receives audit events. *AuditLog implements it; tests use
+// in-memory sinks.
+type AuditSink interface {
+	Record(AuditEvent)
+}
+
+// auditCRC is the CRC-64/ECMA table shared with the snapshot codec.
+var auditCRC = crc64.MakeTable(crc64.ECMA)
+
+// AuditLog is the append-only file writer. Safe for concurrent use; the
+// internal mutex also makes (seq assignment, write) atomic, so sequence
+// numbers in the file are contiguous and ordered.
+type AuditLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	seq  uint64
+	err  error // first write failure, surfaced via Err and Close
+	path string
+}
+
+// OpenAuditLog opens (creating if needed) the append-only log at path. An
+// existing log is scanned so sequence numbers continue where the previous
+// process stopped — a daemon restart appends, never rewinds.
+func OpenAuditLog(path string) (*AuditLog, error) {
+	var lastSeq uint64
+	if events, err := ReadAuditLog(path); err == nil && len(events) > 0 {
+		lastSeq = events[len(events)-1].Seq
+	} else if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("obs: audit log %s exists but does not verify: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	return &AuditLog{f: f, w: bufio.NewWriter(f), seq: lastSeq, path: path}, nil
+}
+
+// Path returns the file the log appends to.
+func (l *AuditLog) Path() string { return l.path }
+
+// Record assigns the next sequence number and appends the event, flushing
+// and fsyncing before returning. Write failures do not propagate to the
+// serving path (a query must not fail because a disk did); the first
+// failure is latched and surfaced by Err and Close.
+func (l *AuditLog) Record(e AuditEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	l.seq++
+	e.Seq = l.seq
+	line := FormatAuditLine(e)
+	if _, err := l.w.WriteString(line + "\n"); err != nil {
+		l.err = err
+		return
+	}
+	if err := l.w.Flush(); err != nil {
+		l.err = err
+		return
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = err
+	}
+}
+
+// Err returns the first write failure, if any.
+func (l *AuditLog) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close flushes and closes the log, returning any latched write failure.
+func (l *AuditLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ferr := l.w.Flush()
+	cerr := l.f.Close()
+	switch {
+	case l.err != nil:
+		return l.err
+	case ferr != nil:
+		return ferr
+	default:
+		return cerr
+	}
+}
+
+// FormatAuditLine renders one event as its durable line (without the
+// trailing newline): versioned key=value fields, strings quoted, floats in
+// shortest-round-trip form, CRC-64/ECMA suffix over everything before it.
+func FormatAuditLine(e AuditEvent) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "a1 seq=%d tenant=%s request=%s scope=%s op=%s out=%s eps=%s mode=%s budget=%s delta=%s spent=%s",
+		e.Seq, strconv.Quote(e.Tenant), strconv.Quote(e.RequestID), strconv.Quote(e.Scope),
+		e.Op, e.Outcome,
+		formatFloat(e.Epsilon), e.Mode, formatFloat(e.Budget), formatFloat(e.Delta), formatFloat(e.Spent))
+	fmt.Fprintf(&b, " crc=%016x", crc64.Checksum([]byte(b.String()), auditCRC))
+	return b.String()
+}
+
+// formatFloat renders a float64 so it parses back bit-identically.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ParseAuditLine parses and CRC-verifies one line.
+func ParseAuditLine(line string) (AuditEvent, error) {
+	var e AuditEvent
+	body, crcField, ok := strings.Cut(line, " crc=")
+	if !ok {
+		return e, fmt.Errorf("no crc field")
+	}
+	want, err := strconv.ParseUint(crcField, 16, 64)
+	if err != nil {
+		return e, fmt.Errorf("bad crc %q: %v", crcField, err)
+	}
+	if got := crc64.Checksum([]byte(body), auditCRC); got != want {
+		return e, fmt.Errorf("crc mismatch: line says %016x, content is %016x", want, got)
+	}
+	rest, ok := strings.CutPrefix(body, "a1 ")
+	if !ok {
+		return e, fmt.Errorf("unknown version (want a1)")
+	}
+	for len(rest) > 0 {
+		rest = strings.TrimLeft(rest, " ")
+		key, after, ok := strings.Cut(rest, "=")
+		if !ok {
+			return e, fmt.Errorf("malformed field near %q", rest)
+		}
+		var val string
+		if strings.HasPrefix(after, `"`) {
+			q, err := strconv.QuotedPrefix(after)
+			if err != nil {
+				return e, fmt.Errorf("bad quoted value for %s: %v", key, err)
+			}
+			if val, err = strconv.Unquote(q); err != nil {
+				return e, fmt.Errorf("bad quoted value for %s: %v", key, err)
+			}
+			rest = after[len(q):]
+		} else {
+			val, rest, _ = strings.Cut(after, " ")
+		}
+		switch key {
+		case "seq":
+			if e.Seq, err = strconv.ParseUint(val, 10, 64); err != nil {
+				return e, fmt.Errorf("bad seq %q", val)
+			}
+		case "tenant":
+			e.Tenant = val
+		case "request":
+			e.RequestID = val
+		case "scope":
+			e.Scope = val
+		case "op":
+			e.Op = val
+		case "out":
+			e.Outcome = val
+		case "mode":
+			e.Mode = val
+		case "eps", "budget", "delta", "spent":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return e, fmt.Errorf("bad %s %q", key, val)
+			}
+			switch key {
+			case "eps":
+				e.Epsilon = f
+			case "budget":
+				e.Budget = f
+			case "delta":
+				e.Delta = f
+			case "spent":
+				e.Spent = f
+			}
+		default:
+			return e, fmt.Errorf("unknown field %q", key)
+		}
+	}
+	return e, nil
+}
+
+// ReadAuditLog reads, CRC-verifies, and sequence-checks the whole log.
+// Any damaged or out-of-sequence line fails the read with its line number:
+// an audit artifact is either whole or suspect, never partially trusted.
+func ReadAuditLog(path string) ([]AuditEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var events []AuditEvent
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if sc.Text() == "" {
+			continue
+		}
+		e, err := ParseAuditLine(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		// Contiguity is anchored at the first event's sequence number, so a
+		// log truncated at the front by rotation still verifies internally.
+		if n := len(events); n > 0 && e.Seq != events[n-1].Seq+1 {
+			return nil, fmt.Errorf("%s:%d: sequence gap: got seq %d after %d", path, lineNo, e.Seq, events[n-1].Seq)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s:%d: %w", path, lineNo+1, err)
+	}
+	return events, nil
+}

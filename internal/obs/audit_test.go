@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []AuditEvent {
+	return []AuditEvent{
+		{Tenant: "acme", Scope: "fp-1", Op: AuditOpen, Outcome: AuditOK, Mode: "sequential", Budget: 64},
+		{Tenant: "acme", RequestID: "q-1", Scope: "fp-1", Op: AuditReserve, Outcome: AuditOK, Epsilon: 0.25, Mode: "sequential", Spent: 0.25},
+		{Tenant: "acme", RequestID: "q-1", Scope: "fp-1", Op: AuditCharge, Outcome: AuditOK, Epsilon: 0.25, Mode: "sequential", Spent: 0.25},
+		{Tenant: "a b", RequestID: `odd "quoted" id`, Scope: "fp-2", Op: AuditReserve, Outcome: AuditRejected, Epsilon: math.Pi, Mode: "advanced", Spent: 0.1 + 0.2},
+		{Tenant: "acme", RequestID: "q-1", Scope: "fp-1", Op: AuditRefund, Outcome: AuditOK, Epsilon: 0.25, Mode: "sequential", Spent: 0},
+	}
+}
+
+func TestAuditLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	l, err := OpenAuditLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sampleEvents()
+	for _, e := range in {
+		l.Record(e)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadAuditLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d events, wrote %d", len(out), len(in))
+	}
+	for i, e := range out {
+		want := in[i]
+		want.Seq = uint64(i + 1)
+		if e != want {
+			t.Fatalf("event %d: got %+v, want %+v (floats must round-trip bit-identically)", i, e, want)
+		}
+	}
+}
+
+func TestAuditLogResumesSequence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	l, _ := OpenAuditLog(path)
+	l.Record(AuditEvent{Op: AuditOpen, Outcome: AuditOK, Mode: "sequential"})
+	l.Record(AuditEvent{Op: AuditReserve, Outcome: AuditOK, Mode: "sequential"})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A restarted daemon appends with continuing sequence numbers.
+	l2, err := OpenAuditLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Record(AuditEvent{Op: AuditCharge, Outcome: AuditOK, Mode: "sequential"})
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadAuditLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 || events[2].Seq != 3 {
+		t.Fatalf("got %d events, last seq %d; want 3 events ending at seq 3", len(events), events[len(events)-1].Seq)
+	}
+}
+
+func TestAuditLogDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	l, _ := OpenAuditLog(path)
+	for _, e := range sampleEvents() {
+		l.Record(e)
+	}
+	l.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flip := []byte(strings.Replace(string(raw), "eps=0.25", "eps=0.26", 1))
+	corrupt := filepath.Join(t.TempDir(), "corrupt.log")
+	os.WriteFile(corrupt, flip, 0o600)
+	if _, err := ReadAuditLog(corrupt); err == nil || !strings.Contains(err.Error(), "crc mismatch") {
+		t.Fatalf("flipped epsilon not detected: %v", err)
+	}
+
+	// A torn final line (crash mid-append) must fail the read, not be
+	// silently dropped.
+	torn := filepath.Join(t.TempDir(), "torn.log")
+	os.WriteFile(torn, raw[:len(raw)-10], 0o600)
+	if _, err := ReadAuditLog(torn); err == nil {
+		t.Fatal("torn final line not detected")
+	}
+
+	// A spliced-out middle line breaks sequence contiguity.
+	lines := strings.SplitAfter(string(raw), "\n")
+	spliced := filepath.Join(t.TempDir(), "spliced.log")
+	os.WriteFile(spliced, []byte(strings.Join(append(lines[:1], lines[2:]...), "")), 0o600)
+	if _, err := ReadAuditLog(spliced); err == nil || !strings.Contains(err.Error(), "sequence gap") {
+		t.Fatalf("spliced log not detected: %v", err)
+	}
+}
+
+func TestAuditLogByteDeterminism(t *testing.T) {
+	write := func() []byte {
+		path := filepath.Join(t.TempDir(), "audit.log")
+		l, _ := OpenAuditLog(path)
+		for _, e := range sampleEvents() {
+			l.Record(e)
+		}
+		l.Close()
+		raw, _ := os.ReadFile(path)
+		return raw
+	}
+	a, b := write(), write()
+	if string(a) != string(b) {
+		t.Fatalf("identical event sequences produced different bytes:\n%q\nvs\n%q", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty log")
+	}
+}
+
+func TestOpenAuditLogRefusesUnverifiableExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	os.WriteFile(path, []byte("garbage\n"), 0o600)
+	if _, err := OpenAuditLog(path); err == nil {
+		t.Fatal("appending to an unverifiable log must fail loudly")
+	}
+}

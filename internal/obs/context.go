@@ -1,0 +1,75 @@
+package obs
+
+// Context plumbing: the trace and the current span ride the request
+// context, so instrumentation deep in the solver needs no signature
+// changes — the deadline-propagation work already threads ctx everywhere
+// spans are wanted. Every helper tolerates an un-instrumented context
+// (and returns nil spans whose methods no-op), which is the whole
+// tracing-disabled fast path.
+
+import "context"
+
+type traceKey struct{}
+type spanKey struct{}
+type requestInfoKey struct{}
+
+// ContextWithTrace installs tr (and its root span as the current span).
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	ctx = context.WithValue(ctx, traceKey{}, tr)
+	return context.WithValue(ctx, spanKey{}, tr.Root())
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}
+
+// SpanFrom returns the context's current span, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's current span and returns it
+// along with a context in which it is current. On an un-instrumented
+// context it returns (nil, ctx) — the nil span's methods all no-op.
+func StartSpan(ctx context.Context, name string) (*Span, context.Context) {
+	parent := SpanFrom(ctx)
+	if parent == nil {
+		return nil, ctx
+	}
+	s := parent.tr.start(parent, name)
+	return s, context.WithValue(ctx, spanKey{}, s)
+}
+
+// AddCounter accumulates into the current span's counter attribute — the
+// cheap hook solver inner loops use (one context lookup when tracing is
+// off).
+func AddCounter(ctx context.Context, key string, v int64) {
+	SpanFrom(ctx).AddCounter(key, v)
+}
+
+// RequestInfo carries the request-scoped identity the audit log records.
+// It deliberately excludes the crypto-random session ID: audit events must
+// be byte-identical across identically-seeded daemons, so they are scoped
+// by (tenant, graph fingerprint) instead.
+type RequestInfo struct {
+	Tenant    string
+	RequestID string
+}
+
+// ContextWithRequestInfo attaches the request identity for the audit log.
+func ContextWithRequestInfo(ctx context.Context, info RequestInfo) context.Context {
+	return context.WithValue(ctx, requestInfoKey{}, info)
+}
+
+// RequestInfoFrom returns the context's request identity (zero when
+// absent).
+func RequestInfoFrom(ctx context.Context) RequestInfo {
+	info, _ := ctx.Value(requestInfoKey{}).(RequestInfo)
+	return info
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Histogram is a fixed-bucket Prometheus histogram (no external deps, per
+// the repo's no-new-deps rule). Bounds are upper bucket limits; an
+// implicit +Inf bucket catches the overflow. Fixed bounds keep the
+// exposition byte-stable — tests golden-pin it — and cheap: one binary
+// search per observation.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; counts[len(bounds)] is +Inf
+	sum    float64
+	count  uint64
+}
+
+// DefaultLatencyBuckets are the request/stage duration bounds in seconds:
+// 10µs .. 10s in a 1-2.5-5 progression, matching the stack's measured
+// range (~µs in-process queries up to multi-second cold plan builds).
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// NewHistogram builds a histogram over the given (strictly increasing)
+// upper bounds; nil means DefaultLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets()
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at %d: %g <= %g", i, b[i], b[i-1]))
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.mu.Lock()
+	h.counts[lo]++
+	// Arrival-order float accumulation: _sum is an operational diagnostic
+	// (never released, never compared bit-for-bit across runs with
+	// concurrent writers).
+	h.sum += v //detlint:allow floatorder — Prometheus histogram _sum is an operational diagnostic, never a released value
+	h.count++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is an immutable histogram reading. Cumulative follows
+// the Prometheus convention: Cumulative[i] counts observations ≤ Bounds[i],
+// with the final entry (the +Inf bucket) equal to Count.
+type HistogramSnapshot struct {
+	Bounds     []float64
+	Cumulative []uint64
+	Sum        float64
+	Count      uint64
+}
+
+// Snapshot freezes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Bounds:     h.bounds, // immutable after New
+		Cumulative: make([]uint64, len(h.counts)),
+		Sum:        h.sum,
+		Count:      h.count,
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		s.Cumulative[i] = cum
+	}
+	return s
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format.
+// name is the metric family; labels is a pre-rendered label list (without
+// braces, e.g. `route="POST /v1/graphs"`) merged with the le label, or "".
+func (s HistogramSnapshot) WriteProm(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, b := range s.Bounds {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatBound(b), s.Cumulative[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, s.Count)
+}
+
+// formatBound renders a bucket bound the shortest way that round-trips.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

@@ -1,0 +1,367 @@
+// Package obs is the serving stack's zero-dependency tracing and telemetry
+// layer: per-request traces with deterministic span IDs, a bounded ring of
+// recent traces, a hand-rolled Prometheus histogram, and the append-only
+// privacy audit log.
+//
+// Determinism contract. Traces are diagnostics and must never perturb the
+// release path, so the layer is built around two rules:
+//
+//   - Span IDENTITY is deterministic: a trace's ID derives from the request
+//     ID (or a seeded counter for requests without one) and every span ID
+//     is a pure function of the trace ID and the span's creation index.
+//     Two identically-seeded daemons serving the same workload produce
+//     identical span trees — IDs, parentage, names, and counter attributes
+//     — which is what lets tests pin goldens on them.
+//   - Span TIMING is operational: durations come from a wall clock, are
+//     reported only through diagnostics surfaces (the trace ring, stage
+//     histograms, the slow-query log), and are explicitly excluded from
+//     every determinism comparison. Wall-clock time never feeds a released
+//     value.
+//
+// A nil *Span is valid and all its methods no-op, so instrumented code pays
+// one context lookup — and nothing else — when tracing is disabled.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// KeySeed derives a trace seed from a request key (FNV-1a 64). The same
+// request ID always yields the same trace identity, on any daemon.
+func KeySeed(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective scrambler that turns
+// structured seeds (counters, FNV hashes) into well-spread IDs.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// defaultNow is the package's operational clock.
+//
+//detlint:allow rngsource — operational span timing: durations are diagnostics, excluded from determinism comparisons, and never feed a released value
+func defaultNow() time.Time { return time.Now() }
+
+// Trace is one request's span tree. Spans are created sequentially along
+// the request path (creation order is deterministic); counter updates may
+// arrive concurrently from worker goroutines and are commutative sums.
+type Trace struct {
+	mu        sync.Mutex
+	id        uint64
+	name      string
+	tenant    string
+	requestID string
+	now       func() time.Time
+	spans     []*Span // creation order; spans[0] is the root
+}
+
+// NewTrace starts a trace (and its root span, named name) whose identity
+// derives from seed. Use KeySeed for request-ID-derived identities and a
+// seeded counter for requests without one.
+func NewTrace(name string, seed uint64) *Trace {
+	return NewTraceWithClock(name, seed, nil)
+}
+
+// NewTraceWithClock is NewTrace with an injected clock (tests and servers
+// that already own a clock); nil means the wall clock.
+func NewTraceWithClock(name string, seed uint64, now func() time.Time) *Trace {
+	if now == nil {
+		now = defaultNow
+	}
+	t := &Trace{id: mix64(seed), name: name, now: now}
+	root := &Span{tr: t, seq: 0, parentSeq: -1, name: name, start: now()}
+	t.spans = append(t.spans, root)
+	return t
+}
+
+// Rekey re-derives the trace identity from a request key. Handlers call it
+// once the request body reveals a request ID; span IDs are computed from
+// the trace ID at snapshot time, so spans already opened are re-identified
+// consistently.
+func (t *Trace) Rekey(key string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.id = mix64(KeySeed(key))
+	t.requestID = key
+	t.mu.Unlock()
+}
+
+// SetTenant scopes the trace for the admin ring's tenant filter.
+func (t *Trace) SetTenant(tenant string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tenant = tenant
+	t.mu.Unlock()
+}
+
+// Root returns the root span (nil on a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans[0]
+}
+
+// start opens a child span under parent. parent is a span of t.
+func (t *Trace) start(parent *Span, name string) *Span {
+	t.mu.Lock()
+	s := &Span{tr: t, seq: int32(len(t.spans)), parentSeq: parent.seq, name: name, start: t.now()}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Span is one timed, attributed stage of a trace. A nil *Span no-ops.
+type Span struct {
+	tr        *Trace
+	seq       int32
+	parentSeq int32
+	name      string
+	start     time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	counters map[string]int64
+	labels   map[string]string
+}
+
+// End closes the span. Ending twice keeps the first end time; snapshotting
+// an unended span uses the trace clock's current reading.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = s.tr.now()
+	}
+	s.mu.Unlock()
+}
+
+// SetCounter sets an integer attribute (deterministic solver counters:
+// pivots, slides, max-flow calls).
+func (s *Span) SetCounter(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]int64)
+	}
+	s.counters[key] = v
+	s.mu.Unlock()
+}
+
+// AddCounter accumulates into an integer attribute. Safe for concurrent
+// workers: sums are commutative, so the result is deterministic even when
+// the update order is not.
+func (s *Span) AddCounter(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]int64)
+	}
+	s.counters[key] += v
+	s.mu.Unlock()
+}
+
+// SetLabel sets a string attribute.
+func (s *Span) SetLabel(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.labels == nil {
+		s.labels = make(map[string]string)
+	}
+	s.labels[key] = value
+	s.mu.Unlock()
+}
+
+// SetAny renders v with %v into a string attribute. It is the span
+// attribute sink detlint's wireleak analyzer watches: passing a value whose
+// type carries a //privacy:secret annotation (a GridEval, an exact f_Δ
+// slice) is a lint error, which is what keeps secrets out of the trace
+// ring statically.
+func (s *Span) SetAny(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.SetLabel(key, fmt.Sprint(v))
+}
+
+// Attr is one integer span attribute.
+type Attr struct {
+	Key   string
+	Value int64
+}
+
+// Label is one string span attribute.
+type Label struct {
+	Key, Value string
+}
+
+// SpanSnapshot is one span rendered immutable, IDs resolved.
+type SpanSnapshot struct {
+	ID       uint64
+	ParentID uint64 // 0 for the root
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Counters []Attr  // sorted by key
+	Labels   []Label // sorted by key
+}
+
+// TraceSnapshot is a whole trace rendered immutable. Spans are in creation
+// order (pre-order for the sequential request path).
+type TraceSnapshot struct {
+	TraceID   uint64
+	Name      string
+	Tenant    string
+	RequestID string
+	Start     time.Time
+	Duration  time.Duration
+	Spans     []SpanSnapshot
+}
+
+// Snapshot freezes the trace. Unended spans (and the trace itself, until
+// the root is ended) are measured against the clock's current reading.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	spans := make([]*Span, len(t.spans))
+	copy(spans, t.spans)
+	ts := TraceSnapshot{TraceID: t.id, Name: t.name, Tenant: t.tenant, RequestID: t.requestID}
+	t.mu.Unlock()
+
+	ts.Spans = make([]SpanSnapshot, len(spans))
+	for i, s := range spans {
+		s.mu.Lock()
+		end := s.end
+		if end.IsZero() {
+			end = t.now()
+		}
+		ss := SpanSnapshot{
+			ID:       spanID(ts.TraceID, s.seq),
+			Name:     s.name,
+			Start:    s.start,
+			Duration: end.Sub(s.start),
+		}
+		if s.parentSeq >= 0 {
+			ss.ParentID = spanID(ts.TraceID, s.parentSeq)
+		}
+		ss.Counters = make([]Attr, 0, len(s.counters))
+		for k, v := range s.counters {
+			ss.Counters = append(ss.Counters, Attr{Key: k, Value: v})
+		}
+		ss.Labels = make([]Label, 0, len(s.labels))
+		for k, v := range s.labels {
+			ss.Labels = append(ss.Labels, Label{Key: k, Value: v})
+		}
+		s.mu.Unlock()
+		sort.Slice(ss.Counters, func(a, b int) bool { return ss.Counters[a].Key < ss.Counters[b].Key })
+		sort.Slice(ss.Labels, func(a, b int) bool { return ss.Labels[a].Key < ss.Labels[b].Key })
+		ts.Spans[i] = ss
+	}
+	ts.Start = ts.Spans[0].Start
+	ts.Duration = ts.Spans[0].Duration
+	return ts
+}
+
+// spanID derives a span's identity from the trace ID and the span's
+// creation index — a pure function, so re-keying the trace re-identifies
+// every span consistently.
+func spanID(traceID uint64, seq int32) uint64 {
+	id := mix64(traceID ^ (uint64(seq) + 1))
+	if id == 0 {
+		id = 1 // 0 is reserved for "no parent"
+	}
+	return id
+}
+
+// Tree renders the deterministic half of the snapshot — IDs, parentage,
+// names, counter and label attributes, durations excluded — one span per
+// line, indented by depth. Two runs of the same seeded workload must
+// produce byte-identical Tree outputs; tests pin goldens on it.
+func (ts TraceSnapshot) Tree() string {
+	depth := make(map[uint64]int, len(ts.Spans))
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %016x %s", ts.TraceID, ts.Name)
+	if ts.RequestID != "" {
+		fmt.Fprintf(&b, " request=%q", ts.RequestID)
+	}
+	if ts.Tenant != "" {
+		fmt.Fprintf(&b, " tenant=%q", ts.Tenant)
+	}
+	b.WriteByte('\n')
+	for _, s := range ts.Spans {
+		d := 0
+		if s.ParentID != 0 {
+			d = depth[s.ParentID] + 1
+		}
+		depth[s.ID] = d
+		b.WriteString(strings.Repeat("  ", d))
+		fmt.Fprintf(&b, "%s id=%016x parent=%016x", s.Name, s.ID, s.ParentID)
+		for _, a := range s.Counters {
+			fmt.Fprintf(&b, " %s=%d", a.Key, a.Value)
+		}
+		for _, l := range s.Labels {
+			fmt.Fprintf(&b, " %s=%q", l.Key, l.Value)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Counter returns a counter attribute from the first span named name
+// (false when absent) — the assertion helper behind the "span counters
+// equal forestlp.Stats" conformance tests.
+func (ts TraceSnapshot) Counter(span, key string) (int64, bool) {
+	for _, s := range ts.Spans {
+		if s.Name != span {
+			continue
+		}
+		for _, a := range s.Counters {
+			if a.Key == key {
+				return a.Value, true
+			}
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// Find returns the first span with the given name.
+func (ts TraceSnapshot) Find(span string) (SpanSnapshot, bool) {
+	for _, s := range ts.Spans {
+		if s.Name == span {
+			return s, true
+		}
+	}
+	return SpanSnapshot{}, false
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic span clock: each reading advances 1ms.
+func fakeClock() func() time.Time {
+	base := time.Unix(1700000000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+func buildTrace(seed uint64) *Trace {
+	tr := NewTraceWithClock("POST /v1/sessions/{id}/query", seed, fakeClock())
+	ctx := ContextWithTrace(context.Background(), tr)
+	admit, ctx2 := StartSpan(ctx, "serve.admit")
+	admit.SetCounter("admitted", 1)
+	admit.End()
+	_ = ctx2
+	exec, ectx := StartSpan(ctx, "serve.execute")
+	grid, gctx := StartSpan(ectx, "forestlp.grid")
+	AddCounter(gctx, "lp_pivots", 17)
+	AddCounter(gctx, "lp_pivots", 5)
+	grid.SetLabel("delta", "2")
+	grid.End()
+	exec.End()
+	tr.Root().End()
+	return tr
+}
+
+func TestSpanTreeDeterministic(t *testing.T) {
+	a := buildTrace(42).Snapshot()
+	b := buildTrace(42).Snapshot()
+	if a.Tree() != b.Tree() {
+		t.Fatalf("identical seeds produced different trees:\n%s\nvs\n%s", a.Tree(), b.Tree())
+	}
+	c := buildTrace(43).Snapshot()
+	if a.TraceID == c.TraceID {
+		t.Fatal("distinct seeds produced the same trace ID")
+	}
+	// Structure: 4 spans, root is parent of admit and execute, execute of grid.
+	if len(a.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(a.Spans))
+	}
+	if a.Spans[1].ParentID != a.Spans[0].ID || a.Spans[2].ParentID != a.Spans[0].ID {
+		t.Fatal("admit/execute not parented to the root")
+	}
+	if a.Spans[3].ParentID != a.Spans[2].ID {
+		t.Fatal("grid span not parented to execute")
+	}
+	if v, ok := a.Counter("forestlp.grid", "lp_pivots"); !ok || v != 22 {
+		t.Fatalf("lp_pivots = %d, %v; want 22, true", v, ok)
+	}
+}
+
+func TestTreeExcludesDurations(t *testing.T) {
+	tr := buildTrace(7)
+	tree := tr.Snapshot().Tree()
+	if strings.Contains(tree, "ms") || strings.Contains(tree, "duration") {
+		t.Fatalf("tree output leaks durations:\n%s", tree)
+	}
+	// Golden: the deterministic rendering is pinned so accidental format
+	// (or ID-derivation) drift fails loudly.
+	const want = `trace 63cbe1e459320dd7 POST /v1/sessions/{id}/query
+POST /v1/sessions/{id}/query id=3d41bf495cd3075f parent=0000000000000000
+  serve.admit id=46a6c8e56922a525 parent=3d41bf495cd3075f admitted=1
+  serve.execute id=6baa78681a99f995 parent=3d41bf495cd3075f
+    forestlp.grid id=8e6a4e9586d25622 parent=6baa78681a99f995 lp_pivots=22 delta="2"
+`
+	if tree != want {
+		t.Fatalf("tree golden drift:\ngot:\n%s\nwant:\n%s", tree, want)
+	}
+}
+
+func TestRekeyReidentifiesSpans(t *testing.T) {
+	a := buildTrace(1)
+	a.Rekey("req-77")
+	b := buildTrace(2) // different seed...
+	b.Rekey("req-77")  // ...same request ID
+	if a.Snapshot().Tree() != b.Snapshot().Tree() {
+		t.Fatal("request-ID-derived identities differ across seeds")
+	}
+	if a.Snapshot().RequestID != "req-77" {
+		t.Fatal("request ID not recorded")
+	}
+}
+
+func TestNilSpanAndUninstrumentedContext(t *testing.T) {
+	var s *Span
+	s.End()
+	s.SetCounter("x", 1)
+	s.AddCounter("x", 1)
+	s.SetLabel("k", "v")
+	s.SetAny("k", 3)
+
+	ctx := context.Background()
+	sp, ctx2 := StartSpan(ctx, "nope")
+	if sp != nil {
+		t.Fatal("StartSpan on an uninstrumented context must return nil")
+	}
+	AddCounter(ctx2, "x", 1) // must not panic
+	if TraceFrom(ctx) != nil || SpanFrom(ctx) != nil {
+		t.Fatal("uninstrumented context returned non-nil trace/span")
+	}
+}
+
+func TestConcurrentAddCounterDeterministicSum(t *testing.T) {
+	tr := NewTrace("root", 9)
+	ctx := ContextWithTrace(context.Background(), tr)
+	sp, sctx := StartSpan(ctx, "work")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				AddCounter(sctx, "n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	sp.End()
+	if v, _ := tr.Snapshot().Counter("work", "n"); v != 800 {
+		t.Fatalf("concurrent sum = %d, want 800", v)
+	}
+}
+
+func TestRingBoundedAndTenantScoped(t *testing.T) {
+	r := NewRing(3)
+	add := func(name, tenant string) {
+		tr := NewTrace(name, KeySeed(name))
+		tr.SetTenant(tenant)
+		tr.Root().End()
+		r.Add(tr.Snapshot())
+	}
+	add("t1", "acme")
+	add("t2", "acme")
+	add("t3", "")
+	add("t4", "acme") // evicts t1
+	if r.Len() != 3 {
+		t.Fatalf("ring len = %d, want 3", r.Len())
+	}
+	acme := r.Recent("acme", -1)
+	if len(acme) != 2 || acme[0].Name != "t4" || acme[1].Name != "t2" {
+		t.Fatalf("acme traces = %+v, want [t4 t2]", names(acme))
+	}
+	if def := r.Recent("", -1); len(def) != 1 || def[0].Name != "t3" {
+		t.Fatalf("default-tenant traces = %v, want [t3]", names(def))
+	}
+	if other := r.Recent("mallory", -1); len(other) != 0 {
+		t.Fatalf("foreign tenant sees %v, want nothing", names(other))
+	}
+	if capped := r.Recent("acme", 1); len(capped) != 1 || capped[0].Name != "t4" {
+		t.Fatalf("capped = %v, want [t4]", names(capped))
+	}
+}
+
+func names(ts []TraceSnapshot) []string {
+	var out []string
+	for _, t := range ts {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	h.Snapshot().WriteProm(&b, "nodedp_request_duration_seconds", `route="POST /v1/graphs"`)
+	const want = `nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="0.01"} 2
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="0.1"} 3
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="1"} 4
+nodedp_request_duration_seconds_bucket{route="POST /v1/graphs",le="+Inf"} 5
+nodedp_request_duration_seconds_sum{route="POST /v1/graphs"} 5.5649999999999995
+nodedp_request_duration_seconds_count{route="POST /v1/graphs"} 5
+`
+	if b.String() != want {
+		t.Fatalf("exposition drift:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestHistogramNoLabels(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(0.5)
+	var b strings.Builder
+	h.Snapshot().WriteProm(&b, "m", "")
+	const want = "m_bucket{le=\"1\"} 1\nm_bucket{le=\"+Inf\"} 1\nm_sum 0.5\nm_count 1\n"
+	if b.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds must panic at construction")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}

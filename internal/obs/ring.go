@@ -1,0 +1,73 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded in-memory buffer of recent trace snapshots, the store
+// behind GET /v1/admin/traces. Memory is bounded by capacity × trace size;
+// old traces are overwritten in arrival order.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []TraceSnapshot
+	next int // index of the next write
+	full bool
+}
+
+// NewRing builds a ring holding up to capacity traces (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]TraceSnapshot, capacity)}
+}
+
+// Add records a finished trace, evicting the oldest when full.
+func (r *Ring) Add(ts TraceSnapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = ts
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// Len reports how many traces are currently held.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Recent returns up to max traces for the given tenant, newest first.
+// Tenant scoping is exact: a tenant sees only its own traces (the empty
+// tenant sees only unscoped traces), because spans carry per-request
+// attributes that must not leak across tenants.
+func (r *Ring) Recent(tenant string, max int) []TraceSnapshot {
+	if r == nil || max == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	var out []TraceSnapshot
+	for i := 0; i < n && len(out) != max; i++ {
+		// Walk backwards from the newest entry.
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		if r.buf[idx].Tenant == tenant {
+			out = append(out, r.buf[idx])
+		}
+	}
+	return out
+}

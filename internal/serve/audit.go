@@ -1,0 +1,160 @@
+package serve
+
+// This file routes every accountant mutation through the session's optional
+// privacy audit sink (internal/obs.AuditSink). The contract the `ccdp
+// audit` reconciler depends on: each reserve/refund event carries the
+// accountant's Spent() as observed immediately AFTER the mutation, read
+// under the same lock that ordered the mutation into the log — so replaying
+// the recorded ε sequence through a fresh accountant of the recorded
+// composition mode reproduces every spent value bit-for-bit. Charges (a
+// query completing, keeping its reservation) mutate nothing and record the
+// unchanged balance.
+//
+// Audit events deliberately carry no timestamps and no crypto-random
+// session identity: a session is scoped by (tenant, graph fingerprint) and
+// queries by their request IDs, so identically-seeded daemons serving the
+// same query file write byte-identical logs.
+
+import (
+	"errors"
+
+	"nodedp/internal/obs"
+)
+
+// auditOutcome classifies an accountant error for the audit log.
+func auditOutcome(err error) string {
+	switch {
+	case err == nil:
+		return obs.AuditOK
+	case errors.Is(err, ErrBudgetExhausted):
+		return obs.AuditRejected
+	default:
+		return obs.AuditError
+	}
+}
+
+// auditOpen records the session-open event that seeds reconciliation: the
+// accountant's full configuration (mode, budget, δ) plus its opening
+// balance, which is nonzero when the caller shares a ledger across
+// sessions.
+func (s *Session) auditOpen(tenant string) {
+	if s.audit == nil {
+		return
+	}
+	s.auditMu.Lock()
+	defer s.auditMu.Unlock()
+	s.audit.Record(obs.AuditEvent{
+		Tenant:  tenant,
+		Scope:   s.scope,
+		Op:      obs.AuditOpen,
+		Outcome: obs.AuditOK,
+		Mode:    s.acct.Name(),
+		Budget:  s.acct.EpsilonBudget(),
+		Delta:   s.acct.Delta(),
+		Spent:   s.acct.Spent(),
+	})
+}
+
+// reserveAudited is the audited form of s.acct.Reserve. requestID overrides
+// the context's request ID when non-empty (batch items suffix their index
+// so each admission is individually attributable).
+func (s *Session) reserveAudited(info obs.RequestInfo, requestID string, eps float64) error {
+	if s.audit == nil {
+		return s.acct.Reserve(eps)
+	}
+	if requestID == "" {
+		requestID = info.RequestID
+	}
+	s.auditMu.Lock()
+	defer s.auditMu.Unlock()
+	err := s.acct.Reserve(eps)
+	s.audit.Record(obs.AuditEvent{
+		Tenant:    info.Tenant,
+		RequestID: requestID,
+		Scope:     s.scope,
+		Op:        obs.AuditReserve,
+		Outcome:   auditOutcome(err),
+		Epsilon:   eps,
+		Mode:      s.acct.Name(),
+		Spent:     s.acct.Spent(),
+	})
+	return err
+}
+
+// refundAudited is the audited form of s.acct.Refund (a canceled query
+// returning its reservation before any noise was drawn).
+func (s *Session) refundAudited(info obs.RequestInfo, requestID string, eps float64) {
+	if s.audit == nil {
+		s.acct.Refund(eps)
+		return
+	}
+	if requestID == "" {
+		requestID = info.RequestID
+	}
+	s.auditMu.Lock()
+	defer s.auditMu.Unlock()
+	s.acct.Refund(eps)
+	s.audit.Record(obs.AuditEvent{
+		Tenant:    info.Tenant,
+		RequestID: requestID,
+		Scope:     s.scope,
+		Op:        obs.AuditRefund,
+		Outcome:   obs.AuditOK,
+		Epsilon:   eps,
+		Mode:      s.acct.Name(),
+		Spent:     s.acct.Spent(),
+	})
+}
+
+// RecordReplay logs a dedup replay: a retried request ID answered from the
+// recorded release. The ledger does not move — the original attempt already
+// charged — so the event carries the unchanged balance; reconciliation
+// verifies exactly that. Exported because replay detection lives in the
+// HTTP layer's dedup table, above this package.
+func (s *Session) RecordReplay(info obs.RequestInfo, requestID string) {
+	if s.audit == nil {
+		return
+	}
+	if requestID == "" {
+		requestID = info.RequestID
+	}
+	s.auditMu.Lock()
+	defer s.auditMu.Unlock()
+	s.audit.Record(obs.AuditEvent{
+		Tenant:    info.Tenant,
+		RequestID: requestID,
+		Scope:     s.scope,
+		Op:        obs.AuditReplay,
+		Outcome:   obs.AuditOK,
+		Mode:      s.acct.Name(),
+		Spent:     s.acct.Spent(),
+	})
+}
+
+// chargeAudited finalizes an admitted query that keeps its reservation —
+// success, or a non-cancelation failure after which accounting must stay
+// conservative (noise may have been drawn). No accountant mutation.
+func (s *Session) chargeAudited(info obs.RequestInfo, requestID string, eps float64, execErr error) {
+	if s.audit == nil {
+		return
+	}
+	if requestID == "" {
+		requestID = info.RequestID
+	}
+	outcome := obs.AuditOK
+	if execErr != nil {
+		outcome = obs.AuditError
+	}
+	s.auditMu.Lock()
+	defer s.auditMu.Unlock()
+	s.audit.Record(obs.AuditEvent{
+		Tenant:    info.Tenant,
+		RequestID: requestID,
+		Scope:     s.scope,
+		Op:        obs.AuditCharge,
+		Outcome:   outcome,
+		Epsilon:   eps,
+		Mode:      s.acct.Name(),
+		Spent:     s.acct.Spent(),
+	})
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"nodedp/internal/generate"
+	"nodedp/internal/obs"
+)
+
+// memSink is an in-memory AuditSink for asserting on event streams.
+type memSink struct {
+	mu     sync.Mutex
+	events []obs.AuditEvent
+}
+
+func (m *memSink) Record(e obs.AuditEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, e)
+}
+
+func (m *memSink) snapshot() []obs.AuditEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]obs.AuditEvent(nil), m.events...)
+}
+
+// TestAuditEventsReconcileWithStats drives a session through open, seeded
+// queries, a budget rejection, and a cancelation refund, then checks the
+// audit stream: ordered lifecycle ops, balance stamps that match replaying
+// the ε sequence, and a final spent equal to Session.Stats().Spent exactly.
+func TestAuditEventsReconcileWithStats(t *testing.T) {
+	sink := &memSink{}
+	g := generate.Grid(4, 4)
+	ctx := obs.ContextWithRequestInfo(context.Background(), obs.RequestInfo{Tenant: "acme", RequestID: "r-0"})
+	s, err := Open(ctx, g, SessionOptions{TotalBudget: 1, Audit: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qctx := obs.ContextWithRequestInfo(context.Background(), obs.RequestInfo{Tenant: "acme", RequestID: "q-1"})
+	if _, err := s.ComponentCount(qctx, QueryOptions{Epsilon: 0.5, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	// Overdraw: rejected, spending nothing.
+	if _, err := s.ComponentCount(qctx, QueryOptions{Epsilon: 0.75, Seed: 7}); err == nil {
+		t.Fatal("overdraw admitted")
+	}
+	// Canceled before execution: reserve then refund.
+	canceled, cancel := context.WithCancel(qctx)
+	cancel()
+	if _, err := s.SpanningForestSize(canceled, QueryOptions{Epsilon: 0.25, Seed: 7}); err == nil {
+		t.Fatal("canceled query succeeded")
+	}
+
+	events := sink.snapshot()
+	wantOps := []string{obs.AuditOpen, obs.AuditReserve, obs.AuditCharge, obs.AuditReserve}
+	// The canceled query is rejected at the ctx.Err() check before any
+	// reservation, so no reserve/refund pair is logged for it.
+	if len(events) != len(wantOps) {
+		t.Fatalf("got %d events %+v, want ops %v", len(events), events, wantOps)
+	}
+	for i, op := range wantOps {
+		if events[i].Op != op {
+			t.Fatalf("event %d op = %s, want %s", i, events[i].Op, op)
+		}
+	}
+	if events[0].Tenant != "acme" || events[0].Scope != s.Fingerprint().String() || events[0].Budget != 1 {
+		t.Fatalf("open event %+v lacks tenant/scope/budget", events[0])
+	}
+	if events[1].RequestID != "q-1" || events[1].Outcome != obs.AuditOK || events[1].Spent != 0.5 {
+		t.Fatalf("reserve event %+v, want q-1/ok/spent=0.5", events[1])
+	}
+	if events[2].Spent != 0.5 || events[2].Outcome != obs.AuditOK {
+		t.Fatalf("charge event %+v, want spent unchanged at 0.5", events[2])
+	}
+	if events[3].Outcome != obs.AuditRejected || events[3].Spent != 0.5 {
+		t.Fatalf("rejected reserve event %+v, want rejected/spent=0.5", events[3])
+	}
+	if got := s.Stats().Spent; got != events[len(events)-1].Spent {
+		t.Fatalf("final audit balance %v != session spent %v", events[len(events)-1].Spent, got)
+	}
+}
+
+// TestAuditBatchItemAttribution checks that batch items are individually
+// attributable in the audit stream ("<request-id>#<index>"), admitted in
+// request order, and that a rejected item records a reserve but no charge.
+func TestAuditBatchItemAttribution(t *testing.T) {
+	sink := &memSink{}
+	g := generate.Grid(3, 3)
+	ctx := obs.ContextWithRequestInfo(context.Background(), obs.RequestInfo{Tenant: "t", RequestID: "batch-9"})
+	s, err := Open(ctx, g, SessionOptions{TotalBudget: 1, Audit: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{
+		{Op: OpComponentCount, Epsilon: 0.25, Seed: 3},
+		{Op: OpSpanningForestSize, Epsilon: 0.25, Seed: 4},
+		{Op: OpComponentCount, Epsilon: 0.75, Seed: 5}, // overdraws
+	}
+	resps := s.Do(ctx, reqs)
+	if resps[0].Err != nil || resps[1].Err != nil || resps[2].Err == nil {
+		t.Fatalf("batch outcomes: %v / %v / %v", resps[0].Err, resps[1].Err, resps[2].Err)
+	}
+	var reserves, charges []string
+	for _, e := range sink.snapshot() {
+		switch e.Op {
+		case obs.AuditReserve:
+			reserves = append(reserves, e.RequestID)
+		case obs.AuditCharge:
+			charges = append(charges, e.RequestID)
+		}
+	}
+	if len(reserves) != 3 || reserves[0] != "batch-9#0" || reserves[1] != "batch-9#1" || reserves[2] != "batch-9#2" {
+		t.Fatalf("reserve attribution %v, want batch-9#0..#2 in order", reserves)
+	}
+	if len(charges) != 2 {
+		t.Fatalf("got %d charges %v, want 2 (rejected item charges nothing)", len(charges), charges)
+	}
+}

@@ -7,9 +7,11 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"nodedp/internal/core"
+	"nodedp/internal/obs"
 )
 
 // Request is one query of a batch.
@@ -47,8 +49,22 @@ type Response struct {
 func (s *Session) Do(ctx context.Context, reqs []Request) []Response {
 	resps := make([]Response, len(reqs))
 
+	// Audit attribution: batch item i is logged as "<request-id>#<i>", so
+	// each admission, charge, and refund is individually attributable while
+	// staying deterministic across identically-seeded runs. The admission
+	// span mirrors Session.query's "serve.admit".
+	info := obs.RequestInfoFrom(ctx)
+	itemID := func(i int) string {
+		if s.audit == nil {
+			return ""
+		}
+		return fmt.Sprintf("%s#%d", info.RequestID, i)
+	}
+	admit, ctx := obs.StartSpan(ctx, "serve.admit")
+
 	// Phase 1: deterministic admission, in request order.
 	admitted := make([]bool, len(reqs))
+	nAdmitted := 0
 	for i, r := range reqs {
 		s.queries.Add(1)
 		q := QueryOptions{Epsilon: r.Epsilon, Mode: r.Mode, Seed: r.Seed}
@@ -62,25 +78,30 @@ func (s *Session) Do(ctx context.Context, reqs []Request) []Response {
 			resps[i].Err = err
 			continue
 		}
-		if err := s.acct.Reserve(r.Epsilon); err != nil {
+		if err := s.reserveAudited(info, itemID(i), r.Epsilon); err != nil {
 			s.rejected.Add(1)
 			resps[i].Err = err
 			continue
 		}
 		s.admitted.Add(1)
 		admitted[i] = true
+		nAdmitted++
 	}
+	admit.SetCounter("admitted", int64(nAdmitted))
+	admit.SetCounter("batch_size", int64(len(reqs)))
+	admit.End()
+	exec, ctx := obs.StartSpan(ctx, "serve.execute")
+	defer exec.End()
 
 	// Phase 2: execution. Each request is GEM + Laplace on the shared
 	// immutable plan — microseconds — so one goroutine per independent
-	// request is cheap.
+	// request is cheap. Ledger finalization (refund or charge) is NOT done
+	// here: concurrent items would interleave audit records
+	// nondeterministically, so it runs in a serial pass below.
 	runOne := func(i int) {
 		r := reqs[i]
 		q := QueryOptions{Epsilon: r.Epsilon, Mode: r.Mode, Seed: r.Seed}
 		res, err := s.execute(ctx, r.Op, q)
-		if err != nil && errIsCancel(err) {
-			s.acct.Refund(r.Epsilon) // no noise drawn; see Session.query
-		}
 		resps[i] = Response{Result: res, Err: err}
 	}
 	var wg sync.WaitGroup
@@ -106,5 +127,23 @@ func (s *Session) Do(ctx context.Context, reqs []Request) []Response {
 		runOne(i)
 	}
 	wg.Wait()
+
+	// Phase 3: ledger finalization in request order. A canceled item
+	// provably drew no noise and refunds its reservation; everything else
+	// keeps it (success, or an error past the point of refund). Running this
+	// serially after the barrier makes the audit log's event order — and
+	// every recorded balance — deterministic for identically-seeded runs,
+	// which the byte-identity conformance tests check literally.
+	for i := range reqs {
+		if !admitted[i] {
+			continue
+		}
+		switch err := resps[i].Err; {
+		case err != nil && errIsCancel(err):
+			s.refundAudited(info, itemID(i), reqs[i].Epsilon) // no noise drawn; see Session.query
+		default:
+			s.chargeAudited(info, itemID(i), reqs[i].Epsilon, err)
+		}
+	}
 	return resps
 }

@@ -36,6 +36,7 @@ import (
 	"nodedp/internal/forestlp"
 	"nodedp/internal/generate"
 	"nodedp/internal/graph"
+	"nodedp/internal/obs"
 	"nodedp/internal/privacy"
 )
 
@@ -130,6 +131,14 @@ type SessionOptions struct {
 	// plan-relevant options) match a cached evaluation skips the Δ-grid
 	// LPs entirely. Multiple sessions may share one cache.
 	Cache *core.PlanCache
+	// Audit, when non-nil, receives one append-only record per accountant
+	// event — session open, and every reserve/charge/refund with request
+	// ID, tenant, ε, composition mode, and outcome (see internal/obs's
+	// AuditLog). Recording never fails a query; sink errors are latched on
+	// the sink. Events are ordered and balance-stamped under one session
+	// lock, so `ccdp audit` can replay them and reconcile the spent values
+	// exactly.
+	Audit obs.AuditSink
 }
 
 // QueryOptions configures one private query.
@@ -188,6 +197,14 @@ type Session struct {
 	forestLP  forestlp.Options
 
 	acct privacy.Accountant
+
+	// audit, when non-nil, receives every accountant event; auditMu orders
+	// accountant mutations and their balance-stamped records identically
+	// (see audit.go). scope is the served graph's fingerprint, the
+	// privacy-unit identity audit events are keyed by.
+	audit   obs.AuditSink
+	auditMu sync.Mutex
+	scope   string
 
 	// rand is the shared unseeded noise source (nil = fresh crypto source
 	// per query); randMu serializes draws from it.
@@ -250,7 +267,10 @@ func Open(ctx context.Context, g *graph.Graph, opts SessionOptions) (*Session, e
 		forestLP:  opts.ForestLP,
 		rand:      opts.Rand,
 		acct:      acct,
+		audit:     opts.Audit,
+		scope:     ge.Fingerprint().String(),
 	}
+	s.auditOpen(obs.RequestInfoFrom(ctx).Tenant)
 	return s, nil
 }
 
@@ -267,31 +287,53 @@ func (s *Session) SpanningForestSize(ctx context.Context, q QueryOptions) (core.
 	return s.query(ctx, OpSpanningForestSize, q)
 }
 
-// query validates, admits, and executes one private query.
-func (s *Session) query(ctx context.Context, op Op, q QueryOptions) (core.Result, error) {
+// query validates, admits, and executes one private query. The "serve.admit"
+// span covers validation plus budget admission (admitted=1 only when the
+// reservation held), "serve.execute" covers the release; both carry no
+// timing-derived attributes, and every accountant touch goes through the
+// audited helpers in audit.go.
+func (s *Session) query(ctx context.Context, op Op, q QueryOptions) (res core.Result, err error) {
 	s.queries.Add(1)
+	info := obs.RequestInfoFrom(ctx)
+	admit, ctx := obs.StartSpan(ctx, "serve.admit")
+	admit.SetLabel("op", op.String())
 	if err := s.validate(op, q); err != nil {
 		s.rejected.Add(1)
+		admit.SetCounter("admitted", 0)
+		admit.SetLabel("reject", "validate")
+		admit.End()
 		return core.Result{}, err
 	}
 	if err := ctx.Err(); err != nil {
 		s.rejected.Add(1)
+		admit.SetCounter("admitted", 0)
+		admit.SetLabel("reject", "canceled")
+		admit.End()
 		return core.Result{}, err
 	}
-	if err := s.acct.Reserve(q.Epsilon); err != nil {
+	if err := s.reserveAudited(info, "", q.Epsilon); err != nil {
 		s.rejected.Add(1)
+		admit.SetCounter("admitted", 0)
+		admit.SetLabel("reject", "budget")
+		admit.End()
 		return core.Result{}, err
 	}
 	s.admitted.Add(1)
-	res, err := s.execute(ctx, op, q)
+	admit.SetCounter("admitted", 1)
+	admit.End()
+	exec, ectx := obs.StartSpan(ctx, "serve.execute")
+	res, err = s.execute(ectx, op, q)
+	exec.End()
 	if err != nil && errIsCancel(err) {
 		// The core release path checks ctx exactly once, before any noise
 		// is drawn, so a cancelation error means nothing was released and
 		// the reservation can be returned.
-		s.acct.Refund(q.Epsilon)
+		s.refundAudited(info, "", q.Epsilon)
+		return res, err
 	}
 	// Any other error keeps the budget spent: noise may already have been
 	// drawn, and accounting must stay conservative.
+	s.chargeAudited(info, "", q.Epsilon, err)
 	return res, err
 }
 

@@ -393,6 +393,65 @@ func BenchmarkSessionQuery(b *testing.B) {
 	}
 }
 
+// sessionDeltaEdge is the i-th edge of a long non-repeating bridge stream
+// between the first two blocks of sessionBenchGraph (30×30 distinct
+// bridges before the stream cycles), so consecutive mutated graphs have
+// distinct fingerprints and each delta measures a genuine component
+// re-plan rather than a whole-plan cache cycle hit.
+func sessionDeltaEdge(i int) graph.Edge {
+	return graph.NewEdge(i%30, 30+(i/30)%30)
+}
+
+// BenchmarkSessionDelta measures one live-graph mutation on an open
+// session: apply a bridge edge (dropping the previous one), re-plan the
+// two touched components through the sub-plan cache, and atomically swap
+// the serving snapshot. The ten untouched components are reused verbatim —
+// compare BenchmarkSessionDeltaColdReopen for what the delta replaces.
+func BenchmarkSessionDelta(b *testing.B) {
+	g := sessionBenchGraph()
+	ctx := context.Background()
+	sess, err := serve.Open(ctx, g, serve.SessionOptions{TotalBudget: 1, Cache: core.NewPlanCache(4)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adds := []graph.Edge{sessionDeltaEdge(i)}
+		var removes []graph.Edge
+		if i > 0 {
+			removes = append(removes, sessionDeltaEdge(i-1))
+		}
+		if _, err := sess.ApplyDelta(ctx, adds, removes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionDeltaColdReopen measures the alternative a mutating
+// deployment had before deltas: rebuild the mutated graph and cold-open a
+// fresh session on it, re-planning every component from scratch.
+func BenchmarkSessionDeltaColdReopen(b *testing.B) {
+	g := sessionBenchGraph()
+	ctx := context.Background()
+	// Two prebuilt states (bridge present / absent): cold opens run with no
+	// cache, so alternating graphs cannot be served by any cache cycle.
+	withBridge := func() *graph.Graph {
+		edges := append(g.Edges(), sessionDeltaEdge(0))
+		mg, err := graph.FromEdges(g.N(), edges)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return mg
+	}()
+	states := []*graph.Graph{withBridge, g}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := serve.Open(ctx, states[i%2], serve.SessionOptions{TotalBudget: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // sessionBenchRecord is one row of BENCH_session.json.
 type sessionBenchRecord struct {
 	Scenario      string  `json:"scenario"`
@@ -401,7 +460,10 @@ type sessionBenchRecord struct {
 	NsPerOp       int64   `json:"ns_per_op"`
 	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
 	Amortization  float64 `json:"amortization_vs_one_shot,omitempty"`
-	MaxProcs      int     `json:"gomaxprocs"`
+	// ColdAmortization (delta-apply row) is how many times cheaper one
+	// live-graph delta is than cold re-opening the mutated graph.
+	ColdAmortization float64 `json:"amortization_vs_cold_open,omitempty"`
+	MaxProcs         int     `json:"gomaxprocs"`
 }
 
 // TestEmitSessionBenchJSON writes BENCH_session.json: the cost of a cold
@@ -422,6 +484,8 @@ func TestEmitSessionBenchJSON(t *testing.T) {
 		{"open-cold", BenchmarkSessionOpenCold},
 		{"open-cached", BenchmarkSessionOpenCached},
 		{"session-query", BenchmarkSessionQuery},
+		{"delta-apply", BenchmarkSessionDelta},
+		{"delta-cold-reopen", BenchmarkSessionDeltaColdReopen},
 		{"one-shot", func(b *testing.B) {
 			ctx := context.Background()
 			b.ResetTimer()
@@ -450,10 +514,14 @@ func TestEmitSessionBenchJSON(t *testing.T) {
 		}
 		records = append(records, rec)
 	}
-	// Amortization: how many session queries fit in one one-shot estimate.
+	// Amortization: how many session queries fit in one one-shot estimate,
+	// and how many live-graph deltas fit in one cold re-open.
 	for i := range records {
 		if records[i].Scenario == "session-query" && records[i].NsPerOp > 0 {
 			records[i].Amortization = float64(ns["one-shot"]) / float64(records[i].NsPerOp)
+		}
+		if records[i].Scenario == "delta-apply" && records[i].NsPerOp > 0 {
+			records[i].ColdAmortization = float64(ns["delta-cold-reopen"]) / float64(records[i].NsPerOp)
 		}
 	}
 	out, err := json.MarshalIndent(records, "", "  ")

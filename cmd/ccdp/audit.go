@@ -40,6 +40,7 @@ type auditStream struct {
 	refunds       int
 	charges       int
 	replays       int
+	deltas        int
 	lastSpent     float64
 }
 
@@ -132,6 +133,8 @@ func runAudit(args []string, stdout io.Writer) error {
 			st.charges++ // a reservation becoming permanent: no mutation
 		case obs.AuditReplay:
 			st.replays++ // answered from the recorded release: no mutation
+		case obs.AuditDelta:
+			st.deltas++ // the graph changed, the ledger did not
 		default:
 			fail(e, "unknown op")
 			continue
@@ -158,9 +161,9 @@ func runAudit(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "audit: %s: %d events across %d session stream(s)\n", *logPath, len(events), len(keys))
 	for _, k := range keys {
 		st := streams[k]
-		fmt.Fprintf(stdout, "  tenant=%q scope=%s mode=%s: %d events, %d reserves (%d rejected), %d refunds, %d charges, %d replays; spent ε=%g of %g\n",
+		fmt.Fprintf(stdout, "  tenant=%q scope=%s mode=%s: %d events, %d reserves (%d rejected), %d refunds, %d charges, %d replays, %d deltas; spent ε=%g of %g\n",
 			st.tenant, st.scope, st.acct.Name(), st.events, st.reserves, st.rejected,
-			st.refunds, st.charges, st.replays, st.lastSpent, st.acct.EpsilonBudget())
+			st.refunds, st.charges, st.replays, st.deltas, st.lastSpent, st.acct.EpsilonBudget())
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {

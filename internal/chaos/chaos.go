@@ -44,6 +44,40 @@ var NthSites = []string{
 	"core.cache.admit",
 }
 
+// DeltaSites fire at live-graph mutation boundaries: the fingerprint-update
+// failpoint inside Session.ApplyDelta (whose contract is full rollback —
+// the session keeps serving the pre-delta snapshot), and the sub-plan
+// admission and merge failpoints in the component-assembly planner (whose
+// contract is that a fault-tainted component evaluation never enters the
+// sub-plan cache and a failed merge never forms a whole-graph plan).
+var DeltaSites = []string{
+	"serve.delta.fp",
+	"core.subplan.admit",
+	"core.subplan.merge",
+}
+
+// RandomDeltaSchedule extends RandomSchedule(seed) with arms for the
+// DeltaSites. The extension draws from its own PRNG stream and is appended
+// after the base spec, so the base schedule of every seed — including the
+// load-bearing 412 — stays byte-identical to RandomSchedule's output.
+// serve.delta.fp is always armed: every delta schedule exercises the
+// rollback path at least probabilistically.
+func RandomDeltaSchedule(seed uint64) string {
+	rng := rand.New(rand.NewPCG(seed, seed^0x64656c7461)) // "delta" lane
+	probs := []float64{0.2, 0.3}
+	terms := []string{RandomSchedule(seed)}
+	terms = append(terms, fmt.Sprintf("serve.delta.fp=prob:%g:%d",
+		probs[rng.IntN(len(probs))], seed*1000+200))
+	for i, site := range DeltaSites[1:] {
+		p := probs[rng.IntN(len(probs))]
+		if rng.Float64() < 0.5 {
+			continue
+		}
+		terms = append(terms, fmt.Sprintf("%s=prob:%g:%d", site, p, seed*1000+201+uint64(i)))
+	}
+	return strings.Join(terms, ";")
+}
+
 // RandomSchedule derives a fault spec from seed. Each eligible site is
 // included with probability 1/2; included ProbSites draw a firing
 // probability from {0.05, 0.15, 0.3} and a per-site seed, included

@@ -232,6 +232,31 @@ func (c *Client) BatchT(ctx context.Context, sessionID string, req httpapi.Batch
 	return &out, tel, nil
 }
 
+// Patch applies a live-graph delta (PATCH /v1/graphs/{id}), retrying
+// transient failures. The endpoint has idempotent set semantics — adds
+// ensure presence, removes ensure absence — so a retry after a connection
+// lost mid-response re-applies harmlessly: the graph converges to the same
+// state (the retry may report zero applied edges), and deltas spend no
+// privacy budget, so there is no double-charge to guard against. A 409
+// (racing DELETE) is not retried; the session owner must resolve the race.
+func (c *Client) Patch(ctx context.Context, sessionID string, req httpapi.PatchRequest) (*httpapi.PatchResponse, error) {
+	out, _, err := c.PatchT(ctx, sessionID, req)
+	return out, err
+}
+
+// PatchT is Patch surfacing the call's retry/backoff telemetry.
+func (c *Client) PatchT(ctx context.Context, sessionID string, req httpapi.PatchRequest) (*httpapi.PatchResponse, Telemetry, error) {
+	if req.RequestID == "" {
+		req.RequestID = fmt.Sprintf("%s-%d", c.idPrefix, c.idCounter.Add(1))
+	}
+	var out httpapi.PatchResponse
+	tel, err := c.doT(ctx, http.MethodPatch, "/v1/graphs/"+sessionID, req, &out)
+	if err != nil {
+		return nil, tel, err
+	}
+	return &out, tel, nil
+}
+
 // SessionInfo fetches budget and cache introspection.
 func (c *Client) SessionInfo(ctx context.Context, sessionID string) (*httpapi.SessionInfo, error) {
 	var out httpapi.SessionInfo

@@ -50,6 +50,14 @@ type CacheStats struct {
 	// successful save, so rewriting identical bytes — and the atomic
 	// rename — was skipped.
 	SnapshotSavesSkipped int64
+	// SubPlanHits and SubPlanMisses count per-component lookups in the
+	// sub-plan layer (see subplan.go): every whole-graph miss resolves each
+	// non-trivial component against it, so after a graph mutation the hit
+	// count shows exactly how much planning the delta reused.
+	// SubPlanEvictions counts sub-plans dropped by the sub-plan LRU bound.
+	SubPlanHits, SubPlanMisses, SubPlanEvictions int64
+	// SubPlanEntries is the current number of cached component sub-plans.
+	SubPlanEntries int
 	// EngineRefactorizations, EngineParametricSlides,
 	// EngineParametricCheapSolves, and EngineIncrementalFallbacks sum the
 	// parametric LP engine's solver-depth counters (see forestlp.Stats)
@@ -111,6 +119,14 @@ type flight struct {
 	done chan struct{}
 	ge   *GridEval
 	err  error
+	// invalidated is set (under the cache mutex) by Invalidate while the
+	// evaluation is still in flight. The leader reads it under the same
+	// mutex when it finishes: a marked flight's result is neither admitted
+	// to the cache nor handed to waiters as a hit — waiters are released
+	// with a cancelation so the single-flight loop makes them re-evaluate
+	// against the post-invalidation cache instead of adopting a plan the
+	// invalidator believes is gone.
+	invalidated bool
 }
 
 // PlanCache is a bounded, thread-safe LRU cache of grid evaluations keyed
@@ -128,6 +144,13 @@ type PlanCache struct {
 	inflight  map[cacheKey]*flight
 	stats     CacheStats
 
+	// Sub-plan layer (see subplan.go): per-component grid evaluations
+	// keyed by component fingerprint + options digest, bounded by a
+	// separate entry-count LRU. Not persisted in snapshots.
+	subCap     int
+	subLL      *list.List // front = most recently used
+	subEntries map[subPlanKey]*list.Element
+
 	// gen counts persisted-state changes — inserts, loads, evictions,
 	// invalidations, and hits (a hit refreshes the recency order and the
 	// GreedyDual-Size credit, both of which Save writes out) — and
@@ -144,10 +167,13 @@ func NewPlanCache(capacity int) *PlanCache {
 		capacity = DefaultPlanCacheCapacity
 	}
 	return &PlanCache{
-		cap:      capacity,
-		ll:       list.New(),
-		entries:  make(map[cacheKey]*list.Element),
-		inflight: make(map[cacheKey]*flight),
+		cap:        capacity,
+		ll:         list.New(),
+		entries:    make(map[cacheKey]*list.Element),
+		inflight:   make(map[cacheKey]*flight),
+		subCap:     DefaultSubPlanCapacity,
+		subLL:      list.New(),
+		subEntries: make(map[subPlanKey]*list.Element),
 	}
 }
 
@@ -247,7 +273,11 @@ func (c *PlanCache) GridEval(ctx context.Context, g *graph.Graph, opts Options) 
 		c.inflight[key] = f
 		c.mu.Unlock()
 
-		f.ge, f.err = evaluateGridCSR(ctx, csr, key.fp, opts)
+		// The miss path assembles the evaluation component-wise from the
+		// sub-plan layer (subplan.go) — bit-identical to the monolithic
+		// evaluateGridCSR, but after a graph mutation only the touched
+		// components re-plan.
+		f.ge, f.err = c.assembleGridCSR(ctx, csr, key.fp, opts)
 		// Failpoint between evaluation and admission: a firing site turns a
 		// finished evaluation into an error *before* the insert gate below,
 		// proving no partial or fault-tainted plan can enter the cache (the
@@ -259,15 +289,26 @@ func (c *PlanCache) GridEval(ctx context.Context, g *graph.Graph, opts Options) 
 
 		c.mu.Lock()
 		delete(c.inflight, key)
-		if f.err == nil {
+		stale := f.invalidated
+		if f.err == nil && !stale {
 			c.insertLocked(key, f.ge)
 		}
 		c.mu.Unlock()
-		close(f.done)
-		if f.err != nil {
-			return nil, false, f.err
+		ge, evalErr := f.ge, f.err
+		if evalErr == nil && stale {
+			// Invalidate ran while this evaluation was in flight. The result
+			// is still correct for the snapshot this caller evaluated —
+			// return it to them — but it is not admitted above, and waiters
+			// must not adopt it as a hit: hand them a cancelation so the
+			// single-flight loop sends each one back through a fresh lookup.
+			f.ge = nil
+			f.err = fmt.Errorf("core: plan-cache flight invalidated mid-evaluation: %w", context.Canceled)
 		}
-		return f.ge, false, nil
+		close(f.done)
+		if evalErr != nil {
+			return nil, false, evalErr
+		}
+		return ge, false, nil
 	}
 }
 
@@ -332,6 +373,19 @@ func errIsCancel(err error) bool {
 func (c *PlanCache) Invalidate(fp graph.Fingerprint) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Mark in-flight evaluations of the fingerprint: their leaders finish,
+	// see the mark under this same mutex, and neither admit the result nor
+	// let waiters adopt it (see the flight type). Without the mark, a
+	// leader finishing after Invalidate returned would quietly re-insert an
+	// entry the caller was promised is gone.
+	for key, f := range c.inflight {
+		if key.fp == fp {
+			f.invalidated = true
+		}
+	}
+	// Component sub-plans are deliberately not touched: they are keyed by
+	// component content shared across graphs, and the point of a mutation
+	// is that untouched components keep their cached work.
 	removed := 0
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
@@ -357,6 +411,7 @@ func (c *PlanCache) Stats() CacheStats {
 	defer c.mu.Unlock()
 	s := c.stats
 	s.Entries = c.ll.Len()
+	s.SubPlanEntries = c.subLL.Len()
 	s.Weight = c.weight
 	s.WeightCapacity = c.weightCap
 	s.EntryWeights = make([]int64, 0, c.ll.Len())

@@ -1,0 +1,138 @@
+package core
+
+// Regression test for the Invalidate-vs-single-flight race: an Invalidate
+// that returns while a leader is still evaluating the same fingerprint
+// must prevent that leader's finished plan from (a) being admitted to the
+// cache behind the invalidator's back and (b) being adopted as a hit by
+// coalesced waiters. Run under -race in CI (chaos-smoke covers this
+// package's dependents; the lint/test job runs the full tree with -race).
+
+import (
+	"context"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"nodedp/internal/graph"
+)
+
+// invalidateRaceGraph is a connected ~110-vertex graph dense enough that
+// one grid evaluation takes long enough to orchestrate against.
+func invalidateRaceGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	const n = 110
+	g := graph.New(n)
+	rng := rand.New(rand.NewPCG(7, 13))
+	for v := 1; v < n; v++ {
+		if err := g.AddEdge(rng.IntN(v), v); err != nil { // spanning, connected
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// waitFor polls cond until it returns true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func TestPlanCacheInvalidateCancelsInflightLeader(t *testing.T) {
+	g := invalidateRaceGraph(t)
+	cache := NewPlanCache(4)
+	opts := Options{Epsilon: 1}
+
+	type outcome struct {
+		ge  *GridEval
+		hit bool
+		err error
+	}
+	leaderDone := make(chan outcome, 1)
+	waiterDone := make(chan outcome, 1)
+
+	go func() {
+		ge, hit, err := cache.GridEval(context.Background(), g, opts)
+		leaderDone <- outcome{ge, hit, err}
+	}()
+	// The leader registers its flight before evaluating, so a populated
+	// inflight map means the evaluation window is open.
+	waitFor(t, "leader flight registration", func() bool {
+		cache.mu.Lock()
+		defer cache.mu.Unlock()
+		return len(cache.inflight) > 0
+	})
+	go func() {
+		ge, hit, err := cache.GridEval(context.Background(), g, opts)
+		waiterDone <- outcome{ge, hit, err}
+	}()
+	waitFor(t, "waiter coalescing", func() bool {
+		cache.mu.Lock()
+		defer cache.mu.Unlock()
+		return cache.stats.Coalesced >= 1
+	})
+	if len(leaderDone) != 0 {
+		t.Skip("evaluation finished before Invalidate could race it; graph too small for this machine")
+	}
+
+	if removed := cache.Invalidate(g.Fingerprint()); removed != 0 {
+		t.Fatalf("Invalidate removed %d cached entries mid-flight, want 0 (nothing admitted yet)", removed)
+	}
+
+	// The leader keeps its own result — it is correct for the snapshot it
+	// evaluated — but the result must not have been admitted.
+	leader := <-leaderDone
+	if leader.err != nil || leader.ge == nil {
+		t.Fatalf("leader: hit=%v err=%v", leader.hit, leader.err)
+	}
+	if leader.hit {
+		t.Fatal("leader reports a hit; it evaluated")
+	}
+
+	// The waiter must not adopt the invalidated flight's plan: it loops,
+	// takes over as a fresh miss, and evaluates its own plan.
+	waiter := <-waiterDone
+	if waiter.err != nil || waiter.ge == nil {
+		t.Fatalf("waiter: hit=%v err=%v", waiter.hit, waiter.err)
+	}
+	if waiter.hit {
+		t.Fatal("waiter adopted the invalidated leader's result as a hit")
+	}
+	if waiter.ge == leader.ge {
+		t.Fatal("waiter received the invalidated leader's evaluation pointer")
+	}
+
+	st := cache.Stats()
+	// Each logical lookup counts once: the leader as the miss, the waiter
+	// as coalesced (its takeover re-run does not recount). The leak would
+	// show up above as waiter.hit with the leader's pointer.
+	if st.Misses != 1 || st.Coalesced != 1 {
+		t.Errorf("(misses, coalesced) = (%d, %d), want (1, 1)", st.Misses, st.Coalesced)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1 (only the waiter's post-invalidation plan)", st.Entries)
+	}
+
+	// The surviving entry is the waiter's: a fresh lookup hits it.
+	ge, hit, err := cache.GridEval(context.Background(), g, opts)
+	if err != nil || !hit {
+		t.Fatalf("post-race lookup: hit=%v err=%v", hit, err)
+	}
+	if ge != waiter.ge {
+		t.Error("cache serves a different plan than the waiter's re-evaluation")
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+// This file implements the component-keyed sub-plan layer of the PlanCache.
+// f_Δ is additive over connected components, so a whole-graph grid
+// evaluation is the per-grid-point sum of independent per-component
+// evaluations — and those per-component results are cacheable under the
+// component's own canonical fingerprint. The cache's miss path therefore
+// assembles evaluations component-wise: each non-trivial component either
+// hits the sub-plan cache or is evaluated as a single-shard forestlp plan,
+// and the per-component value vectors are merged in deterministic shard
+// order. After a graph mutation (Session.ApplyDelta) only the touched
+// components have new fingerprints; every untouched component hits, so a
+// delta-open re-plans O(touched) instead of O(graph).
+//
+// Bit-identity is the load-bearing property: the assembled evaluation must
+// equal the monolithic forestlp sweep bit for bit, in values and counters,
+// or a delta-open would diverge from a cold open of the same graph. It
+// holds by construction:
+//
+//   - Values: the monolithic engine evaluates each shard independently
+//     (per-shard clamp to [0, n_i−1] inside planShard.eval), sums the
+//     per-shard values in shard-index order, and clamps the total to
+//     [0, f_sf]. A single-component plan's outer clamp to its own f_sf is
+//     a no-op re-clamp, so the stored sub-plan vector is exactly the
+//     per-shard contribution, and the merge below repeats the monolithic
+//     sum — same addends, same order, same final clamp.
+//   - Warm state: a grid sweep's warm-start state is strictly per-shard
+//     and the grid points run sequentially in both shapes, so each shard
+//     sees the identical (Δ, warm-state) sequence.
+//   - Stats: integer counters are additive and max-gauges commute, so
+//     summing per-component grid aggregates equals aggregating the
+//     monolithic per-round sums; the only two fields that depend on the
+//     evaluation's shape rather than its content — Workers and Components
+//     — are overwritten with the values the monolithic sweep would have
+//     reported. (Per-shard timing records are the one diagnostic that is
+//     not propagated: their shard indices are meaningless across cache
+//     reuse, so stored sub-plans drop them.)
+//
+// Sub-plans are bounded by a simple entry-count LRU, separate from the
+// whole-graph entry bounds, and are not persisted in snapshots: they are
+// derived state, cheap to refill, and keyed by fingerprints that a snapshot
+// of whole-graph evaluations cannot validate.
+
+import (
+	"context"
+	"fmt"
+
+	"nodedp/internal/fault"
+	"nodedp/internal/forestlp"
+	"nodedp/internal/graph"
+	"nodedp/internal/mechanism"
+)
+
+// DefaultSubPlanCapacity bounds the number of cached per-component
+// sub-plans. Components are much smaller than whole graphs (their value
+// vectors are one float per grid point), so the sub-plan cache affords a
+// larger entry count than the whole-graph bound.
+const DefaultSubPlanCapacity = 256
+
+// subPlanKey identifies one component's grid evaluation: the component's
+// canonical fingerprint (local-rank renumbering, see
+// graph.CSR.ComponentFingerprints) plus the same options digest that keys
+// whole-graph entries. The digest pins DeltaMax and therefore the grid, so
+// a stored value vector is always aligned with the grid of any lookup that
+// hits it.
+type subPlanKey struct {
+	fp   graph.Fingerprint
+	opts string
+}
+
+// subPlan is one non-trivial component's cached share of a grid
+// evaluation. It is immutable after insertion and shared by reference.
+//
+//privacy:secret — values are exact per-component f_Δ evaluations, pre-noise (see GridEval).
+type subPlan struct {
+	n, m int
+	// values[j] is the component's contribution to f_Δ at grid point j,
+	// clamped to [0, n−1] by the per-shard evaluator.
+	values []float64
+	// stats is the component's grid-aggregated work, with Shards timings
+	// stripped (see the file comment).
+	stats forestlp.Stats
+}
+
+// subLookupLocked returns the cached sub-plan for key and refreshes its
+// recency, or nil. c.mu must be held. Sub-plan recency is not persisted
+// state, so no gen bump.
+func (c *PlanCache) subLookupLocked(key subPlanKey) *subPlan {
+	el, ok := c.subEntries[key]
+	if !ok {
+		return nil
+	}
+	c.subLL.MoveToFront(el)
+	return el.Value.(*subPlanEntry).sub
+}
+
+type subPlanEntry struct {
+	key subPlanKey
+	sub *subPlan
+}
+
+// subInsertLocked admits a sub-plan (c.mu held), evicting the
+// least-recently-used entry past the capacity bound. A racing insert of
+// the same key keeps the existing entry — both computed identical values.
+func (c *PlanCache) subInsertLocked(key subPlanKey, sp *subPlan) {
+	if el, ok := c.subEntries[key]; ok {
+		c.subLL.MoveToFront(el)
+		return
+	}
+	c.subEntries[key] = c.subLL.PushFront(&subPlanEntry{key: key, sub: sp})
+	for c.subLL.Len() > c.subCap {
+		victim := c.subLL.Back()
+		c.subLL.Remove(victim)
+		delete(c.subEntries, victim.Value.(*subPlanEntry).key)
+		c.stats.SubPlanEvictions++
+	}
+}
+
+// assembleGridCSR is the cache's evaluation path: a whole-graph grid
+// evaluation assembled from per-component sub-plans, bit-identical to
+// evaluateGridCSR on the same snapshot (see the file comment for why).
+// Both cold opens and delta-opens funnel through here, which is what makes
+// "delta-open ≡ cold open" hold by construction rather than by parallel
+// maintenance of two evaluation paths. opts must already carry defaults.
+func (c *PlanCache) assembleGridCSR(ctx context.Context, csr *graph.CSR, fp graph.Fingerprint, opts Options) (*GridEval, error) {
+	grid, err := mechanism.PowerOfTwoGrid(opts.DeltaMax)
+	if err != nil {
+		return nil, err
+	}
+	digest := planOptionsDigest(opts)
+	shards := csr.ComponentShards()
+	fps := csr.ComponentFingerprints()
+
+	// Non-trivial components in shard order. Singletons contribute zero to
+	// every grid value and to f_sf and carry no stats; they enter only the
+	// Components count.
+	type compSlot struct {
+		shard *graph.Shard
+		key   subPlanKey
+		sub   *subPlan
+	}
+	slots := make([]compSlot, 0, len(shards))
+	fsf := 0
+	for i, sh := range shards {
+		if sh.N() < 2 {
+			continue
+		}
+		fsf += sh.N() - 1
+		slots = append(slots, compSlot{shard: sh, key: subPlanKey{fp: fps[i], opts: digest}})
+	}
+
+	c.mu.Lock()
+	for i := range slots {
+		if sp := c.subLookupLocked(slots[i].key); sp != nil {
+			slots[i].sub = sp
+			c.stats.SubPlanHits++
+		} else {
+			c.stats.SubPlanMisses++
+		}
+	}
+	c.mu.Unlock()
+
+	// Evaluate the missing components sequentially in shard order. Grid
+	// points inside each component still run on the configured SepWorkers
+	// pool, and sequential component order keeps span creation — and
+	// therefore the trace tree — deterministic, exactly like the
+	// monolithic sweep's sequential grid loop. A completed component is
+	// admitted immediately: if a later component fails (error, fault,
+	// cancelation), the finished sub-plans are complete, correct
+	// evaluations and stay cached for the retry, while the whole-graph
+	// entry is never formed.
+	for i := range slots {
+		if slots[i].sub != nil {
+			continue
+		}
+		sh := slots[i].shard
+		values, stats, err := forestlp.NewPlanCSR(&sh.CSR).GridValues(ctx, grid, opts.ForestLP)
+		if err != nil {
+			return nil, fmt.Errorf("core: component %d (n=%d): %w", i, sh.N(), err)
+		}
+		// Failpoint between a component's evaluation and its admission: a
+		// firing site proves a fault-tainted sub-plan never enters the
+		// sub-plan cache and never reaches the merge below.
+		if err := fault.Hit("core.subplan.admit"); err != nil {
+			return nil, err
+		}
+		stats.Shards = nil // timing indices are meaningless across reuse
+		sp := &subPlan{n: sh.N(), m: sh.M(), values: values, stats: stats}
+		slots[i].sub = sp
+		c.mu.Lock()
+		c.subInsertLocked(slots[i].key, sp)
+		c.mu.Unlock()
+	}
+
+	// Failpoint before the merge: every sub-plan is admitted, but the
+	// whole-graph evaluation must still fail atomically — no partial
+	// GridEval, no whole-graph cache entry.
+	if err := fault.Hit("core.subplan.merge"); err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge: per grid point, sum the component contributions
+	// in shard-index order and clamp to [0, f_sf] — the exact arithmetic of
+	// the monolithic engine's merge loop.
+	values := make([]float64, len(grid))
+	for j := range grid {
+		total := 0.0
+		for i := range slots {
+			//detlint:allow floatorder — deterministic merge: components are summed in shard-index order, the same fixed order as the monolithic engine, so the result is bit-identical regardless of which sub-plans were cached
+			total += slots[i].sub.values[j]
+		}
+		if f := float64(fsf); total > f {
+			total = f
+		}
+		if total < 0 {
+			total = 0
+		}
+		values[j] = total
+	}
+	var merged forestlp.Stats
+	for i := range slots {
+		merged.MergeComponent(slots[i].sub.stats)
+	}
+	// The two shape-dependent fields, stamped as the monolithic sweep
+	// would have: Workers resolves against the non-trivial shard count,
+	// Components counts every component including singletons.
+	merged.Workers = forestlp.ResolveWorkers(opts.ForestLP.Workers, len(slots))
+	merged.Components = len(shards)
+
+	return &GridEval{
+		n:           csr.N(),
+		m:           csr.M(),
+		deltaMax:    opts.DeltaMax,
+		optsDigest:  digest,
+		fingerprint: fp,
+		grid:        grid,
+		fdeltas:     values,
+		fsf:         float64(fsf),
+		stats:       merged,
+	}, nil
+}

@@ -44,6 +44,7 @@ func Registry() []struct {
 		{"E19", E19DaemonServing},
 		{"E20", E20WarmRestart},
 		{"E21", E21ParametricSweep},
+		{"E22", E22LiveGraphDeltas},
 		{"F1", F1RepairTrace},
 		{"F2", F2Lemma52},
 		{"F3", F3WinDecomposition},

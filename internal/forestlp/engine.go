@@ -43,6 +43,14 @@ type shardResult struct {
 	err    error
 }
 
+// ResolveWorkers reports the worker count an evaluation with the given
+// configured Options.Workers uses over shards non-trivial component
+// shards: 0 means runtime.GOMAXPROCS, clamped to [1, shards]. It is
+// exported so the component-wise plan assembly in internal/core can stamp
+// the same Stats.Workers a monolithic evaluation would have reported,
+// keeping the two paths bit-identical counter for counter.
+func ResolveWorkers(configured, shards int) int { return resolveWorkers(configured, shards) }
+
 // resolveWorkers clamps the configured worker count to [1, shards].
 func resolveWorkers(configured, shards int) int {
 	w := configured

@@ -259,6 +259,15 @@ func (s *Stats) add(t Stats) {
 	s.Shards = append(s.Shards, t.Shards...)
 }
 
+// MergeComponent folds the grid-aggregated statistics of one component's
+// evaluation into a whole-graph aggregate: counters accumulate and gauges
+// keep maxima, exactly as the parallel engine's shard merge does. It is
+// used by the component-wise plan assembly in internal/core; the caller is
+// responsible for stamping the shape-dependent Workers and Components
+// fields afterward (a per-component sweep reports Workers=1 and
+// Components=1 regardless of how the whole graph would be scheduled).
+func (s *Stats) MergeComponent(t Stats) { s.add(t) }
+
 // MergeGridRound folds the statistics of one evaluation into an aggregate
 // over a Δ-grid sweep of the same plan: counters accumulate, gauges keep
 // their maxima, and Components — identical each round by construction —

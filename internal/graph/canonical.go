@@ -1,0 +1,67 @@
+package graph
+
+// This file implements the one canonicalization rule every edge-list
+// ingress shares. The Graph type itself is always canonical — AddEdge
+// rejects self-loops and duplicates, and Edge values are normalized U < V —
+// but raw edge lists arrive from several doors (the HTTP upload body, the
+// PATCH delta body, the edge-list text format, library callers holding
+// [][2]int data), and historically each door policed self-loops and
+// duplicates on its own. Two semantically identical inputs that happened to
+// differ in duplicate or loop noise could then build different-looking
+// requests, fail on one path and succeed on another, and defeat the
+// fingerprint-keyed plan cache. Canonicalize is the single shared rule:
+// normalize endpoints to U < V, drop self-loops, collapse duplicates, sort.
+// Every ingress that accepts a raw edge list funnels through it, so equal
+// edge multisets always produce equal graphs and equal fingerprints.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Canonicalize returns the canonical form of an arbitrary edge list over
+// vertices 0..n-1: endpoints normalized so U < V, self-loops dropped,
+// duplicate edges collapsed, and the result sorted lexicographically. It
+// returns an error only for an out-of-range endpoint (that is data
+// corruption, not noise). The input slice is not modified.
+func Canonicalize(n int, edges []Edge) ([]Edge, error) {
+	out := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if e.U == e.V {
+			continue
+		}
+		out = append(out, NewEdge(e.U, e.V))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	// Collapse duplicates in place on the sorted list.
+	dedup := out[:0]
+	for i, e := range out {
+		if i > 0 && e == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	return dedup, nil
+}
+
+// FromEdgesCanonical builds a graph on n vertices from an arbitrary edge
+// list, applying Canonicalize first: self-loops and duplicate edges are
+// silently collapsed instead of rejected, so any two inputs with the same
+// underlying simple graph produce Fingerprint-identical results. Use
+// FromEdges when the input is supposed to already be canonical and noise
+// should be an error.
+func FromEdgesCanonical(n int, edges []Edge) (*Graph, error) {
+	canon, err := Canonicalize(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return FromEdges(n, canon)
+}

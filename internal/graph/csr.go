@@ -217,6 +217,11 @@ func (c *CSR) Graph() *Graph {
 		set := make(map[int]struct{}, len(nbrs))
 		for _, w := range nbrs {
 			set[w] = struct{}{}
+			if v < w {
+				hi, lo := edgeHash(v, w)
+				g.fpHi += hi
+				g.fpLo += lo
+			}
 		}
 		g.adj[v] = set
 	}

@@ -8,12 +8,22 @@ package graph
 // opening a second serving session on an identical graph — skips planning
 // entirely, while any one-edge difference changes the key.
 //
-// The digest is two independent FNV-1a-style 64-bit lanes over the
-// canonical byte stream (n, m, then the lexicographically sorted edge
-// list). It is a content hash for caching, not a cryptographic commitment:
-// collisions are astronomically unlikely by accident but not hard to
-// construct on purpose, so the cache must never be shared with untrusted
-// writers.
+// The digest is commutative over edges so it supports O(1) incremental
+// maintenance under mutation: each edge {u,v} is hashed independently into
+// a 128-bit avalanched value, the per-edge values are combined by wrapping
+// 64-bit addition per lane (order-free and invertible — removing an edge
+// subtracts its value back out), and the finalizer mixes the vertex count,
+// edge count, and both lane sums through a fresh two-lane hash. The mutable
+// Graph carries the live lane sums, updated by AddEdge/RemoveEdge, so
+// Graph.Fingerprint is O(1); CSR.Fingerprint recomputes the same digest
+// from the snapshot. The two lanes are FNV-1a-style with independent seeds
+// and multipliers, each finished with a murmur-style avalanche so the sums
+// spread across all 128 bits even for tiny graphs.
+//
+// It is a content hash for caching, not a cryptographic commitment:
+// collisions are astronomically unlikely by accident (and the additive
+// combination gives up nothing a cache key needs) but not hard to construct
+// on purpose, so the cache must never be shared with untrusted writers.
 
 import "fmt"
 
@@ -60,7 +70,7 @@ func (h *fpHasher) mix(x uint64) {
 }
 
 // sum finalizes the digest with an avalanche pass so that short inputs
-// (small graphs) still spread across all 128 bits.
+// (small graphs, single edges) still spread across all 128 bits.
 func (h fpHasher) sum() Fingerprint {
 	fin := func(x uint64) uint64 {
 		x ^= x >> 33
@@ -73,34 +83,57 @@ func (h fpHasher) sum() Fingerprint {
 	return Fingerprint{Hi: fin(h.hi ^ h.lo<<1), Lo: fin(h.lo)}
 }
 
-// fingerprintEdges hashes the canonical stream: n, m, then each edge (u,v)
-// with u < v in lexicographic order, as produced by visit.
-func fingerprintEdges(n, m int, visit func(emit func(u, v int))) Fingerprint {
+// edgeHash hashes one undirected edge into its 128-bit avalanched lane
+// contribution. The pair is normalized first, so edgeHash(u,v) ==
+// edgeHash(v,u).
+func edgeHash(u, v int) (hi, lo uint64) {
+	if u > v {
+		u, v = v, u
+	}
+	h := newFPHasher()
+	h.mix(uint64(u))
+	h.mix(uint64(v))
+	f := h.sum()
+	return f.Hi, f.Lo
+}
+
+// composeFingerprint finalizes the digest from the vertex count, edge
+// count, and the wrapping per-lane sums of the edge hashes.
+func composeFingerprint(n, m int, hi, lo uint64) Fingerprint {
 	h := newFPHasher()
 	h.mix(uint64(n))
 	h.mix(uint64(m))
-	visit(func(u, v int) {
-		h.mix(uint64(u))
-		h.mix(uint64(v))
-	})
+	h.mix(hi)
+	h.mix(lo)
 	return h.sum()
+}
+
+// fingerprintEdges hashes the canonical content: n, m, and each edge (u,v)
+// emitted by visit, in any order (the per-edge hashes combine by wrapping
+// addition).
+func fingerprintEdges(n, m int, visit func(emit func(u, v int))) Fingerprint {
+	var sumHi, sumLo uint64
+	visit(func(u, v int) {
+		hi, lo := edgeHash(u, v)
+		sumHi += hi
+		sumLo += lo
+	})
+	return composeFingerprint(n, m, sumHi, sumLo)
 }
 
 // Fingerprint returns the canonical 128-bit digest of g's vertex count and
 // edge set. It is independent of insertion order and of whether the graph
 // was built directly or round-tripped through removals, CSR snapshots, or
-// the edge-list exchange format. Cost: O(n + m) time and memory — the
-// adjacency maps are canonicalized through a temporary CSR snapshot, whose
-// counting-sort construction avoids the per-vertex sorts a direct map walk
-// would need. Callers that already hold a CSR should fingerprint that
-// instead.
+// the edge-list exchange format. Cost: O(1) — the graph maintains its edge
+// lane sums incrementally under AddEdge/RemoveEdge, so only the finalizer
+// runs here.
 func (g *Graph) Fingerprint() Fingerprint {
-	return NewCSR(g).Fingerprint()
+	return composeFingerprint(g.N(), g.m, g.fpHi, g.fpLo)
 }
 
 // Fingerprint returns the canonical digest of the snapshot's vertex count
 // and edge set. It equals Graph.Fingerprint of the graph the snapshot was
-// taken from.
+// taken from. Cost: O(n + m).
 func (c *CSR) Fingerprint() Fingerprint {
 	return fingerprintEdges(c.N(), c.M(), func(emit func(u, v int)) {
 		for u, n := 0, c.N(); u < n; u++ {
@@ -111,4 +144,48 @@ func (c *CSR) Fingerprint() Fingerprint {
 			}
 		}
 	})
+}
+
+// ComponentFingerprints returns the canonical fingerprint of every
+// component shard, aligned with ComponentShards: entry i equals
+// shards[i].CSR.Fingerprint() — the digest of the component renumbered to
+// local rank ids — without materializing any shard. One O(n + m) pass
+// computes all of them, which is what makes component-local plan reuse
+// cheap: after a mutation, untouched components keep their fingerprints
+// and their cached sub-plans, and only the touched components re-plan.
+func (c *CSR) ComponentFingerprints() []Fingerprint {
+	labels, count := c.Components()
+	n := c.N()
+
+	// Local rank ids: scanning v = 0..n-1 assigns each vertex the next
+	// free id of its component, matching the ComponentShards renumbering.
+	local := make([]int, n)
+	vcount := make([]int, count)
+	for v := 0; v < n; v++ {
+		comp := labels[v]
+		local[v] = vcount[comp]
+		vcount[comp]++
+	}
+
+	type acc struct {
+		m      int
+		hi, lo uint64
+	}
+	accs := make([]acc, count)
+	for u := 0; u < n; u++ {
+		for _, v := range c.Neighbors(u) {
+			if u < v {
+				a := &accs[labels[u]]
+				hi, lo := edgeHash(local[u], local[v])
+				a.hi += hi
+				a.lo += lo
+				a.m++
+			}
+		}
+	}
+	out := make([]Fingerprint, count)
+	for i := range out {
+		out[i] = composeFingerprint(vcount[i], accs[i].m, accs[i].hi, accs[i].lo)
+	}
+	return out
 }

@@ -43,6 +43,10 @@ func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
 type Graph struct {
 	adj []map[int]struct{}
 	m   int
+	// fpHi/fpLo are the live fingerprint lane sums (wrapping sums of the
+	// per-edge hashes — see fingerprint.go), maintained by AddEdge and
+	// RemoveEdge so Fingerprint is O(1) on a mutating graph.
+	fpHi, fpLo uint64
 }
 
 // New returns an empty graph on n isolated vertices.
@@ -118,6 +122,9 @@ func (g *Graph) AddEdge(u, v int) error {
 	g.adj[u][v] = struct{}{}
 	g.adj[v][u] = struct{}{}
 	g.m++
+	hi, lo := edgeHash(u, v)
+	g.fpHi += hi
+	g.fpLo += lo
 	return nil
 }
 
@@ -143,6 +150,9 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	delete(g.adj[u], v)
 	delete(g.adj[v], u)
 	g.m--
+	hi, lo := edgeHash(u, v)
+	g.fpHi -= hi
+	g.fpLo -= lo
 	return true
 }
 
@@ -217,6 +227,7 @@ func (g *Graph) Edges() []Edge {
 func (g *Graph) Clone() *Graph {
 	c := New(g.N())
 	c.m = g.m
+	c.fpHi, c.fpLo = g.fpHi, g.fpLo
 	for v := range g.adj {
 		if len(g.adj[v]) == 0 {
 			continue

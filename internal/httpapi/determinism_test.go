@@ -36,6 +36,7 @@ func TestMetricsExpositionGolden(t *testing.T) {
 	m.observeStages(stageSnap("serve.admit", 1500*time.Microsecond))
 	m.addShed()
 	m.addQueries(3)
+	m.addDeltas(2)
 	m.addPanic()
 
 	var buf bytes.Buffer
@@ -164,6 +165,9 @@ nodedp_http_requests_shed_total 1
 # HELP nodedp_queries_served_total Private releases served (single queries plus batch items).
 # TYPE nodedp_queries_served_total counter
 nodedp_queries_served_total 3
+# HELP nodedp_deltas_applied_total Committed PATCH graph mutations (deltas spend no privacy budget).
+# TYPE nodedp_deltas_applied_total counter
+nodedp_deltas_applied_total 2
 # HELP nodedp_panics_recovered_total Handler panics contained by the per-request recovery wrapper.
 # TYPE nodedp_panics_recovered_total counter
 nodedp_panics_recovered_total 1

@@ -50,6 +50,8 @@ type metrics struct {
 	shed int64
 	// queriesServed counts private releases (single + batch items).
 	queriesServed int64
+	// deltasApplied counts committed PATCH graph mutations.
+	deltasApplied int64
 	// panicsRecovered counts handler panics contained by route()'s
 	// recovery wrapper (the daemon answered 500 and kept serving).
 	panicsRecovered int64
@@ -131,6 +133,12 @@ func (m *metrics) addQueries(n int64) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) addDeltas(n int64) {
+	m.mu.Lock()
+	m.deltasApplied += n
+	m.mu.Unlock()
+}
+
 func (m *metrics) addPanic() {
 	m.mu.Lock()
 	m.panicsRecovered++
@@ -195,6 +203,10 @@ func (m *metrics) write(w io.Writer, gauges map[string]float64) {
 	fmt.Fprintf(w, "# HELP nodedp_queries_served_total Private releases served (single queries plus batch items).\n")
 	fmt.Fprintf(w, "# TYPE nodedp_queries_served_total counter\n")
 	fmt.Fprintf(w, "nodedp_queries_served_total %d\n", m.queriesServed)
+
+	fmt.Fprintf(w, "# HELP nodedp_deltas_applied_total Committed PATCH graph mutations (deltas spend no privacy budget).\n")
+	fmt.Fprintf(w, "# TYPE nodedp_deltas_applied_total counter\n")
+	fmt.Fprintf(w, "nodedp_deltas_applied_total %d\n", m.deltasApplied)
 
 	fmt.Fprintf(w, "# HELP nodedp_panics_recovered_total Handler panics contained by the per-request recovery wrapper.\n")
 	fmt.Fprintf(w, "# TYPE nodedp_panics_recovered_total counter\n")

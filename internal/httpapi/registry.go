@@ -60,6 +60,11 @@ type session struct {
 
 	mu       sync.Mutex
 	lastUsed time.Time
+	// mutating counts in-flight ApplyDelta calls. A mutating session is
+	// active by definition: the idle-TTL sweep must not evict it (dropping
+	// its budget ledger mid-mutation), and DELETE answers 409 instead of
+	// pulling the session out from under the delta.
+	mutating int
 }
 
 func (s *session) touch(now time.Time) {
@@ -74,6 +79,30 @@ func (s *session) idleSince() time.Time {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lastUsed
+}
+
+// beginMutation marks an ApplyDelta in flight; endMutation unmarks it and
+// restamps the idle clock, so a long mutation counts as activity for the
+// whole window it ran, not just its start.
+func (s *session) beginMutation() {
+	s.mu.Lock()
+	s.mutating++
+	s.mu.Unlock()
+}
+
+func (s *session) endMutation(now time.Time) {
+	s.mu.Lock()
+	s.mutating--
+	if now.After(s.lastUsed) {
+		s.lastUsed = now
+	}
+	s.mu.Unlock()
+}
+
+func (s *session) isMutating() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mutating > 0
 }
 
 // registry is the bounded, thread-safe session table.
@@ -179,7 +208,7 @@ func (r *registry) get(id string) (*session, bool) {
 	r.mu.Lock()
 	entry, ok := r.sessions[id]
 	var gone []string
-	if ok && r.cfg.IdleTTL >= 0 && now.Sub(entry.idleSince()) > r.cfg.IdleTTL {
+	if ok && r.cfg.IdleTTL >= 0 && !entry.isMutating() && now.Sub(entry.idleSince()) > r.cfg.IdleTTL {
 		gone = r.deleteLocked(entry)
 		r.evicted++
 		ok = false
@@ -192,17 +221,37 @@ func (r *registry) get(id string) (*session, bool) {
 	return entry, ok
 }
 
-// remove deletes a session by id (DELETE /v1/sessions/{id}).
-func (r *registry) remove(id string) bool {
+// removeOutcome is the tri-state result of registry.remove, so the DELETE
+// handler can distinguish "gone" (404) from "busy mutating" (409).
+type removeOutcome int
+
+const (
+	removeOK removeOutcome = iota
+	removeMissing
+	removeBusy
+)
+
+// remove deletes a session by id (DELETE /v1/sessions/{id}). A session
+// with a graph mutation in flight is refused, not deleted: evicting it
+// would drop the budget ledger and the serving snapshot out from under
+// ApplyDelta's commit.
+func (r *registry) remove(id string) removeOutcome {
 	r.mu.Lock()
 	entry, ok := r.sessions[id]
+	if ok && entry.isMutating() {
+		r.mu.Unlock()
+		return removeBusy
+	}
 	var gone []string
 	if ok {
 		gone = r.deleteLocked(entry)
 	}
 	r.mu.Unlock()
 	r.announceGone(gone)
-	return ok
+	if !ok {
+		return removeMissing
+	}
+	return removeOK
 }
 
 // sweepLocked evicts sessions idle past the TTL; called with r.mu held.
@@ -213,6 +262,11 @@ func (r *registry) sweepLocked(now time.Time) []string {
 	}
 	var gone []string
 	for _, entry := range r.sessions {
+		// A mutating session is active no matter what its idle clock says:
+		// ApplyDelta restamps the clock only when it finishes.
+		if entry.isMutating() {
+			continue
+		}
 		if now.Sub(entry.idleSince()) > r.cfg.IdleTTL {
 			gone = append(gone, r.deleteLocked(entry)...)
 			r.evicted++

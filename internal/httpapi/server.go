@@ -4,6 +4,7 @@
 // package. The API is
 //
 //	POST   /v1/graphs              upload a graph, open a budgeted session
+//	PATCH  /v1/graphs/{id}         apply a live edge delta to a session's graph
 //	POST   /v1/sessions/{id}/query one private query
 //	POST   /v1/sessions/{id}/batch a Do-backed batch of queries
 //	GET    /v1/sessions/{id}       budget + plan-cache introspection
@@ -206,6 +207,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/graphs", s.handleCreateSession)
+	s.route("PATCH /v1/graphs/{id}", s.handlePatchGraph)
 	s.route("POST /v1/admin/cache/save", s.handleCacheSave)
 	s.route("GET /v1/admin/traces", s.handleTraces)
 	s.route("POST /v1/sessions/{id}/query", s.handleQuery)
@@ -404,6 +406,10 @@ func (s *Server) cacheTotals() core.CacheStats {
 		total.Invalidations += st.Invalidations
 		total.Entries += st.Entries
 		total.Weight += st.Weight
+		total.SubPlanHits += st.SubPlanHits
+		total.SubPlanMisses += st.SubPlanMisses
+		total.SubPlanEvictions += st.SubPlanEvictions
+		total.SubPlanEntries += st.SubPlanEntries
 		total.SnapshotSaves += st.SnapshotSaves
 		total.SnapshotLoads += st.SnapshotLoads
 		total.SnapshotEntriesSaved += st.SnapshotEntriesSaved
@@ -622,16 +628,78 @@ func buildGraph(req *CreateSessionRequest) (*graph.Graph, error) {
 	case req.N <= 0:
 		return nil, fmt.Errorf("n must be positive (got %d)", req.N)
 	default:
+		// Canonical ingress: duplicate edges and self-loops in the upload
+		// body collapse silently, so two uploads of the same simple graph
+		// always fingerprint identically and share a plan-cache entry,
+		// however noisy their edge lists were. (The edge_list text format
+		// stays strict — a duplicate line there is corruption of an exact
+		// exchange format, and a rejected upload builds no graph at all, so
+		// it can never produce a divergent fingerprint.)
 		edges := make([]graph.Edge, len(req.Edges))
 		for i, e := range req.Edges {
 			edges[i] = graph.NewEdge(e[0], e[1])
 		}
-		g, err := graph.FromEdges(req.N, edges)
+		g, err := graph.FromEdgesCanonical(req.N, edges)
 		if err != nil {
 			return nil, fmt.Errorf("building graph: %w", err)
 		}
 		return g, nil
 	}
+}
+
+// handlePatchGraph implements PATCH /v1/graphs/{id}: a live-graph delta on
+// the session's served graph. The handler is admission-controlled and
+// traced like every /v1 route; the serve layer serializes concurrent
+// deltas, audits each one in the privacy ledger, and swaps the serving
+// snapshot atomically, so racing queries see the pre- or post-delta graph,
+// never a torn one. While the delta runs, the session is held against the
+// idle-TTL sweep and DELETE (409) — a mutation must never lose its ledger
+// mid-commit.
+func (s *Server) handlePatchGraph(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req PatchRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "decoding request: "+err.Error())
+		return
+	}
+	if len(req.Adds) == 0 && len(req.Removes) == 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "delta has no adds and no removes")
+		return
+	}
+	r = s.identifyRequest(r, entry.tenant, req.RequestID)
+
+	adds := make([]graph.Edge, len(req.Adds))
+	for i, e := range req.Adds {
+		adds[i] = graph.NewEdge(e[0], e[1])
+	}
+	removes := make([]graph.Edge, len(req.Removes))
+	for i, e := range req.Removes {
+		removes[i] = graph.NewEdge(e[0], e[1])
+	}
+
+	entry.beginMutation()
+	res, err := entry.sess.ApplyDelta(r.Context(), adds, removes)
+	entry.endMutation(s.now())
+	if err != nil {
+		// The taxonomy mirrors queries: injected faults are retryable 500s,
+		// cancelations 504 (the delta rolled back fully — retry-safe),
+		// validation 400. Deltas never spend ε on any path.
+		writeQueryError(w, err)
+		return
+	}
+	s.metrics.addDeltas(1)
+	writeJSON(w, http.StatusOK, PatchResponse{
+		Added:         res.Added,
+		Removed:       res.Removed,
+		NoOp:          res.NoOp,
+		Fingerprint:   res.Fingerprint.String(),
+		PlanCacheHit:  res.PlanCacheHit,
+		SubPlanHits:   res.SubPlanHits,
+		SubPlanMisses: res.SubPlanMisses,
+	})
 }
 
 // identifyRequest attaches the request's serving identity once the handler
@@ -816,13 +884,15 @@ func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 			Accountant: st.Accountant,
 			Delta:      st.Delta,
 		},
-		Queries:     st.Queries,
-		Admitted:    st.Admitted,
-		Rejected:    st.Rejected,
-		PlansBuilt:  st.PlansBuilt,
-		CacheHit:    st.CacheHit,
-		CreatedUnix: entry.created.Unix(),
-		IdleSeconds: s.now().Sub(entry.idleSince()).Seconds(),
+		Queries:        st.Queries,
+		Admitted:       st.Admitted,
+		Rejected:       st.Rejected,
+		PlansBuilt:     st.PlansBuilt,
+		CacheHit:       st.CacheHit,
+		Deltas:         st.Deltas,
+		DeltasRejected: st.DeltasRejected,
+		CreatedUnix:    entry.created.Unix(),
+		IdleSeconds:    s.now().Sub(entry.idleSince()).Seconds(),
 		Cache: CacheInfo{
 			Hits:                   cs.Hits,
 			Misses:                 cs.Misses,
@@ -833,6 +903,10 @@ func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 			Weight:                 cs.Weight,
 			WeightCapacity:         cs.WeightCapacity,
 			EntryWeights:           cs.EntryWeights,
+			SubPlanHits:            cs.SubPlanHits,
+			SubPlanMisses:          cs.SubPlanMisses,
+			SubPlanEvictions:       cs.SubPlanEvictions,
+			SubPlanEntries:         cs.SubPlanEntries,
 			SnapshotSaves:          cs.SnapshotSaves,
 			SnapshotLoads:          cs.SnapshotLoads,
 			SnapshotEntriesSaved:   cs.SnapshotEntriesSaved,
@@ -843,11 +917,15 @@ func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
-	if !s.registry.remove(r.PathValue("id")) {
+	switch s.registry.remove(r.PathValue("id")) {
+	case removeMissing:
 		writeError(w, http.StatusNotFound, CodeNotFound, "no such session")
-		return
+	case removeBusy:
+		writeError(w, http.StatusConflict, CodeConflict,
+			"session has a graph mutation in flight; retry after it completes")
+	default:
+		w.WriteHeader(http.StatusNoContent)
 	}
-	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -872,6 +950,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"nodedp_plan_cache_evictions_total":                float64(cs.Evictions),
 		"nodedp_plan_cache_entries":                        float64(cs.Entries),
 		"nodedp_plan_cache_weight":                         float64(cs.Weight),
+		"nodedp_plan_cache_subplan_hits_total":             float64(cs.SubPlanHits),
+		"nodedp_plan_cache_subplan_misses_total":           float64(cs.SubPlanMisses),
+		"nodedp_plan_cache_subplan_evictions_total":        float64(cs.SubPlanEvictions),
+		"nodedp_plan_cache_subplan_entries":                float64(cs.SubPlanEntries),
 		"nodedp_plan_cache_snapshot_saves_total":           float64(cs.SnapshotSaves),
 		"nodedp_plan_cache_snapshot_loads_total":           float64(cs.SnapshotLoads),
 		"nodedp_plan_cache_snapshot_entries_saved_total":   float64(cs.SnapshotEntriesSaved),

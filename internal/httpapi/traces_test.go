@@ -71,20 +71,22 @@ func TestAdminTracesTenantScopedSpanTree(t *testing.T) {
 		t.Fatalf("admit span counters %v", byName["serve.admit"].Counters)
 	}
 	// The upload trace carries the planning spans: core.plan (a cold
-	// cache miss) over the forestlp sweep with populated work counters and
-	// one child span per grid point.
+	// cache miss) over one forestlp sweep per non-trivial component — the
+	// plan cache assembles evaluations component-wise — each with
+	// populated work counters and one child span per grid point.
 	up := out.Traces[1]
 	if up.RequestID != "upload-1" {
 		t.Fatalf("upload trace identity %+v", up)
 	}
-	var plan, sweep SpanItem
+	var plan SpanItem
+	var sweeps []SpanItem
 	points := 0
 	for _, sp := range up.Spans {
 		switch sp.Name {
 		case "core.plan":
 			plan = sp
 		case "forestlp.grid":
-			sweep = sp
+			sweeps = append(sweeps, sp)
 		case "forestlp.point":
 			points++
 		}
@@ -92,11 +94,21 @@ func TestAdminTracesTenantScopedSpanTree(t *testing.T) {
 	if v, ok := plan.Counters["cache_hit"]; !ok || v != 0 {
 		t.Fatalf("core.plan counters %v, want cache_hit=0 on a cold upload", plan.Counters)
 	}
-	if sweep.Counters["grid_points"] == 0 || points != int(sweep.Counters["grid_points"]) {
-		t.Fatalf("sweep counters %v with %d point spans", sweep.Counters, points)
+	if len(sweeps) == 0 {
+		t.Fatalf("no forestlp.grid spans in upload trace: %+v", up.Spans)
 	}
-	if sweep.Counters["components"] <= 0 {
-		t.Fatalf("sweep components = %d, want > 0", sweep.Counters["components"])
+	var totalPoints int64
+	for _, sweep := range sweeps {
+		if sweep.Counters["grid_points"] == 0 {
+			t.Fatalf("sweep counters %v, want grid_points > 0", sweep.Counters)
+		}
+		if sweep.Counters["components"] != 1 {
+			t.Fatalf("per-component sweep components = %d, want 1", sweep.Counters["components"])
+		}
+		totalPoints += sweep.Counters["grid_points"]
+	}
+	if int64(points) != totalPoints {
+		t.Fatalf("%d point spans, want %d (sum of the sweeps' grid_points)", points, totalPoints)
 	}
 
 	// Foreign tenants see nothing.

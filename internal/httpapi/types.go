@@ -38,6 +38,10 @@ const (
 	// HTTP timeout). The reserved ε was refunded in full; retrying is
 	// budget-safe. HTTP 504.
 	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeConflict: the operation races a conflicting one on the same
+	// session — today, DELETE while a PATCH mutation is in flight. The
+	// session is unchanged; retry once the mutation completes. HTTP 409.
+	CodeConflict ErrorCode = "conflict"
 )
 
 // ErrorBody is the JSON envelope of every non-2xx response.
@@ -105,6 +109,60 @@ type CreateSessionResponse struct {
 	Accountant string  `json:"accountant"`
 	Budget     float64 `json:"budget"`
 	Delta      float64 `json:"delta,omitempty"`
+}
+
+// PatchRequest is the body of PATCH /v1/graphs/{id}: a live-graph delta
+// against the session's served graph. Deltas have idempotent set
+// semantics — adds ensure presence, removes ensure absence — and both
+// lists are canonicalized exactly like an upload body (endpoints
+// normalized, self-loops dropped, duplicates collapsed), so semantically
+// identical deltas always produce fingerprint-identical graphs. An edge
+// listed in both adds and removes is rejected. The vertex set is fixed at
+// upload; endpoints must be in [0, n).
+//
+// PATCH is deliberately NOT request-ID deduplicated: the set semantics
+// already make a retry of a committed delta a harmless no-op (it reports
+// zero applied edges), and a delta spends no privacy budget, so there is
+// no double-charge to guard against. RequestID still names the mutation
+// for tracing and for the audit ledger's "delta" records.
+type PatchRequest struct {
+	// Adds lists edges to insert as [u, v] pairs.
+	//privacy:secret — raw edges of the sensitive graph; inbound only, must never be echoed on a response.
+	Adds [][2]int `json:"adds,omitempty"`
+	// Removes lists edges to delete as [u, v] pairs.
+	//privacy:secret — raw edges of the sensitive graph; inbound only, must never be echoed on a response.
+	Removes [][2]int `json:"removes,omitempty"`
+	// RequestID names the mutation for tracing and privacy auditing.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// PatchResponse answers PATCH /v1/graphs/{id}. It deliberately excludes
+// the exact component counts the in-process DeltaResult exposes: the
+// number of connected components is the very quantity this system
+// releases privately, so it never travels the wire un-noised. What is
+// exposed mirrors the existing upload surface — the canonical fingerprint
+// (CreateSessionResponse exposes it too) and tenant-scoped plan-cache
+// behavior (SessionInfo already exposes the same counters).
+type PatchResponse struct {
+	// Added and Removed count the edges actually inserted and deleted;
+	// an add already present or a remove already absent counts zero.
+	Added   int `json:"added"`
+	Removed int `json:"removed"`
+	// NoOp reports that the delta changed nothing: the fingerprint, the
+	// plan, and every future release are unchanged.
+	NoOp bool `json:"no_op,omitempty"`
+	// Fingerprint is the canonical 128-bit digest of the post-delta graph
+	// (the digest a fresh upload of the mutated graph would report).
+	Fingerprint string `json:"fingerprint"`
+	// PlanCacheHit reports the whole post-delta evaluation was already
+	// cached — e.g. a delta returning to a previously served graph.
+	// Tenant-scoped, like CreateSessionResponse.CacheHit.
+	PlanCacheHit bool `json:"plan_cache_hit"`
+	// SubPlanHits and SubPlanMisses count component sub-plans reused
+	// verbatim vs re-evaluated by this delta's re-planning — the
+	// observable half of component-local plan reuse.
+	SubPlanHits   int64 `json:"subplan_hits"`
+	SubPlanMisses int64 `json:"subplan_misses"`
 }
 
 // QueryRequest is the body of POST /v1/sessions/{id}/query and one element
@@ -189,6 +247,10 @@ type SessionInfo struct {
 	Rejected   int64 `json:"rejected"`
 	PlansBuilt int   `json:"plans_built"`
 	CacheHit   bool  `json:"cache_hit"`
+	// Deltas and DeltasRejected count committed and refused PATCH
+	// mutations on this session (deltas never spend ε).
+	Deltas         int64 `json:"deltas,omitempty"`
+	DeltasRejected int64 `json:"deltas_rejected,omitempty"`
 	// CreatedUnix and IdleSeconds support capacity planning against the
 	// registry's idle TTL.
 	CreatedUnix int64   `json:"created_unix"`
@@ -211,6 +273,13 @@ type CacheInfo struct {
 	Weight         int64   `json:"weight"`
 	WeightCapacity int64   `json:"weight_capacity,omitempty"`
 	EntryWeights   []int64 `json:"entry_weights,omitempty"`
+	// SubPlan* mirror the component-keyed sub-plan layer: hits are
+	// components whose grid values were reused verbatim during a delta
+	// re-plan (or an assembly-backed cold open), misses were evaluated.
+	SubPlanHits      int64 `json:"subplan_hits,omitempty"`
+	SubPlanMisses    int64 `json:"subplan_misses,omitempty"`
+	SubPlanEvictions int64 `json:"subplan_evictions,omitempty"`
+	SubPlanEntries   int   `json:"subplan_entries,omitempty"`
 	// Snapshot* mirror the persistence counters: save/load passes and the
 	// entries they wrote, merged in, and skipped (corrupt, unknown
 	// version, or invariant-violating).

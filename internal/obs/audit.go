@@ -55,6 +55,11 @@ const (
 	// AuditReplay records a dedup replay: a retried request ID answered
 	// from the recorded release without touching the ledger.
 	AuditReplay = "replay"
+	// AuditDelta records a live-graph mutation (Session.ApplyDelta): the
+	// served graph changed but the ledger did not move — deltas spend no
+	// ε — so the event carries the unchanged balance, and the scope stays
+	// the session's open-time fingerprint so the stream stays contiguous.
+	AuditDelta = "delta"
 )
 
 // Audit outcomes.

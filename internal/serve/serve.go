@@ -159,7 +159,9 @@ type QueryOptions struct {
 // Stats is a snapshot of a session's serving counters.
 type Stats struct {
 	// PlansBuilt is how many grid evaluations this session computed: 1 for
-	// a cold open, 0 when the plan cache supplied one.
+	// a cold open plus one per delta the plan cache could not serve whole
+	// (component sub-plans may still have cut the work; see
+	// DeltaResult.SubPlanHits), 0 for a fully cached history.
 	PlansBuilt int
 	// CacheHit reports whether Open was served from the plan cache.
 	CacheHit bool
@@ -167,6 +169,10 @@ type Stats struct {
 	// that passed budget admission, and those refused (budget or
 	// validation).
 	Queries, Admitted, Rejected int64
+	// Deltas counts ApplyDelta calls that committed (including no-ops);
+	// DeltasRejected counts attempts refused by validation or failed by
+	// evaluation errors, which leave the served graph unchanged.
+	Deltas, DeltasRejected int64
 	// TotalBudget, Spent, and Remaining describe the accountant's state;
 	// under advanced composition Spent is the global privacy loss
 	// guaranteed so far (not the raw Σε_i).
@@ -175,9 +181,21 @@ type Stats struct {
 	// "advanced"); Delta is its failure probability (0 when pure ε).
 	Accountant string
 	Delta      float64
-	// Engine aggregates the extension evaluator's work for the plan this
-	// session serves (zero work was added if CacheHit).
+	// Engine aggregates the extension evaluator's work for the currently
+	// served plan (zero when the plan cache supplied it).
 	Engine forestlp.Stats
+}
+
+// snapshot is one immutable serving state: the grid evaluation queries
+// release from and the CSR it was computed on. ApplyDelta swaps the whole
+// pair atomically, so a racing query sees the pre-delta or post-delta
+// state, never a torn mixture.
+type snapshot struct {
+	ge  *core.GridEval
+	csr *graph.CSR
+	// built reports this session computed the evaluation itself (a cache
+	// miss); it feeds the PlansBuilt and Engine stats.
+	built bool
 }
 
 // Session is a long-lived serving handle on one sensitive graph: the
@@ -185,8 +203,18 @@ type Stats struct {
 // the plan cache) once at Open, and every query pays only selection and
 // release noise plus its ε. All methods are safe for concurrent use.
 type Session struct {
-	ge       *core.GridEval
-	cacheHit bool
+	snap     atomic.Pointer[snapshot]
+	cacheHit bool // open-time cache outcome
+
+	// cache is the optional shared plan cache; ApplyDelta re-plans through
+	// it so untouched components reuse their sub-plans.
+	cache *core.PlanCache
+
+	// mutMu serializes graph mutations (ApplyDelta); live is the mutable
+	// twin of the served snapshot, materialized lazily on the first delta
+	// and only ever touched under mutMu.
+	mutMu sync.Mutex
+	live  *graph.Graph
 
 	// Per-session option template; zero fields default per query inside
 	// core, which is what keeps seeded queries identical to one-shot calls.
@@ -211,9 +239,12 @@ type Session struct {
 	rand   *rand.Rand
 	randMu sync.Mutex
 
-	queries  atomic.Int64
-	admitted atomic.Int64
-	rejected atomic.Int64
+	queries        atomic.Int64
+	admitted       atomic.Int64
+	rejected       atomic.Int64
+	deltas         atomic.Int64
+	deltasRejected atomic.Int64
+	plansBuilt     atomic.Int64
 }
 
 // Open snapshots g and prepares it for serving: CSR snapshot, component
@@ -258,8 +289,8 @@ func Open(ctx context.Context, g *graph.Graph, opts SessionOptions) (*Session, e
 		return nil, err
 	}
 	s := &Session{
-		ge:        ge,
 		cacheHit:  hit,
+		cache:     opts.Cache,
 		beta:      opts.Beta,
 		deltaMax:  opts.DeltaMax,
 		countFrac: opts.CountBudgetFraction,
@@ -269,6 +300,10 @@ func Open(ctx context.Context, g *graph.Graph, opts SessionOptions) (*Session, e
 		acct:      acct,
 		audit:     opts.Audit,
 		scope:     ge.Fingerprint().String(),
+	}
+	s.snap.Store(&snapshot{ge: ge, csr: graph.NewCSR(g), built: !hit})
+	if !hit {
+		s.plansBuilt.Store(1)
 	}
 	s.auditOpen(obs.RequestInfoFrom(ctx).Tenant)
 	return s, nil
@@ -375,13 +410,16 @@ func (s *Session) execute(ctx context.Context, op Op, q QueryOptions) (core.Resu
 		CountBudgetFraction: s.countFrac,
 		DiscreteRelease:     s.discrete,
 	}
+	// One snapshot read serves the whole query: a delta landing mid-query
+	// cannot mix pre- and post-mutation state.
+	ge := s.snap.Load().ge
 	switch {
 	case op == OpSpanningForestSize:
-		return core.EstimateSpanningForestSizeFromGrid(ctx, s.ge, opts)
+		return core.EstimateSpanningForestSizeFromGrid(ctx, ge, opts)
 	case q.Mode == KnownN:
-		return core.EstimateComponentCountKnownNFromGrid(ctx, s.ge, opts)
+		return core.EstimateComponentCountKnownNFromGrid(ctx, ge, opts)
 	default:
-		return core.EstimateComponentCountFromGrid(ctx, s.ge, opts)
+		return core.EstimateComponentCountFromGrid(ctx, ge, opts)
 	}
 }
 
@@ -404,40 +442,43 @@ func (s *Session) Delta() float64 { return s.acct.Delta() }
 // AccountantName identifies the composition rule in force.
 func (s *Session) AccountantName() string { return s.acct.Name() }
 
-// Fingerprint returns the canonical fingerprint of the served graph.
-func (s *Session) Fingerprint() graph.Fingerprint { return s.ge.Fingerprint() }
+// Fingerprint returns the canonical fingerprint of the currently served
+// graph (post-delta once ApplyDelta commits). The audit scope, by contrast,
+// stays pinned to the open-time fingerprint so one session writes one
+// contiguous audit stream.
+func (s *Session) Fingerprint() graph.Fingerprint { return s.snap.Load().ge.Fingerprint() }
 
 // N returns the served graph's vertex count. Like every non-Estimate
 // accessor it is exact data-dependent information: do not release it when
 // the vertex count is sensitive.
-func (s *Session) N() int { return s.ge.N() }
+func (s *Session) N() int { return s.snap.Load().ge.N() }
 
 // Stats returns a snapshot of the session's serving counters. The budget
 // triple is read atomically (Spent + Remaining == TotalBudget always), and
 // Admitted/Rejected are read before Queries, so Queries ≥ Admitted +
 // Rejected holds even while queries are in flight.
 func (s *Session) Stats() Stats {
-	plans := 1
+	snap := s.snap.Load()
 	var engine forestlp.Stats
-	if s.cacheHit {
-		plans = 0
-	} else {
-		engine = s.ge.Stats()
+	if snap.built {
+		engine = snap.ge.Stats()
 	}
 	spent, remaining := s.acct.Snapshot()
 	admitted, rejected := s.admitted.Load(), s.rejected.Load()
 	return Stats{
-		PlansBuilt:  plans,
-		CacheHit:    s.cacheHit,
-		Queries:     s.queries.Load(),
-		Admitted:    admitted,
-		Rejected:    rejected,
-		TotalBudget: s.acct.EpsilonBudget(),
-		Spent:       spent,
-		Remaining:   remaining,
-		Accountant:  s.acct.Name(),
-		Delta:       s.acct.Delta(),
-		Engine:      engine,
+		PlansBuilt:     int(s.plansBuilt.Load()),
+		CacheHit:       s.cacheHit,
+		Queries:        s.queries.Load(),
+		Admitted:       admitted,
+		Rejected:       rejected,
+		Deltas:         s.deltas.Load(),
+		DeltasRejected: s.deltasRejected.Load(),
+		TotalBudget:    s.acct.EpsilonBudget(),
+		Spent:          spent,
+		Remaining:      remaining,
+		Accountant:     s.acct.Name(),
+		Delta:          s.acct.Delta(),
+		Engine:         engine,
 	}
 }
 

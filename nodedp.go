@@ -77,8 +77,28 @@ func NewEdge(u, v int) Edge { return graph.NewEdge(u, v) }
 func NewGraph(n int) *Graph { return graph.New(n) }
 
 // GraphFromEdges builds a graph on n vertices with the given edge list.
+// The list must already be canonical: a self-loop or duplicate edge is an
+// error. Use GraphFromEdgesCanonical for noisy inputs.
 func GraphFromEdges(n int, edges []Edge) (*Graph, error) {
 	return graph.FromEdges(n, edges)
+}
+
+// GraphFromEdgesCanonical builds a graph on n vertices from an arbitrary
+// edge list, canonicalizing first: endpoints normalized, self-loops
+// dropped, duplicates collapsed. Any two inputs describing the same simple
+// graph produce Fingerprint-identical results — the rule every network
+// ingress (HTTP upload, PATCH delta) applies, exposed for library callers
+// holding raw edge data.
+func GraphFromEdgesCanonical(n int, edges []Edge) (*Graph, error) {
+	return graph.FromEdgesCanonical(n, edges)
+}
+
+// CanonicalizeEdges returns the canonical form of an arbitrary edge list
+// over vertices 0..n-1: endpoints normalized so U < V, self-loops dropped,
+// duplicates collapsed, sorted. It errors only on an out-of-range
+// endpoint.
+func CanonicalizeEdges(n int, edges []Edge) ([]Edge, error) {
+	return graph.Canonicalize(n, edges)
 }
 
 // ReadGraph parses the package's edge-list exchange format ("n <count>"
@@ -184,6 +204,13 @@ func PrepareSpanningForestCtx(ctx context.Context, g *Graph, opts Options) (*Pre
 // spend nothing. A query with an explicit Seed releases bit-for-bit the
 // value of the equivalent one-shot Estimate*Ctx call with the same seed
 // (testing only — reproducible releases are not private).
+//
+// Sessions serve live graphs: ApplyDelta mutates the served graph in
+// place (edge adds and removes, idempotent set semantics) and re-plans it
+// through the plan cache's component-keyed sub-plan layer, reusing every
+// untouched component's grid values verbatim. Queries racing a delta see
+// the pre- or post-delta snapshot, never a torn one, and the post-delta
+// session is bit-identical to a cold open of the mutated graph.
 type Session = serve.Session
 
 // SessionOptions configures Open; TotalBudget is required, everything else
@@ -257,6 +284,13 @@ var ErrBudgetExhausted = serve.ErrBudgetExhausted
 func Open(ctx context.Context, g *Graph, opts SessionOptions) (*Session, error) {
 	return serve.Open(ctx, g, opts)
 }
+
+// DeltaResult reports what one Session.ApplyDelta did: applied edge
+// counts, the post-delta fingerprint, component bookkeeping (merges,
+// touched components), and the component-level plan-reuse counters. A
+// session mutated by ApplyDelta releases bit-identically to a session
+// cold-opened on the mutated graph under the same options.
+type DeltaResult = serve.DeltaResult
 
 // BatchRequest is one query of a Session.Do batch, with per-request
 // ε/op/mode/seed.
